@@ -1,0 +1,328 @@
+//! The Table 5 catalog: all 20 reproduced energy-bug cases, each with its
+//! app model, trigger environment, expected misbehaviour class, and the
+//! paper's measured power numbers (for shape comparison in
+//! `EXPERIMENTS.md`).
+
+use leaseos_framework::{AppModel, ResourceKind};
+use leaseos_simkit::Environment;
+
+use crate::buggy::cpu::{Facebook, K9Mail, Kontalk, ServalMesh, TextSecure, Torch};
+use crate::buggy::gps::{
+    Aimscid, BetterWeather, BostonBusMap, GpsLogger, MozStumbler, OpenGpsTracker, OpenScienceMap,
+    OsmTracker, Where,
+};
+use crate::buggy::screen::{ConnectBotScreen, StandupTimer};
+use crate::buggy::sensor::{Riot, TapAndTurn};
+use crate::buggy::wifi::ConnectBotWifi;
+use leaseos::BehaviorType;
+
+/// The paper's Table 5 measurements for one app, in mW.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperNumbers {
+    /// Power without lease (vanilla Android).
+    pub without_lease: f64,
+    /// Power under LeaseOS.
+    pub with_lease: f64,
+    /// Power under (aggressive) Doze.
+    pub doze: f64,
+    /// Power under DefDroid.
+    pub defdroid: f64,
+}
+
+impl PaperNumbers {
+    /// The paper's reduction percentage for LeaseOS.
+    pub fn lease_reduction_pct(&self) -> f64 {
+        100.0 * (self.without_lease - self.with_lease) / self.without_lease
+    }
+}
+
+/// One reproduced energy-bug case.
+pub struct BuggyCase {
+    /// App name as it appears in Table 5.
+    pub name: &'static str,
+    /// Table 5 category column.
+    pub category: &'static str,
+    /// The misbehaving resource.
+    pub resource: ResourceKind,
+    /// The expected misbehaviour class.
+    pub behavior: BehaviorType,
+    /// The paper's measured powers.
+    pub paper: PaperNumbers,
+    /// Builds a fresh instance of the app model.
+    pub build: fn() -> Box<dyn AppModel>,
+    /// Builds the trigger environment.
+    pub environment: fn() -> Environment,
+}
+
+impl std::fmt::Debug for BuggyCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuggyCase")
+            .field("name", &self.name)
+            .field("resource", &self.resource)
+            .field("behavior", &self.behavior)
+            .finish_non_exhaustive()
+    }
+}
+
+fn unattended() -> Environment {
+    Environment::unattended()
+}
+
+fn disconnected_unattended() -> Environment {
+    let mut env = Environment::disconnected();
+    env.user_present = leaseos_simkit::Schedule::new(false);
+    env
+}
+
+fn weak_gps_unattended() -> Environment {
+    let mut env = Environment::weak_gps_building();
+    env.user_present = leaseos_simkit::Schedule::new(false);
+    env
+}
+
+/// All 20 cases, in Table 5 order.
+pub fn table5_cases() -> Vec<BuggyCase> {
+    use BehaviorType::{FrequentAsk as FAB, LongHolding as LHB, LowUtility as LUB};
+    use ResourceKind::*;
+    vec![
+        BuggyCase {
+            name: "Facebook",
+            category: "social",
+            resource: Wakelock,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 100.62, with_lease: 1.93, doze: 18.92, defdroid: 12.68 },
+            build: || Box::new(Facebook::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "Torch",
+            category: "tool",
+            resource: Wakelock,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 81.54, with_lease: 1.30, doze: 19.26, defdroid: 14.39 },
+            build: || Box::new(Torch::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "Kontalk",
+            category: "messaging",
+            resource: Wakelock,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 29.41, with_lease: 0.39, doze: 16.84, defdroid: 15.99 },
+            build: || Box::new(Kontalk::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "K-9",
+            category: "mail",
+            resource: Wakelock,
+            behavior: LUB,
+            paper: PaperNumbers { without_lease: 890.35, with_lease: 81.62, doze: 195.2, defdroid: 136.14 },
+            build: || Box::new(K9Mail::new()),
+            environment: disconnected_unattended,
+        },
+        BuggyCase {
+            name: "ServalMesh",
+            category: "tool",
+            resource: Wakelock,
+            behavior: LUB,
+            paper: PaperNumbers { without_lease: 134.27, with_lease: 1.37, doze: 30.54, defdroid: 14.88 },
+            build: || Box::new(ServalMesh::new()),
+            environment: disconnected_unattended,
+        },
+        BuggyCase {
+            name: "TextSecure",
+            category: "messaging",
+            resource: Wakelock,
+            behavior: LUB,
+            paper: PaperNumbers { without_lease: 81.62, with_lease: 1.198, doze: 18.78, defdroid: 16.78 },
+            build: || Box::new(TextSecure::new()),
+            environment: disconnected_unattended,
+        },
+        BuggyCase {
+            name: "ConnectBot(screen)",
+            category: "tool",
+            resource: ScreenWakelock,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 576.52, with_lease: 23.23, doze: 573.23, defdroid: 115.56 },
+            build: || Box::new(ConnectBotScreen::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "Standup Timer",
+            category: "productivity",
+            resource: ScreenWakelock,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 569.10, with_lease: 13.26, doze: 544.46, defdroid: 61.82 },
+            build: || Box::new(StandupTimer::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "ConnectBot(wifi)",
+            category: "tool",
+            resource: WifiLock,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 17.08, with_lease: 0.78, doze: 3.21, defdroid: 2.57 },
+            build: || Box::new(ConnectBotWifi::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "BetterWeather",
+            category: "widget",
+            resource: Gps,
+            behavior: FAB,
+            paper: PaperNumbers { without_lease: 115.36, with_lease: 2.59, doze: 20.38, defdroid: 39.97 },
+            build: || Box::new(BetterWeather::new()),
+            environment: weak_gps_unattended,
+        },
+        BuggyCase {
+            name: "WHERE",
+            category: "travel",
+            resource: Gps,
+            behavior: FAB,
+            paper: PaperNumbers { without_lease: 126.28, with_lease: 23.33, doze: 20.42, defdroid: 69.62 },
+            build: || Box::new(Where::new()),
+            environment: weak_gps_unattended,
+        },
+        BuggyCase {
+            name: "MozStumbler",
+            category: "service",
+            resource: Gps,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 122.43, with_lease: 67.53, doze: 36.48, defdroid: 62.7 },
+            build: || Box::new(MozStumbler::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "OSMTracker",
+            category: "navigation",
+            resource: Gps,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 121.51, with_lease: 8.39, doze: 20.52, defdroid: 73.34 },
+            build: || Box::new(OsmTracker::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "GPSLogger",
+            category: "travel",
+            resource: Gps,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 118.25, with_lease: 4.33, doze: 21.98, defdroid: 70.7 },
+            build: || Box::new(GpsLogger::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "BostonBusMap",
+            category: "travel",
+            resource: Gps,
+            behavior: LHB,
+            paper: PaperNumbers { without_lease: 115.5, with_lease: 3.97, doze: 19.5, defdroid: 71.09 },
+            build: || Box::new(BostonBusMap::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "AIMSCID",
+            category: "service",
+            resource: Gps,
+            behavior: LUB,
+            paper: PaperNumbers { without_lease: 119.43, with_lease: 4.50, doze: 23.91, defdroid: 73.31 },
+            build: || Box::new(Aimscid::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "OpenScienceMap",
+            category: "navigation",
+            resource: Gps,
+            behavior: LUB,
+            paper: PaperNumbers { without_lease: 123.97, with_lease: 3.40, doze: 19.91, defdroid: 91.25 },
+            build: || Box::new(OpenScienceMap::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "OpenGPSTracker",
+            category: "travel",
+            resource: Gps,
+            behavior: LUB,
+            paper: PaperNumbers { without_lease: 360.25, with_lease: 1.32, doze: 19.91, defdroid: 237.41 },
+            build: || Box::new(OpenGpsTracker::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "TapAndTurn",
+            category: "tool",
+            resource: Sensor,
+            behavior: LUB,
+            paper: PaperNumbers { without_lease: 11.72, with_lease: 1.87, doze: 3.95, defdroid: 4.41 },
+            build: || Box::new(TapAndTurn::new()),
+            environment: unattended,
+        },
+        BuggyCase {
+            name: "Riot",
+            category: "messaging",
+            resource: Sensor,
+            behavior: LUB,
+            paper: PaperNumbers { without_lease: 19.17, with_lease: 1.43, doze: 6.64, defdroid: 3.93 },
+            build: || Box::new(Riot::new()),
+            environment: unattended,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_cases_in_table5_order() {
+        let cases = table5_cases();
+        assert_eq!(cases.len(), 20);
+        assert_eq!(cases[0].name, "Facebook");
+        assert_eq!(cases[19].name, "Riot");
+    }
+
+    #[test]
+    fn paper_average_reduction_is_about_92_percent() {
+        let cases = table5_cases();
+        let avg: f64 = cases
+            .iter()
+            .map(|c| c.paper.lease_reduction_pct())
+            .sum::<f64>()
+            / cases.len() as f64;
+        // The paper reports 92.62 % as the column average.
+        assert!((avg - 92.62).abs() < 0.2, "got {avg}");
+    }
+
+    #[test]
+    fn behaviour_classes_match_table1_applicability() {
+        for case in table5_cases() {
+            assert!(
+                case.behavior.applies_to(case.resource),
+                "{}: {} cannot occur on {}",
+                case.name,
+                case.behavior,
+                case.resource
+            );
+        }
+    }
+
+    #[test]
+    fn every_case_builds_a_distinct_named_app() {
+        let cases = table5_cases();
+        let mut names = std::collections::BTreeSet::new();
+        for case in &cases {
+            let app = (case.build)();
+            assert_eq!(app.name(), case.name, "model name matches catalog");
+            assert!(names.insert(case.name), "{} duplicated", case.name);
+            let _env = (case.environment)();
+        }
+    }
+
+    #[test]
+    fn class_counts_match_table5() {
+        let cases = table5_cases();
+        let count = |b: BehaviorType| cases.iter().filter(|c| c.behavior == b).count();
+        assert_eq!(count(BehaviorType::FrequentAsk), 2);
+        assert_eq!(count(BehaviorType::LongHolding), 10);
+        assert_eq!(count(BehaviorType::LowUtility), 8);
+    }
+}

@@ -1,0 +1,488 @@
+//! CPU (wakelock) energy bugs — the six CPU rows of the paper's Table 5.
+//!
+//! * Long-Holding: Facebook (background service keeps the device awake),
+//!   Torch (acquire-if-not-held, never released), Kontalk (wakelock taken in
+//!   `onCreate`, released only in `onDestroy` — paper Case II).
+//! * Low-Utility: K-9 Mail (exception retry loop on network failure — paper
+//!   Case I), ServalMesh (keeps working with no access point), TextSecure
+//!   (message-send retry storm).
+
+use leaseos_framework::{AppCtx, AppEvent, AppModel, ObjId};
+use leaseos_simkit::SimDuration;
+
+const WORK: u64 = 1;
+const RETRY: u64 = 2;
+const AUX_WORK: u64 = 3;
+const WATCHDOG: u64 = 4;
+const NET: u64 = 10;
+
+/// Facebook's 2010 background battery-drain bug: a background service holds
+/// a wakelock and wakes up periodically to do a trickle of bookkeeping —
+/// never enough to justify keeping the CPU up (LHB).
+#[derive(Debug, Default)]
+pub struct Facebook {
+    lock: Option<ObjId>,
+    busy: bool,
+}
+
+impl Facebook {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        Facebook::default()
+    }
+}
+
+impl AppModel for Facebook {
+    fn name(&self) -> &str {
+        "Facebook"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_wakelock());
+        // The background service wakes on AlarmManager to poll the feed —
+        // the undeferrable activity that keeps interrupting Doze (§7.3).
+        ctx.schedule_alarm(SimDuration::from_secs(40), WATCHDOG);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Timer(WATCHDOG) => {
+                ctx.reacquire(self.lock.expect("lock"));
+                // A token amount of feed bookkeeping: ~1.6% utilization.
+                if !self.busy {
+                    self.busy = true;
+                    ctx.do_work(SimDuration::from_millis(80), WORK);
+                }
+                ctx.schedule_alarm(SimDuration::from_secs(40), WATCHDOG);
+            }
+            AppEvent::WorkDone(WORK) => {
+                self.busy = false;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// CyanogenMod Torch's FlashDevice bug: "get the wakelock only if it isn't
+/// held already" — and then never release it. The purest Long-Holding shape:
+/// the lock is held forever with zero work.
+#[derive(Debug, Default)]
+pub struct Torch {
+    lock: Option<ObjId>,
+}
+
+impl Torch {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        Torch::default()
+    }
+}
+
+impl AppModel for Torch {
+    fn name(&self) -> &str {
+        "Torch"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        if self.lock.is_none() {
+            self.lock = Some(ctx.acquire_wakelock());
+        }
+    }
+
+    fn on_event(&mut self, _ctx: &mut AppCtx<'_>, _event: AppEvent) {}
+}
+
+/// Kontalk's issue #143 (paper Case II): the messaging service acquires a
+/// wakelock when created and only releases it when destroyed, so after
+/// authentication completes the CPU is pinned awake doing nothing.
+#[derive(Debug, Default)]
+pub struct Kontalk {
+    lock: Option<ObjId>,
+    authenticated: bool,
+}
+
+impl Kontalk {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        Kontalk::default()
+    }
+}
+
+impl AppModel for Kontalk {
+    fn name(&self) -> &str {
+        "Kontalk"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        // Service onCreate: take the lock, start authenticating.
+        self.lock = Some(ctx.acquire_wakelock());
+        ctx.network_op(12_000, NET);
+        // XMPP keep-alive pings run off AlarmManager.
+        ctx.schedule_alarm(SimDuration::from_secs(60), WATCHDOG);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::NetDone { token: NET, .. } => {
+                // Authenticated. The fix releases the lock here; the buggy
+                // version keeps it until onDestroy — which never comes.
+                self.authenticated = true;
+            }
+            AppEvent::Timer(WATCHDOG) => {
+                ctx.reacquire(self.lock.expect("lock"));
+                ctx.schedule_alarm(SimDuration::from_secs(60), WATCHDOG);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// K-9 Mail (paper Case I): on a network failure the mail sync handles the
+/// exception by retrying indefinitely — re-acquiring the wakelock, issuing
+/// the request, catching the error, and spinning again, with a concurrent
+/// parser thread keeping total CPU above wall-clock (the >100% CPU/wakelock
+/// ratio of Figure 4).
+#[derive(Debug)]
+pub struct K9Mail {
+    lock: Option<ObjId>,
+    /// CPU burned per retry iteration by the sync thread.
+    work_per_retry: SimDuration,
+    /// Extra concurrent work (message parser) per retry.
+    aux_work: SimDuration,
+    retries: u64,
+    aux_busy: bool,
+    sync_busy: bool,
+    in_flight: bool,
+    failing: bool,
+}
+
+impl Default for K9Mail {
+    fn default() -> Self {
+        K9Mail::new()
+    }
+}
+
+impl K9Mail {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        K9Mail {
+            lock: None,
+            work_per_retry: SimDuration::from_millis(450),
+            aux_work: SimDuration::from_millis(400),
+            retries: 0,
+            aux_busy: false,
+            sync_busy: false,
+            in_flight: false,
+            failing: false,
+        }
+    }
+
+    /// Number of retry iterations executed (test observability).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+}
+
+impl AppModel for K9Mail {
+    fn name(&self) -> &str {
+        "K-9"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_wakelock());
+        self.in_flight = true;
+        ctx.network_op(6_000, NET);
+        // The sync manager's watchdog alarm re-drives a stalled sync.
+        ctx.schedule_alarm(SimDuration::from_secs(60), WATCHDOG);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Timer(WATCHDOG) => {
+                // The watchdog only re-drives a sync that is failing; a
+                // healthy mailbox polls on its own 5-minute schedule.
+                if self.failing {
+                    ctx.reacquire(self.lock.expect("lock"));
+                }
+                ctx.schedule_alarm(SimDuration::from_secs(60), WATCHDOG);
+            }
+            AppEvent::NetDone { token: NET, result } => {
+                self.in_flight = false;
+                self.failing = result.is_err();
+                if result.is_err() {
+                    // Exception handler: log, spin, retry immediately.
+                    ctx.raise_exception();
+                    self.retries += 1;
+                    ctx.reacquire(self.lock.expect("lock"));
+                    if !self.sync_busy {
+                        self.sync_busy = true;
+                        ctx.do_work(self.work_per_retry, WORK);
+                    }
+                    if !self.aux_busy {
+                        self.aux_busy = true;
+                        ctx.do_work(self.aux_work, AUX_WORK);
+                    }
+                } else {
+                    // A healthy sync releases the lock and sleeps until the
+                    // next scheduled poll; the bug only triggers in failing
+                    // environments.
+                    ctx.release(self.lock.expect("lock"));
+                    ctx.schedule_alarm(SimDuration::from_mins(5), RETRY);
+                }
+            }
+            AppEvent::WorkDone(WORK) => {
+                self.sync_busy = false;
+                if !self.in_flight {
+                    self.in_flight = true;
+                    ctx.network_op(6_000, NET);
+                }
+            }
+            AppEvent::WorkDone(AUX_WORK) => {
+                self.aux_busy = false;
+            }
+            AppEvent::Timer(RETRY) => {
+                ctx.reacquire(self.lock.expect("lock"));
+                if !self.in_flight {
+                    self.in_flight = true;
+                    ctx.network_op(6_000, NET);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// ServalMesh issue #50: the mesh service keeps scanning and retrying when
+/// not connected to any access point — sustained work that produces nothing
+/// (LUB, lower duty cycle than K-9).
+#[derive(Debug, Default)]
+pub struct ServalMesh {
+    lock: Option<ObjId>,
+    busy: bool,
+    in_flight: bool,
+}
+
+impl ServalMesh {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        ServalMesh::default()
+    }
+}
+
+impl AppModel for ServalMesh {
+    fn name(&self) -> &str {
+        "ServalMesh"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_wakelock());
+        self.busy = true;
+        ctx.do_work(SimDuration::from_millis(350), WORK);
+        // The mesh service rescans on an AlarmManager schedule too.
+        ctx.schedule_alarm(SimDuration::from_secs(60), WATCHDOG);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::WorkDone(WORK) => {
+                self.busy = false;
+                if !self.in_flight {
+                    self.in_flight = true;
+                    ctx.network_op(2_000, NET);
+                }
+            }
+            AppEvent::NetDone { token: NET, result } => {
+                self.in_flight = false;
+                if result.is_err() {
+                    ctx.raise_exception();
+                }
+                // Scan again after a brief pause, successful or not.
+                ctx.schedule(SimDuration::from_millis(2_500), RETRY);
+            }
+            AppEvent::Timer(RETRY)
+                if !self.busy => {
+                    self.busy = true;
+                    ctx.do_work(SimDuration::from_millis(350), WORK);
+                }
+            AppEvent::Timer(WATCHDOG) => {
+                // Re-assert the lock; the scan loop drives itself.
+                ctx.reacquire(self.lock.expect("lock"));
+                ctx.schedule_alarm(SimDuration::from_secs(60), WATCHDOG);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// TextSecure issue #2498: the message-send job retries on server errors
+/// without backoff, holding its wakelock across the storm (LUB).
+#[derive(Debug, Default)]
+pub struct TextSecure {
+    lock: Option<ObjId>,
+    busy: bool,
+    in_flight: bool,
+}
+
+impl TextSecure {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        TextSecure::default()
+    }
+}
+
+impl AppModel for TextSecure {
+    fn name(&self) -> &str {
+        "TextSecure"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_wakelock());
+        self.in_flight = true;
+        ctx.network_op(3_000, NET);
+        // The job scheduler retries the send job on alarms as well.
+        ctx.schedule_alarm(SimDuration::from_secs(90), WATCHDOG);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::NetDone { token: NET, result } => {
+                self.in_flight = false;
+                if result.is_err() {
+                    ctx.raise_exception();
+                    if !self.busy {
+                        self.busy = true;
+                        ctx.do_work(SimDuration::from_millis(120), WORK);
+                    }
+                } else {
+                    ctx.schedule_alarm(SimDuration::from_mins(10), RETRY);
+                }
+            }
+            AppEvent::WorkDone(WORK) => {
+                self.busy = false;
+                ctx.schedule(SimDuration::from_millis(1_800), RETRY);
+            }
+            AppEvent::Timer(RETRY) => {
+                ctx.reacquire(self.lock.expect("lock"));
+                if !self.in_flight {
+                    self.in_flight = true;
+                    ctx.network_op(3_000, NET);
+                }
+            }
+            AppEvent::Timer(WATCHDOG) => {
+                ctx.reacquire(self.lock.expect("lock"));
+                ctx.schedule_alarm(SimDuration::from_secs(90), WATCHDOG);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_framework::Kernel;
+    use leaseos_simkit::{DeviceProfile, Environment, SimTime};
+
+    fn run(app: Box<dyn AppModel>, env: Environment, mins: u64) -> Kernel {
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), env, 7);
+        k.add_app(app);
+        k.run_until(SimTime::from_mins(mins));
+        k
+    }
+
+    #[test]
+    fn torch_holds_forever_with_zero_cpu() {
+        let k = run(Box::new(Torch::new()), Environment::unattended(), 30);
+        let app = k.app_by_name("Torch").unwrap();
+        let (_, o) = k.ledger().objects_of(app).next().unwrap();
+        assert_eq!(
+            o.held_time(SimTime::from_mins(30)),
+            SimDuration::from_mins(30)
+        );
+        assert_eq!(k.ledger().app_opt(app).map(|a| a.cpu_ms).unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn kontalk_idles_after_authentication() {
+        let k = run(Box::new(Kontalk::new()), Environment::unattended(), 30);
+        let app = k.app_by_name("Kontalk").unwrap();
+        let stats = k.ledger().app_opt(app).unwrap();
+        assert_eq!(stats.net_ops, 1, "one auth exchange");
+        let (_, o) = k.ledger().objects_of(app).next().unwrap();
+        assert_eq!(
+            o.held_time(SimTime::from_mins(30)),
+            SimDuration::from_mins(30),
+            "the lock survives authentication"
+        );
+        assert!(k.app_model::<Kontalk>(app).unwrap().authenticated);
+    }
+
+    #[test]
+    fn facebook_utilization_is_ultralow() {
+        let end = SimTime::from_mins(30);
+        let k = run(Box::new(Facebook::new()), Environment::unattended(), 30);
+        let app = k.app_by_name("Facebook").unwrap();
+        let cpu = k.ledger().app_opt(app).unwrap().cpu_ms as f64;
+        let (_, o) = k.ledger().objects_of(app).next().unwrap();
+        let util = cpu / o.held_time(end).as_millis() as f64;
+        assert!(util < 0.05, "LHB signature, got {util}");
+        assert!(util > 0.0, "but not literally zero work");
+    }
+
+    #[test]
+    fn k9_disconnected_spins_with_high_cpu_and_exceptions() {
+        let end = SimTime::from_mins(30);
+        let k = run(Box::new(K9Mail::new()), Environment::disconnected(), 30);
+        let app = k.app_by_name("K-9").unwrap();
+        let stats = k.ledger().app_opt(app).unwrap();
+        assert!(stats.exceptions > 100, "retry storm: {}", stats.exceptions);
+        assert_eq!(stats.net_failures, stats.net_ops);
+        let (_, o) = k.ledger().objects_of(app).next().unwrap();
+        let util = stats.cpu_ms as f64 / o.held_time(end).as_millis() as f64;
+        // Figure 4: utilization is *high* (can exceed 1 with the parser
+        // thread) — this is LUB, not LHB.
+        assert!(util > 0.5, "busy spinning, got {util}");
+        assert!(k.app_model::<K9Mail>(app).unwrap().retries() > 100);
+    }
+
+    #[test]
+    fn k9_healthy_environment_is_quiet() {
+        let k = run(Box::new(K9Mail::new()), Environment::unattended(), 30);
+        let app = k.app_by_name("K-9").unwrap();
+        let stats = k.ledger().app_opt(app).unwrap();
+        assert_eq!(stats.exceptions, 0);
+        // Periodic 5-minute syncs only.
+        assert!(stats.net_ops <= 8, "got {}", stats.net_ops);
+    }
+
+    #[test]
+    fn k9_bad_server_holds_long_with_low_cpu() {
+        // The Figure 2 environment: connected, mail server failing.
+        let end = SimTime::from_mins(30);
+        let k = run(Box::new(K9Mail::new()), Environment::connected_bad_server(), 30);
+        let app = k.app_by_name("K-9").unwrap();
+        let stats = k.ledger().app_opt(app).unwrap();
+        assert!(stats.exceptions > 20);
+        let (_, o) = k.ledger().objects_of(app).next().unwrap();
+        let util = stats.cpu_ms as f64 / o.held_time(end).as_millis() as f64;
+        // With real (slow) server round-trips the CPU ratio is much lower
+        // than the disconnected spin.
+        assert!(util < 0.5, "got {util}");
+    }
+
+    #[test]
+    fn textsecure_and_servalmesh_generate_exception_storms() {
+        for (app, name) in [
+            (
+                Box::new(TextSecure::new()) as Box<dyn AppModel>,
+                "TextSecure",
+            ),
+            (Box::new(ServalMesh::new()), "ServalMesh"),
+        ] {
+            let k = run(app, Environment::disconnected(), 30);
+            let id = k.app_by_name(name).unwrap();
+            let stats = k.ledger().app_opt(id).unwrap();
+            assert!(stats.exceptions > 20, "{name}: {}", stats.exceptions);
+        }
+    }
+}

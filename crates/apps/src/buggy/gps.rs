@@ -1,0 +1,510 @@
+//! GPS energy bugs — the nine GPS rows of Table 5.
+//!
+//! * Frequent-Ask: BetterWeather issue #6 (paper Case III: endless fix
+//!   search with no lock indoors), WHERE (same shape, longer tries).
+//! * Long-Holding: MozStumbler #369, OSMTracker, GPSLogger #4,
+//!   BostonBusMap — background services that keep the GPS registered with
+//!   no live Activity consuming the fixes.
+//! * Low-Utility: AIMSCID #87, OpenScienceMap (vtm #31), OpenGPSTracker
+//!   #239 — foreground-style tracking that keeps collecting fixes while the
+//!   device sits still, producing no value.
+
+use leaseos_framework::{AppCtx, AppEvent, AppModel, ObjId};
+use leaseos_simkit::SimDuration;
+
+const SEARCH_TIMEOUT: u64 = 1;
+const RESTART: u64 = 2;
+const WORK: u64 = 3;
+const SCAN: u64 = 4;
+
+/// A Frequent-Ask searcher: request a fix, give up after `try_for`, pause
+/// `pause`, request again — forever. With no GPS signal, every try burns
+/// the expensive searching state (paper Figure 1).
+#[derive(Debug)]
+struct SearchLoop {
+    try_for: SimDuration,
+    pause: SimDuration,
+    request: Option<ObjId>,
+    got_fix: bool,
+}
+
+impl SearchLoop {
+    fn new(try_for: SimDuration, pause: SimDuration) -> Self {
+        SearchLoop {
+            try_for,
+            pause,
+            request: None,
+            got_fix: false,
+        }
+    }
+
+    fn start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.begin_try(ctx);
+    }
+
+    fn begin_try(&mut self, ctx: &mut AppCtx<'_>) {
+        self.got_fix = false;
+        // The app keeps one LocationListener and re-registers it each try
+        // (one resource descriptor, many asks — as the lease model expects
+        // of a single resource instance, §3.1).
+        match self.request {
+            None => self.request = Some(ctx.request_gps(SimDuration::from_secs(1))),
+            Some(req) => ctx.reacquire(req),
+        }
+        // Widget refresh deadlines run off AlarmManager.
+        ctx.schedule_alarm(self.try_for, SEARCH_TIMEOUT);
+    }
+
+    fn handle(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::GpsFix { .. }
+                // A fix! Update the widget and stop asking for a while.
+                if !self.got_fix => {
+                    self.got_fix = true;
+                    ctx.note_ui_update();
+                }
+            AppEvent::Timer(SEARCH_TIMEOUT) => {
+                if let Some(req) = self.request {
+                    ctx.release(req);
+                }
+                ctx.schedule_alarm(self.pause, RESTART);
+            }
+            AppEvent::Timer(RESTART) => {
+                self.begin_try(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// BetterWeather issue #6 (paper Case III): `requestLocation` keeps
+/// searching for GPS non-stop in an environment with poor signals. Roughly
+/// 60 % of each minute is spent trying (Figure 1).
+#[derive(Debug)]
+pub struct BetterWeather {
+    inner: SearchLoop,
+}
+
+impl BetterWeather {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        BetterWeather {
+            inner: SearchLoop::new(SimDuration::from_secs(36), SimDuration::from_secs(24)),
+        }
+    }
+}
+
+impl Default for BetterWeather {
+    fn default() -> Self {
+        BetterWeather::new()
+    }
+}
+
+impl AppModel for BetterWeather {
+    fn name(&self) -> &str {
+        "BetterWeather"
+    }
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.inner.start(ctx);
+    }
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        self.inner.handle(ctx, event);
+    }
+}
+
+/// WHERE: the travel app's location poller, trying harder (longer tries,
+/// shorter pauses) than BetterWeather.
+#[derive(Debug)]
+pub struct Where {
+    inner: SearchLoop,
+}
+
+impl Where {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        Where {
+            inner: SearchLoop::new(SimDuration::from_secs(50), SimDuration::from_secs(10)),
+        }
+    }
+}
+
+impl Default for Where {
+    fn default() -> Self {
+        Where::new()
+    }
+}
+
+impl AppModel for Where {
+    fn name(&self) -> &str {
+        "WHERE"
+    }
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.inner.start(ctx);
+    }
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        self.inner.handle(ctx, event);
+    }
+}
+
+/// A background Long-Holding GPS service: registers a listener and never
+/// lets go, with no Activity bound to consume the data.
+#[derive(Debug)]
+struct BackgroundHolder {
+    interval: SimDuration,
+    request: Option<ObjId>,
+}
+
+impl BackgroundHolder {
+    fn new(interval: SimDuration) -> Self {
+        BackgroundHolder {
+            interval,
+            request: None,
+        }
+    }
+
+    fn start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.request = Some(ctx.request_gps(self.interval));
+        // Interval scanning: the service re-asserts its listener on an
+        // AlarmManager schedule (MozStumbler's "interval based periodic
+        // scanning") — the undeferrable wakeups that poke holes in Doze.
+        ctx.schedule_alarm(SimDuration::from_secs(60), SCAN);
+    }
+
+    fn handle(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Timer(SCAN) = event {
+            if let Some(req) = self.request {
+                ctx.reacquire(req);
+            }
+            ctx.schedule_alarm(SimDuration::from_secs(60), SCAN);
+        }
+    }
+}
+
+macro_rules! background_gps_app {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $interval_ms:literal) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $ty {
+            inner: BackgroundHolder,
+        }
+
+        impl $ty {
+            /// Creates the buggy app model.
+            pub fn new() -> Self {
+                $ty {
+                    inner: BackgroundHolder::new(SimDuration::from_millis($interval_ms)),
+                }
+            }
+        }
+
+        impl Default for $ty {
+            fn default() -> Self {
+                $ty::new()
+            }
+        }
+
+        impl AppModel for $ty {
+            fn name(&self) -> &str {
+                $name
+            }
+            fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+                self.inner.start(ctx);
+            }
+            fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+                self.inner.handle(ctx, event);
+            }
+        }
+    };
+}
+
+background_gps_app!(
+    /// MozStumbler issue #369: interval-based periodic scanning keeps the
+    /// GPS registered around the clock.
+    MozStumbler,
+    "MozStumbler",
+    1_000
+);
+background_gps_app!(
+    /// OSMTracker: the track-recording service outlives its UI.
+    OsmTracker,
+    "OSMTracker",
+    1_000
+);
+background_gps_app!(
+    /// GPSLogger issue #4: high-accuracy logging never downgrades or stops.
+    GpsLogger,
+    "GPSLogger",
+    2_000
+);
+background_gps_app!(
+    /// BostonBusMap: "can't find location message was still posted even if
+    /// location manager was turned off" — the refresh task keeps the
+    /// listener alive.
+    BostonBusMap,
+    "BostonBusMap",
+    1_000
+);
+
+/// A Low-Utility tracker: the Activity is alive and fixes flow, but the
+/// device never moves, so the consumed locations are worth nothing.
+/// Optionally burns CPU per fix (the OpenGPSTracker shape, which made it
+/// the most expensive GPS row of Table 5).
+#[derive(Debug)]
+struct StationaryTracker {
+    interval: SimDuration,
+    work_per_fix: Option<SimDuration>,
+    request: Option<ObjId>,
+    lock: Option<ObjId>,
+    busy: bool,
+}
+
+impl StationaryTracker {
+    fn new(interval: SimDuration, work_per_fix: Option<SimDuration>) -> Self {
+        StationaryTracker {
+            interval,
+            work_per_fix,
+            request: None,
+            lock: None,
+            busy: false,
+        }
+    }
+
+    fn start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.set_activity_alive(true);
+        if self.work_per_fix.is_some() {
+            self.lock = Some(ctx.acquire_wakelock());
+        }
+        self.request = Some(ctx.request_gps(self.interval));
+        ctx.schedule_alarm(SimDuration::from_secs(60), SCAN);
+    }
+
+    fn handle(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::GpsFix { .. } => {
+                if let Some(work) = self.work_per_fix {
+                    if !self.busy {
+                        self.busy = true;
+                        ctx.do_work(work, WORK);
+                    }
+                }
+            }
+            AppEvent::WorkDone(WORK) => {
+                self.busy = false;
+            }
+            AppEvent::Timer(SCAN) => {
+                if let Some(req) = self.request {
+                    ctx.reacquire(req);
+                }
+                if let Some(lock) = self.lock {
+                    ctx.reacquire(lock);
+                }
+                ctx.schedule_alarm(SimDuration::from_secs(60), SCAN);
+            }
+            _ => {}
+        }
+    }
+}
+
+macro_rules! stationary_gps_app {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $interval_ms:literal, $work_ms:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $ty {
+            inner: StationaryTracker,
+        }
+
+        impl $ty {
+            /// Creates the buggy app model.
+            pub fn new() -> Self {
+                $ty {
+                    inner: StationaryTracker::new(
+                        SimDuration::from_millis($interval_ms),
+                        $work_ms,
+                    ),
+                }
+            }
+        }
+
+        impl Default for $ty {
+            fn default() -> Self {
+                $ty::new()
+            }
+        }
+
+        impl AppModel for $ty {
+            fn name(&self) -> &str {
+                $name
+            }
+            fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+                self.inner.start(ctx);
+            }
+            fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+                self.inner.handle(ctx, event);
+            }
+        }
+    };
+}
+
+stationary_gps_app!(
+    /// AIMSCID issue #87: the IMSI-catcher detector keeps a foreground
+    /// service collecting fixes it does nothing useful with while parked.
+    Aimscid,
+    "AIMSCID",
+    1_000,
+    None
+);
+stationary_gps_app!(
+    /// OpenScienceMap (vtm issue #31): "GPS stays active" after the map is
+    /// backgrounded, with the render Activity still bound.
+    OpenScienceMap,
+    "OpenScienceMap",
+    1_000,
+    None
+);
+stationary_gps_app!(
+    /// OpenGPSTracker issue #239: logs at full rate while stationary, doing
+    /// per-fix processing that never produces a track point.
+    OpenGpsTracker,
+    "OpenGPSTracker",
+    1_000,
+    Some(SimDuration::from_millis(280))
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_framework::Kernel;
+    use leaseos_simkit::{DeviceProfile, Environment, SimTime};
+
+    fn run(app: Box<dyn AppModel>, env: Environment, mins: u64) -> Kernel {
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), env, 11);
+        k.add_app(app);
+        k.run_until(SimTime::from_mins(mins));
+        k
+    }
+
+    #[test]
+    fn betterweather_searches_most_of_the_time_without_a_lock() {
+        let end = SimTime::from_mins(30);
+        let k = run(
+            Box::new(BetterWeather::new()),
+            Environment::weak_gps_building(),
+            30,
+        );
+        let app = k.app_by_name("BetterWeather").unwrap();
+        let try_s: f64 = k
+            .ledger()
+            .all_objects()
+            .filter(|(_, o)| o.owner == app)
+            .map(|(_, o)| o.searching_time(end).as_secs_f64())
+            .sum();
+        let ratio = try_s / end.as_secs_f64();
+        // Paper Figure 1: ~60 % of each interval spent asking.
+        assert!(
+            (0.45..0.75).contains(&ratio),
+            "try ratio should be ≈0.6, got {ratio}"
+        );
+        let ui = k.ledger().app_opt(app).map(|a| a.ui_updates).unwrap_or(0);
+        assert_eq!(ui, 0, "no fix, no widget");
+    }
+
+    #[test]
+    fn betterweather_settles_under_good_signal() {
+        let k = run(Box::new(BetterWeather::new()), Environment::unattended(), 10);
+        let app = k.app_by_name("BetterWeather").unwrap();
+        assert!(
+            k.ledger().app_opt(app).unwrap().ui_updates > 0,
+            "fixes arrive and the widget updates"
+        );
+    }
+
+    #[test]
+    fn background_holders_have_dead_activities() {
+        let end = SimTime::from_mins(20);
+        for app in [
+            Box::new(MozStumbler::new()) as Box<dyn AppModel>,
+            Box::new(OsmTracker::new()),
+            Box::new(GpsLogger::new()),
+            Box::new(BostonBusMap::new()),
+        ] {
+            let name = app.name().to_owned();
+            let k = run(app, Environment::unattended(), 20);
+            let id = k.app_by_name(&name).unwrap();
+            let (_, o) = k.ledger().objects_of(id).next().unwrap();
+            assert_eq!(o.held_time(end), SimDuration::from_mins(20), "{name}");
+            assert_eq!(
+                k.ledger().app_opt(id).unwrap().activity_time(end).as_millis(),
+                0,
+                "{name}: no Activity consumes the fixes"
+            );
+            assert!(o.deliveries > 0, "{name}: the listener is invoked");
+        }
+    }
+
+    #[test]
+    fn stationary_trackers_accumulate_no_distance() {
+        let end = SimTime::from_mins(20);
+        for app in [
+            Box::new(Aimscid::new()) as Box<dyn AppModel>,
+            Box::new(OpenScienceMap::new()),
+            Box::new(OpenGpsTracker::new()),
+        ] {
+            let name = app.name().to_owned();
+            let k = run(app, Environment::unattended(), 20);
+            let id = k.app_by_name(&name).unwrap();
+            let stats = k.ledger().app_opt(id).unwrap();
+            assert_eq!(stats.distance_m, 0.0, "{name}");
+            assert!(
+                stats.activity_time(end).as_secs() > 1_000,
+                "{name}: the Activity is alive (this is LUB, not LHB)"
+            );
+        }
+    }
+
+    #[test]
+    fn where_tries_harder_than_betterweather() {
+        // WHERE: 50 s tries with 10 s pauses; BetterWeather: 36 s with 24 s.
+        let end = SimTime::from_mins(30);
+        let searching = |app: Box<dyn AppModel>, name: &str| -> f64 {
+            let k = run(app, Environment::weak_gps_building(), 30);
+            let id = k.app_by_name(name).unwrap();
+            k.ledger()
+                .all_objects()
+                .filter(|(_, o)| o.owner == id)
+                .map(|(_, o)| o.searching_time(end).as_secs_f64())
+                .sum()
+        };
+        let bw = searching(Box::new(BetterWeather::new()), "BetterWeather");
+        let wh = searching(Box::new(Where::new()), "WHERE");
+        assert!(
+            wh > bw * 1.2,
+            "WHERE ({wh:.0}s) should out-search BetterWeather ({bw:.0}s)"
+        );
+    }
+
+    #[test]
+    fn gpslogger_delivers_at_its_slower_interval() {
+        let count = |app: Box<dyn AppModel>, name: &str| -> u64 {
+            let k = run(app, Environment::unattended(), 20);
+            let id = k.app_by_name(name).unwrap();
+            let deliveries = k.ledger().objects_of(id).next().unwrap().1.deliveries;
+            deliveries
+        };
+        let one_hz = count(Box::new(MozStumbler::new()), "MozStumbler");
+        let half_hz = count(Box::new(GpsLogger::new()), "GPSLogger");
+        assert!(
+            one_hz > half_hz * 3 / 2,
+            "1 Hz ({one_hz}) vs 0.5 Hz ({half_hz}) delivery rates"
+        );
+    }
+
+    #[test]
+    fn opengpstracker_burns_cpu_per_fix() {
+        let k = run(Box::new(OpenGpsTracker::new()), Environment::unattended(), 20);
+        let id = k.app_by_name("OpenGPSTracker").unwrap();
+        let cpu = k.ledger().app_opt(id).unwrap().cpu_ms;
+        // ~280 ms per 1 s fix for 20 min ≈ 320 s of CPU.
+        assert!(cpu > 200_000, "got {cpu} ms");
+        assert_eq!(k.ledger().app_opt(id).unwrap().data_written, 0, "nothing logged");
+    }
+}

@@ -1,0 +1,16 @@
+//! Behaviour models of the paper's 20 real-world buggy apps (Table 5).
+//!
+//! Each model reproduces the *energy-bug code path* the paper describes —
+//! the leaked wakelock, the exception retry loop, the non-stop GPS search —
+//! driven by the same environmental trigger (bad server, disconnect, weak
+//! GPS). The [`catalog`] module indexes them all with their expected
+//! misbehaviour classes and the paper's measured numbers.
+
+pub mod catalog;
+pub mod cpu;
+pub mod gps;
+pub mod screen;
+pub mod sensor;
+pub mod wifi;
+
+pub use catalog::{table5_cases, BuggyCase, PaperNumbers};

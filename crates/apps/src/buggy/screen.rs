@@ -1,0 +1,119 @@
+//! Screen-wakelock energy bugs (Table 5: ConnectBot issue #299, Standup
+//! Timer's missing `onPause` release).
+//!
+//! Both keep the display lit after the user has walked away — classic
+//! Long-Holding on the screen resource, and the cases where Doze is nearly
+//! useless (Table 5: 0.57% and 4.33% reduction) because a lit screen keeps
+//! the device "in use".
+
+use leaseos_framework::{AppCtx, AppEvent, AppModel, ObjId};
+use leaseos_simkit::SimDuration;
+
+const TICK: u64 = 1;
+
+/// ConnectBot issue #299: the SSH session screen stays forced-on after the
+/// session goes idle and the user stops looking.
+#[derive(Debug, Default)]
+pub struct ConnectBotScreen {
+    lock: Option<ObjId>,
+}
+
+impl ConnectBotScreen {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        ConnectBotScreen::default()
+    }
+}
+
+impl AppModel for ConnectBotScreen {
+    fn name(&self) -> &str {
+        "ConnectBot(screen)"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_screen_wakelock());
+        // A dormant terminal repaints its cursor occasionally.
+        ctx.schedule(SimDuration::from_secs(30), TICK);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Timer(TICK) = event {
+            ctx.do_work(SimDuration::from_millis(20), 2);
+            ctx.schedule(SimDuration::from_secs(30), TICK);
+        }
+    }
+}
+
+/// Standup Timer commit 72bf4b9: the wakeLock was only released in
+/// `onPause`-adjacent paths that are not guaranteed to run, so the meeting
+/// timer keeps the screen lit long after the meeting ended.
+#[derive(Debug, Default)]
+pub struct StandupTimer {
+    lock: Option<ObjId>,
+}
+
+impl StandupTimer {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        StandupTimer::default()
+    }
+}
+
+impl AppModel for StandupTimer {
+    fn name(&self) -> &str {
+        "Standup Timer"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_screen_wakelock());
+        ctx.schedule(SimDuration::from_secs(1), TICK);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Timer(TICK) = event {
+            // The on-screen clock updates every second — visible to no one.
+            ctx.note_ui_update();
+            ctx.do_work(SimDuration::from_millis(5), 2);
+            ctx.schedule(SimDuration::from_secs(1), TICK);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_framework::Kernel;
+    use leaseos_simkit::{ComponentKind, DeviceProfile, Environment, SimTime};
+
+    #[test]
+    fn screen_stays_lit_and_is_billed_to_the_app() {
+        let end = SimTime::from_mins(30);
+        for (app, name) in [
+            (
+                Box::new(ConnectBotScreen::new()) as Box<dyn AppModel>,
+                "ConnectBot(screen)",
+            ),
+            (Box::new(StandupTimer::new()), "Standup Timer"),
+        ] {
+            let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::unattended(), 7);
+            let id = k.add_app(app);
+            k.run_until(end);
+            assert!(k.is_screen_on(), "{name}");
+            let screen_mj = k.meter().component_energy_mj(id.consumer(), ComponentKind::Screen);
+            // 30 min × 480 mW = 864 000 mJ.
+            assert!(
+                screen_mj > 800_000.0,
+                "{name}: screen energy {screen_mj}"
+            );
+        }
+    }
+
+    #[test]
+    fn user_presence_ratio_is_zero() {
+        let end = SimTime::from_mins(10);
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::unattended(), 7);
+        k.add_app(Box::new(ConnectBotScreen::new()));
+        k.run_until(end);
+        assert_eq!(k.ledger().user_present_time(end).as_millis(), 0);
+    }
+}

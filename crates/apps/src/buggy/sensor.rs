@@ -1,0 +1,163 @@
+//! Sensor energy bugs (Table 5: TapAndTurn issue #28, Riot issue #1830).
+//!
+//! Both keep a high-rate sensor listener registered whose readings produce
+//! no user value — Low-Utility behaviour. TapAndTurn is also the paper's
+//! custom-utility example (Figure 6): its counter reports the ratio of icon
+//! clicks to detected rotations.
+
+use leaseos_framework::{AppCtx, AppEvent, AppModel, ObjId};
+use leaseos_simkit::SimDuration;
+
+const REASSERT: u64 = 9;
+
+/// TapAndTurn issue #28: "polls sensors even when screen is off". The
+/// orientation sensor keeps firing; each rotation pops the on-screen icon;
+/// nobody ever clicks it.
+#[derive(Debug, Default)]
+pub struct TapAndTurn {
+    sensor: Option<ObjId>,
+    /// Rotations detected (icon occurrences) — the custom-utility
+    /// denominator of paper Figure 6.
+    pub rotations: u64,
+    /// Icon clicks — the numerator. Zero while the user is away.
+    pub clicks: u64,
+    readings: u64,
+}
+
+impl TapAndTurn {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        TapAndTurn::default()
+    }
+
+    /// The Figure 6 custom utility score: `100 × clicks / rotations`.
+    pub fn utility_score(&self) -> f64 {
+        if self.rotations == 0 {
+            50.0
+        } else {
+            100.0 * self.clicks as f64 / self.rotations as f64
+        }
+    }
+}
+
+impl AppModel for TapAndTurn {
+    fn name(&self) -> &str {
+        "TapAndTurn"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.set_activity_alive(true); // the overlay service is bound
+        self.sensor = Some(ctx.register_sensor(SimDuration::from_millis(200)));
+        ctx.schedule_alarm(SimDuration::from_secs(60), REASSERT);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Timer(REASSERT) = event {
+            if let Some(sensor) = self.sensor {
+                ctx.reacquire(sensor);
+            }
+            ctx.schedule_alarm(SimDuration::from_secs(60), REASSERT);
+            return;
+        }
+        if let AppEvent::SensorReading { .. } = event {
+            self.readings += 1;
+            // Every ~50th reading looks like an orientation change; the
+            // icon is drawn, and (with the user away) never clicked.
+            if self.readings.is_multiple_of(50) {
+                self.rotations += 1;
+                ctx.note_ui_update();
+                ctx.set_custom_utility(Some(self.utility_score()));
+            }
+        }
+    }
+}
+
+/// Riot issue #1830: the accelerometer listener registered for shake
+/// detection is never unregistered, sampling at high rate with the screen
+/// off, plus a little per-batch processing.
+#[derive(Debug, Default)]
+pub struct Riot {
+    sensor: Option<ObjId>,
+    readings: u64,
+    busy: bool,
+}
+
+impl Riot {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        Riot::default()
+    }
+}
+
+impl AppModel for Riot {
+    fn name(&self) -> &str {
+        "Riot"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.set_activity_alive(true);
+        self.sensor = Some(ctx.register_sensor(SimDuration::from_millis(100)));
+        ctx.schedule_alarm(SimDuration::from_secs(60), REASSERT);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Timer(REASSERT) => {
+                if let Some(sensor) = self.sensor {
+                    ctx.reacquire(sensor);
+                }
+                ctx.schedule_alarm(SimDuration::from_secs(60), REASSERT);
+            }
+            AppEvent::SensorReading { .. } => {
+                self.readings += 1;
+                if self.readings.is_multiple_of(100) && !self.busy {
+                    // Batch shake analysis. Needs the CPU only briefly; runs
+                    // when the screen/sensor delivery wakes the device.
+                    self.busy = true;
+                    ctx.do_work(SimDuration::from_millis(40), 1);
+                }
+            }
+            AppEvent::WorkDone(1) => {
+                self.busy = false;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_framework::Kernel;
+    use leaseos_simkit::{ComponentKind, DeviceProfile, Environment, SimTime};
+
+    #[test]
+    fn tapandturn_draws_sensor_power_with_zero_custom_utility() {
+        let end = SimTime::from_mins(30);
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::unattended(), 5);
+        let id = k.add_app(Box::new(TapAndTurn::new()));
+        k.run_until(end);
+        let mj = k.meter().component_energy_mj(id.consumer(), ComponentKind::Sensor);
+        assert!(mj > 15_000.0, "30 min of sensor draw, got {mj}");
+        let app = k.app_model::<TapAndTurn>(id).unwrap();
+        assert!(app.rotations > 100);
+        assert_eq!(app.clicks, 0);
+        assert_eq!(app.utility_score(), 0.0);
+        assert_eq!(
+            k.ledger().app_opt(id).unwrap().custom_utility,
+            Some(0.0),
+            "the counter's score reached the ledger"
+        );
+    }
+
+    #[test]
+    fn riot_samples_and_processes() {
+        let end = SimTime::from_mins(30);
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::unattended(), 5);
+        let id = k.add_app(Box::new(Riot::new()));
+        k.run_until(end);
+        let (_, o) = k.ledger().objects_of(id).next().unwrap();
+        assert!(o.deliveries > 10_000, "10 Hz for 30 min, got {}", o.deliveries);
+        assert!(k.ledger().app_opt(id).unwrap().interactions == 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Wi-Fi lock energy bug (Table 5: ConnectBot commit b7cc89c — "only lock
+//! Wi-Fi if our active network is Wi-Fi upon connection").
+//!
+//! The buggy version grabs the wifilock on every connection and keeps it
+//! across idle sessions: the radio stays associated, drawing idle power,
+//! while no traffic flows (LHB on the Wi-Fi resource).
+
+use leaseos_framework::{AppCtx, AppEvent, AppModel, ObjId};
+
+const NET: u64 = 1;
+
+/// ConnectBot's Wi-Fi lock leak.
+#[derive(Debug, Default)]
+pub struct ConnectBotWifi {
+    lock: Option<ObjId>,
+}
+
+impl ConnectBotWifi {
+    /// Creates the buggy app model.
+    pub fn new() -> Self {
+        ConnectBotWifi::default()
+    }
+}
+
+impl AppModel for ConnectBotWifi {
+    fn name(&self) -> &str {
+        "ConnectBot(wifi)"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_wifilock());
+        // One SSH handshake's worth of traffic, then the session idles.
+        ctx.network_op(8_000, NET);
+    }
+
+    fn on_event(&mut self, _ctx: &mut AppCtx<'_>, _event: AppEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_framework::Kernel;
+    use leaseos_simkit::{ComponentKind, DeviceProfile, Environment, SimTime};
+
+    #[test]
+    fn radio_idles_associated_for_the_whole_run() {
+        let end = SimTime::from_mins(30);
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::unattended(), 7);
+        let id = k.add_app(Box::new(ConnectBotWifi::new()));
+        k.run_until(end);
+        let wifi_mj = k.meter().component_energy_mj(id.consumer(), ComponentKind::Wifi);
+        // ≈ 1800 s × 16 mW idle draw (plus the brief handshake burst).
+        assert!(wifi_mj > 25_000.0, "got {wifi_mj}");
+        let stats = k.ledger().app_opt(id).unwrap();
+        assert_eq!(stats.net_ops, 1, "a single handshake, then silence");
+    }
+}

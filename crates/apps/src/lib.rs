@@ -1,0 +1,41 @@
+//! # leaseos-apps — app behaviour models for the LeaseOS evaluation
+//!
+//! The paper evaluates LeaseOS by reproducing 20 real-world apps with
+//! energy defects (Table 5), comparing against normal apps that use
+//! resources heavily but legitimately (§7.4), and driving normal-usage
+//! workloads for the overhead experiments (§7.2, Figures 11/13). This crate
+//! provides all of those as [`leaseos_framework::AppModel`]s:
+//!
+//! * [`buggy`] — the 20 reproduced energy bugs, indexed by
+//!   [`buggy::table5_cases`] with their trigger environments and the
+//!   paper's measured numbers;
+//! * [`normal`] — RunKeeper/Spotify/Haven-style legitimate heavy users;
+//! * [`synthetic`] — the Figure 9 long-holder, the Figure 12 intermittent
+//!   misbehaver, and the Figure 14 interaction-latency flows;
+//! * [`workload`] — interactive-app populations and the canned usage
+//!   scenarios of Figures 11 and 13;
+//! * [`study`] — the §2.5 study of 109 real-world cases (Table 2).
+//!
+//! ## Example
+//!
+//! ```
+//! use leaseos_apps::buggy::table5_cases;
+//! use leaseos_framework::Kernel;
+//! use leaseos_simkit::{DeviceProfile, SimTime};
+//!
+//! // Run the first Table 5 case (Facebook, wakelock LHB) on vanilla
+//! // Android for five minutes and observe the leak.
+//! let case = &table5_cases()[0];
+//! let mut kernel = Kernel::vanilla(DeviceProfile::pixel_xl(), (case.environment)(), 1);
+//! let app = kernel.add_app((case.build)());
+//! kernel.run_until(SimTime::from_mins(5));
+//! assert!(kernel.meter().energy_mj(app.consumer()) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buggy;
+pub mod normal;
+pub mod study;
+pub mod synthetic;
+pub mod workload;

@@ -1,0 +1,333 @@
+//! Well-behaved apps that *legitimately* use resources heavily — the §7.4
+//! usability study subjects (RunKeeper, Spotify, Haven) plus a Pandora-like
+//! sync app from the §2.3 normal-app set.
+//!
+//! These are the apps blind throttling breaks and LeaseOS must not: their
+//! resources are held for a long time but continuously produce utility
+//! (distance logged, audio played, readings persisted).
+
+use leaseos_framework::{AppCtx, AppEvent, AppModel, ObjId};
+use leaseos_simkit::SimDuration;
+
+const WORK: u64 = 1;
+const TICK: u64 = 2;
+const NET: u64 = 3;
+
+/// RunKeeper-style fitness tracking: GPS + step sensor + a wakelock, in the
+/// background, while the user runs. Every fix is written to the track
+/// database — the paper's example of a custom fitness utility (§3.3).
+#[derive(Debug, Default)]
+pub struct RunKeeper {
+    lock: Option<ObjId>,
+    gps: Option<ObjId>,
+    sensor: Option<ObjId>,
+    /// Track points persisted.
+    pub points_logged: u64,
+    busy: bool,
+}
+
+impl RunKeeper {
+    /// Creates the tracking app.
+    pub fn new() -> Self {
+        RunKeeper::default()
+    }
+}
+
+impl AppModel for RunKeeper {
+    fn name(&self) -> &str {
+        "RunKeeper"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.set_activity_alive(true);
+        self.lock = Some(ctx.acquire_wakelock());
+        self.gps = Some(ctx.request_gps(SimDuration::from_secs(1)));
+        self.sensor = Some(ctx.register_sensor(SimDuration::from_millis(500)));
+        // Session setup: load the track UI and warm the route database.
+        ctx.do_work(SimDuration::from_millis(400), WORK);
+        self.busy = true;
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::GpsFix { distance_m, .. }
+                if distance_m > 0.0 => {
+                    self.points_logged += 1;
+                    ctx.write_data(1);
+                    if !self.busy {
+                        self.busy = true;
+                        // Map-matching and pace computation per fix.
+                        ctx.do_work(SimDuration::from_millis(60), WORK);
+                    }
+                }
+            AppEvent::SensorReading { .. }
+                // Step counting runs on every pedometer sample.
+                if !self.busy => {
+                    self.busy = true;
+                    ctx.do_work(SimDuration::from_millis(15), WORK);
+                }
+            AppEvent::WorkDone(WORK) => {
+                self.busy = false;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Spotify-style background streaming: an audio session, a Wi-Fi lock, a
+/// wakelock, and a steady trickle of stream chunks.
+#[derive(Debug, Default)]
+pub struct Spotify {
+    lock: Option<ObjId>,
+    wifi: Option<ObjId>,
+    audio: Option<ObjId>,
+    /// Stream chunks fetched and played.
+    pub chunks_played: u64,
+}
+
+impl Spotify {
+    /// Creates the streaming app.
+    pub fn new() -> Self {
+        Spotify::default()
+    }
+}
+
+impl AppModel for Spotify {
+    fn name(&self) -> &str {
+        "Spotify"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_wakelock());
+        self.wifi = Some(ctx.acquire_wifilock());
+        self.audio = Some(ctx.acquire_audio());
+        ctx.network_op(160_000, NET);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::NetDone { token: NET, result } => {
+                if result.is_err() {
+                    ctx.raise_exception();
+                    ctx.schedule(SimDuration::from_secs(5), TICK);
+                } else {
+                    self.chunks_played += 1;
+                    // Decode the chunk, then fetch the next one in ~4 s.
+                    ctx.do_work(SimDuration::from_millis(250), WORK);
+                }
+            }
+            AppEvent::WorkDone(WORK) => {
+                ctx.schedule(SimDuration::from_secs(4), TICK);
+            }
+            AppEvent::Timer(TICK) => {
+                ctx.network_op(160_000, NET);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Haven-style intrusion monitoring: continuous sensor watch; suspicious
+/// readings are analysed and persisted as evidence.
+#[derive(Debug, Default)]
+pub struct Haven {
+    lock: Option<ObjId>,
+    sensor: Option<ObjId>,
+    readings: u64,
+    /// Evidence records persisted.
+    pub events_logged: u64,
+    busy: bool,
+}
+
+impl Haven {
+    /// Creates the monitoring app.
+    pub fn new() -> Self {
+        Haven::default()
+    }
+}
+
+impl AppModel for Haven {
+    fn name(&self) -> &str {
+        "Haven"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.set_activity_alive(true);
+        self.lock = Some(ctx.acquire_wakelock());
+        self.sensor = Some(ctx.register_sensor(SimDuration::from_millis(250)));
+        // Arming snapshot: the baseline image is persisted immediately.
+        ctx.write_data(1);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::SensorReading { .. } => {
+                self.readings += 1;
+                // Every ~30 s of readings, something is worth recording.
+                if self.readings.is_multiple_of(120) {
+                    self.events_logged += 1;
+                    ctx.write_data(1);
+                }
+                // Continuous lightweight motion analysis on each frame.
+                if !self.busy {
+                    self.busy = true;
+                    ctx.do_work(SimDuration::from_millis(20), WORK);
+                }
+            }
+            AppEvent::WorkDone(WORK) => {
+                self.busy = false;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Pandora-like periodic sync with long-but-productive wakelock holds — one
+/// of the "normal apps \[that\] also incur long wakelock holding time"
+/// (§2.3), which a holding-time classifier would flag and LeaseOS must not.
+#[derive(Debug, Default)]
+pub struct SyncRadio {
+    lock: Option<ObjId>,
+}
+
+impl SyncRadio {
+    /// Creates the sync app.
+    pub fn new() -> Self {
+        SyncRadio::default()
+    }
+}
+
+impl AppModel for SyncRadio {
+    fn name(&self) -> &str {
+        "SyncRadio"
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.lock = Some(ctx.acquire_wakelock());
+        ctx.network_op(400_000, NET);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::NetDone { token: NET, .. } => {
+                ctx.do_work(SimDuration::from_millis(600), WORK);
+            }
+            AppEvent::WorkDone(WORK) => {
+                ctx.note_ui_update();
+                ctx.schedule(SimDuration::from_secs(3), TICK);
+            }
+            AppEvent::Timer(TICK) => {
+                ctx.network_op(400_000, NET);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos::LeaseOs;
+    use leaseos_framework::Kernel;
+    use leaseos_simkit::{DeviceProfile, Environment, Schedule, SimTime};
+
+    /// The §7.4 scenario: user out for a run, phone in pocket (screen off).
+    fn running_env() -> Environment {
+        let mut env = Environment::unattended();
+        env.in_motion = Schedule::new(true);
+        env
+    }
+
+    #[test]
+    fn runkeeper_logs_continuously_under_leaseos() {
+        let end = SimTime::from_mins(30);
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            running_env(),
+            Box::new(LeaseOs::new()),
+            3,
+        );
+        let id = k.add_app(Box::new(RunKeeper::new()));
+        k.run_until(end);
+        let app = k.app_model::<RunKeeper>(id).unwrap();
+        // ~1 fix/s for 30 min, all logged: no interruption at all.
+        assert!(
+            app.points_logged > 1_500,
+            "tracking must be continuous, got {}",
+            app.points_logged
+        );
+        // And no lease was ever deferred.
+        let os = k.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
+        assert!(os
+            .manager()
+            .lease_reports(end)
+            .iter()
+            .all(|r| r.deferrals == 0));
+    }
+
+    #[test]
+    fn spotify_streams_uninterrupted_under_leaseos() {
+        let end = SimTime::from_mins(30);
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(LeaseOs::new()),
+            3,
+        );
+        let id = k.add_app(Box::new(Spotify::new()));
+        k.run_until(end);
+        let app = k.app_model::<Spotify>(id).unwrap();
+        // A chunk every ~4.3 s for 30 min.
+        assert!(app.chunks_played > 350, "got {}", app.chunks_played);
+        let (_, audio) = k
+            .ledger()
+            .objects_of(id)
+            .find(|(_, o)| o.kind == leaseos_framework::ResourceKind::Audio)
+            .unwrap();
+        assert_eq!(
+            audio.effective_held_time(end),
+            end - SimTime::ZERO,
+            "playback never paused"
+        );
+    }
+
+    #[test]
+    fn haven_keeps_watching_under_leaseos() {
+        let end = SimTime::from_mins(30);
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(LeaseOs::new()),
+            3,
+        );
+        let id = k.add_app(Box::new(Haven::new()));
+        k.run_until(end);
+        let app = k.app_model::<Haven>(id).unwrap();
+        assert!(app.events_logged >= 50, "got {}", app.events_logged);
+        let (_, sensor) = k
+            .ledger()
+            .objects_of(id)
+            .find(|(_, o)| o.kind == leaseos_framework::ResourceKind::Sensor)
+            .unwrap();
+        assert_eq!(sensor.effective_held_time(end), end - SimTime::ZERO);
+    }
+
+    #[test]
+    fn syncradio_long_holds_are_not_punished() {
+        let end = SimTime::from_mins(30);
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(LeaseOs::new()),
+            3,
+        );
+        let id = k.add_app(Box::new(SyncRadio::new()));
+        k.run_until(end);
+        let (_, lock) = k.ledger().objects_of(id).next().unwrap();
+        assert_eq!(
+            lock.effective_held_time(end),
+            end - SimTime::ZERO,
+            "a long hold with real work is legitimate"
+        );
+    }
+}

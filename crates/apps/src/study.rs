@@ -1,0 +1,214 @@
+//! The §2.5 prevalence study: 109 real-world energy-misbehaviour cases in
+//! 81 popular apps, classified by misbehaviour type and root cause
+//! (paper Table 2).
+//!
+//! The paper's raw case list (GitHub issues, Google Code entries, and forum
+//! threads) is not published, so this module carries a *synthesized* dataset
+//! with exactly the published marginal counts — every aggregate the paper
+//! reports (Table 2 and Findings 1–2) is reproduced by running the same
+//! aggregation a real dataset would go through. The substitution is
+//! documented in `DESIGN.md` §1.
+
+use leaseos::BehaviorType;
+
+/// Root-cause categories of §2.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RootCause {
+    /// A software defect — high severity and priority.
+    Bug,
+    /// An intentional trade-off of energy for another property.
+    Configuration,
+    /// A missing optimization developers could add.
+    Enhancement,
+    /// Unknown (closed-source app or unresolved issue).
+    Unknown,
+}
+
+/// One studied case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyCase {
+    /// Case identifier (synthesized: `case-001` …).
+    pub id: String,
+    /// Misbehaviour type; `None` for the paper's N/A rows.
+    pub behavior: Option<BehaviorType>,
+    /// Root cause.
+    pub cause: RootCause,
+}
+
+/// Table 2, one row: counts by root cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Row {
+    /// Bug count.
+    pub bug: usize,
+    /// Configuration/policy count.
+    pub config: usize,
+    /// Enhancement count.
+    pub enhancement: usize,
+    /// Unknown count.
+    pub unknown: usize,
+}
+
+impl Row {
+    /// Row total.
+    pub fn total(&self) -> usize {
+        self.bug + self.config + self.enhancement + self.unknown
+    }
+}
+
+/// The full Table 2 aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Table2 {
+    /// Frequent-Ask row.
+    pub fab: Row,
+    /// Long-Holding row.
+    pub lhb: Row,
+    /// Low-Utility row.
+    pub lub: Row,
+    /// Excessive-Use row.
+    pub eub: Row,
+    /// N/A row (unclassifiable cases).
+    pub na: Row,
+}
+
+impl Table2 {
+    /// Total cases across all rows.
+    pub fn total(&self) -> usize {
+        self.fab.total() + self.lhb.total() + self.lub.total() + self.eub.total() + self.na.total()
+    }
+
+    /// Percentage share of one row.
+    pub fn pct(&self, row: &Row) -> f64 {
+        100.0 * row.total() as f64 / self.total() as f64
+    }
+
+    /// Finding 1: share of cases that are FAB+LHB+LUB, and the EUB share.
+    pub fn finding1(&self) -> (f64, f64) {
+        let mitigable = self.fab.total() + self.lhb.total() + self.lub.total();
+        (
+            100.0 * mitigable as f64 / self.total() as f64,
+            self.pct(&self.eub),
+        )
+    }
+
+    /// Finding 2: bug share within FAB+LHB+LUB, and non-bug share within
+    /// EUB.
+    pub fn finding2(&self) -> (f64, f64) {
+        let mitigable_total = self.fab.total() + self.lhb.total() + self.lub.total();
+        let mitigable_bugs = self.fab.bug + self.lhb.bug + self.lub.bug;
+        let eub_nonbug = self.eub.config + self.eub.enhancement + self.eub.unknown;
+        (
+            100.0 * mitigable_bugs as f64 / mitigable_total as f64,
+            100.0 * eub_nonbug as f64 / self.eub.total() as f64,
+        )
+    }
+}
+
+/// The synthesized 109-case dataset with the paper's published marginals.
+pub fn study_cases() -> Vec<StudyCase> {
+    // (behavior, bug, config, enhancement, unknown) — Table 2's rows.
+    let rows: [(Option<BehaviorType>, usize, usize, usize, usize); 5] = [
+        (Some(BehaviorType::FrequentAsk), 10, 1, 1, 0),
+        (Some(BehaviorType::LongHolding), 18, 5, 0, 0),
+        (Some(BehaviorType::LowUtility), 23, 4, 1, 0),
+        (Some(BehaviorType::ExcessiveUse), 8, 18, 5, 3),
+        (None, 0, 0, 0, 12),
+    ];
+    let mut cases = Vec::new();
+    let mut n = 0;
+    for (behavior, bug, config, enh, unknown) in rows {
+        for (count, cause) in [
+            (bug, RootCause::Bug),
+            (config, RootCause::Configuration),
+            (enh, RootCause::Enhancement),
+            (unknown, RootCause::Unknown),
+        ] {
+            for _ in 0..count {
+                n += 1;
+                cases.push(StudyCase {
+                    id: format!("case-{n:03}"),
+                    behavior,
+                    cause,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Aggregates any case list into a Table 2.
+pub fn aggregate(cases: &[StudyCase]) -> Table2 {
+    let mut t = Table2::default();
+    for case in cases {
+        let row = match case.behavior {
+            Some(BehaviorType::FrequentAsk) => &mut t.fab,
+            Some(BehaviorType::LongHolding) => &mut t.lhb,
+            Some(BehaviorType::LowUtility) => &mut t.lub,
+            Some(BehaviorType::ExcessiveUse) => &mut t.eub,
+            Some(BehaviorType::Normal) | None => &mut t.na,
+        };
+        match case.cause {
+            RootCause::Bug => row.bug += 1,
+            RootCause::Configuration => row.config += 1,
+            RootCause::Enhancement => row.enhancement += 1,
+            RootCause::Unknown => row.unknown += 1,
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_109_cases() {
+        let cases = study_cases();
+        assert_eq!(cases.len(), 109);
+        // Ids are unique.
+        let ids: std::collections::BTreeSet<&str> =
+            cases.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids.len(), 109);
+    }
+
+    #[test]
+    fn aggregation_reproduces_table2() {
+        let t = aggregate(&study_cases());
+        assert_eq!(
+            (t.fab.total(), t.lhb.total(), t.lub.total(), t.eub.total(), t.na.total()),
+            (12, 23, 28, 34, 12)
+        );
+        assert_eq!(t.total(), 109);
+        // Row percentages from the paper: 11/21/26/31/11 %.
+        assert!((t.pct(&t.fab) - 11.0).abs() < 0.5);
+        assert!((t.pct(&t.lhb) - 21.0).abs() < 0.5);
+        assert!((t.pct(&t.lub) - 26.0).abs() < 0.8);
+        assert!((t.pct(&t.eub) - 31.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn finding1_shares_match_paper() {
+        let t = aggregate(&study_cases());
+        let (mitigable, eub) = t.finding1();
+        // "FAB, LHB and LUB together occupy 58% of the studied cases while
+        // EUB occupies 31%."
+        assert!((mitigable - 58.0).abs() < 1.0, "got {mitigable}");
+        assert!((eub - 31.0).abs() < 1.0, "got {eub}");
+    }
+
+    #[test]
+    fn finding2_shares_match_paper() {
+        let t = aggregate(&study_cases());
+        let (mitigable_bug, eub_nonbug) = t.finding2();
+        // "The majority (80%) of FAB, LHB and LUB [are] due to clear
+        // programming mistakes … the majority (77%) of EUB are due to design
+        // trade-off."
+        assert!((mitigable_bug - 80.0).abs() < 2.0, "got {mitigable_bug}");
+        assert!((eub_nonbug - 77.0).abs() < 2.0, "got {eub_nonbug}");
+    }
+
+    #[test]
+    fn empty_aggregation_is_zero() {
+        let t = aggregate(&[]);
+        assert_eq!(t.total(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Normal-usage workload generation for the overhead and lease-activity
+//! experiments (Figures 11 and 13, §7.2, §7.6).
+//!
+//! [`InteractiveApp`] models a well-behaved app the user opens in sessions:
+//! while the screen is on it periodically runs a usage session (wakelock +
+//! CPU bursts + UI updates, plus profile-specific extras — GPS for maps,
+//! audio/network for music and video). All resources are acquired per
+//! session and closed at session end, which is what produces the paper's
+//! population of short-lived leases (§7.2: 160 leases/hour, median active
+//! period 5 s, the odd 18-minute music lease).
+
+use leaseos_framework::{AppCtx, AppEvent, AppModel, ObjId, Token};
+use leaseos_simkit::{Environment, Schedule, SimDuration, SimTime};
+
+/// Usage profile of an interactive app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Short browsing bursts: wakelock + work + UI.
+    Browser,
+    /// Heavier CPU sessions (gaming).
+    Game,
+    /// Short sessions that also take a GPS fix.
+    Maps,
+    /// One long streaming session: audio + Wi-Fi + periodic chunks.
+    Music,
+    /// Video streaming: sustained network + decode work (YouTube setting of
+    /// Figure 13).
+    Video,
+}
+
+const NEXT_SESSION: Token = 1;
+const SESSION_END: Token = 2;
+const BURST: Token = 3;
+const BURST_DONE: Token = 4;
+const CHUNK: Token = 5;
+const NET: Token = 6;
+
+/// A well-behaved interactive app driven by user sessions.
+#[derive(Debug)]
+pub struct InteractiveApp {
+    name: String,
+    profile: Profile,
+    /// Mean gap between sessions while the screen is on.
+    session_gap: SimDuration,
+    lock: Option<ObjId>,
+    extras: Vec<ObjId>,
+    in_session: bool,
+    bursting: bool,
+    net_in_flight: bool,
+    /// Completed sessions (experiment observability).
+    pub sessions: u64,
+}
+
+impl InteractiveApp {
+    /// An app with the given profile and mean session gap.
+    pub fn new(name: impl Into<String>, profile: Profile, session_gap: SimDuration) -> Self {
+        InteractiveApp {
+            name: name.into(),
+            profile,
+            session_gap,
+            lock: None,
+            extras: Vec::new(),
+            in_session: false,
+            bursting: false,
+            net_in_flight: false,
+            sessions: 0,
+        }
+    }
+
+    fn session_len(&self, ctx: &mut AppCtx<'_>) -> SimDuration {
+        let ms = match self.profile {
+            Profile::Browser => ctx.rng().range_u64(4_000, 30_000),
+            Profile::Game => ctx.rng().range_u64(30_000, 120_000),
+            Profile::Maps => ctx.rng().range_u64(8_000, 40_000),
+            Profile::Music => ctx.rng().range_u64(300_000, 1_080_000),
+            Profile::Video => ctx.rng().range_u64(120_000, 600_000),
+        };
+        SimDuration::from_millis(ms)
+    }
+
+    fn begin_session(&mut self, ctx: &mut AppCtx<'_>) {
+        self.in_session = true;
+        self.sessions += 1;
+        ctx.set_activity_alive(true);
+        ctx.note_user_interaction();
+        self.lock = Some(ctx.acquire_wakelock());
+        match self.profile {
+            Profile::Maps => {
+                self.extras.push(ctx.request_gps(SimDuration::from_secs(2)));
+            }
+            Profile::Music | Profile::Video => {
+                self.extras.push(ctx.acquire_audio());
+                self.extras.push(ctx.acquire_wifilock());
+                if self.net_in_flight {
+                    // A straggler op from the previous session is still in
+                    // flight; poll until it drains, then stream.
+                    ctx.schedule(SimDuration::from_secs(1), CHUNK);
+                } else {
+                    self.net_in_flight = true;
+                    ctx.network_op(200_000, NET);
+                }
+            }
+            _ => {}
+        }
+        let len = self.session_len(ctx);
+        ctx.schedule_alarm(len, SESSION_END);
+        if !self.bursting {
+            self.bursting = true;
+            ctx.do_work(SimDuration::from_millis(150), BURST_DONE);
+        }
+    }
+
+    fn end_session(&mut self, ctx: &mut AppCtx<'_>) {
+        self.in_session = false;
+        ctx.set_activity_alive(false);
+        if let Some(lock) = self.lock.take() {
+            ctx.release(lock);
+            ctx.close(lock);
+        }
+        for obj in self.extras.drain(..) {
+            ctx.release(obj);
+            ctx.close(obj);
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut AppCtx<'_>) {
+        let gap_ms = ctx.rng().exponential(self.session_gap.as_millis() as f64) as u64;
+        ctx.schedule_alarm(SimDuration::from_millis(gap_ms.clamp(2_000, 600_000)), NEXT_SESSION);
+    }
+}
+
+impl AppModel for InteractiveApp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Timer(NEXT_SESSION) => {
+                // Sessions only happen while the user is actually there.
+                if ctx.screen_on() && !self.in_session {
+                    self.begin_session(ctx);
+                } else {
+                    self.schedule_next(ctx);
+                }
+            }
+            AppEvent::Timer(SESSION_END)
+                if self.in_session => {
+                    self.end_session(ctx);
+                    self.schedule_next(ctx);
+                }
+            AppEvent::WorkDone(BURST_DONE) => {
+                self.bursting = false;
+                if self.in_session {
+                    ctx.note_ui_update();
+                    let gap = ctx.rng().range_u64(400, 2_500);
+                    ctx.schedule(SimDuration::from_millis(gap), BURST);
+                }
+            }
+            AppEvent::Timer(BURST)
+                if self.in_session && !self.bursting => {
+                    self.bursting = true;
+                    ctx.note_user_interaction();
+                    let work = match self.profile {
+                        Profile::Game => ctx.rng().range_u64(300, 900),
+                        Profile::Video => ctx.rng().range_u64(150, 400),
+                        _ => ctx.rng().range_u64(80, 350),
+                    };
+                    ctx.do_work(SimDuration::from_millis(work), BURST_DONE);
+                }
+            AppEvent::NetDone { token: NET, .. } => {
+                self.net_in_flight = false;
+                if self.in_session {
+                    ctx.schedule(SimDuration::from_secs(4), CHUNK);
+                }
+            }
+            AppEvent::Timer(CHUNK)
+                if self.in_session => {
+                    if self.net_in_flight {
+                        // Straggler op still draining; poll again shortly.
+                        ctx.schedule(SimDuration::from_secs(1), CHUNK);
+                    } else {
+                        self.net_in_flight = true;
+                        ctx.network_op(200_000, NET);
+                    }
+                }
+            _ => {}
+        }
+    }
+}
+
+/// A ready-made usage scenario: an environment plus an app population.
+pub struct Scenario {
+    /// The scripted environment.
+    pub env: Environment,
+    /// The apps to install.
+    pub apps: Vec<Box<dyn AppModel>>,
+    /// How long the scenario runs.
+    pub duration: SimDuration,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("apps", &self.apps.len())
+            .field("duration", &self.duration)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds a population of `n` interactive apps with a rotating mix of
+/// profiles.
+pub fn population(n: usize, session_gap: SimDuration) -> Vec<Box<dyn AppModel>> {
+    let profiles = [
+        Profile::Browser,
+        Profile::Game,
+        Profile::Maps,
+        Profile::Browser,
+        Profile::Music,
+    ];
+    (0..n)
+        .map(|i| {
+            let profile = profiles[i % profiles.len()];
+            Box::new(InteractiveApp::new(
+                format!("app-{i:02}-{profile:?}"),
+                profile,
+                session_gap,
+            )) as Box<dyn AppModel>
+        })
+        .collect()
+}
+
+impl Scenario {
+    /// Figure 13 setting 1: idle, screen off, only stock apps.
+    pub fn idle() -> Scenario {
+        Scenario {
+            env: Environment::unattended(),
+            apps: Vec::new(),
+            duration: SimDuration::from_mins(30),
+        }
+    }
+
+    /// Figure 13 setting 2: screen on, popular apps installed, no
+    /// interactions (apps see the screen but the user never engages — they
+    /// stay out of session by a huge session gap).
+    pub fn screen_no_interaction() -> Scenario {
+        Scenario {
+            env: Environment::new(),
+            apps: population(8, SimDuration::from_hours(10)),
+            duration: SimDuration::from_mins(30),
+        }
+    }
+
+    /// Figure 13 setting 3: watch YouTube.
+    pub fn youtube() -> Scenario {
+        Scenario {
+            env: Environment::new(),
+            apps: vec![Box::new(InteractiveApp::new(
+                "YouTube",
+                Profile::Video,
+                SimDuration::from_secs(30),
+            ))],
+            duration: SimDuration::from_mins(30),
+        }
+    }
+
+    /// Figure 13 settings 4/5: use `n` apps in turn.
+    pub fn multi_app(n: usize) -> Scenario {
+        Scenario {
+            env: Environment::new(),
+            apps: population(n, SimDuration::from_mins(4)),
+            duration: SimDuration::from_mins(30),
+        }
+    }
+
+    /// The Figure 11 / §7.2 hour: 30 minutes of active use of popular apps,
+    /// then 30 minutes untouched.
+    pub fn normal_hour() -> Scenario {
+        let mut env = Environment::new();
+        env.user_present = Schedule::new(true);
+        env.user_present.set_from(SimTime::from_mins(30), false);
+        Scenario {
+            env,
+            apps: population(10, SimDuration::from_mins(2)),
+            duration: SimDuration::from_hours(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos::LeaseOs;
+    use leaseos_framework::Kernel;
+    use leaseos_simkit::DeviceProfile;
+
+    #[test]
+    fn sessions_only_happen_while_screen_is_on() {
+        let scenario = Scenario::normal_hour();
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), scenario.env, 21);
+        let ids: Vec<_> = scenario.apps.into_iter().map(|a| k.add_app(a)).collect();
+        k.run_until(SimTime::ZERO + scenario.duration);
+        let total_sessions: u64 = ids
+            .iter()
+            .map(|id| k.app_model::<InteractiveApp>(*id).map(|a| a.sessions).unwrap_or(0))
+            .sum();
+        assert!(total_sessions > 20, "active half hour: {total_sessions}");
+        // All objects are closed by session end or the run cutoff: no object
+        // lives past the idle half hour except stragglers cut at t=30min.
+        let end = SimTime::from_mins(60);
+        for (_, o) in k.ledger().live_objects() {
+            assert!(
+                !o.held || o.held_time(end) < SimDuration::from_mins(25),
+                "no session survives deep into the idle half"
+            );
+        }
+    }
+
+    #[test]
+    fn lease_population_matches_section_7_2_shape() {
+        let scenario = Scenario::normal_hour();
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            scenario.env,
+            Box::new(LeaseOs::new()),
+            21,
+        );
+        for app in scenario.apps {
+            k.add_app(app);
+        }
+        let end = SimTime::ZERO + scenario.duration;
+        k.run_until(end);
+        let os = k.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
+        let created = os.manager().created_count();
+        // Paper: "In total, 160 leases are created" — same order of
+        // magnitude here.
+        assert!(
+            (60..400).contains(&created),
+            "lease population way off: {created}"
+        );
+        let reports = os.manager().lease_reports(end);
+        let mut actives: Vec<f64> = reports.iter().map(|r| r.active_secs).collect();
+        actives.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = actives[actives.len() / 2];
+        assert!(median < 60.0, "most leases are short-lived: median {median}s");
+        let max = actives.last().copied().unwrap_or(0.0);
+        assert!(max > 240.0, "the music session lease is long: {max}s");
+    }
+
+    #[test]
+    fn scenario_builders_have_expected_shapes() {
+        assert_eq!(Scenario::idle().apps.len(), 0);
+        assert_eq!(Scenario::youtube().apps.len(), 1);
+        assert_eq!(Scenario::multi_app(10).apps.len(), 10);
+        assert_eq!(Scenario::multi_app(30).apps.len(), 30);
+        assert_eq!(Scenario::normal_hour().duration, SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn population_profiles_rotate() {
+        let apps = population(5, SimDuration::from_mins(1));
+        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert!(names[0].contains("Browser"));
+        assert!(names[1].contains("Game"));
+        assert!(names[2].contains("Maps"));
+        assert!(names[4].contains("Music"));
+    }
+}

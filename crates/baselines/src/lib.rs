@@ -1,0 +1,42 @@
+//! # leaseos-baselines — the comparison policies of the LeaseOS evaluation
+//!
+//! Reimplementations of the runtime schemes the paper compares against
+//! (§7.3, §7.4), all as [`leaseos_framework::ResourcePolicy`]
+//! implementations so every comparison runs on the identical substrate:
+//!
+//! * [`VanillaPolicy`] (re-exported from the framework) — the existing
+//!   ask-use-release model: grants persist until explicitly released.
+//! * [`Doze`] — Android's system-wide idle deferral, with both the stock
+//!   conservative trigger and the paper's forced [`Doze::aggressive`]
+//!   variant.
+//! * [`DefDroid`] — fine-grained, threshold-based one-shot throttling with
+//!   conservative settings.
+//! * [`PureThrottle`] — time-based permanent revocation ("leases with only
+//!   a single term"), the §7.4 usability foil.
+//!
+//! ## Example
+//!
+//! ```
+//! use leaseos_baselines::{DefDroid, Doze, PureThrottle, VanillaPolicy};
+//! use leaseos_framework::ResourcePolicy;
+//!
+//! let policies: Vec<Box<dyn ResourcePolicy>> = vec![
+//!     Box::new(VanillaPolicy::new()),
+//!     Box::new(Doze::aggressive()),
+//!     Box::new(DefDroid::new()),
+//!     Box::new(PureThrottle::new()),
+//! ];
+//! let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
+//! assert_eq!(names, ["vanilla", "doze", "defdroid", "pure-throttle"]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod defdroid;
+mod doze;
+mod throttle;
+
+pub use defdroid::{DefDroid, DefDroidConfig, ThrottleSetting};
+pub use doze::{Doze, DozeConfig};
+pub use leaseos_framework::VanillaPolicy;
+pub use throttle::PureThrottle;

@@ -1,0 +1,242 @@
+//! Pure time-based throttling — "essentially leases with only a single
+//! term" (paper §7.4).
+//!
+//! After a resource has been held continuously for the term, it is revoked
+//! *permanently* (no deferral-and-restore loop, no utility check). The
+//! paper uses this scheme to demonstrate why the utilitarian examine-renew
+//! cycle matters: under pure throttling, RunKeeper's tracking, Spotify's
+//! streaming, and Haven's monitoring all stop mid-session, while LeaseOS —
+//! seeing their high utility — keeps renewing them.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use leaseos_framework::{
+    AcquireOutcome, AcquireRequest, ObjId, PolicyAction, PolicyCtx, PolicyOverhead, ResourcePolicy,
+};
+use leaseos_simkit::SimDuration;
+
+/// The single-term throttling baseline.
+#[derive(Debug)]
+pub struct PureThrottle {
+    term: SimDuration,
+    /// generation per object, to ignore superseded timers.
+    watches: BTreeMap<ObjId, u64>,
+    /// objects whose single term already has a pending timer.
+    armed: BTreeMap<ObjId, bool>,
+    cut_off: BTreeMap<ObjId, bool>,
+    revocations: u64,
+}
+
+impl PureThrottle {
+    /// Throttling with a 10-minute single term (a generous setting — the
+    /// disruption §7.4 reports happens regardless).
+    pub fn new() -> Self {
+        PureThrottle::with_term(SimDuration::from_mins(10))
+    }
+
+    /// Throttling with an explicit term.
+    pub fn with_term(term: SimDuration) -> Self {
+        assert!(!term.is_zero(), "throttle term must be positive");
+        PureThrottle {
+            term,
+            watches: BTreeMap::new(),
+            armed: BTreeMap::new(),
+            cut_off: BTreeMap::new(),
+            revocations: 0,
+        }
+    }
+
+    /// The single term length.
+    pub fn term(&self) -> SimDuration {
+        self.term
+    }
+
+    /// Resources permanently revoked so far.
+    pub fn revocations(&self) -> u64 {
+        self.revocations
+    }
+
+    fn key(obj: ObjId, generation: u64) -> u64 {
+        obj.0 * 1_000_000 + generation
+    }
+}
+
+impl Default for PureThrottle {
+    fn default() -> Self {
+        PureThrottle::new()
+    }
+}
+
+impl ResourcePolicy for PureThrottle {
+    fn name(&self) -> &'static str {
+        "pure-throttle"
+    }
+
+    fn on_acquire(&mut self, ctx: &PolicyCtx<'_>, req: &AcquireRequest) -> AcquireOutcome {
+        if self.cut_off.get(&req.obj).copied().unwrap_or(false) {
+            // Once cut off, always cut off: the single term never renews.
+            return AcquireOutcome::pretend();
+        }
+        if self.armed.get(&req.obj).copied().unwrap_or(false) {
+            // Redundant re-acquires must not reset the single term.
+            return AcquireOutcome::grant();
+        }
+        self.armed.insert(req.obj, true);
+        let generation = self.watches.entry(req.obj).or_insert(0);
+        *generation += 1;
+        let key = Self::key(req.obj, *generation);
+        AcquireOutcome::grant().with_actions(vec![PolicyAction::ScheduleTimer {
+            at: ctx.now + self.term,
+            key,
+        }])
+    }
+
+    fn on_release(&mut self, _ctx: &PolicyCtx<'_>, obj: ObjId) -> Vec<PolicyAction> {
+        // A genuine release ends the hold: disarm so the next acquire gets
+        // a fresh term.
+        if let Some(generation) = self.watches.get_mut(&obj) {
+            *generation += 1;
+        }
+        self.armed.insert(obj, false);
+        Vec::new()
+    }
+
+    fn on_object_dead(&mut self, _ctx: &PolicyCtx<'_>, obj: ObjId) -> Vec<PolicyAction> {
+        self.watches.remove(&obj);
+        self.armed.remove(&obj);
+        self.cut_off.remove(&obj);
+        Vec::new()
+    }
+
+    fn on_timer(&mut self, ctx: &PolicyCtx<'_>, key: u64) -> Vec<PolicyAction> {
+        let obj = ObjId(key / 1_000_000);
+        let generation = key % 1_000_000;
+        if self.watches.get(&obj) != Some(&generation) {
+            return Vec::new();
+        }
+        let o = ctx.ledger.obj(obj);
+        if !o.held || o.revoked {
+            return Vec::new();
+        }
+        self.cut_off.insert(obj, true);
+        self.revocations += 1;
+        vec![PolicyAction::Revoke(obj)]
+    }
+
+    fn overhead(&self) -> PolicyOverhead {
+        PolicyOverhead { per_op_cpu_ms: 0.05 }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_framework::{AppCtx, AppEvent, AppModel, Kernel};
+    use leaseos_simkit::{DeviceProfile, Environment, SimTime};
+
+    struct Leaky;
+    impl AppModel for Leaky {
+        fn name(&self) -> &str {
+            "leaky"
+        }
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.acquire_wakelock();
+        }
+        fn on_event(&mut self, _ctx: &mut AppCtx<'_>, _event: AppEvent) {}
+    }
+
+    #[test]
+    fn holding_past_the_term_is_cut_off_forever() {
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(PureThrottle::with_term(SimDuration::from_mins(5))),
+            1,
+        );
+        let app = k.add_app(Box::new(Leaky));
+        k.run_until(SimTime::from_mins(30));
+        let (_, o) = k.ledger().objects_of(app).next().unwrap();
+        let eff = o.effective_held_time(SimTime::from_mins(30));
+        assert_eq!(eff, SimDuration::from_mins(5), "exactly one term, then cut");
+        let p = k.policy().as_any().downcast_ref::<PureThrottle>().unwrap();
+        assert_eq!(p.revocations(), 1);
+    }
+
+    #[test]
+    fn reacquire_after_cutoff_is_pretend_granted() {
+        struct Persistent {
+            lock: Option<ObjId>,
+        }
+        impl AppModel for Persistent {
+            fn name(&self) -> &str {
+                "persistent"
+            }
+            fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+                self.lock = Some(ctx.acquire_wakelock());
+                ctx.schedule_alarm(SimDuration::from_mins(10), 1);
+            }
+            fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+                if let AppEvent::Timer(1) = event {
+                    ctx.reacquire(self.lock.unwrap());
+                    ctx.schedule_alarm(SimDuration::from_mins(10), 1);
+                }
+            }
+        }
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(PureThrottle::with_term(SimDuration::from_mins(5))),
+            1,
+        );
+        let app = k.add_app(Box::new(Persistent { lock: None }));
+        k.run_until(SimTime::from_mins(30));
+        let (_, o) = k.ledger().objects_of(app).next().unwrap();
+        // Still one term total: re-acquires cannot revive a cut-off object.
+        assert_eq!(
+            o.effective_held_time(SimTime::from_mins(30)),
+            SimDuration::from_mins(5)
+        );
+    }
+
+    #[test]
+    fn release_before_the_term_avoids_the_cut() {
+        struct Brief {
+            lock: Option<ObjId>,
+        }
+        impl AppModel for Brief {
+            fn name(&self) -> &str {
+                "brief"
+            }
+            fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+                self.lock = Some(ctx.acquire_wakelock());
+                ctx.schedule(SimDuration::from_mins(2), 1);
+            }
+            fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+                if let AppEvent::Timer(1) = event {
+                    ctx.release(self.lock.unwrap());
+                }
+            }
+        }
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(PureThrottle::with_term(SimDuration::from_mins(5))),
+            1,
+        );
+        k.add_app(Box::new(Brief { lock: None }));
+        k.run_until(SimTime::from_mins(30));
+        let p = k.policy().as_any().downcast_ref::<PureThrottle>().unwrap();
+        assert_eq!(p.revocations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_term_is_rejected() {
+        PureThrottle::with_term(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,71 @@
+//! Regenerates the paper's §7.6 end-to-end battery test: with one buggy GPS
+//! app installed, a day of mixed usage (music, video, browsing, standby)
+//! runs the battery down in ~12 hours on vanilla Android versus ~15 hours
+//! under LeaseOS.
+//!
+//! We simulate a 3-hour representative slice of the paper's day (2 h music,
+//! 1 h video-ish interactive use, then standby pressure from the buggy GPS
+//! app) and project full-battery life from the measured average power.
+//!
+//! Run: `cargo run --release -p leaseos-bench --bin battery`
+
+use leaseos_apps::buggy::gps::GpsLogger;
+use leaseos_apps::workload::{InteractiveApp, Profile};
+use leaseos_bench::{f1, PolicyKind};
+use leaseos_framework::Kernel;
+use leaseos_simkit::{Battery, DeviceProfile, Environment, Schedule, SimDuration, SimTime};
+
+const SLICE: SimDuration = SimDuration::from_hours(4);
+
+fn day_slice_power(policy: PolicyKind) -> f64 {
+    // Ninety minutes of active use (music + apps), then standby — standby
+    // dominates a real day, which is where the buggy GPS app's drain
+    // matters most. (Absolute projected hours run long because the model
+    // omits cellular-standby draw; the extension *ratio* is the result.)
+    let mut env = Environment::new();
+    env.user_present = Schedule::new(true);
+    env.user_present.set_from(SimTime::from_mins(90), false);
+
+    let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), env, policy.build(), 55);
+    // The resident buggy GPS app drains throughout.
+    kernel.add_app(Box::new(GpsLogger::new()));
+    // Foreground usage: one long music stream and a couple of interactive
+    // apps.
+    kernel.add_app(Box::new(InteractiveApp::new(
+        "music",
+        Profile::Music,
+        SimDuration::from_mins(5),
+    )));
+    kernel.add_app(Box::new(InteractiveApp::new(
+        "video",
+        Profile::Video,
+        SimDuration::from_mins(5),
+    )));
+    kernel.add_app(Box::new(InteractiveApp::new(
+        "browser",
+        Profile::Browser,
+        SimDuration::from_mins(3),
+    )));
+    kernel.run_until(SimTime::ZERO + SLICE);
+    kernel.meter().avg_total_power_mw(SLICE) + kernel.policy_overhead_mj() / SLICE.as_secs_f64()
+}
+
+fn main() {
+    let device = DeviceProfile::pixel_xl();
+    let battery = Battery::for_device(&device);
+    println!("§7.6 end-to-end battery test — mixed day with one buggy GPS app installed");
+    let vanilla = day_slice_power(PolicyKind::Vanilla);
+    let lease = day_slice_power(PolicyKind::LeaseOs);
+    let life_v = battery.life_at(vanilla);
+    let life_l = battery.life_at(lease);
+    println!("  avg power, vanilla Android: {} mW", f1(vanilla));
+    println!("  avg power, LeaseOS:         {} mW", f1(lease));
+    println!(
+        "  projected battery life:     {} h vs {} h (paper: ~12 h vs ~15 h)",
+        f1(life_v.as_hours_f64()),
+        f1(life_l.as_hours_f64())
+    );
+    let gain = life_l.as_hours_f64() / life_v.as_hours_f64();
+    println!("  battery-life extension:     {}x (paper: 1.25x)", f1(gain));
+    assert!(gain > 1.05, "LeaseOS must extend battery life, got {gain}");
+}

@@ -1,0 +1,176 @@
+//! Interactive exploration CLI: run any Table 5 case (or a normal app)
+//! under any policy, on any device, for any duration, and dump the
+//! resulting accounting.
+//!
+//! ```console
+//! $ cargo run --release -p leaseos-bench --bin explore -- \
+//!       --app K-9 --policy leaseos --device moto-g --minutes 15
+//! ```
+//!
+//! Flags (all optional): `--app <table5 name|runkeeper|spotify|haven>`,
+//! `--policy <vanilla|leaseos|doze|doze-stock|defdroid|throttle>`,
+//! `--device <pixel-xl|nexus-6|nexus-5x|nexus-4|galaxy-s4|moto-g>`,
+//! `--minutes <n>`, `--seed <n>`, `--trace <n>` (print the last n kernel
+//! trace entries), `--list` (show available apps).
+
+use leaseos::LeaseOs;
+use leaseos_apps::buggy::table5_cases;
+use leaseos_apps::normal::{Haven, RunKeeper, Spotify};
+use leaseos_baselines::{DefDroid, Doze, PureThrottle, VanillaPolicy};
+use leaseos_framework::{AppModel, Kernel, ResourcePolicy};
+use leaseos_simkit::{DeviceProfile, Environment, Schedule, SimDuration, SimTime};
+
+fn parse_args() -> std::collections::HashMap<String, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--list" || arg == "--trace-all" {
+            map.insert(arg.trim_start_matches('-').to_owned(), "true".into());
+        } else if let Some(key) = arg.strip_prefix("--") {
+            if let Some(value) = args.next() {
+                map.insert(key.to_owned(), value);
+            }
+        }
+    }
+    map
+}
+
+fn device(name: &str) -> DeviceProfile {
+    match name {
+        "pixel-xl" => DeviceProfile::pixel_xl(),
+        "nexus-6" => DeviceProfile::nexus_6(),
+        "nexus-5x" => DeviceProfile::nexus_5x(),
+        "nexus-4" => DeviceProfile::nexus_4(),
+        "galaxy-s4" => DeviceProfile::galaxy_s4(),
+        "moto-g" => DeviceProfile::moto_g(),
+        other => {
+            eprintln!("unknown device {other}; using pixel-xl");
+            DeviceProfile::pixel_xl()
+        }
+    }
+}
+
+fn policy(name: &str) -> Box<dyn ResourcePolicy> {
+    match name {
+        "vanilla" => Box::new(VanillaPolicy::new()),
+        "leaseos" => Box::new(LeaseOs::new()),
+        "doze" => Box::new(Doze::aggressive()),
+        "doze-stock" => Box::new(Doze::new()),
+        "defdroid" => Box::new(DefDroid::new()),
+        "throttle" => Box::new(PureThrottle::new()),
+        other => {
+            eprintln!("unknown policy {other}; using leaseos");
+            Box::new(LeaseOs::new())
+        }
+    }
+}
+
+fn app_and_env(name: &str) -> Option<(Box<dyn AppModel>, Environment)> {
+    let lower = name.to_lowercase();
+    match lower.as_str() {
+        "runkeeper" => {
+            let mut env = Environment::unattended();
+            env.in_motion = Schedule::new(true);
+            return Some((Box::new(RunKeeper::new()), env));
+        }
+        "spotify" => return Some((Box::new(Spotify::new()), Environment::unattended())),
+        "haven" => return Some((Box::new(Haven::new()), Environment::unattended())),
+        _ => {}
+    }
+    table5_cases()
+        .into_iter()
+        .find(|c| c.name.to_lowercase() == lower)
+        .map(|c| ((c.build)(), (c.environment)()))
+}
+
+fn main() {
+    let args = parse_args();
+    if args.contains_key("list") {
+        println!("buggy apps (Table 5):");
+        for case in table5_cases() {
+            println!("  {:<20} {} {}", case.name, case.resource, case.behavior);
+        }
+        println!("normal apps: RunKeeper, Spotify, Haven");
+        return;
+    }
+
+    let app_name = args.get("app").map(String::as_str).unwrap_or("Torch");
+    let policy_name = args.get("policy").map(String::as_str).unwrap_or("leaseos");
+    let device_name = args.get("device").map(String::as_str).unwrap_or("pixel-xl");
+    let minutes: u64 = args.get("minutes").and_then(|s| s.parse().ok()).unwrap_or(30);
+    let seed: u64 = args.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let Some((app, env)) = app_and_env(app_name) else {
+        eprintln!("unknown app {app_name:?}; try --list");
+        std::process::exit(2);
+    };
+
+    let trace_lines: usize = args.get("trace").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let run = SimDuration::from_mins(minutes);
+    let mut kernel = Kernel::new(device(device_name), env, policy(policy_name), seed);
+    if trace_lines > 0 {
+        kernel.enable_trace();
+    }
+    kernel.enable_profiler(SimDuration::from_secs(60));
+    let id = kernel.add_app(app);
+    let end = SimTime::ZERO + run;
+    kernel.run_until(end);
+
+    println!(
+        "{app_name} under {policy_name} on {device_name} for {minutes} min (seed {seed})"
+    );
+    println!("  app avg power:     {:.2} mW", kernel.avg_app_power_mw(id, run));
+    println!(
+        "  system avg power:  {:.2} mW",
+        kernel.meter().avg_total_power_mw(run)
+    );
+    if let Some(stats) = kernel.ledger().app_opt(id) {
+        println!(
+            "  cpu {:.1}s  exceptions {}  ui {}  interactions {}  net {}/{} ok  data {}  distance {:.0}m",
+            stats.cpu_ms as f64 / 1_000.0,
+            stats.exceptions,
+            stats.ui_updates,
+            stats.interactions,
+            stats.net_ops - stats.net_failures,
+            stats.net_ops,
+            stats.data_written,
+            stats.distance_m,
+        );
+    }
+    for (obj, o) in kernel.ledger().all_objects().filter(|(_, o)| o.owner == id) {
+        println!(
+            "  {obj} {:<16} held {:>8}  effective {:>8}  deliveries {}{}",
+            o.kind.to_string(),
+            o.held_time(end).to_string(),
+            o.effective_held_time(end).to_string(),
+            o.deliveries,
+            if o.dead { "  (dead)" } else { "" },
+        );
+    }
+    if let Some(os) = kernel.policy().as_any().downcast_ref::<LeaseOs>() {
+        for report in os.manager().lease_reports(end) {
+            println!(
+                "  lease on {:<16} terms {:>4}  deferrals {:>3}  active {:>7.1}s",
+                report.kind.to_string(),
+                report.terms,
+                report.deferrals,
+                report.active_secs,
+            );
+        }
+    }
+    // Per-component energy breakdown for the app.
+    println!("  energy by component:");
+    for component in leaseos_simkit::ComponentKind::ALL {
+        let mj = kernel.meter().component_energy_mj(id.consumer(), component);
+        if mj > 0.0 {
+            println!("    {component:<8} {mj:>12.1} mJ");
+        }
+    }
+    if trace_lines > 0 {
+        let trace = kernel.trace();
+        println!("  kernel trace (last {} of {} entries):", trace_lines.min(trace.len()), trace.len());
+        for entry in trace.iter().rev().take(trace_lines).rev() {
+            println!("    [{}] {}", entry.at, entry.what);
+        }
+    }
+}

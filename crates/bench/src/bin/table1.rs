@@ -1,0 +1,34 @@
+//! Regenerates the paper's Table 1: which energy-misbehaviour types can
+//! occur for which resources.
+//!
+//! Run: `cargo run -p leaseos-bench --bin table1`
+
+use leaseos::BehaviorType;
+use leaseos_bench::TextTable;
+use leaseos_framework::ResourceKind;
+
+fn main() {
+    let mut table = TextTable::new(["Resource", "FAB", "LHB", "LUB", "EUB", "Normal"]);
+    let mark = |b: BehaviorType, kind: ResourceKind| if b.applies_to(kind) { "Y" } else { "x" };
+    for kind in ResourceKind::ALL {
+        let listener_note = if kind.is_listener_based() { "Y*" } else { "Y" };
+        table.row([
+            kind.to_string(),
+            mark(BehaviorType::FrequentAsk, kind).to_owned(),
+            // Listener resources have the different LHB semantic the paper
+            // footnotes with ✓*: utilization of the delivered data, not of
+            // the physical resource.
+            if BehaviorType::LongHolding.applies_to(kind) {
+                listener_note.to_owned()
+            } else {
+                "x".to_owned()
+            },
+            mark(BehaviorType::LowUtility, kind).to_owned(),
+            mark(BehaviorType::ExcessiveUse, kind).to_owned(),
+            mark(BehaviorType::Normal, kind).to_owned(),
+        ]);
+    }
+    println!("Table 1 — energy-misbehaviour applicability (Y = can occur, Y* = different semantic)");
+    println!("{}", table.render());
+    println!("Paper: FAB only for GPS; LHB has listener semantics for GPS/sensors; all else applies everywhere.");
+}

@@ -1,0 +1,78 @@
+//! Regenerates the paper's Table 5: power consumption of 20 real-world
+//! buggy apps under vanilla Android, LeaseOS, aggressive Doze, and
+//! DefDroid, with per-app and average reduction percentages.
+//!
+//! Run: `cargo run --release -p leaseos-bench --bin table5 [seeds]`
+//!
+//! An optional positional argument averages each cell over that many seeds
+//! (default 1, i.e. the deterministic committed run).
+
+use leaseos_apps::buggy::table5_cases;
+use leaseos_bench::{f2, reduction_pct, BuggyCaseExt, PolicyKind, TextTable};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let cases = table5_cases();
+    let mut table = TextTable::new([
+        "App",
+        "Res.",
+        "Behav.",
+        "w/o lease",
+        "w/ lease",
+        "Doze*",
+        "DefDroid",
+        "LeaseOS%",
+        "Doze%",
+        "DefDroid%",
+        "paper L%",
+    ]);
+    let (mut sum_lease, mut sum_doze, mut sum_dd) = (0.0, 0.0, 0.0);
+    for case in &cases {
+        let base = case.mean_power(PolicyKind::Vanilla, seeds);
+        let lease = case.mean_power(PolicyKind::LeaseOs, seeds);
+        let doze = case.mean_power(PolicyKind::DozeAggressive, seeds);
+        let dd = case.mean_power(PolicyKind::DefDroid, seeds);
+        let (rl, rz, rd) = (
+            reduction_pct(base, lease),
+            reduction_pct(base, doze),
+            reduction_pct(base, dd),
+        );
+        sum_lease += rl;
+        sum_doze += rz;
+        sum_dd += rd;
+        table.row([
+            case.name.to_owned(),
+            case.resource.to_string(),
+            case.behavior.to_string(),
+            f2(base),
+            f2(lease),
+            f2(doze),
+            f2(dd),
+            f2(rl),
+            f2(rz),
+            f2(rd),
+            f2(case.paper.lease_reduction_pct()),
+        ]);
+    }
+    let n = cases.len() as f64;
+    println!("Table 5 — mitigating real-world energy misbehaviour (power in mW, 30 min runs)");
+    println!("{}", table.render());
+    println!(
+        "Average reduction:  LeaseOS {:.2}%   Doze* {:.2}%   DefDroid {:.2}%",
+        sum_lease / n,
+        sum_doze / n,
+        sum_dd / n
+    );
+    println!("Paper averages:     LeaseOS 92.62%   Doze* 69.64%   DefDroid 62.04%");
+    println!();
+    println!(
+        "Note: deferral intervals escalate (25 s doubling to a 5 min cap) for repeat\n\
+         offenders, per the §5.1 average-τ analysis; absolute mW values are power-model\n\
+         approximations — the reproduced result is the per-app reductions and the\n\
+         ordering LeaseOS > Doze > DefDroid."
+    );
+}

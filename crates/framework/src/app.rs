@@ -1,0 +1,88 @@
+//! The app model.
+//!
+//! Apps are event-driven state machines, mirroring how Android apps are
+//! structured around handlers and callbacks. The kernel starts each app once
+//! ([`AppModel::on_start`]) and thereafter delivers [`AppEvent`]s — timers
+//! the app scheduled, completions of CPU work and network operations it
+//! issued, and listener callbacks for GPS/sensor resources it registered.
+//!
+//! All interaction with the OS happens through the `AppCtx` handed to each
+//! callback (defined in [`crate::kernel`]): acquiring and releasing
+//! resources, scheduling work, and reporting the user-visible activity that
+//! feeds the utility signals.
+
+use crate::ids::{ObjId, Token};
+use crate::kernel::AppCtx;
+use crate::resource::NetResult;
+
+/// Events delivered to an app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AppEvent {
+    /// A timer scheduled with `AppCtx::schedule` or `schedule_alarm` fired.
+    Timer(Token),
+    /// A CPU burst issued with `AppCtx::do_work` completed.
+    WorkDone(Token),
+    /// A network operation issued with `AppCtx::network_op` finished.
+    NetDone {
+        /// The token the app passed when starting the operation.
+        token: Token,
+        /// The outcome.
+        result: NetResult,
+    },
+    /// A GPS fix was delivered on a location request the app registered.
+    GpsFix {
+        /// The request object the fix belongs to.
+        obj: ObjId,
+        /// Metres moved since the previous delivery on this request (the
+        /// generic GPS utility signal; zero for a stationary device).
+        distance_m: f64,
+    },
+    /// A sensor reading was delivered on a registration.
+    SensorReading {
+        /// The registration object.
+        obj: ObjId,
+    },
+}
+
+/// A simulated app.
+///
+/// Implementations model one app's behaviour — including, for the
+/// reproduction's buggy apps, the exact energy-bug code path the paper
+/// describes (leaked wakelocks, exception retry loops, non-stop GPS
+/// search).
+///
+/// The `Any` supertrait lets harnesses read app-recorded state back out of
+/// a finished kernel via `Kernel::app_model`.
+pub trait AppModel: std::any::Any {
+    /// The app's display name (used in figures and tables).
+    fn name(&self) -> &str;
+
+    /// Called once at simulation start (or when the app is added to a
+    /// running kernel).
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>);
+
+    /// Called for each subsequent event.
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_events_are_comparable() {
+        assert_eq!(AppEvent::Timer(1), AppEvent::Timer(1));
+        assert_ne!(AppEvent::Timer(1), AppEvent::WorkDone(1));
+        let fix = AppEvent::GpsFix {
+            obj: ObjId(1),
+            distance_m: 0.0,
+        };
+        assert_eq!(
+            fix,
+            AppEvent::GpsFix {
+                obj: ObjId(1),
+                distance_m: 0.0
+            }
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Identifier newtypes.
+//!
+//! Apps, kernel objects, and app-local tokens are all plain integers at the
+//! wire level; the newtypes keep them from being confused for one another
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+use leaseos_simkit::Consumer;
+
+/// A simulated app, identified by its uid (as Android identifies apps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u32);
+
+impl AppId {
+    /// The energy-accounting consumer for this app.
+    pub fn consumer(self) -> Consumer {
+        Consumer::App(self.0)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// A kernel resource object — the binder-token analogue.
+///
+/// Each granted resource instance (a wakelock, a GPS request, a sensor
+/// registration, …) is one kernel object, with a one-to-one mapping to the
+/// resource descriptor in the owning app's address space (paper §4.2). The
+/// app-side descriptor is simply a copy of this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u64);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// An app-chosen token carried on timers, work completions, and I/O results
+/// so the app can tell its outstanding operations apart.
+pub type Token = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_consumer_mapping() {
+        assert_eq!(AppId(7).consumer(), Consumer::App(7));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AppId(3).to_string(), "app3");
+        assert_eq!(ObjId(12).to_string(), "obj12");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<ObjId> = [ObjId(2), ObjId(1)].into_iter().collect();
+        assert_eq!(set.into_iter().next(), Some(ObjId(1)));
+    }
+}

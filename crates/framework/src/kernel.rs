@@ -1,0 +1,1394 @@
+//! The kernel: event loop, system services, device state, and power
+//! attribution.
+//!
+//! [`Kernel`] owns the whole simulated device: the discrete-event queue, the
+//! environment, the energy meter, the accounting ledger, the installed
+//! [`ResourcePolicy`], and the apps. It plays the role of Android's
+//! `system_server` — the subsystems that grant wakelocks, GPS requests,
+//! sensor registrations, Wi-Fi locks, and audio sessions all live here, and
+//! every grant is routed through the policy hook layer exactly as LeaseOS's
+//! lease proxies interpose inside the real services (paper §4.2).
+//!
+//! ## Device-state semantics
+//!
+//! * The screen is on while the user is present or an effective
+//!   screen-wakelock is held.
+//! * The CPU is awake while the screen is on or an effective CPU wakelock is
+//!   held; otherwise it deep-sleeps.
+//! * App CPU bursts only progress while the CPU is awake; they pause on
+//!   sleep and resume seamlessly on wake (paper §4.6).
+//! * A network operation suspended by sleep fails with a timeout on resume —
+//!   the I/O exception §4.6 argues apps already must handle.
+//! * Deferrable app timers do not fire during deep sleep; they flush on
+//!   wake. Alarms (`schedule_alarm`) wake the device.
+//! * GPS fixes and sensor readings are delivered regardless of sleep (their
+//!   listener callbacks wake the app transiently, as on Android).
+
+use std::collections::{BTreeMap, HashMap};
+
+use leaseos_simkit::{
+    ComponentKind, Consumer, DeviceProfile, EnergyMeter, Environment, EventHandle, EventQueue,
+    GpsSignal, SimDuration, SimRng, SimTime,
+};
+
+use crate::app::{AppEvent, AppModel};
+use crate::ids::{AppId, ObjId, Token};
+use crate::ledger::{GpsPhase, Ledger};
+use crate::policy::{
+    AcquireDecision, AcquireRequest, PolicyAction, PolicyCtx, ResourcePolicy, VanillaPolicy,
+};
+use crate::profiler::Profiler;
+use crate::resource::{AcquireParams, NetResult, ResourceKind};
+
+/// Base uid assigned to the first app (Android assigns apps uids from
+/// 10000).
+const FIRST_UID: u32 = 10_001;
+
+/// Connection-failure latency when the network is down.
+const CONNECT_FAIL_MS: u64 = 300;
+/// Base latency before a failing server surfaces its error.
+const SERVER_FAIL_MS: u64 = 2_500;
+/// Base round-trip latency for a network operation.
+const NET_RTT_MS: u64 = 120;
+/// Modeled throughput in bytes per millisecond (≈2 MB/s).
+const NET_BYTES_PER_MS: u64 = 2_000;
+
+/// Kernel-internal events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SysEvent {
+    StartApp(AppId),
+    AppTimer { app: AppId, token: Token, wake: bool },
+    WorkDone { app: AppId, token: Token },
+    NetDone { app: AppId, token: Token, result: NetResult },
+    GpsFix { obj: ObjId },
+    GpsLost { obj: ObjId },
+    GpsDeliver { obj: ObjId },
+    SensorDeliver { obj: ObjId },
+    PolicyTimer { key: u64 },
+    EnvChange,
+    ProfilerTick,
+}
+
+/// One app slot.
+struct AppSlot {
+    id: AppId,
+    model: Option<Box<dyn AppModel>>,
+    name: String,
+    rng: SimRng,
+    /// Deferrable timers that came due during deep sleep, flushed on wake.
+    deferred_timers: Vec<Token>,
+    started: bool,
+    stopped: bool,
+}
+
+/// An in-flight CPU burst.
+#[derive(Debug)]
+struct WorkBurst {
+    /// Remaining wall-clock CPU time on this device.
+    remaining: SimDuration,
+    /// Scheduled completion, present while running.
+    handle: Option<EventHandle>,
+    /// When the current running segment started.
+    running_since: Option<SimTime>,
+}
+
+/// An in-flight network operation.
+#[derive(Debug)]
+struct NetOp {
+    handle: Option<EventHandle>,
+    result: NetResult,
+    /// Set when the device slept mid-operation.
+    suspended: bool,
+}
+
+/// GPS request phases (runtime view; the ledger keeps the accounting view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GpsRunPhase {
+    Searching,
+    Fixed,
+    /// Revoked by policy or released by the app.
+    Parked,
+}
+
+#[derive(Debug)]
+struct GpsRuntime {
+    interval: SimDuration,
+    phase: GpsRunPhase,
+    pending_fix: Option<EventHandle>,
+    pending_loss: Option<EventHandle>,
+    pending_deliver: Option<EventHandle>,
+    last_delivery: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct SensorRuntime {
+    interval: SimDuration,
+    pending_deliver: Option<EventHandle>,
+}
+
+/// The simulated device and OS.
+pub struct Kernel {
+    device: DeviceProfile,
+    env: Environment,
+    queue: EventQueue<SysEvent>,
+    meter: EnergyMeter,
+    ledger: Ledger,
+    root_rng: SimRng,
+    policy: Option<Box<dyn ResourcePolicy>>,
+    policy_ops: u64,
+    apps: Vec<AppSlot>,
+    profiler: Option<Profiler>,
+
+    awake: bool,
+    screen_on: bool,
+
+    works: BTreeMap<(AppId, Token), WorkBurst>,
+    netops: BTreeMap<(AppId, Token), NetOp>,
+    gps: BTreeMap<ObjId, GpsRuntime>,
+    sensors: BTreeMap<ObjId, SensorRuntime>,
+
+    prev_draws: HashMap<(Consumer, ComponentKind), f64>,
+    policy_overhead_mj: f64,
+    started: bool,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+/// One entry of the optional kernel trace (see [`Kernel::enable_trace`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened, in human-readable form.
+    pub what: String,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("device", &self.device.name)
+            .field("now", &self.queue.now())
+            .field("apps", &self.apps.len())
+            .field("awake", &self.awake)
+            .field("screen_on", &self.screen_on)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel for `device` in `env`, governed by `policy`, with a
+    /// deterministic `seed`.
+    pub fn new(
+        device: DeviceProfile,
+        env: Environment,
+        policy: Box<dyn ResourcePolicy>,
+        seed: u64,
+    ) -> Self {
+        Kernel {
+            device,
+            env,
+            queue: EventQueue::new(),
+            meter: EnergyMeter::new(),
+            ledger: Ledger::new(),
+            root_rng: SimRng::new(seed),
+            policy: Some(policy),
+            policy_ops: 0,
+            apps: Vec::new(),
+            profiler: None,
+            awake: false,
+            screen_on: false,
+            works: BTreeMap::new(),
+            netops: BTreeMap::new(),
+            gps: BTreeMap::new(),
+            sensors: BTreeMap::new(),
+            prev_draws: HashMap::new(),
+            policy_overhead_mj: 0.0,
+            started: false,
+            trace: None,
+        }
+    }
+
+    /// Starts recording a human-readable trace of resource grants,
+    /// releases, revocations, restores, object deaths, and device
+    /// sleep/wake transitions. Read it back with [`trace`](Self::trace).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded trace (empty unless [`enable_trace`](Self::enable_trace)
+    /// was called).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn note_trace(&mut self, what: impl FnOnce() -> String) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                at: self.queue.now(),
+                what: what(),
+            });
+        }
+    }
+
+    /// Convenience constructor with the vanilla policy.
+    pub fn vanilla(device: DeviceProfile, env: Environment, seed: u64) -> Self {
+        Kernel::new(device, env, Box::new(VanillaPolicy::new()), seed)
+    }
+
+    /// Adds an app; returns its uid-based id.
+    pub fn add_app(&mut self, model: Box<dyn AppModel>) -> AppId {
+        let id = AppId(FIRST_UID + self.apps.len() as u32);
+        let name = model.name().to_owned();
+        let rng = self.root_rng.fork(id.0 as u64);
+        self.apps.push(AppSlot {
+            id,
+            model: Some(model),
+            name,
+            rng,
+            deferred_timers: Vec::new(),
+            started: false,
+            stopped: false,
+        });
+        if self.started {
+            self.queue.push(self.queue.now(), SysEvent::StartApp(id));
+        }
+        id
+    }
+
+    /// Enables the per-app profiler, sampling every `interval` (the paper's
+    /// tool samples every 60 s, §2.1).
+    pub fn enable_profiler(&mut self, interval: SimDuration) {
+        assert!(!interval.is_zero(), "profiler interval must be positive");
+        self.profiler = Some(Profiler::new(interval));
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// Current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The energy meter.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// The accounting ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The environment script.
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// The device profile.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The installed policy (for downcasting to read policy-specific stats).
+    pub fn policy(&self) -> &dyn ResourcePolicy {
+        self.policy.as_deref().expect("policy busy during hook dispatch")
+    }
+
+    /// Number of policy hook invocations so far (the bookkeeping-op count
+    /// used for overhead accounting).
+    pub fn policy_op_count(&self) -> u64 {
+        self.policy_ops
+    }
+
+    /// The profiler's recorded series for `app`, if profiling was enabled.
+    pub fn profile_of(&self, app: AppId) -> Option<&leaseos_simkit::SeriesSet> {
+        self.profiler.as_ref().and_then(|p| p.series_of(app))
+    }
+
+    /// Downcasts the model of `app` to its concrete type, so experiment
+    /// harnesses can read back app-recorded observations.
+    pub fn app_model<T: AppModel>(&self, app: AppId) -> Option<&T> {
+        let idx = self.slot_index(app);
+        let model = self.apps[idx].model.as_deref()?;
+        (model as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// The id of the app named `name`, if present.
+    pub fn app_by_name(&self, name: &str) -> Option<AppId> {
+        self.apps.iter().find(|s| s.name == name).map(|s| s.id)
+    }
+
+    /// Names and ids of all apps.
+    pub fn apps(&self) -> impl Iterator<Item = (AppId, &str)> {
+        self.apps.iter().map(|s| (s.id, s.name.as_str()))
+    }
+
+    /// Whether the CPU is currently awake.
+    pub fn is_awake(&self) -> bool {
+        self.awake
+    }
+
+    /// Whether the screen is currently on.
+    pub fn is_screen_on(&self) -> bool {
+        self.screen_on
+    }
+
+    /// Average power billed to `app` over the first `over` of the run, in
+    /// mW. Call after `run_until(over)`.
+    pub fn avg_app_power_mw(&self, app: AppId, over: SimDuration) -> f64 {
+        self.meter.avg_power_mw(app.consumer(), over)
+    }
+
+    // ---- main loop ---------------------------------------------------------
+
+    /// Runs the simulation up to and including events at `end`, then settles
+    /// accounting at `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            self.dispatch(t, ev);
+        }
+        self.queue.advance_to(end);
+        self.ledger.set_user_present(self.env.user_present.at(end), end);
+        self.meter.advance_to(end);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Schedule app starts (t = 0, FIFO order).
+        let ids: Vec<AppId> = self.apps.iter().map(|s| s.id).collect();
+        for id in ids {
+            self.queue.push(SimTime::ZERO, SysEvent::StartApp(id));
+        }
+        // Environment change notifications.
+        let mut t = SimTime::ZERO;
+        while let Some(next) = self.env.next_change_after(t) {
+            self.queue.push(next, SysEvent::EnvChange);
+            t = next;
+        }
+        // Profiler ticks.
+        if let Some(p) = &self.profiler {
+            let interval = p.interval();
+            self.queue.push(SimTime::ZERO + interval, SysEvent::ProfilerTick);
+        }
+        self.update_device_state();
+        // Policies that watch device state (e.g. Doze's idle detector) get
+        // an initial notification of the starting conditions.
+        let actions = self.call_policy(|p, ctx| p.on_device_state(ctx));
+        self.apply_actions(actions);
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: SysEvent) {
+        match ev {
+            SysEvent::StartApp(app) => {
+                let idx = self.slot_index(app);
+                if !self.apps[idx].started {
+                    self.apps[idx].started = true;
+                    self.with_app(app, |model, ctx| model.on_start(ctx));
+                }
+            }
+            SysEvent::AppTimer { app, token, wake } => {
+                if self.apps[self.slot_index(app)].stopped {
+                    // A dead process's pending timers vanish with it; they
+                    // must not wake the device or reach the policy.
+                } else if !self.awake && !wake {
+                    let idx = self.slot_index(app);
+                    self.apps[idx].deferred_timers.push(token);
+                } else {
+                    if wake {
+                        let actions = self.call_policy(|p, ctx| p.on_alarm(ctx, app));
+                        self.apply_actions(actions);
+                    }
+                    self.with_app(app, |model, ctx| model.on_event(ctx, AppEvent::Timer(token)));
+                }
+            }
+            SysEvent::WorkDone { app, token } => self.finish_work(now, app, token),
+            SysEvent::NetDone { app, token, result } => self.finish_net(now, app, token, result),
+            SysEvent::GpsFix { obj } => self.gps_fix_acquired(now, obj),
+            SysEvent::GpsLost { obj } => self.gps_fix_lost(now, obj),
+            SysEvent::GpsDeliver { obj } => self.gps_deliver(now, obj),
+            SysEvent::SensorDeliver { obj } => self.sensor_deliver(now, obj),
+            SysEvent::PolicyTimer { key } => {
+                let actions = self.call_policy(|p, ctx| p.on_timer(ctx, key));
+                self.apply_actions(actions);
+            }
+            SysEvent::EnvChange => self.on_env_change(now),
+            SysEvent::ProfilerTick => {
+                if let Some(mut p) = self.profiler.take() {
+                    p.sample(now, &self.ledger, &self.apps_index());
+                    self.queue.push(now + p.interval(), SysEvent::ProfilerTick);
+                    self.profiler = Some(p);
+                }
+            }
+        }
+    }
+
+    fn apps_index(&self) -> Vec<(AppId, String)> {
+        self.apps.iter().map(|s| (s.id, s.name.clone())).collect()
+    }
+
+    fn slot_index(&self, app: AppId) -> usize {
+        self.apps
+            .iter()
+            .position(|s| s.id == app)
+            .unwrap_or_else(|| panic!("unknown app {app}"))
+    }
+
+    fn with_app(&mut self, app: AppId, f: impl FnOnce(&mut Box<dyn AppModel>, &mut AppCtx<'_>)) {
+        let idx = self.slot_index(app);
+        if self.apps[idx].stopped {
+            return; // events for a stopped app are dropped
+        }
+        let mut model = self.apps[idx]
+            .model
+            .take()
+            .unwrap_or_else(|| panic!("reentrant dispatch to {app}"));
+        let mut ctx = AppCtx { kernel: self, app, idx };
+        f(&mut model, &mut ctx);
+        self.apps[idx].model = Some(model);
+        self.update_device_state();
+    }
+
+    /// Kills `app`, as when an app process dies on Android: in-flight work
+    /// and I/O vanish, every kernel object the app owns is deallocated (so
+    /// "system services … clean up the kernel objects" and the policy's
+    /// `on_object_dead` — LeaseOS's lease removal path, §4.3 — runs for
+    /// each), and no further events are delivered to the app.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is unknown.
+    pub fn stop_app(&mut self, app: AppId) {
+        let now = self.queue.now();
+        let idx = self.slot_index(app);
+        if self.apps[idx].stopped {
+            return;
+        }
+        self.apps[idx].stopped = true;
+        self.apps[idx].deferred_timers.clear();
+
+        // In-flight CPU bursts: credit what ran, then drop.
+        let works: Vec<(AppId, Token)> = self
+            .works
+            .keys()
+            .copied()
+            .filter(|(a, _)| *a == app)
+            .collect();
+        for key in works {
+            self.pause_burst(key.0, key.1);
+            self.works.remove(&key);
+        }
+        // In-flight network operations: cancel silently.
+        let ops: Vec<(AppId, Token)> = self
+            .netops
+            .keys()
+            .copied()
+            .filter(|(a, _)| *a == app)
+            .collect();
+        for key in ops {
+            if let Some(op) = self.netops.remove(&key) {
+                if let Some(h) = op.handle {
+                    self.queue.cancel(h);
+                }
+            }
+        }
+        // Every owned kernel object dies; the policy hears about each.
+        let objs: Vec<ObjId> = self.ledger.objects_of(app).map(|(obj, _)| obj).collect();
+        for obj in objs {
+            self.park_runtime(obj);
+            self.ledger.note_dead(obj, now);
+            self.gps.remove(&obj);
+            self.sensors.remove(&obj);
+            let actions = self.call_policy(|p, ctx| p.on_object_dead(ctx, obj));
+            self.apply_actions(actions);
+        }
+        self.ledger.set_activity_alive(app, false, now);
+        self.update_device_state();
+    }
+
+    /// Whether `app` has been stopped.
+    pub fn is_app_stopped(&self, app: AppId) -> bool {
+        let idx = self.slot_index(app);
+        self.apps[idx].stopped
+    }
+
+    // ---- policy plumbing ---------------------------------------------------
+
+    fn call_policy<R>(&mut self, f: impl FnOnce(&mut dyn ResourcePolicy, &PolicyCtx<'_>) -> R) -> R {
+        let mut policy = self.policy.take().expect("policy re-entered");
+        let ctx = PolicyCtx {
+            now: self.queue.now(),
+            ledger: &self.ledger,
+            env: &self.env,
+            screen_on: self.screen_on,
+        };
+        let r = f(policy.as_mut(), &ctx);
+        let overhead = policy.overhead();
+        self.policy = Some(policy);
+        self.policy_ops += 1;
+        self.bill_policy_overhead(overhead.per_op_cpu_ms);
+        r
+    }
+
+    fn bill_policy_overhead(&mut self, cpu_ms: f64) {
+        if cpu_ms <= 0.0 {
+            return;
+        }
+        // Bookkeeping runs in system_server: charge the equivalent
+        // active-CPU energy as instantaneous system overhead. It is tracked
+        // separately from the meter because the op itself has (near-)zero
+        // duration on the simulation clock.
+        self.policy_overhead_mj += cpu_ms / 1_000.0 * self.device.power.cpu_active_mw;
+    }
+
+    /// Total modeled policy bookkeeping energy, in mJ (part of system
+    /// overhead — Fig. 13).
+    pub fn policy_overhead_mj(&self) -> f64 {
+        self.policy_overhead_mj
+    }
+
+    fn apply_actions(&mut self, actions: Vec<PolicyAction>) {
+        for action in actions {
+            match action {
+                PolicyAction::Revoke(obj) => self.revoke(obj),
+                PolicyAction::Restore(obj) => self.restore(obj),
+                PolicyAction::ScheduleTimer { at, key } => {
+                    let at = at.max(self.queue.now());
+                    self.queue.push(at, SysEvent::PolicyTimer { key });
+                }
+            }
+        }
+        self.update_device_state();
+    }
+
+    // ---- resource operations (called via AppCtx) ---------------------------
+
+    fn acquire(&mut self, app: AppId, kind: ResourceKind, params: AcquireParams) -> ObjId {
+        let now = self.queue.now();
+        let obj = self.ledger.create_object(kind, app, now);
+        self.ledger.note_acquire(obj, now);
+        let req = AcquireRequest { app, kind, obj, params, first: true };
+        let outcome = self.call_policy(|p, ctx| p.on_acquire(ctx, &req));
+        self.note_trace(|| format!("{app} acquires {kind} as {obj} ({:?})", outcome.decision));
+        self.install_runtime(obj, kind, params);
+        if outcome.decision == AcquireDecision::PretendGrant {
+            self.do_revoke_effects(obj);
+        } else {
+            self.start_runtime(obj);
+        }
+        self.apply_actions(outcome.actions);
+        obj
+    }
+
+    fn reacquire(&mut self, app: AppId, obj: ObjId) {
+        let now = self.queue.now();
+        let (kind, was_held) = {
+            let o = self.ledger.obj(obj);
+            assert_eq!(o.owner, app, "{app} re-acquired foreign object {obj}");
+            (o.kind, o.held)
+        };
+        self.ledger.note_acquire(obj, now);
+        let params = self.params_of(obj);
+        let req = AcquireRequest { app, kind, obj, params, first: false };
+        let outcome = self.call_policy(|p, ctx| p.on_acquire(ctx, &req));
+        if outcome.decision == AcquireDecision::PretendGrant {
+            self.do_revoke_effects(obj);
+        } else if !was_held || self.ledger.obj(obj).revoked {
+            // Re-activating an inactive or revoked object restarts it.
+            self.ledger.note_revoked(obj, false, now);
+            self.start_runtime(obj);
+        }
+        self.apply_actions(outcome.actions);
+    }
+
+    fn params_of(&self, obj: ObjId) -> AcquireParams {
+        if let Some(g) = self.gps.get(&obj) {
+            AcquireParams::listener(g.interval)
+        } else if let Some(s) = self.sensors.get(&obj) {
+            AcquireParams::listener(s.interval)
+        } else {
+            AcquireParams::held()
+        }
+    }
+
+    fn release(&mut self, app: AppId, obj: ObjId) {
+        let now = self.queue.now();
+        assert_eq!(self.ledger.obj(obj).owner, app, "{app} released foreign object {obj}");
+        self.note_trace(|| format!("{app} releases {obj}"));
+        self.ledger.note_release(obj, now);
+        self.park_runtime(obj);
+        let actions = self.call_policy(|p, ctx| p.on_release(ctx, obj));
+        self.apply_actions(actions);
+    }
+
+    fn close(&mut self, app: AppId, obj: ObjId) {
+        let now = self.queue.now();
+        assert_eq!(self.ledger.obj(obj).owner, app, "{app} closed foreign object {obj}");
+        self.note_trace(|| format!("{app} closes {obj}; the kernel object dies"));
+        self.park_runtime(obj);
+        self.ledger.note_dead(obj, now);
+        self.gps.remove(&obj);
+        self.sensors.remove(&obj);
+        let actions = self.call_policy(|p, ctx| p.on_object_dead(ctx, obj));
+        self.apply_actions(actions);
+    }
+
+    fn install_runtime(&mut self, obj: ObjId, kind: ResourceKind, params: AcquireParams) {
+        match kind {
+            ResourceKind::Gps => {
+                let interval = params.interval.unwrap_or(SimDuration::from_secs(1));
+                self.gps.insert(
+                    obj,
+                    GpsRuntime {
+                        interval,
+                        phase: GpsRunPhase::Parked,
+                        pending_fix: None,
+                        pending_loss: None,
+                        pending_deliver: None,
+                        last_delivery: None,
+                    },
+                );
+            }
+            ResourceKind::Sensor => {
+                let interval = params.interval.unwrap_or(SimDuration::from_secs(1));
+                self.sensors.insert(obj, SensorRuntime { interval, pending_deliver: None });
+            }
+            _ => {}
+        }
+    }
+
+    /// Starts (or resumes) the resource's active behaviour.
+    fn start_runtime(&mut self, obj: ObjId) {
+        let now = self.queue.now();
+        let kind = self.ledger.obj(obj).kind;
+        match kind {
+            ResourceKind::Gps => self.gps_begin_search(now, obj),
+            ResourceKind::Sensor => {
+                let interval = self.sensors.get(&obj).expect("sensor runtime").interval;
+                let h = self.queue.push(now + interval, SysEvent::SensorDeliver { obj });
+                self.sensors.get_mut(&obj).expect("sensor runtime").pending_deliver = Some(h);
+            }
+            _ => {}
+        }
+    }
+
+    /// Stops the resource's active behaviour (release, revoke, or death).
+    fn park_runtime(&mut self, obj: ObjId) {
+        let now = self.queue.now();
+        if let Some(g) = self.gps.get_mut(&obj) {
+            for h in [g.pending_fix.take(), g.pending_loss.take(), g.pending_deliver.take()].into_iter().flatten() {
+                self.queue.cancel(h);
+            }
+            g.phase = GpsRunPhase::Parked;
+            self.ledger.set_gps_state(obj, GpsPhase::Idle, now);
+        }
+        if let Some(s) = self.sensors.get_mut(&obj) {
+            if let Some(h) = s.pending_deliver.take() {
+                self.queue.cancel(h);
+            }
+        }
+    }
+
+    fn revoke(&mut self, obj: ObjId) {
+        if !self.ledger.has_obj(obj) || self.ledger.obj(obj).dead {
+            return;
+        }
+        self.do_revoke_effects(obj);
+    }
+
+    fn do_revoke_effects(&mut self, obj: ObjId) {
+        let now = self.queue.now();
+        self.note_trace(|| format!("policy revokes {obj}"));
+        self.ledger.note_revoked(obj, true, now);
+        self.park_runtime(obj);
+        self.update_device_state();
+    }
+
+    fn restore(&mut self, obj: ObjId) {
+        if !self.ledger.has_obj(obj) || self.ledger.obj(obj).dead {
+            return;
+        }
+        let now = self.queue.now();
+        self.note_trace(|| format!("policy restores {obj}"));
+        self.ledger.note_revoked(obj, false, now);
+        if self.ledger.obj(obj).held {
+            self.start_runtime(obj);
+        }
+        let _ = now;
+        self.update_device_state();
+    }
+
+    // ---- CPU work ----------------------------------------------------------
+
+    fn do_work(&mut self, app: AppId, cpu: SimDuration, token: Token) {
+        assert!(!cpu.is_zero(), "zero-length work burst");
+        let wall = self.device.cpu_time_for_work(cpu);
+        let burst = WorkBurst { remaining: wall, handle: None, running_since: None };
+        let replaced = self.works.insert((app, token), burst);
+        assert!(replaced.is_none(), "{app} reused in-flight work token {token}");
+        if self.awake {
+            self.start_burst(app, token);
+        }
+        self.update_device_state();
+    }
+
+    fn start_burst(&mut self, app: AppId, token: Token) {
+        let now = self.queue.now();
+        let burst = self.works.get_mut(&(app, token)).expect("burst");
+        if burst.running_since.is_some() {
+            return;
+        }
+        let h = self.queue.push(now + burst.remaining, SysEvent::WorkDone { app, token });
+        burst.handle = Some(h);
+        burst.running_since = Some(now);
+    }
+
+    fn pause_burst(&mut self, app: AppId, token: Token) {
+        let now = self.queue.now();
+        let burst = self.works.get_mut(&(app, token)).expect("burst");
+        if let Some(since) = burst.running_since.take() {
+            let ran = now.since(since);
+            burst.remaining = burst.remaining.saturating_sub(ran);
+            if let Some(h) = burst.handle.take() {
+                self.queue.cancel(h);
+            }
+            self.ledger.add_cpu_ms(app, ran.as_millis());
+        }
+    }
+
+    fn finish_work(&mut self, now: SimTime, app: AppId, token: Token) {
+        let burst = match self.works.remove(&(app, token)) {
+            Some(b) => b,
+            None => return, // cancelled concurrently
+        };
+        if let Some(since) = burst.running_since {
+            self.ledger.add_cpu_ms(app, now.since(since).as_millis());
+        }
+        self.update_device_state();
+        self.with_app(app, |model, ctx| model.on_event(ctx, AppEvent::WorkDone(token)));
+    }
+
+    // ---- network -----------------------------------------------------------
+
+    fn network_op(&mut self, app: AppId, bytes: u64, token: Token) {
+        let now = self.queue.now();
+        let net_up = self.env.network_up.at(now);
+        let server_ok = self.env.server_healthy.at(now);
+        let (latency_ms, result) = if !net_up {
+            (CONNECT_FAIL_MS, NetResult::Disconnected)
+        } else {
+            let jitter = {
+                let idx = self.slot_index(app);
+                self.apps[idx].rng.range_u64(0, 80)
+            };
+            if server_ok {
+                let ms = NET_RTT_MS + jitter + bytes / NET_BYTES_PER_MS;
+                (ms, NetResult::Ok)
+            } else {
+                // A failing server answers slowly: requests hang until the
+                // server-side error surfaces. This is what makes K-9's
+                // bad-server case *low*-utilization (Figure 2) while the
+                // fast-failing disconnected case is a CPU spin (Figure 4).
+                (SERVER_FAIL_MS + jitter * 10, NetResult::ServerError)
+            }
+        };
+        self.ledger.add_net_op(app, result.is_err());
+        let h = self
+            .queue
+            .push(now + SimDuration::from_millis(latency_ms), SysEvent::NetDone { app, token, result });
+        let replaced = self
+            .netops
+            .insert((app, token), NetOp { handle: Some(h), result, suspended: false });
+        assert!(replaced.is_none(), "{app} reused in-flight net token {token}");
+        self.update_device_state();
+    }
+
+    fn finish_net(&mut self, _now: SimTime, app: AppId, token: Token, result: NetResult) {
+        if self.netops.remove(&(app, token)).is_none() {
+            return; // cancelled
+        }
+        self.update_device_state();
+        self.with_app(app, |model, ctx| {
+            model.on_event(ctx, AppEvent::NetDone { token, result })
+        });
+    }
+
+    // ---- GPS ---------------------------------------------------------------
+
+    fn gps_begin_search(&mut self, now: SimTime, obj: ObjId) {
+        let signal = self.env.gps_signal.at(now);
+        let delay = {
+            let idx = self.slot_index(self.ledger.obj(obj).owner);
+            let rng = &mut self.apps[idx].rng;
+            match signal {
+                GpsSignal::Good => Some(SimDuration::from_millis(rng.range_u64(2_000, 8_000))),
+                GpsSignal::Weak => Some(SimDuration::from_millis(
+                    (rng.exponential(75_000.0) as u64).clamp(10_000, 600_000),
+                )),
+                GpsSignal::None => None,
+            }
+        };
+        let g = self.gps.get_mut(&obj).expect("gps runtime");
+        g.phase = GpsRunPhase::Searching;
+        if let Some(d) = delay {
+            g.pending_fix = Some(self.queue.push(now + d, SysEvent::GpsFix { obj }));
+        }
+        self.ledger.set_gps_state(obj, GpsPhase::Searching, now);
+        self.update_device_state();
+    }
+
+    fn gps_fix_acquired(&mut self, now: SimTime, obj: ObjId) {
+        let signal = self.env.gps_signal.at(now);
+        let interval;
+        {
+            let g = match self.gps.get_mut(&obj) {
+                Some(g) if g.phase == GpsRunPhase::Searching => g,
+                _ => return,
+            };
+            g.pending_fix = None;
+            g.phase = GpsRunPhase::Fixed;
+            interval = g.interval;
+        }
+        self.ledger.set_gps_state(obj, GpsPhase::Fixed, now);
+        let deliver = self.queue.push(now + interval, SysEvent::GpsDeliver { obj });
+        // Under weak signal, fixes are eventually lost.
+        let loss = if signal == GpsSignal::Weak {
+            let idx = self.slot_index(self.ledger.obj(obj).owner);
+            let d = SimDuration::from_millis(
+                (self.apps[idx].rng.exponential(120_000.0) as u64).clamp(5_000, 900_000),
+            );
+            Some(self.queue.push(now + d, SysEvent::GpsLost { obj }))
+        } else {
+            None
+        };
+        let g = self.gps.get_mut(&obj).expect("gps runtime");
+        g.pending_deliver = Some(deliver);
+        g.pending_loss = loss;
+        self.update_device_state();
+    }
+
+    fn gps_fix_lost(&mut self, now: SimTime, obj: ObjId) {
+        {
+            let g = match self.gps.get_mut(&obj) {
+                Some(g) if g.phase == GpsRunPhase::Fixed => g,
+                _ => return,
+            };
+            g.pending_loss = None;
+            if let Some(h) = g.pending_deliver.take() {
+                self.queue.cancel(h);
+            }
+        }
+        self.gps_begin_search(now, obj);
+    }
+
+    fn gps_deliver(&mut self, now: SimTime, obj: ObjId) {
+        let (owner, distance) = {
+            let g = match self.gps.get_mut(&obj) {
+                Some(g) if g.phase == GpsRunPhase::Fixed => g,
+                _ => return,
+            };
+            let since = g.last_delivery.unwrap_or(now);
+            g.last_delivery = Some(now);
+            let interval = g.interval;
+            g.pending_deliver = Some(self.queue.push(now + interval, SysEvent::GpsDeliver { obj }));
+            (self.ledger.obj(obj).owner, self.env.distance_moved_m(since, now))
+        };
+        self.ledger.note_delivery(obj, now);
+        self.ledger.add_distance(owner, distance);
+        self.with_app(owner, |model, ctx| {
+            model.on_event(ctx, AppEvent::GpsFix { obj, distance_m: distance })
+        });
+    }
+
+    // ---- sensors -----------------------------------------------------------
+
+    fn sensor_deliver(&mut self, now: SimTime, obj: ObjId) {
+        let owner = {
+            let s = match self.sensors.get_mut(&obj) {
+                Some(s) => s,
+                None => return,
+            };
+            let interval = s.interval;
+            s.pending_deliver = Some(self.queue.push(now + interval, SysEvent::SensorDeliver { obj }));
+            self.ledger.obj(obj).owner
+        };
+        self.ledger.note_delivery(obj, now);
+        self.with_app(owner, |model, ctx| {
+            model.on_event(ctx, AppEvent::SensorReading { obj })
+        });
+    }
+
+    // ---- environment & device state -----------------------------------------
+
+    fn on_env_change(&mut self, now: SimTime) {
+        // Network drop fails in-flight operations immediately.
+        if !self.env.network_up.at(now) {
+            let keys: Vec<(AppId, Token)> = self.netops.keys().copied().collect();
+            for (app, token) in keys {
+                let op = self.netops.get_mut(&(app, token)).expect("netop");
+                if !op.suspended {
+                    if let Some(h) = op.handle.take() {
+                        self.queue.cancel(h);
+                    }
+                    op.result = NetResult::Timeout;
+                    self.queue
+                        .push(now, SysEvent::NetDone { app, token, result: NetResult::Timeout });
+                }
+            }
+        }
+        // GPS signal changes re-drive every live request.
+        let sig = self.env.gps_signal.at(now);
+        let objs: Vec<ObjId> = self.gps.keys().copied().collect();
+        for obj in objs {
+            let phase = self.gps.get(&obj).expect("gps runtime").phase;
+            match (phase, sig) {
+                (GpsRunPhase::Fixed, GpsSignal::None) => self.gps_fix_lost_now(now, obj),
+                (GpsRunPhase::Searching, _) => {
+                    // Re-roll the acquisition under the new signal.
+                    if let Some(h) = self.gps.get_mut(&obj).expect("gps runtime").pending_fix.take() {
+                        self.queue.cancel(h);
+                    }
+                    self.gps_begin_search(now, obj);
+                }
+                _ => {}
+            }
+        }
+        let actions = self.call_policy(|p, ctx| p.on_device_state(ctx));
+        self.apply_actions(actions);
+    }
+
+    fn gps_fix_lost_now(&mut self, now: SimTime, obj: ObjId) {
+        {
+            let g = self.gps.get_mut(&obj).expect("gps runtime");
+            for h in [g.pending_loss.take(), g.pending_deliver.take()].into_iter().flatten() {
+                self.queue.cancel(h);
+            }
+        }
+        self.gps_begin_search(now, obj);
+    }
+
+    fn effective_holders(&self, kind: ResourceKind) -> Vec<AppId> {
+        let mut v: Vec<AppId> = self
+            .ledger
+            .live_objects()
+            .filter(|(_, o)| o.kind == kind && o.held && !o.revoked)
+            .map(|(_, o)| o.owner)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Recomputes screen/awake state, handles sleep/wake transitions, and
+    /// re-syncs power attribution.
+    fn update_device_state(&mut self) {
+        let now = self.queue.now();
+        let user = self.env.user_present.at(now);
+        self.ledger.set_user_present(user, now);
+        let screen = user || !self.effective_holders(ResourceKind::ScreenWakelock).is_empty();
+        let awake = screen || !self.effective_holders(ResourceKind::Wakelock).is_empty();
+
+        let screen_changed = screen != self.screen_on;
+        self.screen_on = screen;
+
+        if awake != self.awake {
+            self.awake = awake;
+            if awake {
+                self.note_trace(|| "device wakes".to_owned());
+                self.on_wake(now);
+            } else {
+                self.note_trace(|| "device enters deep sleep".to_owned());
+                self.on_sleep();
+            }
+        }
+        if screen_changed {
+            let actions = self.call_policy(|p, ctx| p.on_device_state(ctx));
+            // Note: apply_actions calls back into update_device_state; the
+            // recursion terminates because the second pass sees no change.
+            self.apply_actions_inner(actions);
+        }
+        self.sync_power(now);
+    }
+
+    /// Like [`apply_actions`] but used on paths already inside
+    /// `update_device_state` to avoid unbounded recursion.
+    fn apply_actions_inner(&mut self, actions: Vec<PolicyAction>) {
+        if actions.is_empty() {
+            return;
+        }
+        for action in actions {
+            match action {
+                PolicyAction::Revoke(obj) => self.revoke(obj),
+                PolicyAction::Restore(obj) => self.restore(obj),
+                PolicyAction::ScheduleTimer { at, key } => {
+                    let at = at.max(self.queue.now());
+                    self.queue.push(at, SysEvent::PolicyTimer { key });
+                }
+            }
+        }
+    }
+
+    fn on_wake(&mut self, now: SimTime) {
+        // Resume paused CPU bursts.
+        let keys: Vec<(AppId, Token)> = self.works.keys().copied().collect();
+        for (app, token) in keys {
+            self.start_burst(app, token);
+        }
+        // Suspended network operations fail with a timeout on resume (§4.6).
+        let keys: Vec<(AppId, Token)> = self.netops.keys().copied().collect();
+        for (app, token) in keys {
+            let op = self.netops.get_mut(&(app, token)).expect("netop");
+            if op.suspended {
+                op.suspended = false;
+                self.queue
+                    .push(now, SysEvent::NetDone { app, token, result: NetResult::Timeout });
+            }
+        }
+        // Flush deferrable timers that came due during sleep.
+        for idx in 0..self.apps.len() {
+            let app = self.apps[idx].id;
+            let tokens = std::mem::take(&mut self.apps[idx].deferred_timers);
+            for token in tokens {
+                self.queue.push(now, SysEvent::AppTimer { app, token, wake: false });
+            }
+        }
+    }
+
+    fn on_sleep(&mut self) {
+        let keys: Vec<(AppId, Token)> = self.works.keys().copied().collect();
+        for (app, token) in keys {
+            self.pause_burst(app, token);
+        }
+        let keys: Vec<(AppId, Token)> = self.netops.keys().copied().collect();
+        for (app, token) in keys {
+            let op = self.netops.get_mut(&(app, token)).expect("netop");
+            if let Some(h) = op.handle.take() {
+                self.queue.cancel(h);
+                op.suspended = true;
+            }
+        }
+    }
+
+    // ---- power attribution ---------------------------------------------------
+
+    fn sync_power(&mut self, now: SimTime) {
+        let p = &self.device.power;
+        let mut desired: HashMap<(Consumer, ComponentKind), f64> = HashMap::new();
+        let add = |map: &mut HashMap<(Consumer, ComponentKind), f64>,
+                       c: Consumer,
+                       k: ComponentKind,
+                       mw: f64| {
+            if mw > 0.0 {
+                *map.entry((c, k)).or_insert(0.0) += mw;
+            }
+        };
+
+        // CPU floor.
+        add(&mut desired, Consumer::System, ComponentKind::Cpu, p.cpu_deep_sleep_mw);
+        if self.awake {
+            let idle_delta = p.cpu_idle_mw - p.cpu_deep_sleep_mw;
+            let wakers = self.effective_holders(ResourceKind::Wakelock);
+            if self.screen_on || wakers.is_empty() {
+                // The user keeps the device up; the baseline pays.
+                add(&mut desired, Consumer::System, ComponentKind::Cpu, idle_delta);
+            } else {
+                let share = idle_delta / wakers.len() as f64;
+                for app in wakers {
+                    add(&mut desired, app.consumer(), ComponentKind::Cpu, share);
+                }
+            }
+            // Active execution: each running burst bills its app the active
+            // delta (approximating per-core accounting).
+            let active_delta = p.cpu_active_mw - p.cpu_idle_mw;
+            let mut running: Vec<AppId> = self
+                .works
+                .iter()
+                .filter(|(_, b)| b.running_since.is_some())
+                .map(|((app, _), _)| *app)
+                .collect();
+            running.sort();
+            running.dedup();
+            for app in running {
+                add(&mut desired, app.consumer(), ComponentKind::Cpu, active_delta);
+            }
+        }
+
+        // Screen.
+        if self.screen_on {
+            if self.env.user_present.at(now) {
+                add(&mut desired, Consumer::System, ComponentKind::Screen, p.screen_on_mw);
+            } else {
+                let holders = self.effective_holders(ResourceKind::ScreenWakelock);
+                let share = p.screen_on_mw / holders.len().max(1) as f64;
+                for app in holders {
+                    add(&mut desired, app.consumer(), ComponentKind::Screen, share);
+                }
+            }
+        }
+
+        // GPS: each live, effective request bills its phase draw.
+        for (obj, g) in &self.gps {
+            if g.phase == GpsRunPhase::Parked {
+                continue;
+            }
+            let o = self.ledger.obj(*obj);
+            if !o.held || o.revoked || o.dead {
+                continue;
+            }
+            let mw = match g.phase {
+                GpsRunPhase::Searching => p.gps_searching_mw,
+                GpsRunPhase::Fixed => p.gps_fixed_mw,
+                GpsRunPhase::Parked => 0.0,
+            };
+            add(&mut desired, o.owner.consumer(), ComponentKind::Gps, mw);
+        }
+
+        // Wi-Fi: active transfers dominate; otherwise wifilocks keep the
+        // radio idle-associated.
+        let transferring: Vec<AppId> = {
+            let mut v: Vec<AppId> = self
+                .netops
+                .iter()
+                .filter(|(_, op)| !op.suspended)
+                .map(|((app, _), _)| *app)
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        if !transferring.is_empty() {
+            let share = p.wifi_active_mw / transferring.len() as f64;
+            for app in transferring {
+                add(&mut desired, app.consumer(), ComponentKind::Wifi, share);
+            }
+        } else {
+            let holders = self.effective_holders(ResourceKind::WifiLock);
+            if !holders.is_empty() {
+                let share = p.wifi_idle_mw / holders.len() as f64;
+                for app in holders {
+                    add(&mut desired, app.consumer(), ComponentKind::Wifi, share);
+                }
+            }
+        }
+
+        // Sensors and audio: split among effective holders.
+        for (kind, comp, mw) in [
+            (ResourceKind::Sensor, ComponentKind::Sensor, p.sensor_on_mw),
+            (ResourceKind::Audio, ComponentKind::Audio, p.audio_on_mw),
+        ] {
+            let holders = self.effective_holders(kind);
+            if !holders.is_empty() {
+                let share = mw / holders.len() as f64;
+                for app in holders {
+                    add(&mut desired, app.consumer(), comp, share);
+                }
+            }
+        }
+
+        // Diff against the previous attribution.
+        let mut stale: Vec<(Consumer, ComponentKind)> = Vec::new();
+        for key in self.prev_draws.keys() {
+            if !desired.contains_key(key) {
+                stale.push(*key);
+            }
+        }
+        for key in stale {
+            self.meter.set_draw(now, key.0, key.1, 0.0);
+            self.prev_draws.remove(&key);
+        }
+        for (key, mw) in &desired {
+            if self.prev_draws.get(key) != Some(mw) {
+                self.meter.set_draw(now, key.0, key.1, *mw);
+                self.prev_draws.insert(*key, *mw);
+            }
+        }
+    }
+}
+
+/// The capability handle apps use to talk to the OS.
+///
+/// An `AppCtx` is passed to every [`AppModel`] callback. It exposes resource
+/// acquisition (routed through the installed policy), CPU work and network
+/// I/O, timers, and the utility-signal reports the lease manager scores
+/// (§3.3).
+pub struct AppCtx<'k> {
+    kernel: &'k mut Kernel,
+    app: AppId,
+    idx: usize,
+}
+
+impl std::fmt::Debug for AppCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppCtx").field("app", &self.app).finish_non_exhaustive()
+    }
+}
+
+impl AppCtx<'_> {
+    /// This app's id.
+    pub fn app_id(&self) -> AppId {
+        self.app
+    }
+
+    /// Current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.kernel.queue.now()
+    }
+
+    /// This app's deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.kernel.apps[self.idx].rng
+    }
+
+    /// Whether the screen is currently on (apps can observe this, e.g. a
+    /// widget that only updates while visible).
+    pub fn screen_on(&self) -> bool {
+        self.kernel.screen_on
+    }
+
+    // -- resources --
+
+    /// Acquires a new CPU wakelock.
+    pub fn acquire_wakelock(&mut self) -> ObjId {
+        self.kernel.acquire(self.app, ResourceKind::Wakelock, AcquireParams::held())
+    }
+
+    /// Acquires a new screen wakelock.
+    pub fn acquire_screen_wakelock(&mut self) -> ObjId {
+        self.kernel
+            .acquire(self.app, ResourceKind::ScreenWakelock, AcquireParams::held())
+    }
+
+    /// Acquires a new Wi-Fi lock.
+    pub fn acquire_wifilock(&mut self) -> ObjId {
+        self.kernel.acquire(self.app, ResourceKind::WifiLock, AcquireParams::held())
+    }
+
+    /// Opens an audio session.
+    pub fn acquire_audio(&mut self) -> ObjId {
+        self.kernel.acquire(self.app, ResourceKind::Audio, AcquireParams::held())
+    }
+
+    /// Registers a GPS location request delivering every `interval`.
+    pub fn request_gps(&mut self, interval: SimDuration) -> ObjId {
+        self.kernel
+            .acquire(self.app, ResourceKind::Gps, AcquireParams::listener(interval))
+    }
+
+    /// Registers a sensor listener delivering every `interval`.
+    pub fn register_sensor(&mut self, interval: SimDuration) -> ObjId {
+        self.kernel
+            .acquire(self.app, ResourceKind::Sensor, AcquireParams::listener(interval))
+    }
+
+    /// Re-acquires an existing (possibly released or expired) resource.
+    pub fn reacquire(&mut self, obj: ObjId) {
+        self.kernel.reacquire(self.app, obj);
+    }
+
+    /// Releases a held resource (the descriptor stays usable).
+    pub fn release(&mut self, obj: ObjId) {
+        self.kernel.release(self.app, obj);
+    }
+
+    /// Drops the descriptor entirely; the kernel object dies.
+    pub fn close(&mut self, obj: ObjId) {
+        self.kernel.close(self.app, obj);
+    }
+
+    // -- execution --
+
+    /// Starts a CPU burst of `cpu` device-time; completion is delivered as
+    /// [`AppEvent::WorkDone`] with `token`. Progress pauses while the device
+    /// sleeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is already in flight for this app or `cpu` is zero.
+    pub fn do_work(&mut self, cpu: SimDuration, token: Token) {
+        self.kernel.do_work(self.app, cpu, token);
+    }
+
+    /// Starts a network operation transferring `bytes`; completion is
+    /// delivered as [`AppEvent::NetDone`] with `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is already in flight for this app.
+    pub fn network_op(&mut self, bytes: u64, token: Token) {
+        self.kernel.network_op(self.app, bytes, token);
+    }
+
+    /// Schedules a deferrable timer `after` from now (does not fire during
+    /// deep sleep; flushed on wake).
+    pub fn schedule(&mut self, after: SimDuration, token: Token) {
+        let at = self.kernel.queue.now() + after;
+        self.kernel
+            .queue
+            .push(at, SysEvent::AppTimer { app: self.app, token, wake: false });
+    }
+
+    /// Schedules an alarm `after` from now; alarms fire even during deep
+    /// sleep (they wake the device transiently, like `AlarmManager`).
+    pub fn schedule_alarm(&mut self, after: SimDuration, token: Token) {
+        let at = self.kernel.queue.now() + after;
+        self.kernel
+            .queue
+            .push(at, SysEvent::AppTimer { app: self.app, token, wake: true });
+    }
+
+    // -- utility signals --
+
+    /// Reports a severe exception (caught by the runtime, as LeaseOS's
+    /// libcore hook observes — paper §6).
+    pub fn raise_exception(&mut self) {
+        self.kernel.ledger.add_exception(self.app);
+    }
+
+    /// Reports a UI update.
+    pub fn note_ui_update(&mut self) {
+        self.kernel.ledger.add_ui_update(self.app);
+    }
+
+    /// Reports a direct user interaction.
+    pub fn note_user_interaction(&mut self) {
+        self.kernel.ledger.add_interaction(self.app);
+    }
+
+    /// Reports `records` written to persistent storage.
+    pub fn write_data(&mut self, records: u64) {
+        self.kernel.ledger.add_data_written(self.app, records);
+    }
+
+    /// Declares whether the app currently has a live (foreground/bound)
+    /// Activity — the utilization reference for listener resources.
+    pub fn set_activity_alive(&mut self, alive: bool) {
+        let now = self.kernel.queue.now();
+        self.kernel.ledger.set_activity_alive(self.app, alive, now);
+    }
+
+    /// Terminates this app, as when its process dies: all kernel objects it
+    /// owns are deallocated (with policy notification per object) and no
+    /// further events are delivered.
+    pub fn stop_self(&mut self) {
+        self.kernel.stop_app(self.app);
+    }
+
+    /// Publishes the app's custom utility score (the paper's optional
+    /// `IUtilityCounter`, §3.3). The resource manager may use it as a hint;
+    /// LeaseOS only honours it when the generic score is not too low, to
+    /// prevent abuse. Pass `None` to withdraw the counter.
+    pub fn set_custom_utility(&mut self, score: Option<f64>) {
+        self.kernel.ledger.set_custom_utility(self.app, score);
+    }
+}
+
+#[cfg(test)]
+mod tests;

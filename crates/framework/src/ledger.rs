@@ -1,0 +1,583 @@
+//! Usage accounting.
+//!
+//! The ledger is the substrate's ground truth about who holds what and what
+//! it has been good for. Policies (LeaseOS, DefDroid, Doze) read it to make
+//! decisions; the profiler reads it to produce the paper's per-minute
+//! figures. It records two families of facts:
+//!
+//! * **per kernel object** — holding intervals (both the app-view hold and
+//!   the effective hold excluding policy revocations), GPS search/fix
+//!   intervals, delivery counts (see [`ObjStats`]);
+//! * **per app** — the utility signals of §3.3: executed CPU time, severe
+//!   exceptions, UI updates, user interactions, distance moved on consumed
+//!   GPS fixes, data written, network failures, and bound-Activity lifetime
+//!   (see [`AppStats`]).
+//!
+//! All duration counters are *integration-on-read*: open intervals are
+//! closed out at the query instant, so readers never see stale totals.
+
+use std::collections::BTreeMap;
+
+use leaseos_simkit::{SimDuration, SimTime};
+
+use crate::ids::{AppId, ObjId};
+use crate::resource::ResourceKind;
+
+/// Accounting record for one kernel object.
+#[derive(Debug, Clone)]
+pub struct ObjStats {
+    /// The resource kind of the object.
+    pub kind: ResourceKind,
+    /// The owning app.
+    pub owner: AppId,
+    /// When the object was created.
+    pub created_at: SimTime,
+    /// Whether the app currently holds the resource (its own view — a
+    /// policy revocation does not change this).
+    pub held: bool,
+    /// Whether a policy has temporarily revoked the object's effect.
+    pub revoked: bool,
+    /// Whether the object has been deallocated.
+    pub dead: bool,
+    /// Number of acquire calls (including re-acquires).
+    pub acquire_count: u64,
+    /// Number of release calls.
+    pub release_count: u64,
+    /// Listener deliveries made (GPS fixes, sensor readings).
+    pub deliveries: u64,
+    /// GPS only: whether the request is currently searching for a fix.
+    pub searching: bool,
+    /// GPS only: number of successful fix acquisitions.
+    pub fix_count: u64,
+
+    held_since: Option<SimTime>,
+    total_held_ms: u64,
+    effective_since: Option<SimTime>,
+    total_effective_ms: u64,
+    searching_since: Option<SimTime>,
+    total_searching_ms: u64,
+    fixed_since: Option<SimTime>,
+    total_fixed_ms: u64,
+}
+
+impl ObjStats {
+    fn new(kind: ResourceKind, owner: AppId, now: SimTime) -> Self {
+        ObjStats {
+            kind,
+            owner,
+            created_at: now,
+            held: false,
+            revoked: false,
+            dead: false,
+            acquire_count: 0,
+            release_count: 0,
+            deliveries: 0,
+            searching: false,
+            fix_count: 0,
+            held_since: None,
+            total_held_ms: 0,
+            effective_since: None,
+            total_effective_ms: 0,
+            searching_since: None,
+            total_searching_ms: 0,
+            fixed_since: None,
+            total_fixed_ms: 0,
+        }
+    }
+
+    /// Total time the app has held this object (its own view), up to `now`.
+    pub fn held_time(&self, now: SimTime) -> SimDuration {
+        SimDuration::from_millis(self.total_held_ms + open_ms(self.held_since, now))
+    }
+
+    /// Total time the hold was *effective* (held and not revoked), up to
+    /// `now`. This is what the OS-internal arrays see, and what Figure 9
+    /// reports as "resource holding time".
+    pub fn effective_held_time(&self, now: SimTime) -> SimDuration {
+        SimDuration::from_millis(self.total_effective_ms + open_ms(self.effective_since, now))
+    }
+
+    /// GPS: total time spent searching for a fix, up to `now` — the
+    /// "GPS try duration" of Figure 1 and the failed-ask numerator of the
+    /// FAB metric.
+    pub fn searching_time(&self, now: SimTime) -> SimDuration {
+        SimDuration::from_millis(self.total_searching_ms + open_ms(self.searching_since, now))
+    }
+
+    /// GPS: total time with a fix held, up to `now`.
+    pub fn fixed_time(&self, now: SimTime) -> SimDuration {
+        SimDuration::from_millis(self.total_fixed_ms + open_ms(self.fixed_since, now))
+    }
+
+    fn effective(&self) -> bool {
+        self.held && !self.revoked && !self.dead
+    }
+
+    fn sync_effective(&mut self, now: SimTime) {
+        let should_run = self.effective();
+        match (self.effective_since, should_run) {
+            (None, true) => self.effective_since = Some(now),
+            (Some(since), false) => {
+                self.total_effective_ms += now.since(since).as_millis();
+                self.effective_since = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn open_ms(since: Option<SimTime>, now: SimTime) -> u64 {
+    since.map(|s| now.since(s).as_millis()).unwrap_or(0)
+}
+
+/// Accounting record for one app's utility signals.
+#[derive(Debug, Clone, Default)]
+pub struct AppStats {
+    /// Executed CPU work, cumulative. Concurrent bursts sum, so this can
+    /// exceed wall-clock time (the >100 % CPU/wakelock ratio of Figure 4).
+    pub cpu_ms: u64,
+    /// Severe exceptions raised — the low-utility signal for wakelocks
+    /// (§3.3).
+    pub exceptions: u64,
+    /// UI updates drawn — a high-utility signal.
+    pub ui_updates: u64,
+    /// Direct user interactions with the app — a high-utility signal.
+    pub interactions: u64,
+    /// Metres moved across consumed GPS fixes — the GPS utility signal.
+    pub distance_m: f64,
+    /// Records written to storage (fitness-tracker style custom utility).
+    pub data_written: u64,
+    /// Network operations started.
+    pub net_ops: u64,
+    /// Network operations that failed.
+    pub net_failures: u64,
+    /// Whether the app currently has a live (foreground or bound) Activity.
+    pub activity_alive: bool,
+    /// The latest score pushed by the app's optional custom utility counter
+    /// (the paper's `IUtilityCounter`, §3.3), in `[0, 100]`.
+    pub custom_utility: Option<f64>,
+
+    activity_since: Option<SimTime>,
+    total_activity_ms: u64,
+}
+
+impl AppStats {
+    /// Total time the app has had a live Activity, up to `now` — the
+    /// listener-resource utilization denominator of §3.3.
+    pub fn activity_time(&self, now: SimTime) -> SimDuration {
+        SimDuration::from_millis(self.total_activity_ms + open_ms(self.activity_since, now))
+    }
+}
+
+/// The system-wide accounting store.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    objects: BTreeMap<ObjId, ObjStats>,
+    apps: BTreeMap<AppId, AppStats>,
+    next_obj: u64,
+    user_present_since: Option<SimTime>,
+    total_user_present_ms: u64,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Creates a record for a new kernel object and returns its id.
+    pub fn create_object(&mut self, kind: ResourceKind, owner: AppId, now: SimTime) -> ObjId {
+        let id = ObjId(self.next_obj);
+        self.next_obj += 1;
+        self.objects.insert(id, ObjStats::new(kind, owner, now));
+        id
+    }
+
+    /// The record for `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object does not exist — a substrate invariant violation.
+    pub fn obj(&self, obj: ObjId) -> &ObjStats {
+        self.objects.get(&obj).unwrap_or_else(|| panic!("unknown object {obj}"))
+    }
+
+    /// True if the object exists.
+    pub fn has_obj(&self, obj: ObjId) -> bool {
+        self.objects.contains_key(&obj)
+    }
+
+    fn obj_mut(&mut self, obj: ObjId) -> &mut ObjStats {
+        self.objects.get_mut(&obj).unwrap_or_else(|| panic!("unknown object {obj}"))
+    }
+
+    /// The stats for `app` (creating an empty record on first touch).
+    pub fn app(&mut self, app: AppId) -> &AppStats {
+        self.apps.entry(app).or_default()
+    }
+
+    /// Read-only app stats; `None` if the app never did anything.
+    pub fn app_opt(&self, app: AppId) -> Option<&AppStats> {
+        self.apps.get(&app)
+    }
+
+    fn app_mut(&mut self, app: AppId) -> &mut AppStats {
+        self.apps.entry(app).or_default()
+    }
+
+    /// All live (not dead) objects, in id order.
+    pub fn live_objects(&self) -> impl Iterator<Item = (ObjId, &ObjStats)> {
+        self.objects.iter().filter(|(_, o)| !o.dead).map(|(id, o)| (*id, o))
+    }
+
+    /// All objects ever created, in id order.
+    pub fn all_objects(&self) -> impl Iterator<Item = (ObjId, &ObjStats)> {
+        self.objects.iter().map(|(id, o)| (*id, o))
+    }
+
+    /// Live objects owned by `app`.
+    pub fn objects_of(&self, app: AppId) -> impl Iterator<Item = (ObjId, &ObjStats)> {
+        self.live_objects().filter(move |(_, o)| o.owner == app)
+    }
+
+    // ---- object lifecycle --------------------------------------------------
+
+    /// Records an acquire (or re-acquire) of `obj`.
+    pub fn note_acquire(&mut self, obj: ObjId, now: SimTime) {
+        let o = self.obj_mut(obj);
+        assert!(!o.dead, "acquire on dead object {obj}");
+        o.acquire_count += 1;
+        if !o.held {
+            o.held = true;
+            o.held_since = Some(now);
+        }
+        o.sync_effective(now);
+    }
+
+    /// Records a release of `obj`.
+    pub fn note_release(&mut self, obj: ObjId, now: SimTime) {
+        let o = self.obj_mut(obj);
+        o.release_count += 1;
+        if o.held {
+            o.total_held_ms += open_ms(o.held_since, now);
+            o.held_since = None;
+            o.held = false;
+        }
+        o.sync_effective(now);
+    }
+
+    /// Marks `obj` revoked (`true`) or restored (`false`) by a policy.
+    pub fn note_revoked(&mut self, obj: ObjId, revoked: bool, now: SimTime) {
+        let o = self.obj_mut(obj);
+        o.revoked = revoked;
+        o.sync_effective(now);
+    }
+
+    /// Marks `obj` dead, closing all open intervals.
+    pub fn note_dead(&mut self, obj: ObjId, now: SimTime) {
+        let o = self.obj_mut(obj);
+        if o.held {
+            o.total_held_ms += open_ms(o.held_since, now);
+            o.held_since = None;
+            o.held = false;
+        }
+        o.dead = true;
+        o.sync_effective(now);
+        self.set_gps_state(obj, GpsPhase::Idle, now);
+    }
+
+    /// Records a listener delivery on `obj`.
+    pub fn note_delivery(&mut self, obj: ObjId, now: SimTime) {
+        let _ = now;
+        self.obj_mut(obj).deliveries += 1;
+    }
+
+    /// Updates the GPS phase of `obj` (searching / fixed / idle), closing
+    /// the interval of the previous phase.
+    pub fn set_gps_state(&mut self, obj: ObjId, phase: GpsPhase, now: SimTime) {
+        let o = self.obj_mut(obj);
+        // Close whichever interval is open.
+        if let Some(since) = o.searching_since.take() {
+            o.total_searching_ms += now.since(since).as_millis();
+        }
+        if let Some(since) = o.fixed_since.take() {
+            o.total_fixed_ms += now.since(since).as_millis();
+        }
+        o.searching = false;
+        match phase {
+            GpsPhase::Searching => {
+                o.searching = true;
+                o.searching_since = Some(now);
+            }
+            GpsPhase::Fixed => {
+                o.fix_count += 1;
+                o.fixed_since = Some(now);
+            }
+            GpsPhase::Idle => {}
+        }
+    }
+
+    /// Re-opens the GPS `Fixed` interval without counting a new fix (used
+    /// when restoring a revoked request that already had a fix).
+    pub fn resume_gps_fixed(&mut self, obj: ObjId, now: SimTime) {
+        let o = self.obj_mut(obj);
+        if o.fixed_since.is_none() {
+            o.fixed_since = Some(now);
+        }
+    }
+
+    // ---- app utility signals ----------------------------------------------
+
+    /// Credits executed CPU work to `app`.
+    pub fn add_cpu_ms(&mut self, app: AppId, ms: u64) {
+        self.app_mut(app).cpu_ms += ms;
+    }
+
+    /// Counts a severe exception raised by `app`.
+    pub fn add_exception(&mut self, app: AppId) {
+        self.app_mut(app).exceptions += 1;
+    }
+
+    /// Counts a UI update by `app`.
+    pub fn add_ui_update(&mut self, app: AppId) {
+        self.app_mut(app).ui_updates += 1;
+    }
+
+    /// Counts a user interaction with `app`.
+    pub fn add_interaction(&mut self, app: AppId) {
+        self.app_mut(app).interactions += 1;
+    }
+
+    /// Credits `metres` of movement covered by GPS fixes `app` consumed.
+    pub fn add_distance(&mut self, app: AppId, metres: f64) {
+        self.app_mut(app).distance_m += metres;
+    }
+
+    /// Counts `records` written to storage by `app`.
+    pub fn add_data_written(&mut self, app: AppId, records: u64) {
+        self.app_mut(app).data_written += records;
+    }
+
+    /// Records the app's custom utility score (clamped to `[0, 100]`), or
+    /// clears it.
+    pub fn set_custom_utility(&mut self, app: AppId, score: Option<f64>) {
+        self.app_mut(app).custom_utility = score.map(|s| s.clamp(0.0, 100.0));
+    }
+
+    /// Counts a network operation start (and later its failure).
+    pub fn add_net_op(&mut self, app: AppId, failed: bool) {
+        let a = self.app_mut(app);
+        a.net_ops += 1;
+        if failed {
+            a.net_failures += 1;
+        }
+    }
+
+    /// Sets whether `app` currently has a live Activity.
+    pub fn set_activity_alive(&mut self, app: AppId, alive: bool, now: SimTime) {
+        let a = self.app_mut(app);
+        match (a.activity_since, alive) {
+            (None, true) => a.activity_since = Some(now),
+            (Some(since), false) => {
+                a.total_activity_ms += now.since(since).as_millis();
+                a.activity_since = None;
+            }
+            _ => {}
+        }
+        a.activity_alive = alive;
+    }
+
+    /// Updates the user-present integrator (driven by the environment).
+    pub fn set_user_present(&mut self, present: bool, now: SimTime) {
+        match (self.user_present_since, present) {
+            (None, true) => self.user_present_since = Some(now),
+            (Some(since), false) => {
+                self.total_user_present_ms += now.since(since).as_millis();
+                self.user_present_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Total user-present time up to `now` — the utilization reference for
+    /// screen wakelocks.
+    pub fn user_present_time(&self, now: SimTime) -> SimDuration {
+        SimDuration::from_millis(self.total_user_present_ms + open_ms(self.user_present_since, now))
+    }
+}
+
+/// GPS request phases for ledger accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpsPhase {
+    /// Not asking (revoked or removed).
+    Idle,
+    /// Asking for a fix.
+    Searching,
+    /// Fix held, deliveries flowing.
+    Fixed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: AppId = AppId(1);
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn object_creation_assigns_fresh_ids() {
+        let mut l = Ledger::new();
+        let a = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        let b = l.create_object(ResourceKind::Gps, APP, t(1));
+        assert_ne!(a, b);
+        assert_eq!(l.obj(a).kind, ResourceKind::Wakelock);
+        assert_eq!(l.obj(b).created_at, t(1));
+        assert!(l.has_obj(a));
+        assert!(!l.has_obj(ObjId(99)));
+    }
+
+    #[test]
+    fn held_time_integrates_across_acquire_release() {
+        let mut l = Ledger::new();
+        let o = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        l.note_acquire(o, t(0));
+        l.note_release(o, t(10));
+        l.note_acquire(o, t(20));
+        // 10 s closed + 5 s open at t=25.
+        assert_eq!(l.obj(o).held_time(t(25)), SimDuration::from_secs(15));
+        assert_eq!(l.obj(o).acquire_count, 2);
+        assert_eq!(l.obj(o).release_count, 1);
+    }
+
+    #[test]
+    fn reacquire_while_held_does_not_double_count() {
+        let mut l = Ledger::new();
+        let o = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        l.note_acquire(o, t(0));
+        l.note_acquire(o, t(5));
+        assert_eq!(l.obj(o).held_time(t(10)), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn revocation_splits_effective_from_app_view() {
+        let mut l = Ledger::new();
+        let o = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        l.note_acquire(o, t(0));
+        l.note_revoked(o, true, t(10));
+        l.note_revoked(o, false, t(35));
+        // App view: held the whole 60 s. Effective: minus the 25 s deferral.
+        assert_eq!(l.obj(o).held_time(t(60)), SimDuration::from_secs(60));
+        assert_eq!(l.obj(o).effective_held_time(t(60)), SimDuration::from_secs(35));
+    }
+
+    #[test]
+    fn death_closes_open_intervals() {
+        let mut l = Ledger::new();
+        let o = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        l.note_acquire(o, t(0));
+        l.note_dead(o, t(30));
+        assert!(l.obj(o).dead);
+        assert_eq!(l.obj(o).held_time(t(100)), SimDuration::from_secs(30));
+        assert_eq!(l.obj(o).effective_held_time(t(100)), SimDuration::from_secs(30));
+        assert_eq!(l.live_objects().count(), 0);
+        assert_eq!(l.all_objects().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead object")]
+    fn acquire_on_dead_object_panics() {
+        let mut l = Ledger::new();
+        let o = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        l.note_dead(o, t(1));
+        l.note_acquire(o, t(2));
+    }
+
+    #[test]
+    fn gps_phase_accounting() {
+        let mut l = Ledger::new();
+        let o = l.create_object(ResourceKind::Gps, APP, t(0));
+        l.note_acquire(o, t(0));
+        l.set_gps_state(o, GpsPhase::Searching, t(0));
+        l.set_gps_state(o, GpsPhase::Fixed, t(40));
+        assert_eq!(l.obj(o).searching_time(t(50)), SimDuration::from_secs(40));
+        assert_eq!(l.obj(o).fixed_time(t(50)), SimDuration::from_secs(10));
+        assert_eq!(l.obj(o).fix_count, 1);
+        assert!(!l.obj(o).searching);
+
+        // Fix lost — back to searching.
+        l.set_gps_state(o, GpsPhase::Searching, t(50));
+        assert!(l.obj(o).searching);
+        assert_eq!(l.obj(o).searching_time(t(60)), SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn gps_resume_fixed_does_not_count_new_fix() {
+        let mut l = Ledger::new();
+        let o = l.create_object(ResourceKind::Gps, APP, t(0));
+        l.set_gps_state(o, GpsPhase::Fixed, t(0));
+        l.set_gps_state(o, GpsPhase::Idle, t(10));
+        l.resume_gps_fixed(o, t(20));
+        assert_eq!(l.obj(o).fix_count, 1);
+        assert_eq!(l.obj(o).fixed_time(t(30)), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn app_signal_counters() {
+        let mut l = Ledger::new();
+        l.add_cpu_ms(APP, 1_500);
+        l.add_exception(APP);
+        l.add_exception(APP);
+        l.add_ui_update(APP);
+        l.add_interaction(APP);
+        l.add_distance(APP, 12.5);
+        l.add_data_written(APP, 3);
+        l.add_net_op(APP, false);
+        l.add_net_op(APP, true);
+        let a = l.app_opt(APP).unwrap();
+        assert_eq!(a.cpu_ms, 1_500);
+        assert_eq!(a.exceptions, 2);
+        assert_eq!(a.ui_updates, 1);
+        assert_eq!(a.interactions, 1);
+        assert!((a.distance_m - 12.5).abs() < 1e-12);
+        assert_eq!(a.data_written, 3);
+        assert_eq!(a.net_ops, 2);
+        assert_eq!(a.net_failures, 1);
+    }
+
+    #[test]
+    fn activity_lifetime_integrates() {
+        let mut l = Ledger::new();
+        l.set_activity_alive(APP, true, t(0));
+        l.set_activity_alive(APP, false, t(30));
+        l.set_activity_alive(APP, true, t(60));
+        assert_eq!(l.app(APP).activity_time(t(90)), SimDuration::from_secs(60));
+        assert!(l.app(APP).activity_alive);
+        // Redundant sets are idempotent.
+        l.set_activity_alive(APP, true, t(95));
+        assert_eq!(l.app(APP).activity_time(t(100)), SimDuration::from_secs(70));
+    }
+
+    #[test]
+    fn user_present_integrates() {
+        let mut l = Ledger::new();
+        l.set_user_present(true, t(0));
+        l.set_user_present(false, t(10));
+        assert_eq!(l.user_present_time(t(20)), SimDuration::from_secs(10));
+        l.set_user_present(true, t(30));
+        assert_eq!(l.user_present_time(t(40)), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn objects_of_filters_by_owner_and_liveness() {
+        let mut l = Ledger::new();
+        let a = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        let _b = l.create_object(ResourceKind::Wakelock, AppId(2), t(0));
+        let c = l.create_object(ResourceKind::Gps, APP, t(0));
+        l.note_dead(c, t(1));
+        let mine: Vec<ObjId> = l.objects_of(APP).map(|(id, _)| id).collect();
+        assert_eq!(mine, vec![a]);
+    }
+}

@@ -1,0 +1,75 @@
+//! # leaseos-framework — the Android-like OS substrate
+//!
+//! LeaseOS is implemented as a modification to the Android framework; since
+//! no Android integration path exists here, this crate rebuilds the parts of
+//! the framework the lease mechanism touches, as a deterministic simulation
+//! on top of [`leaseos_simkit`]:
+//!
+//! * **Kernel objects** ([`ObjId`]) — the binder-token analogue, one per
+//!   granted resource instance, mapped one-to-one to descriptors in the app
+//!   address space (paper §4.2).
+//! * **System services** — wakelocks, screen wakelocks, Wi-Fi locks, GPS
+//!   requests, sensor registrations, and audio sessions, all living in the
+//!   [`Kernel`] (the `system_server` analogue) with faithful power and sleep
+//!   semantics.
+//! * **The policy hook layer** ([`ResourcePolicy`]) — the seam where every
+//!   resource-management scheme plugs in: the built-in [`VanillaPolicy`]
+//!   (today's ask-use-release model), the baselines in `leaseos-baselines`,
+//!   and LeaseOS itself in the `leaseos` crate.
+//! * **The app runtime** ([`AppModel`], [`AppCtx`]) — event-driven apps that
+//!   acquire resources, burn CPU (pausing through deep sleep), talk to the
+//!   network, and report the utility signals (§3.3) the lease manager
+//!   scores.
+//! * **Accounting** ([`Ledger`]) and the paper's 60-second sampling
+//!   [`Profiler`].
+//!
+//! ## Example: a leaky app on the vanilla OS
+//!
+//! ```
+//! use leaseos_framework::{AppCtx, AppEvent, AppModel, Kernel};
+//! use leaseos_simkit::{DeviceProfile, Environment, SimTime};
+//!
+//! /// Acquires a wakelock and forgets to release it.
+//! struct Leaky;
+//! impl AppModel for Leaky {
+//!     fn name(&self) -> &str {
+//!         "leaky"
+//!     }
+//!     fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+//!         ctx.acquire_wakelock();
+//!     }
+//!     fn on_event(&mut self, _ctx: &mut AppCtx<'_>, _event: AppEvent) {}
+//! }
+//!
+//! let mut kernel = Kernel::vanilla(
+//!     DeviceProfile::pixel_xl(),
+//!     Environment::unattended(),
+//!     42,
+//! );
+//! let app = kernel.add_app(Box::new(Leaky));
+//! kernel.run_until(SimTime::from_mins(30));
+//! // The leak kept the CPU out of deep sleep for the whole half hour.
+//! assert!(kernel.is_awake());
+//! assert!(kernel.meter().energy_mj(app.consumer()) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod app;
+mod ids;
+mod kernel;
+mod ledger;
+mod policy;
+mod profiler;
+mod resource;
+
+pub use app::{AppEvent, AppModel};
+pub use ids::{AppId, ObjId, Token};
+pub use kernel::{AppCtx, Kernel, TraceEntry};
+pub use ledger::{AppStats, GpsPhase, Ledger, ObjStats};
+pub use policy::{
+    AcquireDecision, AcquireOutcome, AcquireRequest, PolicyAction, PolicyCtx, PolicyOverhead,
+    ResourcePolicy, VanillaPolicy,
+};
+pub use profiler::Profiler;
+pub use resource::{AcquireParams, NetResult, ResourceKind};

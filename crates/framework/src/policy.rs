@@ -1,0 +1,270 @@
+//! The resource-policy hook layer.
+//!
+//! Every resource-management scheme in the reproduction — the existing
+//! ask-use-release model ([`VanillaPolicy`]), Android Doze, DefDroid-style
+//! throttling, and LeaseOS itself — is an implementation of
+//! [`ResourcePolicy`]. The kernel routes resource operations through the
+//! policy's hooks and applies the [`PolicyAction`]s it returns, so every
+//! comparison in the evaluation runs on an identical substrate with only the
+//! brain swapped out.
+//!
+//! Policies are pure state machines over ledger observations: they never
+//! touch the kernel directly, which keeps them independently testable.
+
+use std::any::Any;
+
+use leaseos_simkit::{SimTime, Environment};
+
+use crate::ids::{AppId, ObjId};
+use crate::ledger::Ledger;
+use crate::resource::{AcquireParams, ResourceKind};
+
+/// Read-only context handed to every policy hook.
+pub struct PolicyCtx<'a> {
+    /// Current simulation instant.
+    pub now: SimTime,
+    /// The accounting ledger (usage + utility signals).
+    pub ledger: &'a Ledger,
+    /// The scripted environment.
+    pub env: &'a Environment,
+    /// Whether the screen is currently on.
+    pub screen_on: bool,
+}
+
+impl std::fmt::Debug for PolicyCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyCtx")
+            .field("now", &self.now)
+            .field("screen_on", &self.screen_on)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An acquire request as the policy sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct AcquireRequest {
+    /// The requesting app.
+    pub app: AppId,
+    /// The resource kind requested.
+    pub kind: ResourceKind,
+    /// The kernel object (already created or re-acquired).
+    pub obj: ObjId,
+    /// Request parameters.
+    pub params: AcquireParams,
+    /// True if this is the first acquire of a fresh object, false for a
+    /// re-acquire of an existing one.
+    pub first: bool,
+}
+
+/// The policy's verdict on an acquire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireDecision {
+    /// Grant normally.
+    Grant,
+    /// Pretend to grant (paper §4.6): the app receives a valid descriptor
+    /// and observes success, but the kernel object starts revoked, so the
+    /// resource has no effect until the policy restores it.
+    PretendGrant,
+}
+
+/// Instructions a policy returns for the kernel to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Temporarily revoke the effect of a kernel object (wakelock removed
+    /// from the power manager's array, GPS listener silenced, …). The
+    /// app-side descriptor stays valid.
+    Revoke(ObjId),
+    /// Undo a revocation.
+    Restore(ObjId),
+    /// Deliver [`ResourcePolicy::on_timer`] with `key` at `at`.
+    ScheduleTimer {
+        /// When to fire.
+        at: SimTime,
+        /// Opaque key returned to the policy.
+        key: u64,
+    },
+}
+
+/// Outcome of an acquire hook: the decision plus any side actions.
+#[derive(Debug)]
+pub struct AcquireOutcome {
+    /// Grant or pretend-grant.
+    pub decision: AcquireDecision,
+    /// Actions to apply after the grant.
+    pub actions: Vec<PolicyAction>,
+}
+
+impl AcquireOutcome {
+    /// A plain grant with no side actions.
+    pub fn grant() -> Self {
+        AcquireOutcome {
+            decision: AcquireDecision::Grant,
+            actions: Vec::new(),
+        }
+    }
+
+    /// A pretend-grant with no side actions.
+    pub fn pretend() -> Self {
+        AcquireOutcome {
+            decision: AcquireDecision::PretendGrant,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Adds side actions to this outcome.
+    pub fn with_actions(mut self, actions: Vec<PolicyAction>) -> Self {
+        self.actions = actions;
+        self
+    }
+}
+
+/// Modeled bookkeeping cost of the policy, billed as system CPU energy so
+/// the overhead experiments (paper Fig. 13/14, Table 4) have something to
+/// measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyOverhead {
+    /// CPU milliseconds charged per hook invocation that does bookkeeping.
+    pub per_op_cpu_ms: f64,
+}
+
+impl Default for PolicyOverhead {
+    fn default() -> Self {
+        PolicyOverhead { per_op_cpu_ms: 0.0 }
+    }
+}
+
+/// A pluggable resource-management policy.
+///
+/// All hooks default to "do nothing", so a policy only implements the
+/// events it cares about.
+pub trait ResourcePolicy {
+    /// Short machine-readable name ("vanilla", "doze", "defdroid",
+    /// "leaseos").
+    fn name(&self) -> &'static str;
+
+    /// Called on every acquire (first or repeat).
+    fn on_acquire(&mut self, _ctx: &PolicyCtx<'_>, _req: &AcquireRequest) -> AcquireOutcome {
+        AcquireOutcome::grant()
+    }
+
+    /// Called when an app releases a resource.
+    fn on_release(&mut self, _ctx: &PolicyCtx<'_>, _obj: ObjId) -> Vec<PolicyAction> {
+        Vec::new()
+    }
+
+    /// Called when a kernel object dies (descriptor closed or app stopped).
+    fn on_object_dead(&mut self, _ctx: &PolicyCtx<'_>, _obj: ObjId) -> Vec<PolicyAction> {
+        Vec::new()
+    }
+
+    /// Called when a timer the policy scheduled fires.
+    fn on_timer(&mut self, _ctx: &PolicyCtx<'_>, _key: u64) -> Vec<PolicyAction> {
+        Vec::new()
+    }
+
+    /// Called on environment / device-state changes (screen, motion,
+    /// network, user presence). Doze's idle detector lives here.
+    fn on_device_state(&mut self, _ctx: &PolicyCtx<'_>) -> Vec<PolicyAction> {
+        Vec::new()
+    }
+
+    /// Called when an app alarm fires (a wakeup the device cannot defer).
+    /// Doze treats these as the "non-trivial activity" that interrupts its
+    /// deferral (paper §7.3).
+    fn on_alarm(&mut self, _ctx: &PolicyCtx<'_>, _app: AppId) -> Vec<PolicyAction> {
+        Vec::new()
+    }
+
+    /// The modeled per-operation bookkeeping cost.
+    fn overhead(&self) -> PolicyOverhead {
+        PolicyOverhead::default()
+    }
+
+    /// Downcasting support so harnesses can read policy-specific statistics
+    /// (e.g. the lease table for Figure 11).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// The existing mobile resource-management model (paper §2.2): an initial
+/// sanity check, then the grant persists until the app explicitly releases
+/// it. Equivalently, a lease with an infinite term (§3.1).
+#[derive(Debug, Default)]
+pub struct VanillaPolicy;
+
+impl VanillaPolicy {
+    /// Creates the vanilla ask-use-release policy.
+    pub fn new() -> Self {
+        VanillaPolicy
+    }
+}
+
+impl ResourcePolicy for VanillaPolicy {
+    fn name(&self) -> &'static str {
+        "vanilla"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_always_grants_and_never_acts() {
+        let mut p = VanillaPolicy::new();
+        let ledger = Ledger::new();
+        let env = Environment::new();
+        let ctx = PolicyCtx {
+            now: SimTime::ZERO,
+            ledger: &ledger,
+            env: &env,
+            screen_on: true,
+        };
+        let req = AcquireRequest {
+            app: AppId(1),
+            kind: ResourceKind::Wakelock,
+            obj: ObjId(0),
+            params: AcquireParams::held(),
+            first: true,
+        };
+        let out = p.on_acquire(&ctx, &req);
+        assert_eq!(out.decision, AcquireDecision::Grant);
+        assert!(out.actions.is_empty());
+        assert!(p.on_release(&ctx, ObjId(0)).is_empty());
+        assert!(p.on_object_dead(&ctx, ObjId(0)).is_empty());
+        assert!(p.on_timer(&ctx, 7).is_empty());
+        assert!(p.on_device_state(&ctx).is_empty());
+        assert_eq!(p.overhead().per_op_cpu_ms, 0.0);
+        assert_eq!(p.name(), "vanilla");
+    }
+
+    #[test]
+    fn acquire_outcome_builders() {
+        let g = AcquireOutcome::grant();
+        assert_eq!(g.decision, AcquireDecision::Grant);
+        let p = AcquireOutcome::pretend().with_actions(vec![PolicyAction::Revoke(ObjId(1))]);
+        assert_eq!(p.decision, AcquireDecision::PretendGrant);
+        assert_eq!(p.actions, vec![PolicyAction::Revoke(ObjId(1))]);
+    }
+
+    #[test]
+    fn default_overhead_is_free() {
+        assert_eq!(PolicyOverhead::default().per_op_cpu_ms, 0.0);
+    }
+
+    #[test]
+    fn policy_ctx_debug_is_nonempty() {
+        let ledger = Ledger::new();
+        let env = Environment::new();
+        let ctx = PolicyCtx {
+            now: SimTime::from_secs(1),
+            ledger: &ledger,
+            env: &env,
+            screen_on: false,
+        };
+        assert!(format!("{ctx:?}").contains("PolicyCtx"));
+    }
+}

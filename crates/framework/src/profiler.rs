@@ -1,0 +1,180 @@
+//! The per-app sampling profiler.
+//!
+//! Reimplements the measurement tool of paper §2.1: "a profiling tool that
+//! samples a vector of per-app metrics every 60 s, e.g., wakelock time, CPU
+//! usage". Figures 1–4 are plots of these samples; the harness replays the
+//! same buggy apps and prints the same series.
+//!
+//! Each tick records, per app, the *delta over the past interval* of:
+//!
+//! | series            | meaning                                            |
+//! |-------------------|----------------------------------------------------|
+//! | `wakelock_hold_s` | CPU-wakelock holding time (app view)               |
+//! | `cpu_s`           | executed CPU time                                  |
+//! | `cpu_wl_ratio`    | CPU usage over wakelock hold (the LHB/LUB metric)  |
+//! | `gps_try_s`       | GPS fix-search ("try") duration — Figure 1         |
+//! | `gps_hold_s`      | GPS request holding time                           |
+
+use std::collections::BTreeMap;
+
+use leaseos_simkit::{SeriesSet, SimDuration, SimTime};
+
+use crate::ids::AppId;
+use crate::ledger::Ledger;
+use crate::resource::ResourceKind;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    wakelock_ms: u64,
+    cpu_ms: u64,
+    gps_try_ms: u64,
+    gps_hold_ms: u64,
+}
+
+/// Samples per-app resource metrics on a fixed interval.
+#[derive(Debug)]
+pub struct Profiler {
+    interval: SimDuration,
+    prev: BTreeMap<AppId, Snapshot>,
+    series: BTreeMap<AppId, SeriesSet>,
+}
+
+impl Profiler {
+    /// A profiler sampling every `interval`.
+    pub fn new(interval: SimDuration) -> Self {
+        Profiler {
+            interval,
+            prev: BTreeMap::new(),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Takes one sample for every app.
+    pub fn sample(&mut self, now: SimTime, ledger: &Ledger, apps: &[(AppId, String)]) {
+        for (app, _name) in apps {
+            let cur = Self::snapshot(ledger, *app, now);
+            let prev = self.prev.get(app).copied().unwrap_or_default();
+            let set = self.series.entry(*app).or_default();
+            let wl_s = (cur.wakelock_ms - prev.wakelock_ms) as f64 / 1_000.0;
+            let cpu_s = (cur.cpu_ms - prev.cpu_ms) as f64 / 1_000.0;
+            set.record("wakelock_hold_s", now, wl_s);
+            set.record("cpu_s", now, cpu_s);
+            set.record("cpu_wl_ratio", now, if wl_s > 0.0 { cpu_s / wl_s } else { 0.0 });
+            set.record(
+                "gps_try_s",
+                now,
+                (cur.gps_try_ms - prev.gps_try_ms) as f64 / 1_000.0,
+            );
+            set.record(
+                "gps_hold_s",
+                now,
+                (cur.gps_hold_ms - prev.gps_hold_ms) as f64 / 1_000.0,
+            );
+            self.prev.insert(*app, cur);
+        }
+    }
+
+    fn snapshot(ledger: &Ledger, app: AppId, now: SimTime) -> Snapshot {
+        let mut s = Snapshot {
+            cpu_ms: ledger.app_opt(app).map(|a| a.cpu_ms).unwrap_or(0),
+            ..Snapshot::default()
+        };
+        for (_, o) in ledger.all_objects().filter(|(_, o)| o.owner == app) {
+            match o.kind {
+                ResourceKind::Wakelock => s.wakelock_ms += o.held_time(now).as_millis(),
+                ResourceKind::Gps => {
+                    s.gps_try_ms += o.searching_time(now).as_millis();
+                    s.gps_hold_ms += o.held_time(now).as_millis();
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// The recorded series for `app`, if it was ever sampled.
+    pub fn series_of(&self, app: AppId) -> Option<&SeriesSet> {
+        self.series.get(&app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: AppId = AppId(1);
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn samples_record_interval_deltas() {
+        let mut ledger = Ledger::new();
+        let obj = ledger.create_object(ResourceKind::Wakelock, APP, t(0));
+        ledger.note_acquire(obj, t(0));
+        ledger.add_cpu_ms(APP, 500);
+
+        let mut p = Profiler::new(SimDuration::from_secs(60));
+        let apps = vec![(APP, "k9".to_owned())];
+        p.sample(t(60), &ledger, &apps);
+
+        ledger.add_cpu_ms(APP, 250);
+        ledger.note_release(obj, t(90));
+        p.sample(t(120), &ledger, &apps);
+
+        let set = p.series_of(APP).unwrap();
+        let wl: Vec<f64> = set.get("wakelock_hold_s").unwrap().values().collect();
+        let cpu: Vec<f64> = set.get("cpu_s").unwrap().values().collect();
+        assert_eq!(wl, vec![60.0, 30.0]);
+        assert_eq!(cpu, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn ratio_is_zero_when_no_hold() {
+        let mut ledger = Ledger::new();
+        ledger.add_cpu_ms(APP, 100);
+        let mut p = Profiler::new(SimDuration::from_secs(60));
+        p.sample(t(60), &ledger, &[(APP, "x".into())]);
+        let ratio: Vec<f64> = p
+            .series_of(APP)
+            .unwrap()
+            .get("cpu_wl_ratio")
+            .unwrap()
+            .values()
+            .collect();
+        assert_eq!(ratio, vec![0.0]);
+    }
+
+    #[test]
+    fn gps_try_duration_tracks_searching() {
+        let mut ledger = Ledger::new();
+        let obj = ledger.create_object(ResourceKind::Gps, APP, t(0));
+        ledger.note_acquire(obj, t(0));
+        ledger.set_gps_state(obj, crate::ledger::GpsPhase::Searching, t(0));
+        let mut p = Profiler::new(SimDuration::from_secs(60));
+        let apps = vec![(APP, "bw".to_owned())];
+        p.sample(t(60), &ledger, &apps);
+        ledger.set_gps_state(obj, crate::ledger::GpsPhase::Fixed, t(80));
+        p.sample(t(120), &ledger, &apps);
+        let tries: Vec<f64> = p
+            .series_of(APP)
+            .unwrap()
+            .get("gps_try_s")
+            .unwrap()
+            .values()
+            .collect();
+        assert_eq!(tries, vec![60.0, 20.0]);
+    }
+
+    #[test]
+    fn unknown_app_has_no_series() {
+        let p = Profiler::new(SimDuration::from_secs(60));
+        assert!(p.series_of(AppId(9)).is_none());
+    }
+}

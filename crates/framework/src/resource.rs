@@ -1,0 +1,180 @@
+//! Resource kinds and request/response types.
+
+use std::fmt;
+
+use leaseos_simkit::{ComponentKind, SimDuration};
+
+/// The constrained resources the OS manages — the rows of the paper's
+/// Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// A CPU wakelock: keeps the CPU from deep sleep.
+    Wakelock,
+    /// A screen wakelock: keeps the display lit.
+    ScreenWakelock,
+    /// A Wi-Fi lock: keeps the Wi-Fi radio associated.
+    WifiLock,
+    /// A GPS location request (listener-based).
+    Gps,
+    /// A sensor registration (listener-based).
+    Sensor,
+    /// An audio session.
+    Audio,
+}
+
+impl ResourceKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [ResourceKind; 6] = [
+        ResourceKind::Wakelock,
+        ResourceKind::ScreenWakelock,
+        ResourceKind::WifiLock,
+        ResourceKind::Gps,
+        ResourceKind::Sensor,
+        ResourceKind::Audio,
+    ];
+
+    /// The hardware component this resource keeps powered.
+    pub fn component(self) -> ComponentKind {
+        match self {
+            ResourceKind::Wakelock => ComponentKind::Cpu,
+            ResourceKind::ScreenWakelock => ComponentKind::Screen,
+            ResourceKind::WifiLock => ComponentKind::Wifi,
+            ResourceKind::Gps => ComponentKind::Gps,
+            ResourceKind::Sensor => ComponentKind::Sensor,
+            ResourceKind::Audio => ComponentKind::Audio,
+        }
+    }
+
+    /// Whether the resource delivers data through an app-supplied listener
+    /// (GPS, sensors) rather than being passively held.
+    ///
+    /// Listener resources have different Long-Holding semantics (paper §2.4,
+    /// Table 1 footnote): the listener is always invoked while the resource
+    /// is granted, so utilization is measured on the *data consumer* (the
+    /// bound Activity lifetime), not the physical resource.
+    pub fn is_listener_based(self) -> bool {
+        matches!(self, ResourceKind::Gps | ResourceKind::Sensor)
+    }
+
+    /// Whether acquiring this resource can take a long time and fail —
+    /// i.e. whether Frequent-Ask misbehaviour is possible (Table 1: only
+    /// GPS; wakelock and sensor requests succeed almost immediately).
+    pub fn ask_can_fail(self) -> bool {
+        matches!(self, ResourceKind::Gps)
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Wakelock => "wakelock",
+            ResourceKind::ScreenWakelock => "screen-wakelock",
+            ResourceKind::WifiLock => "wifilock",
+            ResourceKind::Gps => "gps",
+            ResourceKind::Sensor => "sensor",
+            ResourceKind::Audio => "audio",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parameters accompanying an acquire request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AcquireParams {
+    /// Delivery interval for listener-based resources (GPS fix updates,
+    /// sensor readings). Ignored for held resources.
+    pub interval: Option<SimDuration>,
+}
+
+impl AcquireParams {
+    /// Parameters for a held (non-listener) resource.
+    pub fn held() -> Self {
+        AcquireParams::default()
+    }
+
+    /// Parameters for a listener resource delivering every `interval`.
+    pub fn listener(interval: SimDuration) -> Self {
+        AcquireParams {
+            interval: Some(interval),
+        }
+    }
+}
+
+/// Outcome of a network operation, delivered to the app with its token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetResult {
+    /// The operation completed.
+    Ok,
+    /// The remote server answered with an error (bad mail server — the K-9
+    /// Figure 2 trigger).
+    ServerError,
+    /// No connectivity at operation start (the K-9 Figure 4 trigger).
+    Disconnected,
+    /// The device slept mid-operation and the socket timed out on resume
+    /// (paper §4.6), or connectivity dropped mid-operation.
+    Timeout,
+}
+
+impl NetResult {
+    /// Whether the operation failed.
+    pub fn is_err(self) -> bool {
+        !matches!(self, NetResult::Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_mapping_is_total_and_matches_table1() {
+        assert_eq!(ResourceKind::Wakelock.component(), ComponentKind::Cpu);
+        assert_eq!(ResourceKind::ScreenWakelock.component(), ComponentKind::Screen);
+        assert_eq!(ResourceKind::WifiLock.component(), ComponentKind::Wifi);
+        assert_eq!(ResourceKind::Gps.component(), ComponentKind::Gps);
+        assert_eq!(ResourceKind::Sensor.component(), ComponentKind::Sensor);
+        assert_eq!(ResourceKind::Audio.component(), ComponentKind::Audio);
+    }
+
+    #[test]
+    fn only_gps_and_sensor_are_listener_based() {
+        let listeners: Vec<ResourceKind> = ResourceKind::ALL
+            .into_iter()
+            .filter(|k| k.is_listener_based())
+            .collect();
+        assert_eq!(listeners, vec![ResourceKind::Gps, ResourceKind::Sensor]);
+    }
+
+    #[test]
+    fn only_gps_asks_can_fail() {
+        // Table 1: FAB is only possible for GPS.
+        let fab: Vec<ResourceKind> = ResourceKind::ALL
+            .into_iter()
+            .filter(|k| k.ask_can_fail())
+            .collect();
+        assert_eq!(fab, vec![ResourceKind::Gps]);
+    }
+
+    #[test]
+    fn acquire_params_constructors() {
+        assert_eq!(AcquireParams::held().interval, None);
+        assert_eq!(
+            AcquireParams::listener(SimDuration::from_secs(1)).interval,
+            Some(SimDuration::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn net_result_error_classification() {
+        assert!(!NetResult::Ok.is_err());
+        assert!(NetResult::ServerError.is_err());
+        assert!(NetResult::Disconnected.is_err());
+        assert!(NetResult::Timeout.is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ResourceKind::Gps.to_string(), "gps");
+        assert_eq!(ResourceKind::ScreenWakelock.to_string(), "screen-wakelock");
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the OS substrate: ledger integration-on-read,
+//! and full-kernel invariants under randomized app behaviour.
+
+use proptest::prelude::*;
+
+use leaseos_framework::{
+    AppCtx, AppEvent, AppModel, GpsPhase, Kernel, Ledger, ResourceKind, Token,
+};
+use leaseos_simkit::{DeviceProfile, Environment, SimDuration, SimTime};
+
+const APP: leaseos_framework::AppId = leaseos_framework::AppId(1);
+
+proptest! {
+    /// Held-time integration equals a reference interval computation for an
+    /// arbitrary acquire/release/revoke event sequence.
+    #[test]
+    fn ledger_held_time_matches_reference(events in prop::collection::vec((1u64..1_000, 0u8..4), 1..100)) {
+        let mut ledger = Ledger::new();
+        let obj = ledger.create_object(ResourceKind::Wakelock, APP, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let (mut held, mut revoked) = (false, false);
+        let (mut held_ms, mut eff_ms) = (0u64, 0u64);
+        let (mut held_since, mut eff_since) = (0u64, 0u64);
+        for (gap, op) in events {
+            // Advance the reference clock, closing open intervals lazily.
+            let t = now.as_millis() + gap;
+            if held {
+                held_ms += t - held_since.max(held_since);
+                held_since = t;
+            }
+            if held && !revoked {
+                eff_ms += t - eff_since;
+                eff_since = t;
+            }
+            now = SimTime::from_millis(t);
+            match op {
+                0 => {
+                    ledger.note_acquire(obj, now);
+                    if !held {
+                        held = true;
+                        held_since = t;
+                        if !revoked {
+                            eff_since = t;
+                        }
+                    }
+                }
+                1 => {
+                    ledger.note_release(obj, now);
+                    held = false;
+                }
+                2 => {
+                    ledger.note_revoked(obj, true, now);
+                    revoked = true;
+                }
+                _ => {
+                    ledger.note_revoked(obj, false, now);
+                    if revoked && held {
+                        eff_since = t;
+                    }
+                    revoked = false;
+                }
+            }
+        }
+        let end = now + SimDuration::from_secs(1);
+        if held {
+            held_ms += end.as_millis() - held_since;
+        }
+        if held && !revoked {
+            eff_ms += end.as_millis() - eff_since;
+        }
+        prop_assert_eq!(ledger.obj(obj).held_time(end).as_millis(), held_ms);
+        prop_assert_eq!(ledger.obj(obj).effective_held_time(end).as_millis(), eff_ms);
+    }
+
+    /// GPS phase accounting: searching + fixed time never exceeds the
+    /// object's lifetime, regardless of phase-change sequence.
+    #[test]
+    fn gps_phases_partition_time(changes in prop::collection::vec((1u64..10_000, 0u8..3), 1..60)) {
+        let mut ledger = Ledger::new();
+        let obj = ledger.create_object(ResourceKind::Gps, APP, SimTime::ZERO);
+        ledger.note_acquire(obj, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        for (gap, phase) in changes {
+            now += SimDuration::from_millis(gap);
+            let phase = match phase {
+                0 => GpsPhase::Idle,
+                1 => GpsPhase::Searching,
+                _ => GpsPhase::Fixed,
+            };
+            ledger.set_gps_state(obj, phase, now);
+        }
+        let end = now + SimDuration::from_secs(1);
+        let o = ledger.obj(obj);
+        let total = o.searching_time(end).as_millis() + o.fixed_time(end).as_millis();
+        prop_assert!(total <= end.as_millis(), "{total} > {}", end.as_millis());
+    }
+}
+
+/// A randomized app driven by a proptest-generated script of operations.
+struct ScriptedApp {
+    script: Vec<(u8, u64)>,
+    step: usize,
+    lock: Option<leaseos_framework::ObjId>,
+    gps: Option<leaseos_framework::ObjId>,
+    next_token: Token,
+}
+
+const TICK: Token = 0;
+
+impl ScriptedApp {
+    fn new(script: Vec<(u8, u64)>) -> Self {
+        ScriptedApp {
+            script,
+            step: 0,
+            lock: None,
+            gps: None,
+            next_token: 100,
+        }
+    }
+
+    fn run_step(&mut self, ctx: &mut AppCtx<'_>) {
+        let Some(&(op, arg)) = self.script.get(self.step) else {
+            return;
+        };
+        self.step += 1;
+        match op % 8 {
+            0 => match self.lock {
+                None => self.lock = Some(ctx.acquire_wakelock()),
+                Some(lock) => ctx.reacquire(lock),
+            },
+            1 => {
+                if let Some(lock) = self.lock {
+                    ctx.release(lock);
+                }
+            }
+            2 => {
+                self.next_token += 1;
+                ctx.do_work(SimDuration::from_millis(arg % 2_000 + 1), self.next_token);
+            }
+            3 => {
+                self.next_token += 1;
+                ctx.network_op(arg % 100_000 + 1, self.next_token);
+            }
+            4 => {
+                if self.gps.is_none() {
+                    self.gps = Some(ctx.request_gps(SimDuration::from_secs(1)));
+                }
+            }
+            5 => {
+                if let Some(gps) = self.gps.take() {
+                    ctx.release(gps);
+                    ctx.close(gps);
+                }
+            }
+            6 => {
+                ctx.raise_exception();
+                ctx.note_ui_update();
+            }
+            _ => {
+                ctx.write_data(1);
+                ctx.set_activity_alive(arg % 2 == 0);
+            }
+        }
+        // March on: alarms keep the script running through deep sleep.
+        ctx.schedule_alarm(SimDuration::from_millis(arg % 5_000 + 100), TICK);
+    }
+}
+
+impl AppModel for ScriptedApp {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.run_step(ctx);
+    }
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Timer(TICK) = event {
+            self.run_step(ctx);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever a random app does, the kernel conserves energy, never bills
+    /// negative draws, and keeps the app-view holding time at least the
+    /// effective holding time.
+    #[test]
+    fn kernel_invariants_under_random_apps(
+        script in prop::collection::vec((any::<u8>(), any::<u64>()), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut kernel = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::unattended(), seed);
+        kernel.add_app(Box::new(ScriptedApp::new(script)));
+        let end = SimTime::from_mins(10);
+        kernel.run_until(end);
+
+        let meter = kernel.meter();
+        prop_assert!((meter.total_energy_mj() - meter.attributed_energy_mj()).abs() < 1e-6);
+        prop_assert!(meter.total_energy_mj() >= 0.0);
+
+        for (_, o) in kernel.ledger().all_objects() {
+            prop_assert!(o.effective_held_time(end) <= o.held_time(end));
+            prop_assert!(o.held_time(end) <= SimDuration::from_mins(10));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The energy-misbehaviour taxonomy (paper §2.4, Table 1).
+
+use leaseos_framework::ResourceKind;
+
+/// Resource-usage behaviour over one lease term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BehaviorType {
+    /// Healthy usage.
+    Normal,
+    /// Frequent-Ask (FAB): frequently tries to acquire the resource but
+    /// rarely gets it (BetterWeather searching for GPS indoors — Figure 1).
+    FrequentAsk,
+    /// Long-Holding (LHB): granted and held for a long time but rarely used
+    /// (Kontalk's service-lifetime wakelock — Figure 3).
+    LongHolding,
+    /// Low-Utility (LUB): heavily used, but the work is worthless to the
+    /// user (K-9's disconnected exception loop — Figure 4).
+    LowUtility,
+    /// Excessive-Use (EUB): lots of genuinely useful work at high energy
+    /// cost (heavy gaming). A design trade-off, not a bug; explicitly *not*
+    /// a LeaseOS target (§4).
+    ExcessiveUse,
+}
+
+impl BehaviorType {
+    /// All behaviour types, in a stable order.
+    pub const ALL: [BehaviorType; 5] = [
+        BehaviorType::Normal,
+        BehaviorType::FrequentAsk,
+        BehaviorType::LongHolding,
+        BehaviorType::LowUtility,
+        BehaviorType::ExcessiveUse,
+    ];
+
+    /// Whether LeaseOS treats this behaviour as misbehaviour to mitigate
+    /// (FAB, LHB, LUB — §4: "Addressing Excessive-Use is a non-goal").
+    pub fn is_misbehavior(self) -> bool {
+        matches!(
+            self,
+            BehaviorType::FrequentAsk | BehaviorType::LongHolding | BehaviorType::LowUtility
+        )
+    }
+
+    /// Short paper-style abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            BehaviorType::Normal => "Normal",
+            BehaviorType::FrequentAsk => "FAB",
+            BehaviorType::LongHolding => "LHB",
+            BehaviorType::LowUtility => "LUB",
+            BehaviorType::ExcessiveUse => "EUB",
+        }
+    }
+
+    /// Whether this behaviour can occur for `kind` — the paper's Table 1
+    /// applicability matrix. FAB requires an ask that can fail (only GPS);
+    /// everything else applies to all resources.
+    pub fn applies_to(self, kind: ResourceKind) -> bool {
+        match self {
+            BehaviorType::FrequentAsk => kind.ask_can_fail(),
+            _ => true,
+        }
+    }
+}
+
+impl std::fmt::Display for BehaviorType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misbehaviour_excludes_normal_and_eub() {
+        assert!(!BehaviorType::Normal.is_misbehavior());
+        assert!(!BehaviorType::ExcessiveUse.is_misbehavior());
+        assert!(BehaviorType::FrequentAsk.is_misbehavior());
+        assert!(BehaviorType::LongHolding.is_misbehavior());
+        assert!(BehaviorType::LowUtility.is_misbehavior());
+    }
+
+    #[test]
+    fn table1_applicability_matrix() {
+        use ResourceKind::*;
+        // FAB: only GPS (✗ for CPU, screen, Wi-Fi, audio, sensors).
+        for kind in [Wakelock, ScreenWakelock, WifiLock, Sensor, Audio] {
+            assert!(!BehaviorType::FrequentAsk.applies_to(kind), "{kind}");
+        }
+        assert!(BehaviorType::FrequentAsk.applies_to(Gps));
+        // LHB/LUB/EUB/Normal: ✓ everywhere.
+        for kind in ResourceKind::ALL {
+            for b in [
+                BehaviorType::LongHolding,
+                BehaviorType::LowUtility,
+                BehaviorType::ExcessiveUse,
+                BehaviorType::Normal,
+            ] {
+                assert!(b.applies_to(kind), "{b} on {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        let abbrevs: Vec<&str> = BehaviorType::ALL.iter().map(|b| b.abbrev()).collect();
+        assert_eq!(abbrevs, ["Normal", "FAB", "LHB", "LUB", "EUB"]);
+        assert_eq!(BehaviorType::LongHolding.to_string(), "LHB");
+    }
+}

@@ -1,0 +1,382 @@
+//! The behaviour classifier.
+//!
+//! At each term end the lease manager judges the holder's behaviour from the
+//! term's [`TermStats`] (paper §2.4): the three metrics — request success
+//! ratio, utilization ratio, utility rate — "quickly drop to a very low
+//! value" when an energy defect triggers, so checking once per term is
+//! sufficient (no sub-term epochs needed).
+//!
+//! Check order follows the ask-use-release pipeline: Frequent-Ask first
+//! (ask stage), then Long-Holding (use stage, ultralow utilization), then
+//! Low-Utility (use stage, worthless work), then Excessive-Use vs Normal.
+
+use leaseos_framework::ResourceKind;
+
+use crate::behavior::BehaviorType;
+use crate::stats::TermStats;
+use crate::utility::{term_utility, UtilityConfig};
+
+/// Classifier thresholds.
+///
+/// Defaults follow the paper's observations: ultralow utilization is <1 %
+/// for wakelocks (§2.3, Figure 2) — we use 5 % to leave margin for
+/// scheduling noise — and a resource must actually dominate the term
+/// (holding/asking most of it) before the term can be judged misbehaving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierConfig {
+    /// Minimum fraction of the look-back window spent asking for FAB to be
+    /// considered.
+    pub fab_min_ask_ratio: f64,
+    /// Minimum absolute ask time within the window for FAB — one slow
+    /// initial fix acquisition is not "frequent asking".
+    pub fab_min_ask: leaseos_simkit::SimDuration,
+    /// Maximum request success ratio for FAB.
+    pub fab_max_success_ratio: f64,
+    /// Minimum fraction of the term spent holding for LHB/LUB/EUB to be
+    /// considered.
+    pub min_held_ratio: f64,
+    /// Utilization below which a held term is Long-Holding, per kind.
+    /// The paper's LHB signature is "ultralow utilization (<1%)" (§2.3);
+    /// 2 % leaves margin for scheduling noise.
+    pub lhb_max_utilization: f64,
+    /// Utility score below which a utilized term is Low-Utility.
+    pub lub_max_utility: f64,
+    /// Utilization above which a high-utility term is Excessive-Use.
+    pub eub_min_utilization: f64,
+    /// How far back the utility/ask evidence window reaches. Sparse-but-
+    /// real utility (a tracker persisting a record every half minute) must
+    /// not be judged on a 5-second slice (§4.3: decisions consider the
+    /// current term *and the last few terms*).
+    pub evidence_window: leaseos_simkit::SimDuration,
+    /// Utility scoring configuration.
+    pub utility: UtilityConfig,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            fab_min_ask_ratio: 0.3,
+            fab_min_ask: leaseos_simkit::SimDuration::from_secs(15),
+            fab_max_success_ratio: 0.2,
+            min_held_ratio: 0.5,
+            lhb_max_utilization: 0.02,
+            lub_max_utility: 20.0,
+            eub_min_utilization: 0.8,
+            evidence_window: leaseos_simkit::SimDuration::from_secs(60),
+            utility: UtilityConfig::default(),
+        }
+    }
+}
+
+/// Classifies one term's behaviour.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Classifier {
+    config: ClassifierConfig,
+}
+
+impl Classifier {
+    /// A classifier with the default thresholds.
+    pub fn new() -> Self {
+        Classifier::default()
+    }
+
+    /// A classifier with custom thresholds.
+    pub fn with_config(config: ClassifierConfig) -> Self {
+        Classifier { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.config
+    }
+
+    /// Judges the behaviour of one lease term, given that term's stats and
+    /// the merged stats of the recent evidence window (current term plus
+    /// the last few terms, per §4.3). For callers without history,
+    /// [`classify`](Self::classify) passes the term as its own window.
+    pub fn classify_windowed(&self, stats: &TermStats, window: &TermStats) -> BehaviorType {
+        let cfg = &self.config;
+
+        // Ask stage: Frequent-Ask — keeps asking across the window, rarely
+        // succeeds. The absolute floor keeps a single slow initial fix from
+        // looking "frequent".
+        if stats.kind.ask_can_fail()
+            && window.searching_ms >= cfg.fab_min_ask.as_millis()
+            && window.ask_ratio() >= cfg.fab_min_ask_ratio
+            && window.success_ratio() <= cfg.fab_max_success_ratio
+        {
+            return BehaviorType::FrequentAsk;
+        }
+
+        // A term where the resource was barely held cannot be use-stage
+        // misbehaviour.
+        if stats.held_ratio() < cfg.min_held_ratio {
+            return BehaviorType::Normal;
+        }
+
+        // Wi-Fi utilization is counted in discrete transfer events, which
+        // are too sparse for a 5-second slice; judge it on the window.
+        // CPU/screen/listener utilization is dense and judged on the term.
+        let utilization = match stats.kind {
+            ResourceKind::WifiLock => window.utilization(),
+            _ => stats.utilization(),
+        };
+        let lhb_threshold = self.lhb_threshold(stats.kind);
+        if utilization < lhb_threshold {
+            return BehaviorType::LongHolding;
+        }
+
+        // Utility is judged on the window: sparse evidence (a record every
+        // 30 s) counts, while a sustained exception storm still scores
+        // zero. A window shorter than the configured span has not seen
+        // enough of the app to condemn it — utilization-based LHB (dense
+        // evidence) still applies above.
+        if window.term >= cfg.evidence_window {
+            let utility = term_utility(&cfg.utility, window);
+            if utility < cfg.lub_max_utility {
+                return BehaviorType::LowUtility;
+            }
+        }
+
+        // Excessive-Use needs evidence of genuinely heavy *work* (sustained
+        // CPU or radio traffic). A listener whose Activity is simply alive,
+        // or an audio session that is by definition always "used", is plain
+        // normal usage, not EUB.
+        let heavy_work_kind = matches!(stats.kind, ResourceKind::Wakelock | ResourceKind::WifiLock);
+        if heavy_work_kind && utilization >= cfg.eub_min_utilization {
+            return BehaviorType::ExcessiveUse;
+        }
+
+        BehaviorType::Normal
+    }
+
+    /// Judges a term on its own evidence (no history).
+    pub fn classify(&self, stats: &TermStats) -> BehaviorType {
+        self.classify_windowed(stats, stats)
+    }
+
+    /// Per-kind Long-Holding threshold: listener resources use the bound-
+    /// Activity lifetime, which legitimately dips lower than CPU usage does
+    /// for a busy wakelock, so they share the configured value; audio is
+    /// exempt (playing is using).
+    fn lhb_threshold(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Audio => 0.0,
+            _ => self.config.lhb_max_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::UsageSnapshot;
+    use leaseos_simkit::SimDuration;
+
+    fn term(kind: ResourceKind, f: impl FnOnce(&mut TermStats)) -> TermStats {
+        let mut t = TermStats::between(
+            kind,
+            SimDuration::from_secs(60),
+            &UsageSnapshot::default(),
+            &UsageSnapshot::default(),
+        );
+        f(&mut t);
+        t
+    }
+
+    fn classify(t: &TermStats) -> BehaviorType {
+        Classifier::new().classify(t)
+    }
+
+    #[test]
+    fn betterweather_shape_is_fab() {
+        // Figure 1: ~60% of each interval spent asking, never a fix.
+        let t = term(ResourceKind::Gps, |t| {
+            t.held_ms = 36_000;
+            t.searching_ms = 36_000;
+            t.fixed_ms = 0;
+        });
+        assert_eq!(classify(&t), BehaviorType::FrequentAsk);
+    }
+
+    #[test]
+    fn gps_with_good_lock_is_not_fab() {
+        let t = term(ResourceKind::Gps, |t| {
+            t.held_ms = 60_000;
+            t.searching_ms = 4_000;
+            t.fixed_ms = 56_000;
+            t.activity_ms = 60_000;
+            t.distance_m = 100.0;
+        });
+        assert_eq!(classify(&t), BehaviorType::Normal);
+    }
+
+    #[test]
+    fn kontalk_shape_is_lhb() {
+        // Figure 3: wakelock held the whole term, CPU/WL ratio ~0.005.
+        let t = term(ResourceKind::Wakelock, |t| {
+            t.held_ms = 60_000;
+            t.cpu_ms = 300;
+        });
+        assert_eq!(classify(&t), BehaviorType::LongHolding);
+    }
+
+    #[test]
+    fn k9_disconnected_shape_is_lub() {
+        // Figure 4: high CPU over wakelock time, but every op fails.
+        let t = term(ResourceKind::Wakelock, |t| {
+            t.held_ms = 60_000;
+            t.cpu_ms = 50_000;
+            t.exceptions = 60;
+            t.net_ops = 60;
+            t.net_failures = 60;
+        });
+        assert_eq!(classify(&t), BehaviorType::LowUtility);
+    }
+
+    #[test]
+    fn busy_useful_app_is_eub_not_misbehaviour() {
+        let t = term(ResourceKind::Wakelock, |t| {
+            t.held_ms = 60_000;
+            t.cpu_ms = 55_000;
+            t.ui_updates = 120;
+            t.interactions = 30;
+        });
+        let b = classify(&t);
+        assert_eq!(b, BehaviorType::ExcessiveUse);
+        assert!(!b.is_misbehavior());
+    }
+
+    #[test]
+    fn moderate_useful_usage_is_normal() {
+        let t = term(ResourceKind::Wakelock, |t| {
+            t.held_ms = 60_000;
+            t.cpu_ms = 20_000;
+            t.net_ops = 5;
+            t.ui_updates = 3;
+        });
+        assert_eq!(classify(&t), BehaviorType::Normal);
+    }
+
+    #[test]
+    fn short_hold_is_never_use_stage_misbehaviour() {
+        let t = term(ResourceKind::Wakelock, |t| {
+            t.held_ms = 2_000; // 3% of the term
+            t.cpu_ms = 0;
+        });
+        assert_eq!(classify(&t), BehaviorType::Normal);
+    }
+
+    #[test]
+    fn stationary_tracker_without_logging_is_lub() {
+        // OpenGPSTracker-style: GPS held with a fix, activity alive, but the
+        // device never moves and nothing is logged.
+        let t = term(ResourceKind::Gps, |t| {
+            t.held_ms = 60_000;
+            t.fixed_ms = 58_000;
+            t.searching_ms = 2_000;
+            t.activity_ms = 60_000;
+            t.distance_m = 0.0;
+        });
+        assert_eq!(classify(&t), BehaviorType::LowUtility);
+    }
+
+    #[test]
+    fn background_gps_with_dead_activity_is_lhb() {
+        // MozStumbler-style: GPS held but no Activity consuming it.
+        let t = term(ResourceKind::Gps, |t| {
+            t.held_ms = 60_000;
+            t.fixed_ms = 58_000;
+            t.searching_ms = 2_000;
+            t.activity_ms = 0;
+        });
+        assert_eq!(classify(&t), BehaviorType::LongHolding);
+    }
+
+    #[test]
+    fn screen_hog_with_absent_user_is_lhb() {
+        let t = term(ResourceKind::ScreenWakelock, |t| {
+            t.held_ms = 60_000;
+            t.user_present_ms = 0;
+        });
+        assert_eq!(classify(&t), BehaviorType::LongHolding);
+    }
+
+    #[test]
+    fn audio_stream_is_never_lhb() {
+        // Spotify in the background: held and playing is legitimate.
+        let t = term(ResourceKind::Audio, |t| {
+            t.held_ms = 60_000;
+        });
+        let b = classify(&t);
+        assert!(!b.is_misbehavior(), "got {b}");
+    }
+
+    #[test]
+    fn sensor_polling_with_no_interaction_is_lhb_when_background() {
+        // Riot accelerometer with screen off: no bound activity.
+        let t = term(ResourceKind::Sensor, |t| {
+            t.held_ms = 60_000;
+            t.activity_ms = 0;
+        });
+        assert_eq!(classify(&t), BehaviorType::LongHolding);
+    }
+
+    #[test]
+    fn sensor_with_activity_but_no_value_is_lub() {
+        // TapAndTurn: overlay alive (activity), sensor delivering, but the
+        // user never clicks the icon.
+        let t = term(ResourceKind::Sensor, |t| {
+            t.held_ms = 60_000;
+            t.activity_ms = 60_000;
+            t.interactions = 0;
+        });
+        assert_eq!(classify(&t), BehaviorType::LowUtility);
+    }
+
+    #[test]
+    fn custom_utility_rescues_borderline_sensor_term() {
+        let t = term(ResourceKind::Sensor, |t| {
+            t.held_ms = 60_000;
+            t.activity_ms = 60_000;
+            t.interactions = 1; // generic = 100 ≥ floor
+            t.custom_utility = Some(90.0);
+        });
+        assert_eq!(classify(&t), BehaviorType::Normal);
+    }
+
+    #[test]
+    fn custom_utility_cannot_rescue_zero_generic() {
+        let t = term(ResourceKind::Sensor, |t| {
+            t.held_ms = 60_000;
+            t.activity_ms = 60_000;
+            t.interactions = 0; // generic = 0 < floor
+            t.custom_utility = Some(90.0);
+        });
+        assert_eq!(classify(&t), BehaviorType::LowUtility);
+    }
+
+    #[test]
+    fn fab_cannot_fire_for_non_gps() {
+        let t = term(ResourceKind::Wakelock, |t| {
+            t.held_ms = 1_000;
+            t.searching_ms = 60_000; // nonsensical for a wakelock; ignored
+        });
+        assert_ne!(classify(&t), BehaviorType::FrequentAsk);
+    }
+
+    #[test]
+    fn custom_thresholds_are_respected() {
+        let c = Classifier::with_config(ClassifierConfig {
+            lhb_max_utilization: 0.5,
+            ..ClassifierConfig::default()
+        });
+        let t = term(ResourceKind::Wakelock, |t| {
+            t.held_ms = 60_000;
+            t.cpu_ms = 20_000; // 0.33 utilization
+            t.ui_updates = 10;
+        });
+        assert_eq!(c.classify(&t), BehaviorType::LongHolding);
+        assert_eq!(c.config().lhb_max_utilization, 0.5);
+    }
+}

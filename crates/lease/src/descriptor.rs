@@ -1,0 +1,44 @@
+//! Lease descriptors and proxy-reported events.
+
+use std::fmt;
+
+/// A unique lease descriptor (paper §3.1: "each uniquely identifiable with a
+/// lease descriptor").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LeaseId(pub u64);
+
+impl fmt::Display for LeaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lease{}", self.0)
+    }
+}
+
+/// Events a lease proxy reports to the manager about a kernel object
+/// (Table 3, `noteEvent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeaseEvent {
+    /// The app acquired the resource (first grant).
+    Acquire,
+    /// The app released the resource.
+    Release,
+    /// The app re-acquired or used the resource after releasing it (or with
+    /// an expired lease).
+    Reacquire,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(LeaseId(5).to_string(), "lease5");
+        assert!(LeaseId(1) < LeaseId(2));
+    }
+
+    #[test]
+    fn events_are_distinct() {
+        assert_ne!(LeaseEvent::Acquire, LeaseEvent::Release);
+        assert_ne!(LeaseEvent::Release, LeaseEvent::Reacquire);
+    }
+}

@@ -1,0 +1,213 @@
+//! The lease record.
+
+use std::collections::VecDeque;
+
+use leaseos_framework::{AppId, ObjId, ResourceKind};
+use leaseos_simkit::{SimDuration, SimTime};
+
+use crate::behavior::BehaviorType;
+use crate::descriptor::LeaseId;
+use crate::state::{LeaseState, Transition};
+use crate::stats::{TermStats, UsageSnapshot};
+
+/// How many past terms' stats a lease retains ("a bounded history of the
+/// stats and behavior types for the past terms is kept", §4.3).
+pub const HISTORY_CAP: usize = 16;
+
+/// One lease: a timed capability binding an app to a kernel resource object
+/// (paper §3.1).
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// Unique descriptor.
+    pub id: LeaseId,
+    /// The holder app's uid.
+    pub holder: AppId,
+    /// The resource kind backed by this lease.
+    pub kind: ResourceKind,
+    /// The backing kernel object.
+    pub obj: ObjId,
+    /// Current state.
+    pub state: LeaseState,
+    /// Creation instant.
+    pub created_at: SimTime,
+    /// Number of terms assigned so far (t₁…tₙ).
+    pub terms_assigned: u64,
+    /// Number of deferrals applied so far.
+    pub deferrals: u64,
+    /// Start of the current term (or deferral).
+    pub term_start: SimTime,
+    /// Length of the current term.
+    pub term_len: SimDuration,
+    /// Consecutive normal terms (drives the §5.2 adaptive ladder).
+    pub normal_streak: u64,
+    /// Consecutive misbehaving episodes without an intervening normal term
+    /// (drives deferral escalation).
+    pub misbehavior_streak: u64,
+    /// Ledger snapshot at the start of the current term.
+    pub term_snapshot: UsageSnapshot,
+    /// Bounded history of past terms, most recent last.
+    pub history: VecDeque<(BehaviorType, TermStats)>,
+
+    active_since: Option<SimTime>,
+    total_active_ms: u64,
+}
+
+impl Lease {
+    /// Creates a lease in the active state with its first term.
+    pub fn new(
+        id: LeaseId,
+        holder: AppId,
+        kind: ResourceKind,
+        obj: ObjId,
+        now: SimTime,
+        term: SimDuration,
+        snapshot: UsageSnapshot,
+    ) -> Self {
+        Lease {
+            id,
+            holder,
+            kind,
+            obj,
+            state: LeaseState::Active,
+            created_at: now,
+            terms_assigned: 1,
+            deferrals: 0,
+            term_start: now,
+            term_len: term,
+            normal_streak: 0,
+            misbehavior_streak: 0,
+            term_snapshot: snapshot,
+            history: VecDeque::new(),
+            active_since: Some(now),
+            total_active_ms: 0,
+        }
+    }
+
+    /// Applies a state transition, keeping the active-time integrator in
+    /// sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics on transitions that are illegal per Figure 5 — manager bugs,
+    /// not recoverable conditions.
+    pub fn transition(&mut self, tr: Transition, now: SimTime) {
+        let next = self
+            .state
+            .apply(tr)
+            .unwrap_or_else(|e| panic!("lease {}: {e}", self.id));
+        match (self.active_since, next == LeaseState::Active) {
+            (None, true) => self.active_since = Some(now),
+            (Some(since), false) => {
+                self.total_active_ms += now.since(since).as_millis();
+                self.active_since = None;
+            }
+            _ => {}
+        }
+        self.state = next;
+    }
+
+    /// Starts a new term of `len` at `now` from `snapshot`.
+    pub fn begin_term(&mut self, now: SimTime, len: SimDuration, snapshot: UsageSnapshot) {
+        self.terms_assigned += 1;
+        self.term_start = now;
+        self.term_len = len;
+        self.term_snapshot = snapshot;
+    }
+
+    /// Records a completed term's stats, trimming history to
+    /// [`HISTORY_CAP`].
+    pub fn record_term(&mut self, behavior: BehaviorType, stats: TermStats) {
+        self.history.push_back((behavior, stats));
+        while self.history.len() > HISTORY_CAP {
+            self.history.pop_front();
+        }
+    }
+
+    /// The scheduled end of the current term.
+    pub fn term_end(&self) -> SimTime {
+        self.term_start + self.term_len
+    }
+
+    /// Total time this lease has spent in the active state, up to `now`.
+    pub fn active_time(&self, now: SimTime) -> SimDuration {
+        let open = self.active_since.map(|s| now.since(s).as_millis()).unwrap_or(0);
+        SimDuration::from_millis(self.total_active_ms + open)
+    }
+
+    /// The most recent term's behaviour, if any term has completed.
+    pub fn last_behavior(&self) -> Option<BehaviorType> {
+        self.history.back().map(|(b, _)| *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lease() -> Lease {
+        Lease::new(
+            LeaseId(1),
+            AppId(10_001),
+            ResourceKind::Wakelock,
+            ObjId(0),
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            UsageSnapshot::default(),
+        )
+    }
+
+    #[test]
+    fn new_lease_is_active_with_first_term() {
+        let l = lease();
+        assert_eq!(l.state, LeaseState::Active);
+        assert_eq!(l.terms_assigned, 1);
+        assert_eq!(l.term_end(), SimTime::from_secs(5));
+        assert!(l.last_behavior().is_none());
+    }
+
+    #[test]
+    fn active_time_integrates_across_deferrals() {
+        let mut l = lease();
+        l.transition(Transition::TermEndMisbehaved, SimTime::from_secs(5));
+        assert_eq!(l.state, LeaseState::Deferred);
+        l.transition(Transition::DeferralEnd, SimTime::from_secs(30));
+        assert_eq!(l.state, LeaseState::Active);
+        assert_eq!(
+            l.active_time(SimTime::from_secs(40)),
+            SimDuration::from_secs(15),
+            "5 s active + 10 s after restore"
+        );
+    }
+
+    #[test]
+    fn begin_term_advances_counters() {
+        let mut l = lease();
+        l.begin_term(SimTime::from_secs(5), SimDuration::from_secs(60), UsageSnapshot::default());
+        assert_eq!(l.terms_assigned, 2);
+        assert_eq!(l.term_end(), SimTime::from_secs(65));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut l = lease();
+        let stats = TermStats::between(
+            ResourceKind::Wakelock,
+            SimDuration::from_secs(5),
+            &UsageSnapshot::default(),
+            &UsageSnapshot::default(),
+        );
+        for _ in 0..(HISTORY_CAP + 10) {
+            l.record_term(BehaviorType::Normal, stats);
+        }
+        assert_eq!(l.history.len(), HISTORY_CAP);
+        assert_eq!(l.last_behavior(), Some(BehaviorType::Normal));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal lease transition")]
+    fn illegal_transition_panics() {
+        let mut l = lease();
+        l.transition(Transition::ObjectDead, SimTime::from_secs(1));
+        l.transition(Transition::Reacquire, SimTime::from_secs(2));
+    }
+}

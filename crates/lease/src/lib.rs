@@ -1,0 +1,94 @@
+//! # leaseos — lease-based, utilitarian mobile resource management
+//!
+//! A full Rust reproduction of the core contribution of *"A Case for
+//! Lease-Based, Utilitarian Resource Management on Mobile Devices"* (Hu,
+//! Liu, Huang — ASPLOS 2019).
+//!
+//! A **lease** is a timed capability: the OS grants an app the right to a
+//! resource instance (wakelock, GPS request, sensor registration, …) for a
+//! *term*; at every term end the lease manager examines the *utility* the
+//! app extracted from the resource and decides whether to renew the lease or
+//! to *defer* it — temporarily revoking the resource for a deferral interval
+//! τ. Misbehaving terms are recognized by three metrics (paper §2.4):
+//!
+//! * a low **request success ratio** → Frequent-Ask behaviour (FAB),
+//! * a low **utilization ratio** → Long-Holding behaviour (LHB),
+//! * a low **utility rate** → Low-Utility behaviour (LUB).
+//!
+//! Heavy-but-useful usage (Excessive-Use, EUB) is deliberately left alone.
+//!
+//! ## Crate layout
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`LeaseState`], [`Transition`] | §3.2, Fig. 5 | the lease state machine |
+//! | [`BehaviorType`] | §2.4, Tab. 1 | the misbehaviour taxonomy |
+//! | [`UsageSnapshot`], [`TermStats`] | §3.3 | per-term lease stats and metrics |
+//! | [`generic_utility`], [`UtilityCounter`] | §3.3, Fig. 6 | utility scoring |
+//! | [`Classifier`] | §2.4 | term-end behaviour judgement |
+//! | [`LeasePolicy`], [`reduction_ratio_for_lambda`] | §5 | terms, deferrals, λ analysis |
+//! | [`LeaseManager`] | §4.3, Tab. 3 | the lease manager and its API |
+//! | [`LeaseProxy`] | §4.4 | per-resource lease proxies |
+//! | [`LeaseOs`] | §4 | the whole mechanism as a pluggable OS policy |
+//!
+//! ## Example
+//!
+//! ```
+//! use leaseos::LeaseOs;
+//! use leaseos_framework::{AppCtx, AppEvent, AppModel, Kernel};
+//! use leaseos_simkit::{DeviceProfile, Environment, SimTime};
+//!
+//! /// An app with a classic no-sleep bug: acquires and never releases.
+//! struct NoSleep;
+//! impl AppModel for NoSleep {
+//!     fn name(&self) -> &str {
+//!         "no-sleep"
+//!     }
+//!     fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+//!         ctx.acquire_wakelock();
+//!     }
+//!     fn on_event(&mut self, _ctx: &mut AppCtx<'_>, _event: AppEvent) {}
+//! }
+//!
+//! let mut kernel = Kernel::new(
+//!     DeviceProfile::pixel_xl(),
+//!     Environment::unattended(),
+//!     Box::new(LeaseOs::new()),
+//!     42,
+//! );
+//! let app = kernel.add_app(Box::new(NoSleep));
+//! kernel.run_until(SimTime::from_mins(30));
+//!
+//! // The lease mechanism kept revoking the idle lock: the app's effective
+//! // holding time is a small fraction of the half hour it "held" the lock.
+//! let (_, lock) = kernel.ledger().objects_of(app).next().unwrap();
+//! let effective = lock.effective_held_time(SimTime::from_mins(30));
+//! assert!(effective < leaseos_simkit::SimDuration::from_mins(8));
+//! ```
+
+#![warn(missing_docs)]
+
+mod behavior;
+mod classifier;
+mod descriptor;
+mod lease;
+mod manager;
+mod os;
+mod policy;
+mod state;
+mod stats;
+mod utility;
+
+pub use behavior::BehaviorType;
+pub use classifier::{Classifier, ClassifierConfig};
+pub use descriptor::{LeaseEvent, LeaseId};
+pub use lease::{Lease, HISTORY_CAP};
+pub use manager::{CheckOutcome, LeaseManager, LeaseReport, ReacquireOutcome};
+pub use os::LeaseOs;
+pub use policy::{expected_holding_time, reduction_ratio_for_lambda, LeasePolicy};
+pub use proxy::{standard_proxies, LeaseProxy};
+pub use state::{IllegalTransition, LeaseState, Transition};
+pub use stats::{TermStats, UsageSnapshot};
+pub use utility::{generic_utility, term_utility, UtilityConfig, UtilityCounter};
+
+mod proxy;

@@ -1,0 +1,704 @@
+//! The lease manager.
+//!
+//! "A system component, Lease Manager, manages all the leases in the system"
+//! (paper §4.3): it creates, renews, defers, and removes leases; keeps the
+//! per-term lease stats; and makes the utilitarian decisions the proxies
+//! carry out. The public methods mirror the paper's Table 3 interface
+//! (`create`, `check`, `renew`, `remove`, `noteEvent`, `setUtility`,
+//! `registerProxy`, `unregisterProxy`).
+//!
+//! The manager is deliberately substrate-free: callers (the lease proxies in
+//! [`crate::os`], or a benchmark) hand it cumulative [`UsageSnapshot`]s, and
+//! it answers with decisions. This keeps the decision logic independently
+//! testable and micro-benchmarkable (Table 4).
+
+use std::collections::BTreeMap;
+
+use leaseos_framework::{AppId, ObjId, ResourceKind};
+use leaseos_simkit::{SimTime, TimeSeries};
+
+use crate::behavior::BehaviorType;
+use crate::classifier::Classifier;
+use crate::descriptor::{LeaseEvent, LeaseId};
+use crate::lease::Lease;
+use crate::policy::LeasePolicy;
+use crate::state::{LeaseState, Transition};
+use crate::stats::{TermStats, UsageSnapshot};
+use crate::utility::UtilityCounter;
+
+/// The manager's verdict at a scheduled check (term end or deferral end).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckOutcome {
+    /// The term was normal (or excessive-use): the lease is renewed.
+    Renewed {
+        /// When the next check must run.
+        next_check: SimTime,
+        /// The judged behaviour of the completed term.
+        behavior: BehaviorType,
+    },
+    /// Misbehaviour: the lease is deferred; the resource must be revoked.
+    Deferred {
+        /// When the deferral ends (schedule the restore check here).
+        restore_at: SimTime,
+        /// The judged behaviour of the completed term.
+        behavior: BehaviorType,
+    },
+    /// A deferral ended: the resource must be restored and a fresh term
+    /// begins.
+    Restored {
+        /// When the next check must run.
+        next_check: SimTime,
+    },
+    /// The resource was no longer held at term end; the lease went
+    /// inactive (no further checks until a re-acquire).
+    WentInactive,
+    /// The check no longer applies (lease dead or already inactive).
+    Stale,
+}
+
+/// The manager's verdict when an app re-acquires or uses a resource.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReacquireOutcome {
+    /// The lease is active; nothing to do.
+    Granted,
+    /// The lease was inactive and is renewed; schedule the returned check.
+    Renewed {
+        /// When the next check must run.
+        next_check: SimTime,
+    },
+    /// The lease is deferred: pretend success, keep the resource revoked
+    /// (§4.6).
+    StillDeferred,
+}
+
+/// Aggregate statistics for the Figure 11 / §7.2 lease-activity analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaseReport {
+    /// The resource kind.
+    pub kind: ResourceKind,
+    /// Terms the lease went through.
+    pub terms: u64,
+    /// Deferrals applied.
+    pub deferrals: u64,
+    /// Total time spent in the ACTIVE state, seconds.
+    pub active_secs: f64,
+}
+
+/// The lease manager.
+#[derive(Default)]
+pub struct LeaseManager {
+    policy: LeasePolicy,
+    classifier: Classifier,
+    leases: BTreeMap<LeaseId, Lease>,
+    by_obj: BTreeMap<ObjId, LeaseId>,
+    counters: BTreeMap<AppId, Box<dyn UtilityCounter>>,
+    proxies: BTreeMap<ResourceKind, &'static str>,
+    next_id: u64,
+    created: u64,
+    active_now: u64,
+    active_series: TimeSeries,
+    finished: Vec<LeaseReport>,
+}
+
+impl std::fmt::Debug for LeaseManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaseManager")
+            .field("leases", &self.leases.len())
+            .field("created", &self.created)
+            .field("active_now", &self.active_now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LeaseManager {
+    /// A manager with the paper's default policy and classifier.
+    pub fn new() -> Self {
+        LeaseManager::default()
+    }
+
+    /// A manager with a custom lease policy.
+    pub fn with_policy(policy: LeasePolicy) -> Self {
+        policy.validate().expect("invalid lease policy");
+        LeaseManager {
+            policy,
+            ..LeaseManager::default()
+        }
+    }
+
+    /// A manager with a custom policy and classifier.
+    pub fn with_policy_and_classifier(policy: LeasePolicy, classifier: Classifier) -> Self {
+        policy.validate().expect("invalid lease policy");
+        LeaseManager {
+            policy,
+            classifier,
+            ..LeaseManager::default()
+        }
+    }
+
+    /// The active lease policy.
+    pub fn policy(&self) -> &LeasePolicy {
+        &self.policy
+    }
+
+    // ---- Table 3: proxy registry -------------------------------------------
+
+    /// Registers a lease proxy for `kind` (Table 3 `registerProxy`).
+    /// Returns `false` if a proxy is already registered.
+    pub fn register_proxy(&mut self, kind: ResourceKind, name: &'static str) -> bool {
+        if self.proxies.contains_key(&kind) {
+            return false;
+        }
+        self.proxies.insert(kind, name);
+        true
+    }
+
+    /// Unregisters the proxy for `kind` (Table 3 `unregisterProxy`).
+    pub fn unregister_proxy(&mut self, kind: ResourceKind) -> bool {
+        self.proxies.remove(&kind).is_some()
+    }
+
+    /// Whether a proxy manages `kind`.
+    pub fn has_proxy(&self, kind: ResourceKind) -> bool {
+        self.proxies.contains_key(&kind)
+    }
+
+    // ---- Table 3: lease lifecycle -------------------------------------------
+
+    /// Creates a lease for a resource granted to `uid` (Table 3 `create`).
+    /// Returns the descriptor and the instant of the first term-end check.
+    pub fn create(
+        &mut self,
+        kind: ResourceKind,
+        uid: AppId,
+        obj: ObjId,
+        snapshot: UsageSnapshot,
+        now: SimTime,
+    ) -> (LeaseId, SimTime) {
+        let id = LeaseId(self.next_id);
+        self.next_id += 1;
+        let term = self.policy.initial_term;
+        let lease = Lease::new(id, uid, kind, obj, now, term, snapshot);
+        let next_check = lease.term_end();
+        self.leases.insert(id, lease);
+        self.by_obj.insert(obj, id);
+        self.created += 1;
+        self.set_active_count(self.active_now + 1, now);
+        (id, next_check)
+    }
+
+    /// Whether the lease is active (Table 3 `check`).
+    pub fn check(&self, id: LeaseId) -> bool {
+        self.leases
+            .get(&id)
+            .map(|l| l.state.grants_capability())
+            .unwrap_or(false)
+    }
+
+    /// Explicitly renews an inactive lease (Table 3 `renew`); used by
+    /// proxies when an app attempts to use a resource whose lease expired.
+    /// Returns `false` if the lease cannot be renewed (dead, unknown, or
+    /// deferred).
+    pub fn renew(&mut self, id: LeaseId, snapshot: UsageSnapshot, now: SimTime) -> Option<SimTime> {
+        match self.note_event(id, LeaseEvent::Reacquire, snapshot, now) {
+            ReacquireOutcome::Renewed { next_check } => Some(next_check),
+            ReacquireOutcome::Granted => None,
+            ReacquireOutcome::StillDeferred => None,
+        }
+    }
+
+    /// Removes the lease backing a dead kernel object (Table 3 `remove`).
+    /// Returns `false` for an unknown lease.
+    pub fn remove(&mut self, id: LeaseId, now: SimTime) -> bool {
+        let Some(lease) = self.leases.get_mut(&id) else {
+            return false;
+        };
+        if lease.state == LeaseState::Dead {
+            return false;
+        }
+        let was_active = lease.state.grants_capability();
+        lease.transition(Transition::ObjectDead, now);
+        let report = LeaseReport {
+            kind: lease.kind,
+            terms: lease.terms_assigned,
+            deferrals: lease.deferrals,
+            active_secs: lease.active_time(now).as_secs_f64(),
+        };
+        let obj = lease.obj;
+        self.finished.push(report);
+        self.by_obj.remove(&obj);
+        if was_active {
+            self.set_active_count(self.active_now - 1, now);
+        }
+        // Dead leases "can no longer be renewed and will be cleaned" (§3.2).
+        self.leases.remove(&id);
+        true
+    }
+
+    /// Reports a proxy-observed event about the lease's kernel object
+    /// (Table 3 `noteEvent`). Release events are recorded for term-end
+    /// analysis; re-acquire events may renew an inactive lease.
+    pub fn note_event(
+        &mut self,
+        id: LeaseId,
+        event: LeaseEvent,
+        snapshot: UsageSnapshot,
+        now: SimTime,
+    ) -> ReacquireOutcome {
+        let Some(lease) = self.leases.get_mut(&id) else {
+            return ReacquireOutcome::Granted;
+        };
+        match (event, lease.state) {
+            (LeaseEvent::Release, _) | (LeaseEvent::Acquire, _) => ReacquireOutcome::Granted,
+            (LeaseEvent::Reacquire, LeaseState::Active) => ReacquireOutcome::Granted,
+            (LeaseEvent::Reacquire, LeaseState::Deferred) => {
+                lease.transition(Transition::Reacquire, now);
+                ReacquireOutcome::StillDeferred
+            }
+            (LeaseEvent::Reacquire, LeaseState::Inactive) => {
+                lease.transition(Transition::Reacquire, now);
+                let term = self.policy.term_for_streak(lease.normal_streak);
+                lease.begin_term(now, term, snapshot);
+                let next_check = lease.term_end();
+                self.set_active_count(self.active_now + 1, now);
+                ReacquireOutcome::Renewed { next_check }
+            }
+            (LeaseEvent::Reacquire, LeaseState::Dead) => ReacquireOutcome::Granted,
+        }
+    }
+
+    /// Registers an app's custom utility counter (Table 3 `setUtility`).
+    /// The counter's score is consulted at every term end, subject to the
+    /// abuse floor (§3.3).
+    pub fn set_utility(&mut self, uid: AppId, counter: Box<dyn UtilityCounter>) {
+        self.counters.insert(uid, counter);
+    }
+
+    /// Removes an app's custom utility counter.
+    pub fn clear_utility(&mut self, uid: AppId) -> bool {
+        self.counters.remove(&uid).is_some()
+    }
+
+    // ---- term processing -----------------------------------------------------
+
+    /// Runs the scheduled check for `id` (term end for active leases,
+    /// deferral end for deferred ones), given the cumulative `snapshot` at
+    /// `now`.
+    pub fn process_check(&mut self, id: LeaseId, mut snapshot: UsageSnapshot, now: SimTime) -> CheckOutcome {
+        if let Some(counter) = self.counters.get(&self.leases.get(&id).map(|l| l.holder).unwrap_or(AppId(0))) {
+            snapshot.custom_utility = Some(counter.score().clamp(0.0, 100.0));
+        }
+        let Some(lease) = self.leases.get_mut(&id) else {
+            return CheckOutcome::Stale;
+        };
+        match lease.state {
+            LeaseState::Dead | LeaseState::Inactive => CheckOutcome::Stale,
+            LeaseState::Deferred => {
+                if !snapshot.held {
+                    // The app released during τ: nothing to restore (§4.6,
+                    // "if no release occurs during τ, the temporarily
+                    // revoked resource will be restored after τ").
+                    lease.transition(Transition::DeferralEnd, now);
+                    lease.transition(Transition::TermEndNotHeld, now);
+                    return CheckOutcome::WentInactive;
+                }
+                // End of delay: restore the capability and begin a fresh
+                // (short) term.
+                lease.transition(Transition::DeferralEnd, now);
+                let term = self.policy.initial_term;
+                lease.begin_term(now, term, snapshot);
+                self.active_now += 1;
+                self.active_series.record(now, self.active_now as f64);
+                CheckOutcome::Restored {
+                    next_check: lease.term_end(),
+                }
+            }
+            LeaseState::Active => {
+                if now < lease.term_end() {
+                    // A stale timer from a superseded term.
+                    return CheckOutcome::Stale;
+                }
+                let stats = TermStats::between(lease.kind, lease.term_len, &lease.term_snapshot, &snapshot);
+                if !snapshot.held {
+                    lease.transition(Transition::TermEndNotHeld, now);
+                    lease.record_term(BehaviorType::Normal, stats);
+                    self.active_now -= 1;
+                    self.active_series.record(now, self.active_now as f64);
+                    return CheckOutcome::WentInactive;
+                }
+                // Evidence window: the current term merged with as many
+                // recent terms as the window covers (§4.3).
+                let window = {
+                    let target = self.classifier.config().evidence_window;
+                    let mut w = stats;
+                    let mut span = stats.term;
+                    for (_, past) in lease.history.iter().rev() {
+                        if span >= target {
+                            break;
+                        }
+                        w = w.merge(past);
+                        span += past.term;
+                    }
+                    w
+                };
+                let behavior = self.classifier.classify_windowed(&stats, &window);
+                lease.record_term(behavior, stats);
+                let punish = behavior.is_misbehavior()
+                    || (behavior == BehaviorType::ExcessiveUse && self.policy.mitigate_eub);
+                if punish {
+                    lease.transition(Transition::TermEndMisbehaved, now);
+                    lease.normal_streak = 0;
+                    let tau = self.policy.deferral_for(lease.misbehavior_streak);
+                    lease.misbehavior_streak += 1;
+                    lease.deferrals += 1;
+                    lease.term_start = now;
+                    lease.term_len = tau;
+                    self.active_now -= 1;
+                    self.active_series.record(now, self.active_now as f64);
+                    CheckOutcome::Deferred {
+                        restore_at: now + tau,
+                        behavior,
+                    }
+                } else {
+                    lease.transition(Transition::TermEndNormal, now);
+                    lease.normal_streak += 1;
+                    lease.misbehavior_streak = 0;
+                    let term = self.policy.term_for_streak(lease.normal_streak);
+                    lease.begin_term(now, term, snapshot);
+                    CheckOutcome::Renewed {
+                        next_check: lease.term_end(),
+                        behavior,
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- introspection ---------------------------------------------------------
+
+    /// The lease backing `obj`, if any.
+    pub fn lease_of_obj(&self, obj: ObjId) -> Option<LeaseId> {
+        self.by_obj.get(&obj).copied()
+    }
+
+    /// The lease record for `id`.
+    pub fn lease(&self, id: LeaseId) -> Option<&Lease> {
+        self.leases.get(&id)
+    }
+
+    /// Number of leases currently in the ACTIVE state.
+    pub fn active_count(&self) -> u64 {
+        self.active_now
+    }
+
+    /// Total leases ever created.
+    pub fn created_count(&self) -> u64 {
+        self.created
+    }
+
+    /// The time series of active-lease counts (Figure 11).
+    pub fn active_series(&self) -> &TimeSeries {
+        &self.active_series
+    }
+
+    /// Reports for all leases: finished ones plus live ones measured at
+    /// `now` (§7.2: median active period, terms per lease).
+    pub fn lease_reports(&self, now: SimTime) -> Vec<LeaseReport> {
+        let mut v = self.finished.clone();
+        v.extend(self.leases.values().map(|l| LeaseReport {
+            kind: l.kind,
+            terms: l.terms_assigned,
+            deferrals: l.deferrals,
+            active_secs: l.active_time(now).as_secs_f64(),
+        }));
+        v
+    }
+
+    fn set_active_count(&mut self, count: u64, now: SimTime) {
+        self.active_now = count;
+        self.record_active(count, now);
+    }
+
+    fn record_active(&mut self, count: u64, now: SimTime) {
+        self.active_series.record(now, count as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_simkit::SimDuration;
+
+    const APP: AppId = AppId(10_001);
+    const OBJ: ObjId = ObjId(0);
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn held_idle_snapshot(held_ms: u64) -> UsageSnapshot {
+        UsageSnapshot {
+            held: true,
+            held_ms,
+            effective_ms: held_ms,
+            ..UsageSnapshot::default()
+        }
+    }
+
+    fn busy_snapshot(held_ms: u64, cpu_ms: u64, ui: u64) -> UsageSnapshot {
+        UsageSnapshot {
+            held: true,
+            held_ms,
+            effective_ms: held_ms,
+            cpu_ms,
+            ui_updates: ui,
+            ..UsageSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn create_schedules_first_term_end() {
+        let mut m = LeaseManager::new();
+        let (id, next) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        assert_eq!(next, t(5), "paper default 5 s term");
+        assert!(m.check(id));
+        assert_eq!(m.active_count(), 1);
+        assert_eq!(m.created_count(), 1);
+        assert_eq!(m.lease_of_obj(OBJ), Some(id));
+    }
+
+    #[test]
+    fn idle_holder_is_deferred_at_term_end() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let out = m.process_check(id, held_idle_snapshot(5_000), t(5));
+        match out {
+            CheckOutcome::Deferred { restore_at, behavior } => {
+                assert_eq!(restore_at, t(30), "τ = 25 s");
+                assert_eq!(behavior, BehaviorType::LongHolding);
+            }
+            other => panic!("expected deferral, got {other:?}"),
+        }
+        assert!(!m.check(id));
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn deferral_end_restores_with_fresh_short_term() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        m.process_check(id, held_idle_snapshot(5_000), t(5));
+        let out = m.process_check(id, held_idle_snapshot(5_000), t(30));
+        assert_eq!(out, CheckOutcome::Restored { next_check: t(35) });
+        assert!(m.check(id));
+        assert_eq!(m.lease(id).unwrap().deferrals, 1);
+    }
+
+    #[test]
+    fn busy_holder_renews() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let out = m.process_check(id, busy_snapshot(5_000, 2_000, 4), t(5));
+        match out {
+            CheckOutcome::Renewed { next_check, behavior } => {
+                assert_eq!(next_check, t(10));
+                assert_eq!(behavior, BehaviorType::Normal);
+            }
+            other => panic!("expected renewal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_ladder_grows_terms_and_misbehaviour_resets() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let mut now = t(5);
+        let mut cum = UsageSnapshot::default();
+        // 12 normal terms -> the 13th term should be 1 minute.
+        for i in 0..12 {
+            cum.held = true;
+            cum.held_ms += 5_000;
+            cum.cpu_ms += 2_000;
+            cum.ui_updates += 2;
+            let out = m.process_check(id, cum, now);
+            match out {
+                CheckOutcome::Renewed { next_check, .. } => now = next_check,
+                other => panic!("term {i}: {other:?}"),
+            }
+        }
+        assert_eq!(
+            m.lease(id).unwrap().term_len,
+            SimDuration::from_mins(1),
+            "ladder reached after 12 normal terms"
+        );
+        // One bad term reverts to 5 s.
+        cum.held_ms += 60_000; // held a full minute, idle
+        let out = m.process_check(id, cum, now);
+        assert!(matches!(out, CheckOutcome::Deferred { .. }));
+        // After restore the term is the initial 5 s again.
+        let restore_at = now + SimDuration::from_secs(25);
+        let out = m.process_check(id, cum, restore_at);
+        assert_eq!(
+            out,
+            CheckOutcome::Restored { next_check: restore_at + SimDuration::from_secs(5) }
+        );
+        assert_eq!(m.lease(id).unwrap().normal_streak, 0);
+    }
+
+    #[test]
+    fn released_resource_goes_inactive_and_reacquire_renews() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        // Term ends with the resource released after brief useful work.
+        let snap = UsageSnapshot {
+            held: false,
+            held_ms: 1_000,
+            cpu_ms: 900,
+            ..UsageSnapshot::default()
+        };
+        assert_eq!(m.process_check(id, snap, t(5)), CheckOutcome::WentInactive);
+        assert!(!m.check(id));
+        assert_eq!(m.active_count(), 0);
+        // Re-acquire renews immediately ("the lease capability immediately
+        // goes back to active", §4.5).
+        let out = m.note_event(id, LeaseEvent::Reacquire, snap, t(100));
+        assert_eq!(out, ReacquireOutcome::Renewed { next_check: t(105) });
+        assert!(m.check(id));
+    }
+
+    #[test]
+    fn reacquire_during_deferral_pretends_success() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        m.process_check(id, held_idle_snapshot(5_000), t(5));
+        let out = m.note_event(id, LeaseEvent::Reacquire, held_idle_snapshot(5_000), t(10));
+        assert_eq!(out, ReacquireOutcome::StillDeferred);
+        assert!(!m.check(id), "capability stays revoked during τ");
+    }
+
+    #[test]
+    fn remove_cleans_lease_and_reports() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Gps, APP, OBJ, UsageSnapshot::default(), t(0));
+        assert!(m.remove(id, t(42)));
+        assert!(!m.remove(id, t(43)), "double remove is refused");
+        assert!(m.lease(id).is_none());
+        assert_eq!(m.lease_of_obj(OBJ), None);
+        let reports = m.lease_reports(t(43));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, ResourceKind::Gps);
+        assert!((reports[0].active_secs - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_checks_are_ignored() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        // A check before the term end (e.g. superseded timer) is stale.
+        assert_eq!(m.process_check(id, held_idle_snapshot(1_000), t(1)), CheckOutcome::Stale);
+        // Unknown lease likewise.
+        assert_eq!(
+            m.process_check(LeaseId(99), UsageSnapshot::default(), t(5)),
+            CheckOutcome::Stale
+        );
+    }
+
+    #[test]
+    fn active_series_tracks_population() {
+        let mut m = LeaseManager::new();
+        let (a, _) = m.create(ResourceKind::Wakelock, APP, ObjId(0), UsageSnapshot::default(), t(0));
+        let (_b, _) = m.create(ResourceKind::Gps, APP, ObjId(1), UsageSnapshot::default(), t(1));
+        m.remove(a, t(2));
+        let counts: Vec<f64> = m.active_series().values().collect();
+        assert_eq!(counts, vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn registered_utility_counter_feeds_classification() {
+        // A 60 s term so the evidence window is satisfied in one check.
+        let mut m = LeaseManager::with_policy(crate::policy::LeasePolicy::fixed(
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(25),
+        ));
+        let (id, _) = m.create(ResourceKind::Sensor, APP, OBJ, UsageSnapshot::default(), t(0));
+        // Activity alive + an interaction → generic utility is high, but the
+        // app's own counter says the sensed data was worthless.
+        m.set_utility(APP, Box::new(|| 0.0));
+        let snap = UsageSnapshot {
+            held: true,
+            held_ms: 60_000,
+            effective_ms: 60_000,
+            activity_ms: 60_000,
+            interactions: 5,
+            ..UsageSnapshot::default()
+        };
+        let out = m.process_check(id, snap, t(60));
+        assert!(
+            matches!(out, CheckOutcome::Deferred { behavior: BehaviorType::LowUtility, .. }),
+            "custom counter pushed the term to LUB: {out:?}"
+        );
+        assert!(m.clear_utility(APP));
+        assert!(!m.clear_utility(APP));
+    }
+
+    #[test]
+    fn eub_is_tolerated_by_default_and_deferred_with_the_experimental_flag() {
+        // A gaming-style term: held throughout, very high utilization, high
+        // utility — Excessive-Use, which the paper deliberately tolerates.
+        let heavy = UsageSnapshot {
+            held: true,
+            held_ms: 60_000,
+            effective_ms: 60_000,
+            cpu_ms: 55_000,
+            ui_updates: 200,
+            interactions: 50,
+            ..UsageSnapshot::default()
+        };
+        let sixty = crate::policy::LeasePolicy::fixed(
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(25),
+        );
+
+        let mut tolerant = LeaseManager::with_policy(sixty.clone());
+        let (id, _) = tolerant.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        match tolerant.process_check(id, heavy, t(60)) {
+            CheckOutcome::Renewed { behavior, .. } => {
+                assert_eq!(behavior, BehaviorType::ExcessiveUse)
+            }
+            other => panic!("default policy must renew EUB, got {other:?}"),
+        }
+
+        let mut strict = LeaseManager::with_policy(crate::policy::LeasePolicy {
+            mitigate_eub: true,
+            ..sixty
+        });
+        let (id, _) = strict.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        assert!(
+            matches!(
+                strict.process_check(id, heavy, t(60)),
+                CheckOutcome::Deferred { behavior: BehaviorType::ExcessiveUse, .. }
+            ),
+            "the experimental flag defers EUB"
+        );
+    }
+
+    #[test]
+    fn proxy_registry_round_trip() {
+        let mut m = LeaseManager::new();
+        assert!(m.register_proxy(ResourceKind::Wakelock, "power"));
+        assert!(!m.register_proxy(ResourceKind::Wakelock, "power2"));
+        assert!(m.has_proxy(ResourceKind::Wakelock));
+        assert!(m.unregister_proxy(ResourceKind::Wakelock));
+        assert!(!m.unregister_proxy(ResourceKind::Wakelock));
+        assert!(!m.has_proxy(ResourceKind::Wakelock));
+    }
+
+    #[test]
+    fn explicit_renew_api() {
+        let mut m = LeaseManager::new();
+        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let released = UsageSnapshot { held: false, held_ms: 1_000, cpu_ms: 900, ..UsageSnapshot::default() };
+        m.process_check(id, released, t(5));
+        assert_eq!(m.renew(id, released, t(10)), Some(t(15)));
+        assert_eq!(m.renew(id, released, t(11)), None, "already active");
+    }
+}

@@ -1,0 +1,269 @@
+//! Lease policy: term lengths, deferral intervals, and the §5 analysis.
+//!
+//! The effectiveness of lease-based mitigation is governed by
+//! `λ = τ / (n·t)` — the ratio of the deferral interval to the time spent
+//! detecting the misbehaviour. The paper derives the wasted-energy
+//! reduction ratio `r = 1 − 1/(1+λ)` (§5.1) and sets the defaults
+//! accordingly: a 5-second term with a 25-second deferral (λ = 5).
+//!
+//! For the common case — well-behaved apps — §5.2 grows the term adaptively
+//! (12 consecutive normal terms → 1 minute, then 120 → 5 minutes), reverting
+//! to the 5-second term the moment any term in the look-back window
+//! misbehaves.
+
+use leaseos_simkit::SimDuration;
+
+/// Lease policy parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeasePolicy {
+    /// The initial (and post-misbehaviour) lease term. Paper default: 5 s.
+    pub initial_term: SimDuration,
+    /// The base deferral interval τ. Paper default: 25 s.
+    pub deferral: SimDuration,
+    /// Adaptive-term ladder: `(consecutive normal terms, new term)` pairs in
+    /// ascending order. Paper default: 12 → 1 min, 120 → 5 min.
+    pub ladder: Vec<(u64, SimDuration)>,
+    /// Multiplier applied to τ per consecutive misbehaving episode —
+    /// §5.1's effectiveness analysis is in terms of the *average* deferral
+    /// interval, and repeat offenders earn longer ones. A factor of 1
+    /// disables escalation (used by the Figure 9/12 sensitivity runs,
+    /// where λ must stay exact).
+    pub deferral_growth: f64,
+    /// Upper bound on an escalated deferral interval.
+    pub deferral_cap: SimDuration,
+    /// Experimental (§8 future work): also defer Excessive-Use terms.
+    /// Off by default — the paper explicitly makes EUB a non-goal because
+    /// heavy-but-useful work is "controversial to judge as misbehavior",
+    /// and the §7.4 usability result depends on leaving it alone.
+    pub mitigate_eub: bool,
+}
+
+impl Default for LeasePolicy {
+    fn default() -> Self {
+        LeasePolicy {
+            initial_term: SimDuration::from_secs(5),
+            deferral: SimDuration::from_secs(25),
+            ladder: vec![
+                (12, SimDuration::from_mins(1)),
+                (120, SimDuration::from_mins(5)),
+            ],
+            deferral_growth: 2.0,
+            deferral_cap: SimDuration::from_mins(5),
+            mitigate_eub: false,
+        }
+    }
+}
+
+impl LeasePolicy {
+    /// A policy with fixed `term` and `deferral` and no adaptation or
+    /// escalation — used by the Figure 9 / Figure 12 sensitivity
+    /// experiments, where λ = τ/(n·t) must stay exact.
+    pub fn fixed(term: SimDuration, deferral: SimDuration) -> Self {
+        LeasePolicy {
+            initial_term: term,
+            deferral,
+            ladder: Vec::new(),
+            deferral_growth: 1.0,
+            deferral_cap: deferral,
+            mitigate_eub: false,
+        }
+    }
+
+    /// The deferral interval after `consecutive` prior misbehaving episodes
+    /// without an intervening normal term.
+    pub fn deferral_for(&self, consecutive: u64) -> SimDuration {
+        let factor = self.deferral_growth.powi(consecutive.min(16) as i32);
+        self.deferral.mul_f64(factor).min(self.deferral_cap).max(self.deferral)
+    }
+
+    /// The term to use after `normal_streak` consecutive normal terms.
+    pub fn term_for_streak(&self, normal_streak: u64) -> SimDuration {
+        let mut term = self.initial_term;
+        for (threshold, t) in &self.ladder {
+            if normal_streak >= *threshold {
+                term = *t;
+            }
+        }
+        term
+    }
+
+    /// λ for this policy assuming detection after `n` terms of the current
+    /// `term` length (paper §5.1).
+    pub fn lambda(&self, term: SimDuration, n: u64) -> f64 {
+        let denom = term.as_secs_f64() * n.max(1) as f64;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.deferral.as_secs_f64() / denom
+        }
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_term.is_zero() {
+            return Err("initial term must be positive (a zero term would check every access)".into());
+        }
+        if self.deferral.is_zero() {
+            return Err("deferral interval must be positive".into());
+        }
+        if self.deferral_growth < 1.0 || !self.deferral_growth.is_finite() {
+            return Err("deferral growth factor must be >= 1".into());
+        }
+        if self.deferral_cap < self.deferral {
+            return Err("deferral cap must be at least the base deferral".into());
+        }
+        let mut prev = 0;
+        for (threshold, term) in &self.ladder {
+            if *threshold <= prev {
+                return Err("ladder thresholds must be strictly increasing".into());
+            }
+            if *term < self.initial_term {
+                return Err("ladder terms must not shrink below the initial term".into());
+            }
+            prev = *threshold;
+        }
+        Ok(())
+    }
+}
+
+/// The paper's §5.1 closed form: the fraction of wasted energy removed by
+/// deferral, `r_saved = λ / (1 + λ)`.
+///
+/// (§5.1 presents the *remaining* fraction `H/T = 1/(1+λ)`; the reduction is
+/// its complement.)
+///
+/// ```
+/// use leaseos::reduction_ratio_for_lambda;
+///
+/// // λ = 1 halves the waste; larger λ approaches full elimination.
+/// assert!((reduction_ratio_for_lambda(1.0) - 0.5).abs() < 1e-12);
+/// assert!(reduction_ratio_for_lambda(5.0) > 0.83);
+/// ```
+pub fn reduction_ratio_for_lambda(lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "λ must be non-negative, got {lambda}");
+    lambda / (1.0 + lambda)
+}
+
+/// Expected resource holding time for a continuously-misbehaving app under
+/// a lease of term `t` and deferral `τ`, over a run of `total` (the Figure 9
+/// model): the lease alternates ACTIVE(t) → DEFERRED(τ) cycles, so holding
+/// accrues only during the active phases.
+pub fn expected_holding_time(total: SimDuration, term: SimDuration, deferral: SimDuration) -> SimDuration {
+    assert!(!term.is_zero(), "term must be positive");
+    let cycle = term + deferral;
+    let full_cycles = total.as_millis() / cycle.as_millis();
+    let rem = SimDuration::from_millis(total.as_millis() % cycle.as_millis());
+    
+    term * full_cycles + rem.min(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = LeasePolicy::default();
+        assert_eq!(p.initial_term, SimDuration::from_secs(5));
+        assert_eq!(p.deferral, SimDuration::from_secs(25));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn ladder_grows_and_reverts() {
+        let p = LeasePolicy::default();
+        assert_eq!(p.term_for_streak(0), SimDuration::from_secs(5));
+        assert_eq!(p.term_for_streak(11), SimDuration::from_secs(5));
+        assert_eq!(p.term_for_streak(12), SimDuration::from_mins(1));
+        assert_eq!(p.term_for_streak(119), SimDuration::from_mins(1));
+        assert_eq!(p.term_for_streak(120), SimDuration::from_mins(5));
+        assert_eq!(p.term_for_streak(10_000), SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn fixed_policy_never_adapts() {
+        let p = LeasePolicy::fixed(SimDuration::from_secs(30), SimDuration::from_secs(30));
+        assert_eq!(p.term_for_streak(1_000), SimDuration::from_secs(30));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn lambda_matches_definition() {
+        let p = LeasePolicy::fixed(SimDuration::from_secs(5), SimDuration::from_secs(25));
+        assert!((p.lambda(SimDuration::from_secs(5), 1) - 5.0).abs() < 1e-12);
+        assert!((p.lambda(SimDuration::from_secs(5), 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_formula() {
+        assert_eq!(reduction_ratio_for_lambda(0.0), 0.0);
+        assert!((reduction_ratio_for_lambda(1.0) - 0.5).abs() < 1e-12);
+        assert!((reduction_ratio_for_lambda(4.0) - 0.8).abs() < 1e-12);
+        // Monotone increasing.
+        let mut prev = 0.0;
+        for i in 1..20 {
+            let r = reduction_ratio_for_lambda(i as f64 * 0.5);
+            assert!(r > prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn figure9a_holding_times() {
+        // Paper Figure 9(a): 30-min run, τ = 30 s fixed, terms 30/60/180 s
+        // yield ≈ 900/1200/1543 s of holding (paper measures 904/1201/1560).
+        let total = SimDuration::from_mins(30);
+        let tau = SimDuration::from_secs(30);
+        let h30 = expected_holding_time(total, SimDuration::from_secs(30), tau);
+        let h60 = expected_holding_time(total, SimDuration::from_secs(60), tau);
+        let h180 = expected_holding_time(total, SimDuration::from_secs(180), tau);
+        assert_eq!(h30, SimDuration::from_secs(900));
+        assert_eq!(h60, SimDuration::from_secs(1_200));
+        assert!((h180.as_secs_f64() - 1_543.0).abs() < 60.0, "got {h180}");
+    }
+
+    #[test]
+    fn figure9b_holding_constant_at_fixed_lambda() {
+        // Paper Figure 9(b): with λ = 1 (τ = t), holding ≈ 900 s regardless
+        // of the term.
+        let total = SimDuration::from_mins(30);
+        for secs in [30, 60, 180] {
+            let t = SimDuration::from_secs(secs);
+            let h = expected_holding_time(total, t, t);
+            assert!(
+                (h.as_secs_f64() - 900.0).abs() <= 90.0,
+                "term {secs}s gave {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(LeasePolicy::fixed(SimDuration::ZERO, SimDuration::from_secs(1))
+            .validate()
+            .is_err());
+        assert!(LeasePolicy::fixed(SimDuration::from_secs(1), SimDuration::ZERO)
+            .validate()
+            .is_err());
+        let bad_ladder = LeasePolicy {
+            ladder: vec![(10, SimDuration::from_mins(1)), (5, SimDuration::from_mins(5))],
+            ..LeasePolicy::default()
+        };
+        assert!(bad_ladder.validate().is_err());
+        let shrinking = LeasePolicy {
+            ladder: vec![(10, SimDuration::from_millis(1))],
+            ..LeasePolicy::default()
+        };
+        assert!(shrinking.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lambda_panics() {
+        reduction_ratio_for_lambda(-1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Lease proxies.
+//!
+//! "LeaseOS designs a few light-weight lease proxies. Each lease proxy
+//! manages one type of constrained mobile resource … placed inside the OS
+//! subsystem managing that type of resource" (paper §4.1/§4.4). A proxy
+//!
+//! * maintains the mapping between kernel objects and lease descriptors,
+//! * caches the lease capability state for cheap checks without a manager
+//!   round-trip, and
+//! * carries out `onExpire`/`onRenew` callbacks by naming the kernel object
+//!   the host subsystem must revoke or restore.
+//!
+//! Proxies never store lease content or stats (§4.4) — those live in the
+//! manager.
+
+use std::collections::BTreeMap;
+
+use leaseos_framework::{ObjId, ResourceKind};
+
+use crate::descriptor::LeaseId;
+
+/// A per-resource-kind lease proxy.
+#[derive(Debug, Clone)]
+pub struct LeaseProxy {
+    kind: ResourceKind,
+    name: &'static str,
+    obj_to_lease: BTreeMap<ObjId, LeaseId>,
+    lease_to_obj: BTreeMap<LeaseId, ObjId>,
+    /// Cached capability state per lease (true = active).
+    cached: BTreeMap<LeaseId, bool>,
+}
+
+impl LeaseProxy {
+    /// A proxy for `kind`, hosted by the named subsystem.
+    pub fn new(kind: ResourceKind, name: &'static str) -> Self {
+        LeaseProxy {
+            kind,
+            name,
+            obj_to_lease: BTreeMap::new(),
+            lease_to_obj: BTreeMap::new(),
+            cached: BTreeMap::new(),
+        }
+    }
+
+    /// The resource kind this proxy manages.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The host subsystem's name (e.g. `"PowerManagerService"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Binds a kernel object to its lease on creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is already bound — the mapping is one-to-one
+    /// (paper §4.2).
+    pub fn bind(&mut self, obj: ObjId, lease: LeaseId) {
+        let prev = self.obj_to_lease.insert(obj, lease);
+        assert!(prev.is_none(), "object {obj} already bound to {prev:?}");
+        let prev = self.lease_to_obj.insert(lease, obj);
+        assert!(prev.is_none(), "lease {lease} already bound to {prev:?}");
+        self.cached.insert(lease, true);
+    }
+
+    /// Unbinds a dead lease; returns the kernel object it backed.
+    pub fn unbind(&mut self, lease: LeaseId) -> Option<ObjId> {
+        let obj = self.lease_to_obj.remove(&lease)?;
+        self.obj_to_lease.remove(&obj);
+        self.cached.remove(&lease);
+        Some(obj)
+    }
+
+    /// The lease backing `obj`.
+    pub fn lease_for(&self, obj: ObjId) -> Option<LeaseId> {
+        self.obj_to_lease.get(&obj).copied()
+    }
+
+    /// The kernel object backing `lease`.
+    pub fn obj_for(&self, lease: LeaseId) -> Option<ObjId> {
+        self.lease_to_obj.get(&lease).copied()
+    }
+
+    /// Cheap cached capability check (no manager round-trip) — the fast
+    /// path for "Check (Acc)" in Table 4.
+    pub fn check_cached(&self, lease: LeaseId) -> bool {
+        self.cached.get(&lease).copied().unwrap_or(false)
+    }
+
+    /// `onExpire` callback: the manager expired (deferred) the lease; the
+    /// proxy updates its cache and names the kernel object to revoke inside
+    /// the host subsystem (e.g. remove the `IBinder` from the power
+    /// manager's array, §4.4).
+    pub fn on_expire(&mut self, lease: LeaseId) -> Option<ObjId> {
+        let obj = self.obj_for(lease)?;
+        self.cached.insert(lease, false);
+        Some(obj)
+    }
+
+    /// `onRenew` callback: the manager renewed/restored the lease; the proxy
+    /// updates its cache and names the kernel object to restore.
+    pub fn on_renew(&mut self, lease: LeaseId) -> Option<ObjId> {
+        let obj = self.obj_for(lease)?;
+        self.cached.insert(lease, true);
+        Some(obj)
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.obj_to_lease.len()
+    }
+
+    /// True when no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.obj_to_lease.is_empty()
+    }
+}
+
+/// The standard proxy set: one per resource kind, named after the Android
+/// subsystem that hosts it.
+pub fn standard_proxies() -> Vec<LeaseProxy> {
+    vec![
+        LeaseProxy::new(ResourceKind::Wakelock, "PowerManagerService"),
+        LeaseProxy::new(ResourceKind::ScreenWakelock, "PowerManagerService"),
+        LeaseProxy::new(ResourceKind::WifiLock, "WifiService"),
+        LeaseProxy::new(ResourceKind::Gps, "LocationManagerService"),
+        LeaseProxy::new(ResourceKind::Sensor, "SensorService"),
+        LeaseProxy::new(ResourceKind::Audio, "AudioService"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup_round_trip() {
+        let mut p = LeaseProxy::new(ResourceKind::Wakelock, "PowerManagerService");
+        p.bind(ObjId(3), LeaseId(7));
+        assert_eq!(p.lease_for(ObjId(3)), Some(LeaseId(7)));
+        assert_eq!(p.obj_for(LeaseId(7)), Some(ObjId(3)));
+        assert!(p.check_cached(LeaseId(7)));
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn expire_and_renew_update_cache_and_name_the_object() {
+        let mut p = LeaseProxy::new(ResourceKind::Gps, "LocationManagerService");
+        p.bind(ObjId(1), LeaseId(1));
+        assert_eq!(p.on_expire(LeaseId(1)), Some(ObjId(1)));
+        assert!(!p.check_cached(LeaseId(1)));
+        assert_eq!(p.on_renew(LeaseId(1)), Some(ObjId(1)));
+        assert!(p.check_cached(LeaseId(1)));
+    }
+
+    #[test]
+    fn unbind_forgets_everything() {
+        let mut p = LeaseProxy::new(ResourceKind::Sensor, "SensorService");
+        p.bind(ObjId(2), LeaseId(2));
+        assert_eq!(p.unbind(LeaseId(2)), Some(ObjId(2)));
+        assert_eq!(p.unbind(LeaseId(2)), None);
+        assert_eq!(p.lease_for(ObjId(2)), None);
+        assert!(!p.check_cached(LeaseId(2)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn callbacks_on_unknown_lease_are_none() {
+        let mut p = LeaseProxy::new(ResourceKind::Audio, "AudioService");
+        assert_eq!(p.on_expire(LeaseId(9)), None);
+        assert_eq!(p.on_renew(LeaseId(9)), None);
+        assert!(!p.check_cached(LeaseId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_bind_panics() {
+        let mut p = LeaseProxy::new(ResourceKind::Wakelock, "PowerManagerService");
+        p.bind(ObjId(1), LeaseId(1));
+        p.bind(ObjId(1), LeaseId(2));
+    }
+
+    #[test]
+    fn standard_set_covers_every_kind() {
+        let proxies = standard_proxies();
+        for kind in ResourceKind::ALL {
+            assert!(
+                proxies.iter().any(|p| p.kind() == kind),
+                "no proxy for {kind}"
+            );
+        }
+        // Both power locks live in the power manager, as on Android.
+        assert_eq!(
+            proxies
+                .iter()
+                .filter(|p| p.name() == "PowerManagerService")
+                .count(),
+            2
+        );
+    }
+}

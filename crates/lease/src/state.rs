@@ -1,0 +1,222 @@
+//! Lease states and the Figure 5 transition rules.
+//!
+//! A distributed-systems lease has two states (active, expired); the mobile
+//! adaptation needs four plus a transition relation that encodes *why* a
+//! lease moves (paper §3.2):
+//!
+//! ```text
+//!            resource held & past term normal
+//!          ┌──────────────────────────────────┐
+//!          ▼                                  │
+//!       ACTIVE ──end of term, not held──► INACTIVE
+//!        │  ▲                                 │
+//!  FAB/  │  │ end of delay τ        re-acquire/use
+//!  LHB/  │  │                                 │
+//!  LUB   ▼  │                                 ▼
+//!      DEFERRED                            ACTIVE
+//!          │
+//!          └───resource deallocated──► DEAD (any state)
+//! ```
+
+use std::fmt;
+
+/// The state of a lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeaseState {
+    /// The holder possesses the capability; accesses need no OS approval.
+    Active,
+    /// The resource is no longer held; a re-acquire requires a renewal
+    /// check with the manager.
+    Inactive,
+    /// Misbehaviour detected: the capability and resource are temporarily
+    /// revoked for the deferral interval τ.
+    Deferred,
+    /// The backing kernel object was deallocated; the lease can never be
+    /// renewed and will be cleaned up.
+    Dead,
+}
+
+/// Why a lease is asked to transition (the edge labels of Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transition {
+    /// Term ended, the resource is still held, and the past term was normal
+    /// (or excessive-use, which LeaseOS deliberately does not punish).
+    TermEndNormal,
+    /// Term ended, the resource is still held, and the past term showed
+    /// FAB/LHB/LUB misbehaviour.
+    TermEndMisbehaved,
+    /// Term ended and the resource was no longer held.
+    TermEndNotHeld,
+    /// The deferral interval τ elapsed.
+    DeferralEnd,
+    /// The app re-acquired or used the resource.
+    Reacquire,
+    /// The kernel object was deallocated.
+    ObjectDead,
+}
+
+impl LeaseState {
+    /// Applies `transition`, returning the next state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IllegalTransition`] for edges that do not exist in
+    /// Figure 5 — e.g. any transition out of [`LeaseState::Dead`], or a
+    /// term-end event on an inactive lease.
+    pub fn apply(self, transition: Transition) -> Result<LeaseState, IllegalTransition> {
+        use LeaseState::*;
+        use Transition::*;
+        let next = match (self, transition) {
+            (_, ObjectDead) if self != Dead => Dead,
+            (Active, TermEndNormal) => Active,
+            (Active, TermEndMisbehaved) => Deferred,
+            (Active, TermEndNotHeld) => Inactive,
+            (Active, Reacquire) => Active,
+            (Deferred, DeferralEnd) => Active,
+            // During τ the acquire IPC pretends success; the lease stays
+            // deferred (§4.6).
+            (Deferred, Reacquire) => Deferred,
+            (Inactive, Reacquire) => Active,
+            _ => {
+                return Err(IllegalTransition {
+                    from: self,
+                    transition,
+                })
+            }
+        };
+        Ok(next)
+    }
+
+    /// Whether the lease currently grants the capability.
+    pub fn grants_capability(self) -> bool {
+        matches!(self, LeaseState::Active)
+    }
+
+    /// Whether the lease should have a pending manager check scheduled
+    /// (term end for active leases, deferral end for deferred ones).
+    pub fn has_pending_check(self) -> bool {
+        matches!(self, LeaseState::Active | LeaseState::Deferred)
+    }
+}
+
+impl fmt::Display for LeaseState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LeaseState::Active => "ACTIVE",
+            LeaseState::Inactive => "INACTIVE",
+            LeaseState::Deferred => "DEFERRED",
+            LeaseState::Dead => "DEAD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A transition that does not exist in the Figure 5 state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// The state the lease was in.
+    pub from: LeaseState,
+    /// The transition that was attempted.
+    pub transition: Transition,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal lease transition {:?} from {}", self.transition, self.from)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LeaseState::*;
+    use Transition::*;
+
+    #[test]
+    fn normal_term_renews_in_place() {
+        assert_eq!(Active.apply(TermEndNormal), Ok(Active));
+    }
+
+    #[test]
+    fn misbehaviour_defers() {
+        assert_eq!(Active.apply(TermEndMisbehaved), Ok(Deferred));
+    }
+
+    #[test]
+    fn released_resource_goes_inactive() {
+        assert_eq!(Active.apply(TermEndNotHeld), Ok(Inactive));
+    }
+
+    #[test]
+    fn deferral_ends_back_to_active() {
+        assert_eq!(Deferred.apply(DeferralEnd), Ok(Active));
+    }
+
+    #[test]
+    fn reacquire_during_deferral_stays_deferred() {
+        // §4.6: acquire IPCs during τ pretend to succeed without restoring.
+        assert_eq!(Deferred.apply(Reacquire), Ok(Deferred));
+    }
+
+    #[test]
+    fn inactive_reacquire_reactivates() {
+        assert_eq!(Inactive.apply(Reacquire), Ok(Active));
+    }
+
+    #[test]
+    fn any_live_state_can_die() {
+        for s in [Active, Inactive, Deferred] {
+            assert_eq!(s.apply(ObjectDead), Ok(Dead));
+        }
+    }
+
+    #[test]
+    fn dead_is_terminal() {
+        for tr in [
+            TermEndNormal,
+            TermEndMisbehaved,
+            TermEndNotHeld,
+            DeferralEnd,
+            Reacquire,
+            ObjectDead,
+        ] {
+            assert!(Dead.apply(tr).is_err(), "{tr:?} must not leave DEAD");
+        }
+    }
+
+    #[test]
+    fn inactive_rejects_term_events() {
+        assert!(Inactive.apply(TermEndNormal).is_err());
+        assert!(Inactive.apply(TermEndMisbehaved).is_err());
+        assert!(Inactive.apply(DeferralEnd).is_err());
+    }
+
+    #[test]
+    fn capability_and_check_predicates() {
+        assert!(Active.grants_capability());
+        assert!(!Deferred.grants_capability());
+        assert!(!Inactive.grants_capability());
+        assert!(Active.has_pending_check());
+        assert!(Deferred.has_pending_check());
+        assert!(!Inactive.has_pending_check());
+        assert!(!Dead.has_pending_check());
+    }
+
+    #[test]
+    fn illegal_transition_is_a_real_error() {
+        let err = Dead.apply(Reacquire).unwrap_err();
+        assert_eq!(err.from, Dead);
+        assert!(err.to_string().contains("illegal lease transition"));
+        let _: &dyn std::error::Error = &err;
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Active.to_string(), "ACTIVE");
+        assert_eq!(Deferred.to_string(), "DEFERRED");
+        assert_eq!(Inactive.to_string(), "INACTIVE");
+        assert_eq!(Dead.to_string(), "DEAD");
+    }
+}

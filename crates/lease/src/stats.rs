@@ -1,0 +1,389 @@
+//! Lease stats: per-term usage snapshots and the §2.4 utility metrics.
+//!
+//! The lease manager keeps, for each lease, a *lease stat* per term
+//! (paper §3.3). We realize it as the delta between two cumulative
+//! [`UsageSnapshot`]s of the ledger — one taken when the term starts, one
+//! when it ends — from which [`TermStats`] computes the three metrics that
+//! identify the misbehaviour classes:
+//!
+//! * request success ratio (`1 − unsuccessful request time / total request
+//!   time`) → Frequent-Ask,
+//! * utilization ratio (`resource usage time / holding time`) → Long-
+//!   Holding,
+//! * utility rate (utility score per unit of use) → Low-Utility.
+
+use leaseos_framework::{AppId, Ledger, ObjId, ResourceKind, ObjStats};
+use leaseos_simkit::{SimDuration, SimTime};
+
+/// Cumulative counters for one lease's object and holder, read from the
+/// ledger at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UsageSnapshot {
+    /// Whether the app currently holds the resource.
+    pub held: bool,
+    /// Holding time, app view, ms.
+    pub held_ms: u64,
+    /// Effective holding time (excluding revocations), ms.
+    pub effective_ms: u64,
+    /// GPS fix-search time, ms.
+    pub searching_ms: u64,
+    /// GPS fixed time, ms.
+    pub fixed_ms: u64,
+    /// Listener deliveries.
+    pub deliveries: u64,
+    /// Holder's executed CPU time, ms.
+    pub cpu_ms: u64,
+    /// Holder's severe exceptions.
+    pub exceptions: u64,
+    /// Holder's UI updates.
+    pub ui_updates: u64,
+    /// Holder's user interactions.
+    pub interactions: u64,
+    /// Holder's data records written.
+    pub data_written: u64,
+    /// Holder's network operations.
+    pub net_ops: u64,
+    /// Holder's failed network operations.
+    pub net_failures: u64,
+    /// Metres moved across fixes the holder consumed.
+    pub distance_m: f64,
+    /// Holder's live-Activity time, ms.
+    pub activity_ms: u64,
+    /// System-wide user-present time, ms.
+    pub user_present_ms: u64,
+    /// The holder's custom utility score, if one is registered.
+    pub custom_utility: Option<f64>,
+}
+
+impl UsageSnapshot {
+    /// Reads the cumulative snapshot for `obj` (owned by `app`) out of the
+    /// ledger at `now`.
+    pub fn capture(ledger: &Ledger, obj: ObjId, app: AppId, now: SimTime) -> Self {
+        let o: &ObjStats = ledger.obj(obj);
+        let a = ledger.app_opt(app);
+        UsageSnapshot {
+            held: o.held,
+            held_ms: o.held_time(now).as_millis(),
+            effective_ms: o.effective_held_time(now).as_millis(),
+            searching_ms: o.searching_time(now).as_millis(),
+            fixed_ms: o.fixed_time(now).as_millis(),
+            deliveries: o.deliveries,
+            cpu_ms: a.map_or(0, |a| a.cpu_ms),
+            exceptions: a.map_or(0, |a| a.exceptions),
+            ui_updates: a.map_or(0, |a| a.ui_updates),
+            interactions: a.map_or(0, |a| a.interactions),
+            data_written: a.map_or(0, |a| a.data_written),
+            net_ops: a.map_or(0, |a| a.net_ops),
+            net_failures: a.map_or(0, |a| a.net_failures),
+            distance_m: a.map_or(0.0, |a| a.distance_m),
+            activity_ms: a.map_or(0, |a| a.activity_time(now).as_millis()),
+            user_present_ms: ledger.user_present_time(now).as_millis(),
+            custom_utility: a.and_then(|a| a.custom_utility),
+        }
+    }
+}
+
+/// The per-term lease stat: the delta between two snapshots plus the term
+/// length, with the §2.4 metrics as methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TermStats {
+    /// The resource kind the lease backs.
+    pub kind: ResourceKind,
+    /// Length of the term.
+    pub term: SimDuration,
+    /// Whether the resource was still held at term end.
+    pub held_at_end: bool,
+    /// Holding time within the term, ms (app view).
+    pub held_ms: u64,
+    /// GPS search time within the term, ms.
+    pub searching_ms: u64,
+    /// GPS fixed time within the term, ms.
+    pub fixed_ms: u64,
+    /// Deliveries within the term.
+    pub deliveries: u64,
+    /// Holder CPU time within the term, ms.
+    pub cpu_ms: u64,
+    /// Exceptions within the term.
+    pub exceptions: u64,
+    /// UI updates within the term.
+    pub ui_updates: u64,
+    /// Interactions within the term.
+    pub interactions: u64,
+    /// Data records within the term.
+    pub data_written: u64,
+    /// Network ops within the term.
+    pub net_ops: u64,
+    /// Failed network ops within the term.
+    pub net_failures: u64,
+    /// Metres moved within the term.
+    pub distance_m: f64,
+    /// Live-Activity time within the term, ms.
+    pub activity_ms: u64,
+    /// User-present time within the term, ms.
+    pub user_present_ms: u64,
+    /// Custom utility score at term end, if registered.
+    pub custom_utility: Option<f64>,
+}
+
+impl TermStats {
+    /// Computes the stats for a term of `term` length from the snapshots at
+    /// its start and end.
+    pub fn between(kind: ResourceKind, term: SimDuration, start: &UsageSnapshot, end: &UsageSnapshot) -> Self {
+        TermStats {
+            kind,
+            term,
+            held_at_end: end.held,
+            held_ms: end.held_ms.saturating_sub(start.held_ms),
+            searching_ms: end.searching_ms.saturating_sub(start.searching_ms),
+            fixed_ms: end.fixed_ms.saturating_sub(start.fixed_ms),
+            deliveries: end.deliveries.saturating_sub(start.deliveries),
+            cpu_ms: end.cpu_ms.saturating_sub(start.cpu_ms),
+            exceptions: end.exceptions.saturating_sub(start.exceptions),
+            ui_updates: end.ui_updates.saturating_sub(start.ui_updates),
+            interactions: end.interactions.saturating_sub(start.interactions),
+            data_written: end.data_written.saturating_sub(start.data_written),
+            net_ops: end.net_ops.saturating_sub(start.net_ops),
+            net_failures: end.net_failures.saturating_sub(start.net_failures),
+            distance_m: (end.distance_m - start.distance_m).max(0.0),
+            activity_ms: end.activity_ms.saturating_sub(start.activity_ms),
+            user_present_ms: end.user_present_ms.saturating_sub(start.user_present_ms),
+            custom_utility: end.custom_utility,
+        }
+    }
+
+    /// Merges an `older` term into this one, producing window-level stats
+    /// spanning both (used by the look-back utility window, §4.3: decisions
+    /// consider "the behavior types for the current term and last few
+    /// terms"). `held_at_end` and the custom utility stay those of the
+    /// newer term (`self`).
+    pub fn merge(&self, older: &TermStats) -> TermStats {
+        TermStats {
+            kind: self.kind,
+            term: self.term + older.term,
+            held_at_end: self.held_at_end,
+            held_ms: self.held_ms + older.held_ms,
+            searching_ms: self.searching_ms + older.searching_ms,
+            fixed_ms: self.fixed_ms + older.fixed_ms,
+            deliveries: self.deliveries + older.deliveries,
+            cpu_ms: self.cpu_ms + older.cpu_ms,
+            exceptions: self.exceptions + older.exceptions,
+            ui_updates: self.ui_updates + older.ui_updates,
+            interactions: self.interactions + older.interactions,
+            data_written: self.data_written + older.data_written,
+            net_ops: self.net_ops + older.net_ops,
+            net_failures: self.net_failures + older.net_failures,
+            distance_m: self.distance_m + older.distance_m,
+            activity_ms: self.activity_ms + older.activity_ms,
+            user_present_ms: self.user_present_ms + older.user_present_ms,
+            custom_utility: self.custom_utility,
+        }
+    }
+
+    /// Fraction of the term the resource was held, in `[0, 1]`.
+    pub fn held_ratio(&self) -> f64 {
+        ratio(self.held_ms, self.term.as_millis())
+    }
+
+    /// Fraction of the term spent asking (GPS search), in `[0, 1]`.
+    pub fn ask_ratio(&self) -> f64 {
+        ratio(self.searching_ms, self.term.as_millis())
+    }
+
+    /// The request success ratio of §2.4: granted-and-fixed time over total
+    /// request time. `1.0` when the resource never asks (non-GPS kinds or an
+    /// idle term).
+    pub fn success_ratio(&self) -> f64 {
+        let total = self.searching_ms + self.fixed_ms;
+        if total == 0 {
+            1.0
+        } else {
+            self.fixed_ms as f64 / total as f64
+        }
+    }
+
+    /// The utilization ratio of §2.4 (`resource usage time / holding
+    /// time`), with the per-resource semantics of §3.3:
+    ///
+    /// * wakelock — CPU time over holding time;
+    /// * screen wakelock — user-present time over holding time;
+    /// * Wi-Fi lock — modeled network-active time over holding time;
+    /// * GPS / sensor — the listener is always invoked, so utilization is
+    ///   the bound Activity's live time over holding time;
+    /// * audio — playing *is* using: utilization is 1 while held.
+    ///
+    /// Returns `1.0` for a term with no holding (nothing to waste).
+    pub fn utilization(&self) -> f64 {
+        if self.held_ms == 0 {
+            return 1.0;
+        }
+        let used_ms = match self.kind {
+            ResourceKind::Wakelock => self.cpu_ms as f64,
+            ResourceKind::ScreenWakelock => self.user_present_ms.min(self.held_ms) as f64,
+            // ~500 ms of radio-active time per network operation.
+            ResourceKind::WifiLock => (self.net_ops as f64) * 500.0,
+            ResourceKind::Gps | ResourceKind::Sensor => self.activity_ms.min(self.held_ms) as f64,
+            ResourceKind::Audio => self.held_ms as f64,
+        };
+        (used_ms / self.held_ms as f64).min(4.0)
+    }
+
+    /// Exceptions per minute of term.
+    pub fn exception_rate(&self) -> f64 {
+        per_minute(self.exceptions, self.term)
+    }
+
+    /// Positive utility signals (UI updates, interactions, data written,
+    /// successful network ops) per minute of term.
+    pub fn positive_signal_rate(&self) -> f64 {
+        let ok_net = self.net_ops.saturating_sub(self.net_failures);
+        per_minute(self.ui_updates + self.interactions + self.data_written + ok_net, self.term)
+    }
+}
+
+fn ratio(num_ms: u64, den_ms: u64) -> f64 {
+    if den_ms == 0 {
+        0.0
+    } else {
+        (num_ms as f64 / den_ms as f64).min(1.0)
+    }
+}
+
+fn per_minute(count: u64, term: SimDuration) -> f64 {
+    let mins = term.as_mins_f64();
+    if mins <= 0.0 {
+        0.0
+    } else {
+        count as f64 / mins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term_of(kind: ResourceKind, f: impl FnOnce(&mut TermStats)) -> TermStats {
+        let mut t = TermStats::between(
+            kind,
+            SimDuration::from_secs(60),
+            &UsageSnapshot::default(),
+            &UsageSnapshot::default(),
+        );
+        f(&mut t);
+        t
+    }
+
+    #[test]
+    fn between_subtracts_cumulative_counters() {
+        let start = UsageSnapshot {
+            held_ms: 1_000,
+            cpu_ms: 500,
+            exceptions: 2,
+            distance_m: 10.0,
+            ..UsageSnapshot::default()
+        };
+        let end = UsageSnapshot {
+            held: true,
+            held_ms: 6_000,
+            cpu_ms: 700,
+            exceptions: 5,
+            distance_m: 12.5,
+            custom_utility: Some(80.0),
+            ..UsageSnapshot::default()
+        };
+        let t = TermStats::between(ResourceKind::Wakelock, SimDuration::from_secs(5), &start, &end);
+        assert_eq!(t.held_ms, 5_000);
+        assert_eq!(t.cpu_ms, 200);
+        assert_eq!(t.exceptions, 3);
+        assert!((t.distance_m - 2.5).abs() < 1e-12);
+        assert!(t.held_at_end);
+        assert_eq!(t.custom_utility, Some(80.0));
+    }
+
+    #[test]
+    fn wakelock_utilization_is_cpu_over_hold() {
+        let t = term_of(ResourceKind::Wakelock, |t| {
+            t.held_ms = 30_000;
+            t.cpu_ms = 300;
+        });
+        assert!((t.utilization() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_can_exceed_one_for_concurrent_cpu() {
+        // Figure 4: CPU usage over wakelock time exceeding 100%.
+        let t = term_of(ResourceKind::Wakelock, |t| {
+            t.held_ms = 10_000;
+            t.cpu_ms = 15_000;
+        });
+        assert!(t.utilization() > 1.0);
+    }
+
+    #[test]
+    fn listener_utilization_uses_activity_lifetime() {
+        let t = term_of(ResourceKind::Gps, |t| {
+            t.held_ms = 60_000;
+            t.activity_ms = 6_000;
+        });
+        assert!((t.utilization() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn screen_utilization_uses_user_presence() {
+        let t = term_of(ResourceKind::ScreenWakelock, |t| {
+            t.held_ms = 60_000;
+            t.user_present_ms = 0;
+        });
+        assert_eq!(t.utilization(), 0.0);
+    }
+
+    #[test]
+    fn audio_is_always_utilized_while_held() {
+        let t = term_of(ResourceKind::Audio, |t| {
+            t.held_ms = 60_000;
+        });
+        assert_eq!(t.utilization(), 1.0);
+    }
+
+    #[test]
+    fn unheld_term_is_fully_utilized_by_definition() {
+        let t = term_of(ResourceKind::Wakelock, |_| {});
+        assert_eq!(t.utilization(), 1.0);
+    }
+
+    #[test]
+    fn success_ratio_for_gps_ask() {
+        let t = term_of(ResourceKind::Gps, |t| {
+            t.searching_ms = 36_000;
+            t.fixed_ms = 4_000;
+        });
+        assert!((t.success_ratio() - 0.1).abs() < 1e-12);
+        assert!((t.ask_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_ratio_defaults_to_one_without_requests() {
+        let t = term_of(ResourceKind::Wakelock, |_| {});
+        assert_eq!(t.success_ratio(), 1.0);
+    }
+
+    #[test]
+    fn rates_are_per_minute() {
+        let t = term_of(ResourceKind::Wakelock, |t| {
+            t.exceptions = 30;
+            t.ui_updates = 6;
+            t.net_ops = 12;
+            t.net_failures = 12;
+        });
+        assert!((t.exception_rate() - 30.0).abs() < 1e-12);
+        // Failed ops are not positive signals.
+        assert!((t.positive_signal_rate() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn held_ratio_clamps_to_one() {
+        let t = term_of(ResourceKind::Wakelock, |t| {
+            t.held_ms = 120_000;
+        });
+        assert_eq!(t.held_ratio(), 1.0);
+    }
+}

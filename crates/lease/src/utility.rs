@@ -1,0 +1,292 @@
+//! Utility scoring.
+//!
+//! LeaseOS is *utilitarian*: lease decisions hinge on how much value the
+//! holder extracted from the resource, not on how long it held it. The OS
+//! cannot know app semantics, so it combines (paper §3.3):
+//!
+//! * a **generic utility score** derived from conservative heuristics — the
+//!   frequency of severe exceptions (low utility for wakelocks), distance
+//!   moved (utility for GPS), and UI updates / user interactions (high
+//!   utility) — and
+//! * an optional app-supplied **custom utility counter**
+//!   ([`UtilityCounter`], the paper's `IUtilityCounter`), taken only as a
+//!   hint when the generic score is not too low, to prevent abuse.
+
+use leaseos_framework::ResourceKind;
+
+use crate::stats::TermStats;
+
+/// The app-side custom utility callback (paper Figure 6).
+///
+/// Implementations return a score in `[0, 100]` describing how much value
+/// the user got from the resource recently — e.g. TapAndTurn returns
+/// `100 × clicks / rotations`.
+pub trait UtilityCounter {
+    /// The current score in `[0, 100]`. Values outside the range are
+    /// clamped by the caller.
+    fn score(&self) -> f64;
+}
+
+impl<F: Fn() -> f64> UtilityCounter for F {
+    fn score(&self) -> f64 {
+        self()
+    }
+}
+
+/// Configuration for utility scoring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityConfig {
+    /// Score assigned when a term produced no evidence either way.
+    pub neutral_score: f64,
+    /// Minimum generic score at which a custom counter is honoured
+    /// (abuse guard: a misbehaving app cannot buy renewal with a flattering
+    /// custom counter).
+    pub custom_hint_floor: f64,
+    /// Metres of movement per term-minute that count as full GPS utility.
+    pub gps_full_utility_m_per_min: f64,
+    /// Interactions per term-minute that count as full sensor utility.
+    pub sensor_full_utility_inter_per_min: f64,
+}
+
+impl Default for UtilityConfig {
+    fn default() -> Self {
+        UtilityConfig {
+            neutral_score: 50.0,
+            custom_hint_floor: 20.0,
+            gps_full_utility_m_per_min: 30.0,
+            sensor_full_utility_inter_per_min: 1.0,
+        }
+    }
+}
+
+/// Computes the generic utility score in `[0, 100]` for one term.
+///
+/// Per-resource heuristics (paper §3.3):
+///
+/// * **wakelock / Wi-Fi / audio** — exceptions lower the score, UI updates,
+///   interactions, data writes and successful network ops raise it; with no
+///   evidence either way the score is neutral.
+/// * **GPS** — distance moved over the term, normalized.
+/// * **sensor** — user interactions attributable to the sensed events.
+/// * **screen** — user interactions while lit.
+pub fn generic_utility(cfg: &UtilityConfig, stats: &TermStats) -> f64 {
+    let score = match stats.kind {
+        ResourceKind::Wakelock | ResourceKind::WifiLock | ResourceKind::Audio => {
+            signal_balance(cfg, stats)
+        }
+        ResourceKind::Gps => {
+            if stats.fixed_ms == 0 && stats.deliveries == 0 {
+                // No location data was granted yet (still acquiring a fix):
+                // there is no usage to rate. Bad *asking* is Frequent-Ask's
+                // job, with its own thresholds.
+                return cfg.neutral_score;
+            }
+            let mins = stats.term.as_mins_f64().max(1e-9);
+            let full = cfg.gps_full_utility_m_per_min * mins;
+            // Data written (a tracker logging fixes) also counts: the paper
+            // suggests tracking-data volume as a fitness-app utility.
+            let moved = (stats.distance_m / full).min(1.0);
+            let logged = if stats.data_written > 0 { 0.3 } else { 0.0 };
+            100.0 * (moved + logged).min(1.0)
+        }
+        ResourceKind::Sensor => {
+            let mins = stats.term.as_mins_f64().max(1e-9);
+            let full = cfg.sensor_full_utility_inter_per_min * mins;
+            let inter = (stats.interactions as f64 / full).min(1.0);
+            // Sensed data persisted to storage (a fitness tracker logging
+            // readings) is value even without direct interaction.
+            let logged = if stats.data_written > 0 { 0.6 } else { 0.0 };
+            100.0 * (inter + logged).min(1.0)
+        }
+        ResourceKind::ScreenWakelock => {
+            // A lit screen is useful when the user is actually engaging.
+            if stats.interactions > 0 || stats.ui_updates > 0 {
+                100.0
+            } else {
+                cfg.neutral_score
+            }
+        }
+    };
+    score.clamp(0.0, 100.0)
+}
+
+/// The final utility score for a term: the generic score, overridden by the
+/// app's custom counter when the generic score clears the abuse floor.
+pub fn term_utility(cfg: &UtilityConfig, stats: &TermStats) -> f64 {
+    let generic = generic_utility(cfg, stats);
+    match stats.custom_utility {
+        Some(custom) if generic >= cfg.custom_hint_floor => custom.clamp(0.0, 100.0),
+        _ => generic,
+    }
+}
+
+/// Positive-vs-negative signal balance, neutral when there is no evidence.
+fn signal_balance(cfg: &UtilityConfig, stats: &TermStats) -> f64 {
+    let pos = stats.positive_signal_rate();
+    let neg = stats.exception_rate();
+    if pos == 0.0 && neg == 0.0 {
+        cfg.neutral_score
+    } else {
+        100.0 * pos / (pos + neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_simkit::SimDuration;
+
+    fn stats(kind: ResourceKind, f: impl FnOnce(&mut TermStats)) -> TermStats {
+        let mut t = TermStats::between(
+            kind,
+            SimDuration::from_secs(60),
+            &Default::default(),
+            &Default::default(),
+        );
+        f(&mut t);
+        t
+    }
+
+    #[test]
+    fn silent_term_scores_neutral() {
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Wakelock, |t| t.held_ms = 60_000);
+        assert_eq!(generic_utility(&cfg, &t), 50.0);
+    }
+
+    #[test]
+    fn exception_storm_scores_zero() {
+        // The K-9 disconnected loop: all exceptions, no positive signals.
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Wakelock, |t| {
+            t.exceptions = 40;
+            t.net_ops = 40;
+            t.net_failures = 40;
+        });
+        assert_eq!(generic_utility(&cfg, &t), 0.0);
+    }
+
+    #[test]
+    fn productive_sync_scores_high() {
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Wakelock, |t| {
+            t.net_ops = 10;
+            t.ui_updates = 5;
+        });
+        assert_eq!(generic_utility(&cfg, &t), 100.0);
+    }
+
+    #[test]
+    fn mixed_signals_score_proportionally() {
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Wakelock, |t| {
+            t.ui_updates = 3;
+            t.exceptions = 1;
+        });
+        assert!((generic_utility(&cfg, &t) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gps_utility_tracks_distance() {
+        let cfg = UtilityConfig::default();
+        let moving = stats(ResourceKind::Gps, |t| {
+            t.fixed_ms = 55_000;
+            t.deliveries = 55;
+            t.distance_m = 30.0;
+        });
+        let still = stats(ResourceKind::Gps, |t| {
+            t.fixed_ms = 55_000;
+            t.deliveries = 55;
+            t.distance_m = 0.0;
+        });
+        assert_eq!(generic_utility(&cfg, &moving), 100.0);
+        assert_eq!(generic_utility(&cfg, &still), 0.0);
+    }
+
+    #[test]
+    fn gps_still_searching_scores_neutral() {
+        // No fix was ever granted: nothing to rate — FAB owns bad asking.
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Gps, |t| t.searching_ms = 60_000);
+        assert_eq!(generic_utility(&cfg, &t), 50.0);
+    }
+
+    #[test]
+    fn gps_logging_earns_partial_utility() {
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Gps, |t| {
+            t.fixed_ms = 55_000;
+            t.deliveries = 55;
+            t.distance_m = 0.0;
+            t.data_written = 5;
+        });
+        assert!((generic_utility(&cfg, &t) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensor_utility_tracks_interactions() {
+        let cfg = UtilityConfig::default();
+        let used = stats(ResourceKind::Sensor, |t| t.interactions = 2);
+        let ignored = stats(ResourceKind::Sensor, |_| {});
+        assert_eq!(generic_utility(&cfg, &used), 100.0);
+        assert_eq!(generic_utility(&cfg, &ignored), 0.0);
+    }
+
+    #[test]
+    fn sensor_logging_earns_utility_without_interactions() {
+        // A fitness tracker persists readings; that is value (paper §3.3's
+        // fitness-app example), even with zero direct interactions.
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Sensor, |t| t.data_written = 12);
+        assert!((generic_utility(&cfg, &t) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn screen_utility_needs_engagement() {
+        let cfg = UtilityConfig::default();
+        let engaged = stats(ResourceKind::ScreenWakelock, |t| t.interactions = 1);
+        let ignored = stats(ResourceKind::ScreenWakelock, |_| {});
+        assert_eq!(generic_utility(&cfg, &engaged), 100.0);
+        assert_eq!(generic_utility(&cfg, &ignored), 50.0);
+    }
+
+    #[test]
+    fn custom_counter_honoured_above_floor() {
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Sensor, |t| {
+            t.interactions = 1; // generic = 100, above the floor
+            t.custom_utility = Some(10.0);
+        });
+        assert_eq!(term_utility(&cfg, &t), 10.0);
+    }
+
+    #[test]
+    fn custom_counter_ignored_when_generic_too_low() {
+        // Abuse guard: a flattering custom score cannot rescue a term the
+        // generic heuristics rate as worthless.
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Sensor, |t| {
+            t.interactions = 0; // generic = 0
+            t.custom_utility = Some(95.0);
+        });
+        assert_eq!(term_utility(&cfg, &t), 0.0);
+    }
+
+    #[test]
+    fn custom_scores_are_clamped() {
+        let cfg = UtilityConfig::default();
+        let t = stats(ResourceKind::Sensor, |t| {
+            t.interactions = 5;
+            t.custom_utility = Some(400.0);
+        });
+        assert_eq!(term_utility(&cfg, &t), 100.0);
+    }
+
+    #[test]
+    fn closures_are_utility_counters() {
+        let rotations = 4u32;
+        let clicks = 1u32;
+        let counter = move || 100.0 * clicks as f64 / rotations as f64;
+        assert_eq!(UtilityCounter::score(&counter), 25.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests for the lease mechanism: state-machine safety,
+//! classifier totality and monotonicity, and the §5 policy mathematics.
+
+use proptest::prelude::*;
+
+use leaseos::{
+    expected_holding_time, reduction_ratio_for_lambda, Classifier, LeaseManager,
+    LeasePolicy, LeaseState, TermStats, Transition, UsageSnapshot,
+};
+use leaseos_framework::{AppId, ObjId, ResourceKind};
+use leaseos_simkit::{SimDuration, SimTime};
+
+fn any_transition() -> impl Strategy<Value = Transition> {
+    prop_oneof![
+        Just(Transition::TermEndNormal),
+        Just(Transition::TermEndMisbehaved),
+        Just(Transition::TermEndNotHeld),
+        Just(Transition::DeferralEnd),
+        Just(Transition::Reacquire),
+        Just(Transition::ObjectDead),
+    ]
+}
+
+fn any_kind() -> impl Strategy<Value = ResourceKind> {
+    prop_oneof![
+        Just(ResourceKind::Wakelock),
+        Just(ResourceKind::ScreenWakelock),
+        Just(ResourceKind::WifiLock),
+        Just(ResourceKind::Gps),
+        Just(ResourceKind::Sensor),
+        Just(ResourceKind::Audio),
+    ]
+}
+
+prop_compose! {
+    fn any_term_stats()(
+        kind in any_kind(),
+        term_s in 1u64..600,
+        held_ms in 0u64..600_000,
+        searching_ms in 0u64..600_000,
+        fixed_ms in 0u64..600_000,
+        deliveries in 0u64..1_000,
+        cpu_ms in 0u64..1_200_000,
+        exceptions in 0u64..1_000,
+        ui in 0u64..1_000,
+        inter in 0u64..1_000,
+        data in 0u64..1_000,
+        net in 0u64..1_000,
+        net_fail_frac in 0u64..=100,
+        distance in 0.0f64..10_000.0,
+        activity_ms in 0u64..600_000,
+        user_ms in 0u64..600_000,
+        held in any::<bool>(),
+    ) -> TermStats {
+        let start = UsageSnapshot::default();
+        let end = UsageSnapshot {
+            held,
+            held_ms,
+            effective_ms: held_ms,
+            searching_ms,
+            fixed_ms,
+            deliveries,
+            cpu_ms,
+            exceptions,
+            ui_updates: ui,
+            interactions: inter,
+            data_written: data,
+            net_ops: net,
+            net_failures: net * net_fail_frac / 100,
+            distance_m: distance,
+            activity_ms,
+            user_present_ms: user_ms,
+            custom_utility: None,
+        };
+        TermStats::between(kind, SimDuration::from_secs(term_s), &start, &end)
+    }
+}
+
+proptest! {
+    /// No transition sequence ever leaves a legal-but-corrupt state:
+    /// illegal edges are rejected, DEAD is terminal, and every reachable
+    /// state is one of the four of Figure 5.
+    #[test]
+    fn state_machine_is_safe(transitions in prop::collection::vec(any_transition(), 0..64)) {
+        let mut state = LeaseState::Active;
+        let mut died = false;
+        for tr in transitions {
+            match state.apply(tr) {
+                Ok(next) => {
+                    prop_assert!(!died, "left DEAD via {tr:?}");
+                    if next == LeaseState::Dead {
+                        died = true;
+                    }
+                    state = next;
+                }
+                Err(_) => { /* rejected edges leave the state unchanged */ }
+            }
+            prop_assert!(matches!(
+                state,
+                LeaseState::Active | LeaseState::Inactive | LeaseState::Deferred | LeaseState::Dead
+            ));
+        }
+    }
+
+    /// The classifier is total and respects Table 1 applicability: it never
+    /// emits FAB for a resource whose ask cannot fail.
+    #[test]
+    fn classifier_respects_applicability(stats in any_term_stats()) {
+        let behavior = Classifier::new().classify(&stats);
+        prop_assert!(behavior.applies_to(stats.kind), "{behavior} on {}", stats.kind);
+    }
+
+    /// Adding exceptions to a term never improves its judged behaviour
+    /// (misbehaving terms stay misbehaving).
+    #[test]
+    fn exceptions_never_help(stats in any_term_stats(), extra in 1u64..1_000) {
+        let classifier = Classifier::new();
+        let before = classifier.classify(&stats);
+        let mut worse = stats;
+        worse.exceptions += extra;
+        let after = classifier.classify(&worse);
+        if before.is_misbehavior() {
+            prop_assert!(
+                after.is_misbehavior(),
+                "exceptions turned {before} into {after}"
+            );
+        }
+    }
+
+    /// Utilization and the ratio metrics stay in sane ranges.
+    #[test]
+    fn metric_ranges(stats in any_term_stats()) {
+        prop_assert!((0.0..=1.0).contains(&stats.held_ratio()));
+        prop_assert!((0.0..=1.0).contains(&stats.ask_ratio()));
+        prop_assert!((0.0..=1.0).contains(&stats.success_ratio()));
+        prop_assert!(stats.utilization() >= 0.0);
+        prop_assert!(stats.exception_rate() >= 0.0);
+    }
+
+    /// Merging term stats is additive on counters and spans.
+    #[test]
+    fn merge_is_additive(a in any_term_stats(), b in any_term_stats()) {
+        // merge is only meaningful within one lease; align the kinds.
+        let mut b = b;
+        b.kind = a.kind;
+        let m = a.merge(&b);
+        prop_assert_eq!(m.term, a.term + b.term);
+        prop_assert_eq!(m.cpu_ms, a.cpu_ms + b.cpu_ms);
+        prop_assert_eq!(m.exceptions, a.exceptions + b.exceptions);
+        prop_assert_eq!(m.held_ms, a.held_ms + b.held_ms);
+        prop_assert_eq!(m.deliveries, a.deliveries + b.deliveries);
+        prop_assert_eq!(m.held_at_end, a.held_at_end);
+    }
+
+    /// r(λ) is monotone, bounded by [0, 1), and matches H/T = 1/(1+λ).
+    #[test]
+    fn reduction_formula_properties(l1 in 0.0f64..100.0, l2 in 0.0f64..100.0) {
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let r_lo = reduction_ratio_for_lambda(lo);
+        let r_hi = reduction_ratio_for_lambda(hi);
+        prop_assert!(r_lo <= r_hi + 1e-12);
+        prop_assert!((0.0..1.0).contains(&r_hi) || hi == 0.0);
+        prop_assert!((r_hi + 1.0 / (1.0 + hi) - 1.0).abs() < 1e-12);
+    }
+
+    /// Expected holding never exceeds the run length nor the no-lease case,
+    /// and equals term/(term+τ) of the total for whole cycles.
+    #[test]
+    fn expected_holding_is_bounded(total_s in 1u64..36_000, term_s in 1u64..3_600, tau_s in 0u64..3_600) {
+        let total = SimDuration::from_secs(total_s);
+        let term = SimDuration::from_secs(term_s);
+        let tau = SimDuration::from_secs(tau_s);
+        let held = expected_holding_time(total, term, tau);
+        prop_assert!(held <= total);
+        if tau_s == 0 {
+            prop_assert_eq!(held, total);
+        }
+    }
+
+    /// The adaptive ladder never shrinks the term below the initial term
+    /// and is monotone in the streak.
+    #[test]
+    fn ladder_is_monotone(streak1 in 0u64..500, streak2 in 0u64..500) {
+        let policy = LeasePolicy::default();
+        let (lo, hi) = if streak1 <= streak2 { (streak1, streak2) } else { (streak2, streak1) };
+        prop_assert!(policy.term_for_streak(lo) <= policy.term_for_streak(hi));
+        prop_assert!(policy.term_for_streak(lo) >= policy.initial_term);
+    }
+
+    /// Deferral escalation is monotone and capped.
+    #[test]
+    fn deferral_escalation_is_monotone_and_capped(n1 in 0u64..64, n2 in 0u64..64) {
+        let policy = LeasePolicy::default();
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(policy.deferral_for(lo) <= policy.deferral_for(hi));
+        prop_assert!(policy.deferral_for(hi) <= policy.deferral_cap);
+        prop_assert!(policy.deferral_for(0) == policy.deferral);
+    }
+
+    /// Manager bookkeeping: after any sequence of create/remove, the active
+    /// count equals the number of live active leases and reports cover
+    /// everything ever created.
+    #[test]
+    fn manager_population_accounting(ops in prop::collection::vec(any::<bool>(), 1..100)) {
+        let mut manager = LeaseManager::new();
+        let mut live: Vec<leaseos::LeaseId> = Vec::new();
+        let mut created = 0u64;
+        let mut now = SimTime::ZERO;
+        for create in ops {
+            now += SimDuration::from_secs(1);
+            if create || live.is_empty() {
+                let (id, _) = manager.create(
+                    ResourceKind::Wakelock,
+                    AppId(10_001),
+                    ObjId(created),
+                    UsageSnapshot::default(),
+                    now,
+                );
+                live.push(id);
+                created += 1;
+            } else {
+                let id = live.remove(live.len() / 2);
+                prop_assert!(manager.remove(id, now));
+            }
+        }
+        prop_assert_eq!(manager.created_count(), created);
+        prop_assert_eq!(manager.active_count(), live.len() as u64);
+        prop_assert_eq!(manager.lease_reports(now).len(), created as usize);
+    }
+}

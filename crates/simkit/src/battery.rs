@@ -1,0 +1,160 @@
+//! Battery model.
+//!
+//! Used by the §7.6 end-to-end experiment: "Android w/o lease runs out of
+//! battery after around 12 hours, while LeaseOS lasts for 15 hours". The
+//! model is deliberately simple — a charge reservoir drained by the metered
+//! average power — because the paper's claim is about *relative* battery
+//! life under identical workloads.
+
+use crate::device::DeviceProfile;
+use crate::time::SimDuration;
+
+/// A battery as a charge reservoir.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    capacity_mwh: f64,
+    remaining_mwh: f64,
+}
+
+impl Battery {
+    /// A full battery with the given capacity in milliwatt-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mwh` is not positive and finite.
+    pub fn new(capacity_mwh: f64) -> Self {
+        assert!(
+            capacity_mwh.is_finite() && capacity_mwh > 0.0,
+            "battery capacity must be positive, got {capacity_mwh}"
+        );
+        Battery {
+            capacity_mwh,
+            remaining_mwh: capacity_mwh,
+        }
+    }
+
+    /// A full battery matching a device profile.
+    pub fn for_device(device: &DeviceProfile) -> Self {
+        Battery::new(device.battery_capacity_mwh())
+    }
+
+    /// Rated capacity in mWh.
+    pub fn capacity_mwh(&self) -> f64 {
+        self.capacity_mwh
+    }
+
+    /// Remaining charge in mWh.
+    pub fn remaining_mwh(&self) -> f64 {
+        self.remaining_mwh
+    }
+
+    /// Remaining charge as a fraction in `[0, 1]`.
+    pub fn level(&self) -> f64 {
+        self.remaining_mwh / self.capacity_mwh
+    }
+
+    /// True once the battery is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining_mwh <= 0.0
+    }
+
+    /// Drains `energy_mj` millijoules, clamping at empty. Returns the new
+    /// level fraction.
+    pub fn drain_mj(&mut self, energy_mj: f64) -> f64 {
+        assert!(
+            energy_mj.is_finite() && energy_mj >= 0.0,
+            "drain must be non-negative, got {energy_mj}"
+        );
+        // 1 mWh = 3600 mJ.
+        self.remaining_mwh = (self.remaining_mwh - energy_mj / 3_600.0).max(0.0);
+        self.level()
+    }
+
+    /// Projected time-to-empty at a constant `avg_power_mw`, from the current
+    /// charge.
+    ///
+    /// Returns [`SimDuration::FOREVER`] for a non-positive draw.
+    pub fn life_at(&self, avg_power_mw: f64) -> SimDuration {
+        if avg_power_mw <= 0.0 {
+            return SimDuration::FOREVER;
+        }
+        let hours = self.remaining_mwh / avg_power_mw;
+        SimDuration::from_millis((hours * 3_600_000.0) as u64)
+    }
+}
+
+/// Projects full-battery life for a device at a constant average power.
+///
+/// ```
+/// use leaseos_simkit::{battery_life, DeviceProfile};
+///
+/// let life = battery_life(&DeviceProfile::pixel_xl(), 1_000.0);
+/// assert!((life.as_hours_f64() - 13.28).abs() < 0.05);
+/// ```
+pub fn battery_life(device: &DeviceProfile, avg_power_mw: f64) -> SimDuration {
+    Battery::for_device(device).life_at(avg_power_mw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full() {
+        let b = Battery::new(1_000.0);
+        assert_eq!(b.level(), 1.0);
+        assert!(!b.is_empty());
+        assert_eq!(b.capacity_mwh(), 1_000.0);
+    }
+
+    #[test]
+    fn drain_reduces_level_proportionally() {
+        let mut b = Battery::new(1.0); // 1 mWh = 3600 mJ
+        let level = b.drain_mj(1_800.0);
+        assert!((level - 0.5).abs() < 1e-12);
+        assert!((b.remaining_mwh() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_clamps_at_empty() {
+        let mut b = Battery::new(1.0);
+        b.drain_mj(10_000.0);
+        assert!(b.is_empty());
+        assert_eq!(b.level(), 0.0);
+    }
+
+    #[test]
+    fn life_projection_scales_inversely_with_power() {
+        let b = Battery::new(1_000.0);
+        let slow = b.life_at(100.0);
+        let fast = b.life_at(200.0);
+        assert_eq!(slow.as_hours_f64(), 10.0);
+        assert_eq!(fast.as_hours_f64(), 5.0);
+    }
+
+    #[test]
+    fn life_at_zero_power_is_forever() {
+        let b = Battery::new(100.0);
+        assert_eq!(b.life_at(0.0), SimDuration::FOREVER);
+    }
+
+    #[test]
+    fn partial_charge_shortens_projection() {
+        let mut b = Battery::new(1_000.0);
+        b.drain_mj(1_000.0 * 3_600.0 / 2.0); // drain half
+        assert_eq!(b.life_at(100.0).as_hours_f64(), 5.0);
+    }
+
+    #[test]
+    fn device_battery_matches_profile() {
+        let d = DeviceProfile::pixel_xl();
+        let b = Battery::for_device(&d);
+        assert_eq!(b.capacity_mwh(), d.battery_capacity_mwh());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Battery::new(0.0);
+    }
+}

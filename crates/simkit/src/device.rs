@@ -1,0 +1,245 @@
+//! Device profiles.
+//!
+//! The paper runs its characterization study on five phones spanning
+//! high-end to low-end hardware (§2.1) and its main evaluation on a Pixel XL,
+//! with a Nexus 5X standing in for the Monsoon power-monitor rig (§7.1).
+//! [`DeviceProfile`] captures what the reproduction needs of each: the power
+//! table, battery capacity, a CPU speed factor (work completes slower on
+//! low-end devices, so wakelocks are held longer — the 2× ecosystem variance
+//! of Figure 2), and IPC latency.
+
+use crate::power::PowerTable;
+use crate::time::SimDuration;
+
+/// A simulated phone model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable model name.
+    pub name: &'static str,
+    /// Per-component power draws.
+    pub power: PowerTable,
+    /// Battery capacity in mAh.
+    pub battery_mah: f64,
+    /// Nominal battery voltage in volts.
+    pub battery_voltage: f64,
+    /// Relative CPU throughput (Pixel XL = 1.0). A 10 ms work unit takes
+    /// `10 / cpu_speed` ms of wall-clock CPU time on this device.
+    pub cpu_speed: f64,
+    /// One-way binder IPC latency.
+    pub ipc_latency: SimDuration,
+}
+
+impl DeviceProfile {
+    /// Google Pixel XL — the paper's main evaluation device (§7.1):
+    /// 2.15 GHz quad-core, 3450 mAh.
+    pub fn pixel_xl() -> Self {
+        DeviceProfile {
+            name: "Pixel XL",
+            power: PowerTable::pixel_xl_like(),
+            battery_mah: 3_450.0,
+            battery_voltage: 3.85,
+            cpu_speed: 1.0,
+            ipc_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Motorola Nexus 6.
+    pub fn nexus_6() -> Self {
+        DeviceProfile {
+            name: "Nexus 6",
+            power: PowerTable {
+                cpu_deep_sleep_mw: 9.0,
+                cpu_idle_mw: 40.0,
+                cpu_active_mw: 1_250.0,
+                screen_on_mw: 560.0,
+                gps_searching_mw: 160.0,
+                gps_fixed_mw: 95.0,
+                wifi_idle_mw: 20.0,
+                wifi_active_mw: 270.0,
+                sensor_on_mw: 15.0,
+                audio_on_mw: 80.0,
+            },
+            battery_mah: 3_220.0,
+            battery_voltage: 3.85,
+            cpu_speed: 0.8,
+            ipc_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// LG Nexus 5X — the paper's Monsoon measurement substitute.
+    pub fn nexus_5x() -> Self {
+        DeviceProfile {
+            name: "Nexus 5X",
+            power: PowerTable {
+                cpu_deep_sleep_mw: 8.0,
+                cpu_idle_mw: 36.0,
+                cpu_active_mw: 980.0,
+                screen_on_mw: 420.0,
+                gps_searching_mw: 140.0,
+                gps_fixed_mw: 82.0,
+                wifi_idle_mw: 17.0,
+                wifi_active_mw: 230.0,
+                sensor_on_mw: 12.0,
+                audio_on_mw: 65.0,
+            },
+            battery_mah: 2_700.0,
+            battery_voltage: 3.8,
+            cpu_speed: 0.85,
+            ipc_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// LG Nexus 4 — low-end, lightly used in the paper's study.
+    pub fn nexus_4() -> Self {
+        DeviceProfile {
+            name: "Nexus 4",
+            power: PowerTable {
+                cpu_deep_sleep_mw: 11.0,
+                cpu_idle_mw: 55.0,
+                cpu_active_mw: 900.0,
+                screen_on_mw: 500.0,
+                gps_searching_mw: 175.0,
+                gps_fixed_mw: 110.0,
+                wifi_idle_mw: 25.0,
+                wifi_active_mw: 300.0,
+                sensor_on_mw: 20.0,
+                audio_on_mw: 90.0,
+            },
+            battery_mah: 2_100.0,
+            battery_voltage: 3.8,
+            cpu_speed: 0.5,
+            ipc_latency: SimDuration::from_millis(2),
+        }
+    }
+
+    /// Samsung Galaxy S4 — heavily used mid-range device in the study.
+    pub fn galaxy_s4() -> Self {
+        DeviceProfile {
+            name: "Galaxy S4",
+            power: PowerTable {
+                cpu_deep_sleep_mw: 10.0,
+                cpu_idle_mw: 50.0,
+                cpu_active_mw: 1_100.0,
+                screen_on_mw: 520.0,
+                gps_searching_mw: 170.0,
+                gps_fixed_mw: 100.0,
+                wifi_idle_mw: 22.0,
+                wifi_active_mw: 280.0,
+                sensor_on_mw: 18.0,
+                audio_on_mw: 85.0,
+            },
+            battery_mah: 2_600.0,
+            battery_voltage: 3.8,
+            cpu_speed: 0.6,
+            ipc_latency: SimDuration::from_millis(2),
+        }
+    }
+
+    /// Motorola Moto G — the lowest-end device in the study.
+    pub fn moto_g() -> Self {
+        DeviceProfile {
+            name: "Moto G",
+            power: PowerTable {
+                cpu_deep_sleep_mw: 12.0,
+                cpu_idle_mw: 60.0,
+                cpu_active_mw: 850.0,
+                screen_on_mw: 460.0,
+                gps_searching_mw: 180.0,
+                gps_fixed_mw: 115.0,
+                wifi_idle_mw: 28.0,
+                wifi_active_mw: 310.0,
+                sensor_on_mw: 22.0,
+                audio_on_mw: 95.0,
+            },
+            battery_mah: 2_070.0,
+            battery_voltage: 3.8,
+            cpu_speed: 0.4,
+            ipc_latency: SimDuration::from_millis(3),
+        }
+    }
+
+    /// All built-in profiles, high-end first.
+    pub fn all() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile::pixel_xl(),
+            DeviceProfile::nexus_6(),
+            DeviceProfile::nexus_5x(),
+            DeviceProfile::galaxy_s4(),
+            DeviceProfile::nexus_4(),
+            DeviceProfile::moto_g(),
+        ]
+    }
+
+    /// Battery capacity in milliwatt-hours.
+    pub fn battery_capacity_mwh(&self) -> f64 {
+        self.battery_mah * self.battery_voltage
+    }
+
+    /// Wall-clock CPU time needed to complete `work` units (one unit = 1 ms
+    /// of Pixel-XL CPU time) on this device.
+    pub fn cpu_time_for_work(&self, work: SimDuration) -> SimDuration {
+        work.mul_f64(1.0 / self.cpu_speed)
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        DeviceProfile::pixel_xl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_have_valid_power_tables() {
+        for p in DeviceProfile::all() {
+            p.power.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert!(p.battery_mah > 0.0);
+            assert!(p.cpu_speed > 0.0 && p.cpu_speed <= 1.0);
+        }
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        let all = DeviceProfile::all();
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i].name, all[j].name);
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn capability_ordering_matches_paper() {
+        // §2.1: "high-end to low-end smartphones with decreasing hardware
+        // capability and battery capacity".
+        let pixel = DeviceProfile::pixel_xl();
+        let moto = DeviceProfile::moto_g();
+        assert!(pixel.cpu_speed > moto.cpu_speed);
+        assert!(pixel.battery_mah > moto.battery_mah);
+    }
+
+    #[test]
+    fn work_takes_longer_on_slow_devices() {
+        let work = SimDuration::from_millis(100);
+        let fast = DeviceProfile::pixel_xl().cpu_time_for_work(work);
+        let slow = DeviceProfile::moto_g().cpu_time_for_work(work);
+        assert_eq!(fast, work);
+        assert_eq!(slow, SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn battery_capacity_math() {
+        let p = DeviceProfile::pixel_xl();
+        let mwh = p.battery_capacity_mwh();
+        assert!((mwh - 3_450.0 * 3.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_the_evaluation_device() {
+        assert_eq!(DeviceProfile::default().name, "Pixel XL");
+    }
+}

@@ -1,0 +1,318 @@
+//! Simulated environment.
+//!
+//! Every energy bug the paper reproduces is triggered by an environmental
+//! condition: K-9 by a failing mail server or a network disconnect,
+//! BetterWeather by weak GPS signal inside a building, Doze by the user
+//! leaving the phone untouched. [`Environment`] holds scripted schedules for
+//! these signals so experiments can replay the paper's trigger conditions
+//! deterministically.
+
+use crate::time::SimTime;
+
+/// A piecewise-constant signal: an initial value plus timestamped changes.
+///
+/// ```
+/// use leaseos_simkit::{Schedule, SimTime};
+///
+/// let mut net = Schedule::new(true);
+/// net.set_from(SimTime::from_mins(5), false);
+/// assert!(net.at(SimTime::from_mins(4)));
+/// assert!(!net.at(SimTime::from_mins(6)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule<T> {
+    initial: T,
+    changes: Vec<(SimTime, T)>,
+}
+
+impl<T: Clone> Schedule<T> {
+    /// A signal that is `initial` forever (until changes are added).
+    pub fn new(initial: T) -> Self {
+        Schedule {
+            initial,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Sets the signal to `value` from `time` onwards.
+    ///
+    /// Changes must be appended in non-decreasing time order; a change at the
+    /// same instant as the previous one replaces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last recorded change.
+    pub fn set_from(&mut self, time: SimTime, value: T) {
+        if let Some((last, _)) = self.changes.last() {
+            assert!(
+                time >= *last,
+                "schedule changes must be time-ordered: {time} < {last}"
+            );
+            if time == *last {
+                self.changes.pop();
+            }
+        }
+        self.changes.push((time, value));
+    }
+
+    /// The signal value at `time`.
+    pub fn at(&self, time: SimTime) -> T {
+        match self.changes.iter().rev().find(|(t, _)| *t <= time) {
+            Some((_, v)) => v.clone(),
+            None => self.initial.clone(),
+        }
+    }
+
+    /// The next instant strictly after `time` at which the signal changes.
+    pub fn next_change_after(&self, time: SimTime) -> Option<SimTime> {
+        self.changes.iter().map(|(t, _)| *t).find(|t| *t > time)
+    }
+
+    /// All change points (used by drivers that subscribe to env updates).
+    pub fn change_points(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.changes.iter().map(|(t, _)| *t)
+    }
+}
+
+/// GPS signal quality — drives fix-acquisition behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GpsSignal {
+    /// Open sky: fixes acquire quickly.
+    #[default]
+    Good,
+    /// Indoors near windows: long, sometimes-failing acquisition.
+    Weak,
+    /// Deep indoors: no fix is ever obtained — BetterWeather's Figure 1
+    /// environment.
+    None,
+}
+
+impl GpsSignal {
+    /// Whether a fix can ever be acquired under this signal.
+    pub fn fix_possible(self) -> bool {
+        !matches!(self, GpsSignal::None)
+    }
+}
+
+/// The scripted world outside the device.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// Network (Wi-Fi/cellular) connectivity.
+    pub network_up: Schedule<bool>,
+    /// Health of the remote server apps talk to (mail server, chat server).
+    pub server_healthy: Schedule<bool>,
+    /// GPS signal quality.
+    pub gps_signal: Schedule<GpsSignal>,
+    /// Whether the user is actively interacting with the device.
+    pub user_present: Schedule<bool>,
+    /// Whether the device is physically moving (feeds Doze's significant-
+    /// motion detector and GPS distance utility).
+    pub in_motion: Schedule<bool>,
+    /// User movement speed in metres per second while in motion (distance
+    /// moved is a GPS utility signal, §3.3).
+    pub movement_speed_mps: f64,
+}
+
+impl Environment {
+    /// A benign default: network up, server healthy, good GPS, user present
+    /// and stationary.
+    pub fn new() -> Self {
+        Environment {
+            network_up: Schedule::new(true),
+            server_healthy: Schedule::new(true),
+            gps_signal: Schedule::new(GpsSignal::Good),
+            user_present: Schedule::new(true),
+            in_motion: Schedule::new(false),
+            movement_speed_mps: 1.4, // walking pace
+        }
+    }
+
+    /// Paper §2.3 / Figure 2: connected network, but the mail server is bad.
+    pub fn connected_bad_server() -> Self {
+        let mut env = Environment::new();
+        env.server_healthy = Schedule::new(false);
+        env
+    }
+
+    /// Paper §2.3 / Figure 4: network disconnected.
+    pub fn disconnected() -> Self {
+        let mut env = Environment::new();
+        env.network_up = Schedule::new(false);
+        env
+    }
+
+    /// Paper §2.3 / Figure 1: inside a building with no GPS lock possible.
+    pub fn weak_gps_building() -> Self {
+        let mut env = Environment::new();
+        env.gps_signal = Schedule::new(GpsSignal::None);
+        env
+    }
+
+    /// An unattended phone (screen off, no user, no motion) — the
+    /// environment in which Doze engages.
+    pub fn unattended() -> Self {
+        let mut env = Environment::new();
+        env.user_present = Schedule::new(false);
+        env.in_motion = Schedule::new(false);
+        env
+    }
+
+    /// The earliest environment change strictly after `time`, across all
+    /// signals.
+    pub fn next_change_after(&self, time: SimTime) -> Option<SimTime> {
+        [
+            self.network_up.next_change_after(time),
+            self.server_healthy.next_change_after(time),
+            self.gps_signal.next_change_after(time),
+            self.user_present.next_change_after(time),
+            self.in_motion.next_change_after(time),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Distance in metres the user covers between `from` and `to`, given the
+    /// motion schedule.
+    pub fn distance_moved_m(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        // Walk the motion schedule over [from, to].
+        let mut distance = 0.0;
+        let mut t = from;
+        while t < to {
+            let moving = self.in_motion.at(t);
+            let next = self
+                .in_motion
+                .next_change_after(t)
+                .filter(|n| *n < to)
+                .unwrap_or(to);
+            if moving {
+                distance += self.movement_speed_mps * next.since(t).as_secs_f64();
+            }
+            t = next;
+        }
+        distance
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn schedule_returns_initial_before_changes() {
+        let s = Schedule::new(7);
+        assert_eq!(s.at(SimTime::from_mins(99)), 7);
+        assert_eq!(s.next_change_after(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn schedule_applies_changes_in_order() {
+        let mut s = Schedule::new(0);
+        s.set_from(SimTime::from_secs(10), 1);
+        s.set_from(SimTime::from_secs(20), 2);
+        assert_eq!(s.at(SimTime::from_secs(5)), 0);
+        assert_eq!(s.at(SimTime::from_secs(10)), 1);
+        assert_eq!(s.at(SimTime::from_secs(15)), 1);
+        assert_eq!(s.at(SimTime::from_secs(25)), 2);
+    }
+
+    #[test]
+    fn schedule_change_at_same_instant_replaces() {
+        let mut s = Schedule::new(0);
+        s.set_from(SimTime::from_secs(10), 1);
+        s.set_from(SimTime::from_secs(10), 5);
+        assert_eq!(s.at(SimTime::from_secs(10)), 5);
+        assert_eq!(s.change_points().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn schedule_rejects_out_of_order_changes() {
+        let mut s = Schedule::new(0);
+        s.set_from(SimTime::from_secs(10), 1);
+        s.set_from(SimTime::from_secs(5), 2);
+    }
+
+    #[test]
+    fn next_change_is_strictly_after() {
+        let mut s = Schedule::new(0);
+        s.set_from(SimTime::from_secs(10), 1);
+        assert_eq!(s.next_change_after(SimTime::from_secs(10)), None);
+        assert_eq!(
+            s.next_change_after(SimTime::from_secs(9)),
+            Some(SimTime::from_secs(10))
+        );
+    }
+
+    #[test]
+    fn canned_environments_match_paper_triggers() {
+        let t = SimTime::from_mins(1);
+        assert!(!Environment::connected_bad_server().server_healthy.at(t));
+        assert!(Environment::connected_bad_server().network_up.at(t));
+        assert!(!Environment::disconnected().network_up.at(t));
+        assert_eq!(
+            Environment::weak_gps_building().gps_signal.at(t),
+            GpsSignal::None
+        );
+        assert!(!Environment::unattended().user_present.at(t));
+    }
+
+    #[test]
+    fn gps_signal_fix_possibility() {
+        assert!(GpsSignal::Good.fix_possible());
+        assert!(GpsSignal::Weak.fix_possible());
+        assert!(!GpsSignal::None.fix_possible());
+    }
+
+    #[test]
+    fn environment_aggregates_next_change() {
+        let mut env = Environment::new();
+        env.network_up.set_from(SimTime::from_mins(10), false);
+        env.gps_signal.set_from(SimTime::from_mins(4), GpsSignal::Weak);
+        assert_eq!(
+            env.next_change_after(SimTime::ZERO),
+            Some(SimTime::from_mins(4))
+        );
+        assert_eq!(
+            env.next_change_after(SimTime::from_mins(4)),
+            Some(SimTime::from_mins(10))
+        );
+        assert_eq!(env.next_change_after(SimTime::from_mins(10)), None);
+    }
+
+    #[test]
+    fn distance_accounts_only_motion_intervals() {
+        let mut env = Environment::new();
+        env.movement_speed_mps = 2.0;
+        env.in_motion.set_from(SimTime::from_secs(10), true);
+        env.in_motion.set_from(SimTime::from_secs(20), false);
+        let d = env.distance_moved_m(SimTime::ZERO, SimTime::from_secs(30));
+        assert!((d - 20.0).abs() < 1e-9, "10 s at 2 m/s, got {d}");
+    }
+
+    #[test]
+    fn distance_zero_for_empty_or_reversed_window() {
+        let env = Environment::new();
+        assert_eq!(env.distance_moved_m(SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
+        assert_eq!(env.distance_moved_m(SimTime::from_secs(9), SimTime::from_secs(4)), 0.0);
+    }
+
+    #[test]
+    fn stationary_user_moves_nowhere() {
+        let env = Environment::new();
+        assert_eq!(
+            env.distance_moved_m(SimTime::ZERO, SimTime::ZERO + SimDuration::from_hours(1)),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Component power model.
+//!
+//! Mobile energy consumption is dominated by a handful of hardware
+//! components, each with a small number of power states. The paper's
+//! experiments (and its misbehaviour taxonomy) revolve around which states
+//! those components are kept in and by whom: a leaked wakelock keeps the CPU
+//! out of deep sleep, a non-stop GPS request keeps the radio searching, and
+//! so on.
+//!
+//! [`PowerTable`] maps each component state to a draw in milliwatts for a
+//! particular device, and [`ComponentState`] is the typed union of states the
+//! OS substrate manipulates.
+
+use std::fmt;
+
+/// The energy-relevant hardware components of a simulated device.
+///
+/// These are exactly the resources the paper's Table 1 classifies: CPU
+/// (wakelock), screen, Wi-Fi radio, audio, GPS, and sensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentKind {
+    /// The application processor. Wakelocks keep it from deep sleep.
+    Cpu,
+    /// The display panel. Screen-type wakelocks keep it lit.
+    Screen,
+    /// The GPS receiver.
+    Gps,
+    /// The Wi-Fi radio. Wifilocks keep it from powering down.
+    Wifi,
+    /// Motion/orientation sensors.
+    Sensor,
+    /// The audio pipeline.
+    Audio,
+}
+
+impl ComponentKind {
+    /// All component kinds, in a stable order.
+    pub const ALL: [ComponentKind; 6] = [
+        ComponentKind::Cpu,
+        ComponentKind::Screen,
+        ComponentKind::Gps,
+        ComponentKind::Wifi,
+        ComponentKind::Sensor,
+        ComponentKind::Audio,
+    ];
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::Cpu => "cpu",
+            ComponentKind::Screen => "screen",
+            ComponentKind::Gps => "gps",
+            ComponentKind::Wifi => "wifi",
+            ComponentKind::Sensor => "sensor",
+            ComponentKind::Audio => "audio",
+        };
+        f.write_str(s)
+    }
+}
+
+/// CPU power states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CpuState {
+    /// Suspended; only wake sources are powered. The state the OS wants to
+    /// reach whenever no wakelock is held and the screen is off.
+    #[default]
+    DeepSleep,
+    /// Awake but not executing app work (a held wakelock with an idle app —
+    /// the Long-Holding signature).
+    Idle,
+    /// Executing app work.
+    Active,
+}
+
+/// GPS receiver power states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GpsState {
+    /// Radio powered down.
+    #[default]
+    Off,
+    /// Searching for a satellite lock — the *most* expensive state, and where
+    /// Frequent-Ask misbehaviour burns its energy (paper Figure 1).
+    Searching,
+    /// Locked and delivering fixes.
+    Fixed,
+}
+
+/// Wi-Fi radio power states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WifiState {
+    /// Radio powered down.
+    #[default]
+    Off,
+    /// Associated but idle (a held wifilock).
+    Idle,
+    /// Actively transferring.
+    Active,
+}
+
+/// The typed union of component states, used when converting OS state into a
+/// power draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentState {
+    /// CPU power state.
+    Cpu(CpuState),
+    /// Screen on/off.
+    Screen(bool),
+    /// GPS receiver state.
+    Gps(GpsState),
+    /// Wi-Fi radio state.
+    Wifi(WifiState),
+    /// Sensor sampling on/off.
+    Sensor(bool),
+    /// Audio pipeline on/off.
+    Audio(bool),
+}
+
+impl ComponentState {
+    /// The component this state belongs to.
+    pub fn kind(self) -> ComponentKind {
+        match self {
+            ComponentState::Cpu(_) => ComponentKind::Cpu,
+            ComponentState::Screen(_) => ComponentKind::Screen,
+            ComponentState::Gps(_) => ComponentKind::Gps,
+            ComponentState::Wifi(_) => ComponentKind::Wifi,
+            ComponentState::Sensor(_) => ComponentKind::Sensor,
+            ComponentState::Audio(_) => ComponentKind::Audio,
+        }
+    }
+}
+
+/// Per-device power draws in milliwatts for every component state.
+///
+/// Values are datasheet/literature approximations — see `DESIGN.md` §1 for
+/// why relative (not absolute) fidelity is what the reproduction needs.
+///
+/// ```
+/// use leaseos_simkit::{ComponentState, CpuState, PowerTable};
+///
+/// let table = PowerTable::pixel_xl_like();
+/// assert!(table.draw_mw(ComponentState::Cpu(CpuState::Active))
+///     > table.draw_mw(ComponentState::Cpu(CpuState::Idle)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTable {
+    /// CPU suspended.
+    pub cpu_deep_sleep_mw: f64,
+    /// CPU awake, idle.
+    pub cpu_idle_mw: f64,
+    /// CPU executing.
+    pub cpu_active_mw: f64,
+    /// Screen lit (average brightness).
+    pub screen_on_mw: f64,
+    /// GPS searching for a lock.
+    pub gps_searching_mw: f64,
+    /// GPS locked, delivering fixes.
+    pub gps_fixed_mw: f64,
+    /// Wi-Fi associated, idle.
+    pub wifi_idle_mw: f64,
+    /// Wi-Fi transferring.
+    pub wifi_active_mw: f64,
+    /// Sensors sampling.
+    pub sensor_on_mw: f64,
+    /// Audio pipeline running.
+    pub audio_on_mw: f64,
+}
+
+impl PowerTable {
+    /// A high-end profile in the vein of the paper's Google Pixel XL.
+    pub fn pixel_xl_like() -> Self {
+        PowerTable {
+            cpu_deep_sleep_mw: 7.0,
+            cpu_idle_mw: 32.0,
+            cpu_active_mw: 1_050.0,
+            screen_on_mw: 480.0,
+            gps_searching_mw: 145.0,
+            gps_fixed_mw: 85.0,
+            wifi_idle_mw: 16.0,
+            wifi_active_mw: 240.0,
+            sensor_on_mw: 12.0,
+            audio_on_mw: 70.0,
+        }
+    }
+
+    /// The power draw for `state`, in milliwatts.
+    ///
+    /// Off-states draw zero by definition; the always-present floor (deep
+    /// sleep draw) belongs to the CPU row.
+    pub fn draw_mw(&self, state: ComponentState) -> f64 {
+        match state {
+            ComponentState::Cpu(CpuState::DeepSleep) => self.cpu_deep_sleep_mw,
+            ComponentState::Cpu(CpuState::Idle) => self.cpu_idle_mw,
+            ComponentState::Cpu(CpuState::Active) => self.cpu_active_mw,
+            ComponentState::Screen(on) => {
+                if on {
+                    self.screen_on_mw
+                } else {
+                    0.0
+                }
+            }
+            ComponentState::Gps(GpsState::Off) => 0.0,
+            ComponentState::Gps(GpsState::Searching) => self.gps_searching_mw,
+            ComponentState::Gps(GpsState::Fixed) => self.gps_fixed_mw,
+            ComponentState::Wifi(WifiState::Off) => 0.0,
+            ComponentState::Wifi(WifiState::Idle) => self.wifi_idle_mw,
+            ComponentState::Wifi(WifiState::Active) => self.wifi_active_mw,
+            ComponentState::Sensor(on) => {
+                if on {
+                    self.sensor_on_mw
+                } else {
+                    0.0
+                }
+            }
+            ComponentState::Audio(on) => {
+                if on {
+                    self.audio_on_mw
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Validates physical sanity: non-negative draws and monotone CPU/GPS
+    /// state ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("cpu_deep_sleep_mw", self.cpu_deep_sleep_mw),
+            ("cpu_idle_mw", self.cpu_idle_mw),
+            ("cpu_active_mw", self.cpu_active_mw),
+            ("screen_on_mw", self.screen_on_mw),
+            ("gps_searching_mw", self.gps_searching_mw),
+            ("gps_fixed_mw", self.gps_fixed_mw),
+            ("wifi_idle_mw", self.wifi_idle_mw),
+            ("wifi_active_mw", self.wifi_active_mw),
+            ("sensor_on_mw", self.sensor_on_mw),
+            ("audio_on_mw", self.audio_on_mw),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be a non-negative finite draw, got {v}"));
+            }
+        }
+        if self.cpu_deep_sleep_mw > self.cpu_idle_mw || self.cpu_idle_mw > self.cpu_active_mw {
+            return Err("CPU draws must be ordered deep-sleep <= idle <= active".into());
+        }
+        if self.gps_fixed_mw > self.gps_searching_mw {
+            return Err("GPS searching must draw at least as much as fixed".into());
+        }
+        if self.wifi_idle_mw > self.wifi_active_mw {
+            return Err("Wi-Fi active must draw at least as much as idle".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_states_are_cheapest() {
+        assert_eq!(CpuState::default(), CpuState::DeepSleep);
+        assert_eq!(GpsState::default(), GpsState::Off);
+        assert_eq!(WifiState::default(), WifiState::Off);
+    }
+
+    #[test]
+    fn off_states_draw_zero() {
+        let t = PowerTable::pixel_xl_like();
+        assert_eq!(t.draw_mw(ComponentState::Screen(false)), 0.0);
+        assert_eq!(t.draw_mw(ComponentState::Gps(GpsState::Off)), 0.0);
+        assert_eq!(t.draw_mw(ComponentState::Wifi(WifiState::Off)), 0.0);
+        assert_eq!(t.draw_mw(ComponentState::Sensor(false)), 0.0);
+        assert_eq!(t.draw_mw(ComponentState::Audio(false)), 0.0);
+    }
+
+    #[test]
+    fn cpu_states_are_monotone() {
+        let t = PowerTable::pixel_xl_like();
+        let sleep = t.draw_mw(ComponentState::Cpu(CpuState::DeepSleep));
+        let idle = t.draw_mw(ComponentState::Cpu(CpuState::Idle));
+        let active = t.draw_mw(ComponentState::Cpu(CpuState::Active));
+        assert!(sleep < idle && idle < active);
+    }
+
+    #[test]
+    fn gps_searching_is_most_expensive_gps_state() {
+        let t = PowerTable::pixel_xl_like();
+        assert!(
+            t.draw_mw(ComponentState::Gps(GpsState::Searching))
+                > t.draw_mw(ComponentState::Gps(GpsState::Fixed))
+        );
+    }
+
+    #[test]
+    fn reference_table_validates() {
+        PowerTable::pixel_xl_like().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_negative_draw() {
+        let mut t = PowerTable::pixel_xl_like();
+        t.screen_on_mw = -1.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_cpu_ordering() {
+        let mut t = PowerTable::pixel_xl_like();
+        t.cpu_idle_mw = t.cpu_active_mw + 1.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn state_kind_mapping() {
+        assert_eq!(ComponentState::Cpu(CpuState::Idle).kind(), ComponentKind::Cpu);
+        assert_eq!(ComponentState::Gps(GpsState::Fixed).kind(), ComponentKind::Gps);
+        assert_eq!(ComponentState::Audio(true).kind(), ComponentKind::Audio);
+    }
+
+    #[test]
+    fn component_display_names() {
+        let names: Vec<String> = ComponentKind::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, ["cpu", "screen", "gps", "wifi", "sensor", "audio"]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Discrete-event queue.
+//!
+//! [`EventQueue`] is the heart of the simulation engine: a time-ordered,
+//! FIFO-stable priority queue of events. It is generic over the event type so
+//! the engine can be tested in isolation; the OS substrate defines its own
+//! event enum on top.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled entry. Ordered by `(time, seq)` so that events scheduled for
+/// the same instant fire in insertion order (FIFO stability), which keeps
+/// simulations deterministic.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest entry is on top.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A handle that identifies a scheduled event so it can be cancelled.
+///
+/// Returned by [`EventQueue::push`]. Cancellation is lazy: the entry stays in
+/// the heap but is skipped on pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// A time-ordered, FIFO-stable event queue driving the simulation.
+///
+/// The queue tracks the current simulation instant (`now`), which advances
+/// monotonically as events are popped. Scheduling into the past is a logic
+/// error and panics, because it would silently corrupt energy integration.
+///
+/// ```
+/// use leaseos_simkit::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "second");
+/// q.push(SimTime::from_secs(1), "first");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_secs(1), "first"));
+/// assert_eq!(q.now(), SimTime::from_secs(1));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation instant (the timestamp of the last popped
+    /// event, or [`SimTime::ZERO`] before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events popped so far (a cheap progress metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Returns a handle usable with [`cancel`](Self::cancel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before [`now`](Self::now): the simulation clock
+    /// only moves forward.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
+        assert!(
+            time >= self.now,
+            "cannot schedule event at {time} before current time {now}",
+            now = self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled.
+    ///
+    /// Handles are only meaningful on the queue that issued them: passing a
+    /// handle from another [`EventQueue`] may cancel an unrelated event,
+    /// since sequence numbers are per-queue.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.seq {
+            return false;
+        }
+        // We cannot cheaply tell "already fired" apart from "unknown", so we
+        // record the cancellation and let pop() discard it lazily. Inserting
+        // a fired seq is harmless: it can never be popped again.
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Pops the earliest live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "heap returned a past event");
+            self.now = entry.time;
+            self.popped += 1;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled heads so the answer refers to a live event.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Advances the clock to `time` without firing anything.
+    ///
+    /// Useful to close out accounting at the end of an experiment window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current instant, or if a live event is
+    /// scheduled before `time` (skipping events would corrupt the run).
+    pub fn advance_to(&mut self, time: SimTime) {
+        assert!(time >= self.now, "cannot rewind the clock");
+        if let Some(t) = self.peek_time() {
+            assert!(
+                t >= time,
+                "advance_to({time}) would skip an event scheduled at {t}"
+            );
+        }
+        self.now = time;
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len())
+            .field("processed", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), ());
+        q.pop();
+        q.push(SimTime::from_secs(4), ());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1), 'x');
+        q.push(SimTime::from_secs(2), 'y');
+        assert!(q.cancel(h));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some('y'));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn double_cancel_reports_false() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1), ());
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        q.cancel(h1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_mins(30));
+        assert_eq!(q.now(), SimTime::from_mins(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip an event")]
+    fn advance_past_pending_event_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        q.advance_to(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), 1);
+        let (t, _) = q.pop().unwrap();
+        q.push(t + SimDuration::from_secs(1), 2);
+        q.push(t + SimDuration::from_millis(1), 3);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(q.events_processed(), 3);
+    }
+}

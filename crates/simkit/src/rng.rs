@@ -1,0 +1,226 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic element of the simulation (GPS fix-acquisition time,
+//! workload session lengths, intermittent-misbehaviour slice schedules) draws
+//! from a [`SimRng`] derived from the experiment seed. Forking a child stream
+//! per app keeps runs reproducible even when apps are added or reordered: an
+//! app's stream depends only on the root seed and its own stream id.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random stream.
+///
+/// ```
+/// use leaseos_simkit::SimRng;
+///
+/// let mut a = SimRng::new(7).fork(1);
+/// let mut b = SimRng::new(7).fork(1);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates the root stream for an experiment seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this stream was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream.
+    ///
+    /// The child depends only on this stream's seed and `stream`, never on
+    /// how many values were already drawn, so adding a consumer does not
+    /// perturb the others.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // SplitMix64-style mixing of (seed, stream) into a child seed.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// A uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// An exponentially distributed value with the given mean.
+    ///
+    /// Used for arrival-style processes (session gaps, retry jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// A normally distributed value via Box–Muller, clamped to `>= 0` when
+    /// `clamp_non_negative` is set (power samples can never be negative).
+    pub fn normal(&mut self, mean: f64, std_dev: f64, clamp_non_negative: bool) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = mean + std_dev * z;
+        if clamp_non_negative {
+            v.max(0.0)
+        } else {
+            v
+        }
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.range_u64(0, items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams from different seeds should differ");
+    }
+
+    #[test]
+    fn fork_is_independent_of_draw_position() {
+        let parent = SimRng::new(9);
+        let mut consumed = SimRng::new(9);
+        consumed.next_u64();
+        consumed.next_u64();
+        let mut f1 = parent.fork(3);
+        let mut f2 = consumed.fork(3);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn forks_with_distinct_streams_differ() {
+        let root = SimRng::new(5);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SimRng::new(0);
+        for _ in 0..1_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut rng = SimRng::new(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "sample mean {mean} too far from 5");
+    }
+
+    #[test]
+    fn normal_clamps_when_asked() {
+        let mut rng = SimRng::new(13);
+        for _ in 0..1_000 {
+            assert!(rng.normal(0.0, 10.0, true) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut rng = SimRng::new(17);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*rng.pick(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::new(0).range_u64(5, 5);
+    }
+}

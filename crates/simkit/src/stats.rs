@@ -1,0 +1,175 @@
+//! Summary statistics for experiment outputs.
+//!
+//! The harness reports means with error bars (Fig. 13), medians and maxima
+//! (§7.2 lease activity), and reduction ratios (Table 5, Fig. 12). These
+//! helpers keep that arithmetic in one tested place.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Median (average of the middle two for even lengths); `None` when empty.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`; `None` when empty.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// The paper's reduction ratio: `(baseline - treated) / baseline`.
+///
+/// Zero when the baseline is non-positive (nothing to reduce). Can be
+/// negative when the treatment *increased* consumption — callers report that
+/// honestly rather than clamping.
+pub fn reduction_ratio(baseline: f64, treated: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (baseline - treated) / baseline
+    }
+}
+
+/// A compact distribution summary for run-set reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`; `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let n = values.len();
+        let mean_v = mean(values)?;
+        Some(Summary {
+            n,
+            mean: mean_v,
+            std_dev: std_dev(values)?,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            median: median(values)?,
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} med={:.2} max={:.2}",
+            self.n, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), Some(5.0));
+        assert_eq!(std_dev(&v), Some(2.0));
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(percentile(&[], 90.0), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 100.0), Some(40.0));
+        assert!((percentile(&v, 25.0).unwrap() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_range_checked() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn reduction_ratio_matches_paper_arithmetic() {
+        // Table 5, Facebook row: 100.62 mW -> 1.93 mW = 98.08%.
+        let r = reduction_ratio(100.62, 1.93);
+        assert!((r * 100.0 - 98.08).abs() < 0.01, "got {}", r * 100.0);
+    }
+
+    #[test]
+    fn reduction_ratio_edge_cases() {
+        assert_eq!(reduction_ratio(0.0, 5.0), 0.0);
+        assert_eq!(reduction_ratio(-1.0, 5.0), 0.0);
+        assert!(reduction_ratio(10.0, 20.0) < 0.0, "increase reported as negative");
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert!(!s.to_string().is_empty());
+    }
+}

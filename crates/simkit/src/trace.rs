@@ -1,0 +1,229 @@
+//! Time-series recording.
+//!
+//! The paper's figures are time series — GPS try duration per minute
+//! (Fig. 1), wakelock holding time and CPU usage per minute (Figs. 2–4),
+//! active lease count over an hour (Fig. 11). [`TimeSeries`] is the
+//! append-only recording the profiler and harness write, and [`SeriesSet`]
+//! groups the named series of one experiment run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// One named, append-only series of `(time, value)` samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last sample (figures assume
+    /// chronological order).
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        if let Some((last, _)) = self.samples.last() {
+            assert!(time >= *last, "samples must be chronological: {time} < {last}");
+        }
+        self.samples.push((time, value));
+    }
+
+    /// The recorded samples, oldest first.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Just the values, oldest first.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(|(_, v)| *v)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| {
+            Some(match acc {
+                Some(m) if m >= v => m,
+                _ => v,
+            })
+        })
+    }
+
+    /// Arithmetic mean of the values, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.values().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in iter {
+            s.record(t, v);
+        }
+        s
+    }
+}
+
+/// A set of named series from one run, e.g. `"wakelock_hold_s"` and
+/// `"cpu_usage_s"` for a Figure 2 reproduction.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSet {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl SeriesSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SeriesSet::default()
+    }
+
+    /// Appends a sample to the named series, creating it on first use.
+    pub fn record(&mut self, name: &str, time: SimTime, value: f64) {
+        self.series.entry(name.to_owned()).or_default().record(time, value);
+    }
+
+    /// The named series, if it exists.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Series names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series exist.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders all series as aligned CSV (`time_s,<name>,...`), merging on
+    /// sample index. Series are assumed to share a sampling grid, as the
+    /// profiler guarantees; shorter series render empty cells.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s");
+        for name in self.names() {
+            let _ = write!(out, ",{name}");
+        }
+        out.push('\n');
+        let rows = self.series.values().map(TimeSeries::len).max().unwrap_or(0);
+        for i in 0..rows {
+            let t = self
+                .series
+                .values()
+                .find_map(|s| s.samples().get(i).map(|(t, _)| *t));
+            let _ = write!(out, "{}", t.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN));
+            for s in self.series.values() {
+                match s.samples().get(i) {
+                    Some((_, v)) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut s = TimeSeries::new();
+        s.record(SimTime::from_secs(60), 12.5);
+        s.record(SimTime::from_secs(120), 30.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.samples()[1], (SimTime::from_secs(120), 30.0));
+        assert_eq!(s.max(), Some(30.0));
+        assert_eq!(s.mean(), Some(21.25));
+    }
+
+    #[test]
+    fn empty_series_statistics() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn rejects_time_travel() {
+        let mut s = TimeSeries::new();
+        s.record(SimTime::from_secs(10), 1.0);
+        s.record(SimTime::from_secs(5), 2.0);
+    }
+
+    #[test]
+    fn from_iterator_builds_series() {
+        let s: TimeSeries = (0..5)
+            .map(|i| (SimTime::from_secs(i * 60), i as f64))
+            .collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.max(), Some(4.0));
+    }
+
+    #[test]
+    fn series_set_groups_by_name() {
+        let mut set = SeriesSet::new();
+        set.record("wakelock_hold_s", SimTime::from_secs(60), 25.0);
+        set.record("cpu_usage_s", SimTime::from_secs(60), 0.4);
+        set.record("wakelock_hold_s", SimTime::from_secs(120), 27.0);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("wakelock_hold_s").unwrap().len(), 2);
+        assert_eq!(set.get("cpu_usage_s").unwrap().len(), 1);
+        assert_eq!(
+            set.names().collect::<Vec<_>>(),
+            vec!["cpu_usage_s", "wakelock_hold_s"]
+        );
+    }
+
+    #[test]
+    fn csv_rendering_is_aligned() {
+        let mut set = SeriesSet::new();
+        set.record("a", SimTime::from_secs(1), 1.0);
+        set.record("b", SimTime::from_secs(1), 2.0);
+        set.record("a", SimTime::from_secs(2), 3.0);
+        let csv = set.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,a,b");
+        assert_eq!(lines[1], "1,1,2");
+        assert_eq!(lines[2], "2,3,");
+    }
+
+    #[test]
+    fn csv_of_empty_set_has_header_only() {
+        assert_eq!(SeriesSet::new().to_csv(), "time_s\n");
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the simulation substrate: the invariants every
+//! experiment result silently depends on.
+
+use proptest::prelude::*;
+
+use leaseos_simkit::{
+    stats, ComponentKind, Consumer, EnergyMeter, EventQueue, Schedule, SimDuration, SimRng,
+    SimTime, TimeSeries,
+};
+
+proptest! {
+    /// Events pop in non-decreasing time order, FIFO within a timestamp,
+    /// and nothing is lost or invented.
+    #[test]
+    fn queue_pops_sorted_and_complete(times in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(*t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            if t == last {
+                if let Some(&(pt, pi)) = popped.last() {
+                    if pt == t {
+                        prop_assert!(i > pi, "FIFO violated for equal timestamps");
+                    }
+                }
+            }
+            popped.push((t, i));
+            last = t;
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        let mut ids: Vec<usize> = popped.iter().map(|(_, i)| *i).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_is_exact(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, q.push(SimTime::from_millis(*t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, h) in &handles {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(q.cancel(*h));
+            } else {
+                expect.push(*i);
+            }
+        }
+        let mut got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Total integrated energy always equals the sum of per-consumer
+    /// attributions, for arbitrary draw change sequences.
+    #[test]
+    fn energy_is_conserved(
+        changes in prop::collection::vec((0u64..10_000, 0u32..5, 0u8..6, 0f64..500.0), 1..200)
+    ) {
+        let mut sorted = changes;
+        sorted.sort_by_key(|(t, ..)| *t);
+        let mut meter = EnergyMeter::new();
+        for (t, app, comp, mw) in sorted {
+            let component = ComponentKind::ALL[comp as usize];
+            meter.set_draw(SimTime::from_millis(t), Consumer::App(app), component, mw);
+        }
+        meter.advance_to(SimTime::from_millis(20_000));
+        let diff = (meter.total_energy_mj() - meter.attributed_energy_mj()).abs();
+        prop_assert!(diff < 1e-6, "leaked {diff} mJ");
+    }
+
+    /// Energy of a constant draw equals mW × seconds exactly.
+    #[test]
+    fn constant_draw_integrates_exactly(mw in 0.0f64..2_000.0, secs in 1u64..10_000) {
+        let mut meter = EnergyMeter::new();
+        meter.set_draw(SimTime::ZERO, Consumer::App(1), ComponentKind::Cpu, mw);
+        meter.advance_to(SimTime::from_secs(secs));
+        let expect = mw * secs as f64;
+        prop_assert!((meter.energy_mj(Consumer::App(1)) - expect).abs() < 1e-6);
+    }
+
+    /// A schedule reports exactly the value of the latest change at or
+    /// before the query instant.
+    #[test]
+    fn schedule_lookup_matches_reference(
+        changes in prop::collection::vec((0u64..10_000, 0i32..100), 0..50),
+        queries in prop::collection::vec(0u64..12_000, 1..50),
+    ) {
+        let mut sorted = changes;
+        sorted.sort_by_key(|(t, _)| *t);
+        sorted.dedup_by_key(|(t, _)| *t);
+        let mut schedule = Schedule::new(-1);
+        for (t, v) in &sorted {
+            schedule.set_from(SimTime::from_millis(*t), *v);
+        }
+        for q in queries {
+            let expect = sorted
+                .iter()
+                .rev()
+                .find(|(t, _)| *t <= q)
+                .map(|(_, v)| *v)
+                .unwrap_or(-1);
+            prop_assert_eq!(schedule.at(SimTime::from_millis(q)), expect);
+        }
+    }
+
+    /// Forked RNG streams are independent of parent draw position.
+    #[test]
+    fn rng_forks_are_position_independent(seed in any::<u64>(), stream in any::<u64>(), skips in 0usize..32) {
+        let fresh = SimRng::new(seed);
+        let mut consumed = SimRng::new(seed);
+        for _ in 0..skips {
+            consumed.next_u64();
+        }
+        let mut a = fresh.fork(stream);
+        let mut b = consumed.fork(stream);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = lo;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = stats::percentile(&values, p).unwrap();
+            prop_assert!(v >= prev - 1e-9, "percentile not monotone at {p}");
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Reduction ratio is consistent with its definition and never exceeds 1.
+    #[test]
+    fn reduction_ratio_definition(baseline in 0.0f64..1e6, treated in 0.0f64..1e6) {
+        let r = stats::reduction_ratio(baseline, treated);
+        prop_assert!(r <= 1.0);
+        if baseline > 0.0 {
+            prop_assert!((r - (baseline - treated) / baseline).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(r, 0.0);
+        }
+    }
+
+    /// Time arithmetic round-trips: (t + d) − t == d for in-range values.
+    #[test]
+    fn time_arithmetic_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_millis(t);
+        let dur = SimDuration::from_millis(d);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!((time + dur) - dur, time);
+    }
+
+    /// TimeSeries preserves chronological samples and summary stats.
+    #[test]
+    fn time_series_summaries(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let series: TimeSeries = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (SimTime::from_secs(i as u64), *v))
+            .collect();
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(series.len(), values.len());
+        prop_assert_eq!(series.max(), Some(max));
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((series.mean().unwrap() - mean).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,75 @@
+//! Same resource, opposite fates: a buggy stationary GPS tracker and a
+//! legitimate fitness tracker, side by side under LeaseOS.
+//!
+//! Both hold a GPS request for the whole run. The lease manager tells them
+//! apart purely by *utility*: the fitness tracker's consumed fixes cover
+//! distance and produce logged track points; the parked tracker's fixes are
+//! worthless. One gets renewed forever, the other gets deferred.
+//!
+//! Run: `cargo run -p leaseos-examples --example gps_tracker_showdown`
+
+use leaseos::LeaseOs;
+use leaseos_apps::buggy::gps::OpenGpsTracker;
+use leaseos_apps::normal::RunKeeper;
+use leaseos_framework::Kernel;
+use leaseos_simkit::{DeviceProfile, Environment, Schedule, SimTime};
+
+fn main() {
+    let end = SimTime::from_mins(30);
+
+    // The user is out running: the device moves at walking/jogging pace.
+    // The buggy tracker lives on a second, parked device.
+    let mut moving = Environment::unattended();
+    moving.in_motion = Schedule::new(true);
+    moving.movement_speed_mps = 2.5;
+
+    let mut good = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        moving,
+        Box::new(LeaseOs::new()),
+        11,
+    );
+    let runner = good.add_app(Box::new(RunKeeper::new()));
+    good.run_until(end);
+
+    let mut bad = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        Environment::unattended(),
+        Box::new(LeaseOs::new()),
+        11,
+    );
+    let parked = bad.add_app(Box::new(OpenGpsTracker::new()));
+    bad.run_until(end);
+
+    println!("Two GPS holders, 30 minutes each, both under LeaseOS:\n");
+
+    let runner_stats = good.ledger().app_opt(runner).unwrap();
+    let (_, runner_gps) = good
+        .ledger()
+        .objects_of(runner)
+        .find(|(_, o)| o.kind == leaseos_framework::ResourceKind::Gps)
+        .unwrap();
+    println!("RunKeeper (user moving):");
+    println!("  distance covered:   {:.0} m", runner_stats.distance_m);
+    println!("  track points:       {}", runner_stats.data_written);
+    println!("  GPS effective hold: {}", runner_gps.effective_held_time(end));
+    let os = good.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
+    let runner_deferrals: u64 = os.manager().lease_reports(end).iter().map(|r| r.deferrals).sum();
+    println!("  deferrals:          {runner_deferrals}\n");
+
+    let parked_stats = bad.ledger().app_opt(parked).unwrap();
+    let (_, parked_gps) = bad
+        .ledger()
+        .objects_of(parked)
+        .find(|(_, o)| o.kind == leaseos_framework::ResourceKind::Gps)
+        .unwrap();
+    println!("OpenGPSTracker (device parked on a desk):");
+    println!("  distance covered:   {:.0} m", parked_stats.distance_m);
+    println!("  track points:       {}", parked_stats.data_written);
+    println!("  GPS effective hold: {}", parked_gps.effective_held_time(end));
+    let os = bad.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
+    let parked_deferrals: u64 = os.manager().lease_reports(end).iter().map(|r| r.deferrals).sum();
+    println!("  deferrals:          {parked_deferrals}");
+    println!();
+    println!("A holding-time throttler cannot tell these two apart; the utility metrics can.");
+}

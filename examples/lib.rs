@@ -1,0 +1,4 @@
+//! Shared nothing: this crate exists to host the runnable examples under
+//! `examples/` (see `Cargo.toml` for the `[[example]]` entries).
+//!
+//! Run them with e.g. `cargo run -p leaseos-examples --example quickstart`.

@@ -1,0 +1,60 @@
+//! All four resource-management schemes on one buggy app: vanilla
+//! ask-use-release, aggressive Doze, DefDroid-style throttling, and
+//! LeaseOS — the Table 5 comparison in miniature, plus the §7.4 usability
+//! flip side on a legitimate app.
+//!
+//! Run: `cargo run -p leaseos-examples --example policy_faceoff`
+
+use leaseos::LeaseOs;
+use leaseos_apps::buggy::cpu::Kontalk;
+use leaseos_apps::normal::Spotify;
+use leaseos_baselines::{DefDroid, Doze, PureThrottle, VanillaPolicy};
+use leaseos_framework::{AppModel, Kernel, ResourcePolicy};
+use leaseos_simkit::{DeviceProfile, Environment, SimDuration, SimTime};
+
+const RUN: SimDuration = SimDuration::from_mins(30);
+
+fn policies() -> Vec<(&'static str, Box<dyn ResourcePolicy>)> {
+    vec![
+        ("vanilla", Box::new(VanillaPolicy::new()) as Box<dyn ResourcePolicy>),
+        ("doze*", Box::new(Doze::aggressive())),
+        ("defdroid", Box::new(DefDroid::new())),
+        ("throttle", Box::new(PureThrottle::new())),
+        ("leaseos", Box::new(LeaseOs::new())),
+    ]
+}
+
+fn run_app(build: impl Fn() -> Box<dyn AppModel>, policy: Box<dyn ResourcePolicy>) -> Kernel {
+    let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), Environment::unattended(), policy, 13);
+    kernel.add_app(build());
+    kernel.run_until(SimTime::ZERO + RUN);
+    kernel
+}
+
+fn main() {
+    println!("Kontalk's leaked wakelock (30 min, unattended device):");
+    println!("  {:<10} {:>10} {:>12}", "policy", "app mW", "vs vanilla");
+    let mut base = 0.0;
+    for (name, policy) in policies() {
+        let kernel = run_app(|| Box::new(Kontalk::new()), policy);
+        let app = kernel.app_by_name("Kontalk").unwrap();
+        let mw = kernel.avg_app_power_mw(app, RUN);
+        if name == "vanilla" {
+            base = mw;
+            println!("  {name:<10} {mw:>10.2} {:>12}", "—");
+        } else {
+            println!("  {name:<10} {mw:>10.2} {:>11.1}%", 100.0 * (base - mw) / base);
+        }
+    }
+
+    println!("\nSpotify streaming in the background (same 30 min):");
+    println!("  {:<10} {:>14}", "policy", "chunks played");
+    for (name, policy) in policies() {
+        let kernel = run_app(|| Box::new(Spotify::new()), policy);
+        let app = kernel.app_by_name("Spotify").unwrap();
+        let chunks = kernel.app_model::<Spotify>(app).unwrap().chunks_played;
+        println!("  {name:<10} {chunks:>14}");
+    }
+    println!("\nThe utilitarian lease is the only scheme that both kills the waste and");
+    println!("leaves the legitimate stream alone.");
+}

@@ -1,0 +1,149 @@
+//! Guardrail tests pinning the headline experiment shapes, so a regression
+//! that would silently change `EXPERIMENTS.md` fails CI instead.
+
+use leaseos::{expected_holding_time, reduction_ratio_for_lambda, LeaseOs, LeasePolicy};
+use leaseos_apps::study::{aggregate, study_cases};
+use leaseos_apps::synthetic::LongHolder;
+use leaseos_apps::workload::Scenario;
+use leaseos_framework::{Kernel, VanillaPolicy};
+use leaseos_simkit::{Battery, DeviceProfile, Environment, SimDuration, SimTime};
+
+/// Figure 9(a): measured holding times equal the closed form exactly in the
+/// deterministic simulator.
+#[test]
+fn figure9_holding_matches_closed_form() {
+    let run = SimDuration::from_mins(30);
+    for (term_s, tau_s) in [(30, 30), (60, 30), (180, 30), (30, 60), (60, 60)] {
+        let term = SimDuration::from_secs(term_s);
+        let tau = SimDuration::from_secs(tau_s);
+        let mut kernel = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(LeaseOs::with_policy(LeasePolicy::fixed(term, tau))),
+            1,
+        );
+        let id = kernel.add_app(Box::new(LongHolder::new()));
+        let end = SimTime::ZERO + run;
+        kernel.run_until(end);
+        let (_, lock) = kernel.ledger().objects_of(id).next().unwrap();
+        let measured = lock.effective_held_time(end);
+        let expected = expected_holding_time(run, term, tau);
+        assert_eq!(measured, expected, "term {term_s}s τ {tau_s}s");
+    }
+}
+
+/// Figure 12 boundary: λ = 1 halves the waste (paper: 0.49).
+#[test]
+fn lambda_one_halves_continuous_waste() {
+    let run = SimDuration::from_mins(30);
+    let term = SimDuration::from_secs(30);
+    let mut kernel = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        Environment::unattended(),
+        Box::new(LeaseOs::with_policy(LeasePolicy::fixed(term, term))),
+        1,
+    );
+    let id = kernel.add_app(Box::new(LongHolder::new()));
+    let end = SimTime::ZERO + run;
+    kernel.run_until(end);
+    let (_, lock) = kernel.ledger().objects_of(id).next().unwrap();
+    let kept = lock.effective_held_time(end).as_secs_f64() / run.as_secs_f64();
+    assert!((kept - 0.5).abs() < 0.02, "kept {kept}");
+    assert!((reduction_ratio_for_lambda(1.0) - 0.5).abs() < 1e-12);
+}
+
+/// Figure 13 boundary: overhead below 1% on the busiest setting.
+#[test]
+fn lease_overhead_stays_under_one_percent() {
+    let power = |lease: bool, seed: u64| {
+        let scenario = Scenario::multi_app(10);
+        let policy: Box<dyn leaseos_framework::ResourcePolicy> = if lease {
+            Box::new(LeaseOs::new())
+        } else {
+            Box::new(VanillaPolicy::new())
+        };
+        let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), scenario.env, policy, seed);
+        for app in scenario.apps {
+            kernel.add_app(app);
+        }
+        kernel.run_until(SimTime::ZERO + scenario.duration);
+        kernel.meter().avg_total_power_mw(scenario.duration)
+            + kernel.policy_overhead_mj() / scenario.duration.as_secs_f64()
+    };
+    let base = power(false, 123);
+    let with = power(true, 123);
+    let overhead = (with - base) / base;
+    assert!(overhead.abs() < 0.01, "overhead {:.3}%", overhead * 100.0);
+}
+
+/// §7.6 boundary: with a buggy GPS app resident, LeaseOS extends projected
+/// battery life.
+#[test]
+fn battery_life_extends_under_leaseos() {
+    let slice = SimDuration::from_hours(2);
+    let power = |lease: bool| {
+        let policy: Box<dyn leaseos_framework::ResourcePolicy> = if lease {
+            Box::new(LeaseOs::new())
+        } else {
+            Box::new(VanillaPolicy::new())
+        };
+        let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), Environment::unattended(), policy, 5);
+        kernel.add_app(Box::new(leaseos_apps::buggy::gps::GpsLogger::new()));
+        kernel.run_until(SimTime::ZERO + slice);
+        kernel.meter().avg_total_power_mw(slice)
+    };
+    let battery = Battery::for_device(&DeviceProfile::pixel_xl());
+    let life_vanilla = battery.life_at(power(false));
+    let life_lease = battery.life_at(power(true));
+    assert!(
+        life_lease.as_hours_f64() > 1.2 * life_vanilla.as_hours_f64(),
+        "{} vs {}",
+        life_lease,
+        life_vanilla
+    );
+}
+
+/// Table 2 invariants (Findings 1 and 2).
+#[test]
+fn study_findings_hold() {
+    let table = aggregate(&study_cases());
+    let (mitigable, eub) = table.finding1();
+    assert!((mitigable - 58.0).abs() < 1.0);
+    assert!((eub - 31.0).abs() < 1.0);
+    let (bugs, nonbug) = table.finding2();
+    assert!((bugs - 80.0).abs() < 2.0);
+    assert!((nonbug - 77.0).abs() < 2.0);
+}
+
+/// §7.2 shape: the normal-usage hour produces a population of mostly
+/// short-lived leases in the right order of magnitude.
+#[test]
+fn lease_population_shape() {
+    let scenario = Scenario::normal_hour();
+    let mut kernel = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        scenario.env,
+        Box::new(LeaseOs::new()),
+        2024,
+    );
+    for app in scenario.apps {
+        kernel.add_app(app);
+    }
+    let end = SimTime::ZERO + scenario.duration;
+    kernel.run_until(end);
+    let os = kernel.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
+    let created = os.manager().created_count();
+    assert!((60..400).contains(&created), "created {created}");
+    // During the idle half hour, no new leases are created.
+    let series = os.manager().active_series();
+    let after_idle: Vec<f64> = series
+        .samples()
+        .iter()
+        .filter(|(t, _)| *t > SimTime::from_mins(35))
+        .map(|(_, v)| *v)
+        .collect();
+    assert!(
+        after_idle.iter().all(|v| *v <= 2.0),
+        "leases should drain in the idle half: {after_idle:?}"
+    );
+}

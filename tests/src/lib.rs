@@ -1,0 +1,42 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use leaseos::LeaseOs;
+use leaseos_framework::{AppModel, Kernel, ResourcePolicy};
+use leaseos_simkit::{DeviceProfile, Environment, SimDuration, SimTime};
+
+/// The standard 30-minute experiment window.
+pub const RUN: SimDuration = SimDuration::from_mins(30);
+
+/// Builds a Pixel-XL kernel with the given policy and environment, installs
+/// the app, runs for [`RUN`], and returns the kernel plus the app id.
+pub fn run_app(
+    app: Box<dyn AppModel>,
+    env: Environment,
+    policy: Box<dyn ResourcePolicy>,
+    seed: u64,
+) -> (Kernel, leaseos_framework::AppId) {
+    let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), env, policy, seed);
+    let id = kernel.add_app(app);
+    kernel.run_until(SimTime::ZERO + RUN);
+    (kernel, id)
+}
+
+/// Average app power over the standard window, in mW.
+pub fn app_power(kernel: &Kernel, id: leaseos_framework::AppId) -> f64 {
+    kernel.avg_app_power_mw(id, RUN)
+}
+
+/// Total lease deferrals across the run (panics if the policy is not
+/// LeaseOS).
+pub fn total_deferrals(kernel: &Kernel) -> u64 {
+    let os = kernel
+        .policy()
+        .as_any()
+        .downcast_ref::<LeaseOs>()
+        .expect("policy must be LeaseOS");
+    os.manager()
+        .lease_reports(SimTime::ZERO + RUN)
+        .iter()
+        .map(|r| r.deferrals)
+        .sum()
+}

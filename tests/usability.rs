@@ -1,0 +1,77 @@
+//! The §7.4 usability property as an invariant: legitimate heavy apps keep
+//! 100% of their useful output under LeaseOS and are never deferred, while
+//! pure time-based throttling disrupts all of them.
+
+use leaseos::LeaseOs;
+use leaseos_apps::normal::{Haven, RunKeeper, Spotify, SyncRadio};
+use leaseos_baselines::PureThrottle;
+use leaseos_framework::{AppModel, Kernel, VanillaPolicy};
+use leaseos_integration::{run_app, total_deferrals, RUN};
+use leaseos_simkit::{Environment, Schedule, SimTime};
+
+fn running_env() -> Environment {
+    let mut env = Environment::unattended();
+    env.in_motion = Schedule::new(true);
+    env
+}
+
+fn output_of(kernel: &Kernel, id: leaseos_framework::AppId, name: &str) -> u64 {
+    match name {
+        "RunKeeper" => kernel.app_model::<RunKeeper>(id).unwrap().points_logged,
+        "Spotify" => kernel.app_model::<Spotify>(id).unwrap().chunks_played,
+        "Haven" => kernel.app_model::<Haven>(id).unwrap().events_logged,
+        other => panic!("unknown subject {other}"),
+    }
+}
+
+fn subjects() -> Vec<(&'static str, fn() -> Box<dyn AppModel>, fn() -> Environment)> {
+    vec![
+        ("RunKeeper", || Box::new(RunKeeper::new()), running_env as fn() -> Environment),
+        ("Spotify", || Box::new(Spotify::new()), Environment::unattended),
+        ("Haven", || Box::new(Haven::new()), Environment::unattended),
+    ]
+}
+
+#[test]
+fn leaseos_never_disrupts_legitimate_heavy_apps() {
+    for (name, build, env) in subjects() {
+        let (vanilla, id) = run_app(build(), env(), Box::new(VanillaPolicy::new()), 31);
+        let base = output_of(&vanilla, id, name);
+        let (leased, id) = run_app(build(), env(), Box::new(LeaseOs::new()), 31);
+        let out = output_of(&leased, id, name);
+        assert_eq!(out, base, "{name}: output must be identical under LeaseOS");
+        assert_eq!(total_deferrals(&leased), 0, "{name}: zero deferrals");
+    }
+}
+
+#[test]
+fn pure_throttling_disrupts_all_three() {
+    for (name, build, env) in subjects() {
+        let (vanilla, id) = run_app(build(), env(), Box::new(VanillaPolicy::new()), 31);
+        let base = output_of(&vanilla, id, name);
+        let (throttled, id) = run_app(build(), env(), Box::new(PureThrottle::new()), 31);
+        let out = output_of(&throttled, id, name);
+        assert!(
+            (out as f64) < 0.6 * base as f64,
+            "{name}: throttling should gut the output, got {out}/{base}"
+        );
+    }
+}
+
+#[test]
+fn long_but_productive_wakelock_holds_are_not_flagged() {
+    // §2.3: "several normal apps in the test phones (e.g., Pandora,
+    // Transdroid, Flym) also incur long wakelock holding time" — a
+    // holding-time classifier would flag them; the utilitarian lease must
+    // not.
+    let (leased, id) = run_app(
+        Box::new(SyncRadio::new()),
+        Environment::unattended(),
+        Box::new(LeaseOs::new()),
+        31,
+    );
+    assert_eq!(total_deferrals(&leased), 0);
+    let end = SimTime::ZERO + RUN;
+    let (_, lock) = leased.ledger().objects_of(id).next().unwrap();
+    assert_eq!(lock.effective_held_time(end), RUN, "held all 30 minutes, untouched");
+}
