@@ -90,7 +90,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "social",
             resource: Wakelock,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 100.62, with_lease: 1.93, doze: 18.92, defdroid: 12.68 },
+            paper: PaperNumbers {
+                without_lease: 100.62,
+                with_lease: 1.93,
+                doze: 18.92,
+                defdroid: 12.68,
+            },
             build: || Box::new(Facebook::new()),
             environment: unattended,
         },
@@ -99,7 +104,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "tool",
             resource: Wakelock,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 81.54, with_lease: 1.30, doze: 19.26, defdroid: 14.39 },
+            paper: PaperNumbers {
+                without_lease: 81.54,
+                with_lease: 1.30,
+                doze: 19.26,
+                defdroid: 14.39,
+            },
             build: || Box::new(Torch::new()),
             environment: unattended,
         },
@@ -108,7 +118,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "messaging",
             resource: Wakelock,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 29.41, with_lease: 0.39, doze: 16.84, defdroid: 15.99 },
+            paper: PaperNumbers {
+                without_lease: 29.41,
+                with_lease: 0.39,
+                doze: 16.84,
+                defdroid: 15.99,
+            },
             build: || Box::new(Kontalk::new()),
             environment: unattended,
         },
@@ -117,7 +132,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "mail",
             resource: Wakelock,
             behavior: LUB,
-            paper: PaperNumbers { without_lease: 890.35, with_lease: 81.62, doze: 195.2, defdroid: 136.14 },
+            paper: PaperNumbers {
+                without_lease: 890.35,
+                with_lease: 81.62,
+                doze: 195.2,
+                defdroid: 136.14,
+            },
             build: || Box::new(K9Mail::new()),
             environment: disconnected_unattended,
         },
@@ -126,7 +146,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "tool",
             resource: Wakelock,
             behavior: LUB,
-            paper: PaperNumbers { without_lease: 134.27, with_lease: 1.37, doze: 30.54, defdroid: 14.88 },
+            paper: PaperNumbers {
+                without_lease: 134.27,
+                with_lease: 1.37,
+                doze: 30.54,
+                defdroid: 14.88,
+            },
             build: || Box::new(ServalMesh::new()),
             environment: disconnected_unattended,
         },
@@ -135,7 +160,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "messaging",
             resource: Wakelock,
             behavior: LUB,
-            paper: PaperNumbers { without_lease: 81.62, with_lease: 1.198, doze: 18.78, defdroid: 16.78 },
+            paper: PaperNumbers {
+                without_lease: 81.62,
+                with_lease: 1.198,
+                doze: 18.78,
+                defdroid: 16.78,
+            },
             build: || Box::new(TextSecure::new()),
             environment: disconnected_unattended,
         },
@@ -144,7 +174,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "tool",
             resource: ScreenWakelock,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 576.52, with_lease: 23.23, doze: 573.23, defdroid: 115.56 },
+            paper: PaperNumbers {
+                without_lease: 576.52,
+                with_lease: 23.23,
+                doze: 573.23,
+                defdroid: 115.56,
+            },
             build: || Box::new(ConnectBotScreen::new()),
             environment: unattended,
         },
@@ -153,7 +188,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "productivity",
             resource: ScreenWakelock,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 569.10, with_lease: 13.26, doze: 544.46, defdroid: 61.82 },
+            paper: PaperNumbers {
+                without_lease: 569.10,
+                with_lease: 13.26,
+                doze: 544.46,
+                defdroid: 61.82,
+            },
             build: || Box::new(StandupTimer::new()),
             environment: unattended,
         },
@@ -162,7 +202,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "tool",
             resource: WifiLock,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 17.08, with_lease: 0.78, doze: 3.21, defdroid: 2.57 },
+            paper: PaperNumbers {
+                without_lease: 17.08,
+                with_lease: 0.78,
+                doze: 3.21,
+                defdroid: 2.57,
+            },
             build: || Box::new(ConnectBotWifi::new()),
             environment: unattended,
         },
@@ -171,7 +216,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "widget",
             resource: Gps,
             behavior: FAB,
-            paper: PaperNumbers { without_lease: 115.36, with_lease: 2.59, doze: 20.38, defdroid: 39.97 },
+            paper: PaperNumbers {
+                without_lease: 115.36,
+                with_lease: 2.59,
+                doze: 20.38,
+                defdroid: 39.97,
+            },
             build: || Box::new(BetterWeather::new()),
             environment: weak_gps_unattended,
         },
@@ -180,7 +230,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "travel",
             resource: Gps,
             behavior: FAB,
-            paper: PaperNumbers { without_lease: 126.28, with_lease: 23.33, doze: 20.42, defdroid: 69.62 },
+            paper: PaperNumbers {
+                without_lease: 126.28,
+                with_lease: 23.33,
+                doze: 20.42,
+                defdroid: 69.62,
+            },
             build: || Box::new(Where::new()),
             environment: weak_gps_unattended,
         },
@@ -189,7 +244,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "service",
             resource: Gps,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 122.43, with_lease: 67.53, doze: 36.48, defdroid: 62.7 },
+            paper: PaperNumbers {
+                without_lease: 122.43,
+                with_lease: 67.53,
+                doze: 36.48,
+                defdroid: 62.7,
+            },
             build: || Box::new(MozStumbler::new()),
             environment: unattended,
         },
@@ -198,7 +258,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "navigation",
             resource: Gps,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 121.51, with_lease: 8.39, doze: 20.52, defdroid: 73.34 },
+            paper: PaperNumbers {
+                without_lease: 121.51,
+                with_lease: 8.39,
+                doze: 20.52,
+                defdroid: 73.34,
+            },
             build: || Box::new(OsmTracker::new()),
             environment: unattended,
         },
@@ -207,7 +272,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "travel",
             resource: Gps,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 118.25, with_lease: 4.33, doze: 21.98, defdroid: 70.7 },
+            paper: PaperNumbers {
+                without_lease: 118.25,
+                with_lease: 4.33,
+                doze: 21.98,
+                defdroid: 70.7,
+            },
             build: || Box::new(GpsLogger::new()),
             environment: unattended,
         },
@@ -216,7 +286,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "travel",
             resource: Gps,
             behavior: LHB,
-            paper: PaperNumbers { without_lease: 115.5, with_lease: 3.97, doze: 19.5, defdroid: 71.09 },
+            paper: PaperNumbers {
+                without_lease: 115.5,
+                with_lease: 3.97,
+                doze: 19.5,
+                defdroid: 71.09,
+            },
             build: || Box::new(BostonBusMap::new()),
             environment: unattended,
         },
@@ -225,7 +300,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "service",
             resource: Gps,
             behavior: LUB,
-            paper: PaperNumbers { without_lease: 119.43, with_lease: 4.50, doze: 23.91, defdroid: 73.31 },
+            paper: PaperNumbers {
+                without_lease: 119.43,
+                with_lease: 4.50,
+                doze: 23.91,
+                defdroid: 73.31,
+            },
             build: || Box::new(Aimscid::new()),
             environment: unattended,
         },
@@ -234,7 +314,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "navigation",
             resource: Gps,
             behavior: LUB,
-            paper: PaperNumbers { without_lease: 123.97, with_lease: 3.40, doze: 19.91, defdroid: 91.25 },
+            paper: PaperNumbers {
+                without_lease: 123.97,
+                with_lease: 3.40,
+                doze: 19.91,
+                defdroid: 91.25,
+            },
             build: || Box::new(OpenScienceMap::new()),
             environment: unattended,
         },
@@ -243,7 +328,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "travel",
             resource: Gps,
             behavior: LUB,
-            paper: PaperNumbers { without_lease: 360.25, with_lease: 1.32, doze: 19.91, defdroid: 237.41 },
+            paper: PaperNumbers {
+                without_lease: 360.25,
+                with_lease: 1.32,
+                doze: 19.91,
+                defdroid: 237.41,
+            },
             build: || Box::new(OpenGpsTracker::new()),
             environment: unattended,
         },
@@ -252,7 +342,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "tool",
             resource: Sensor,
             behavior: LUB,
-            paper: PaperNumbers { without_lease: 11.72, with_lease: 1.87, doze: 3.95, defdroid: 4.41 },
+            paper: PaperNumbers {
+                without_lease: 11.72,
+                with_lease: 1.87,
+                doze: 3.95,
+                defdroid: 4.41,
+            },
             build: || Box::new(TapAndTurn::new()),
             environment: unattended,
         },
@@ -261,7 +356,12 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             category: "messaging",
             resource: Sensor,
             behavior: LUB,
-            paper: PaperNumbers { without_lease: 19.17, with_lease: 1.43, doze: 6.64, defdroid: 3.93 },
+            paper: PaperNumbers {
+                without_lease: 19.17,
+                with_lease: 1.43,
+                doze: 6.64,
+                defdroid: 3.93,
+            },
             build: || Box::new(Riot::new()),
             environment: unattended,
         },

@@ -299,11 +299,10 @@ impl AppModel for ServalMesh {
                 // Scan again after a brief pause, successful or not.
                 ctx.schedule(SimDuration::from_millis(2_500), RETRY);
             }
-            AppEvent::Timer(RETRY)
-                if !self.busy => {
-                    self.busy = true;
-                    ctx.do_work(SimDuration::from_millis(350), WORK);
-                }
+            AppEvent::Timer(RETRY) if !self.busy => {
+                self.busy = true;
+                ctx.do_work(SimDuration::from_millis(350), WORK);
+            }
             AppEvent::Timer(WATCHDOG) => {
                 // Re-assert the lock; the scan loop drives itself.
                 ctx.reacquire(self.lock.expect("lock"));
@@ -459,7 +458,11 @@ mod tests {
     fn k9_bad_server_holds_long_with_low_cpu() {
         // The Figure 2 environment: connected, mail server failing.
         let end = SimTime::from_mins(30);
-        let k = run(Box::new(K9Mail::new()), Environment::connected_bad_server(), 30);
+        let k = run(
+            Box::new(K9Mail::new()),
+            Environment::connected_bad_server(),
+            30,
+        );
         let app = k.app_by_name("K-9").unwrap();
         let stats = k.ledger().app_opt(app).unwrap();
         assert!(stats.exceptions > 20);

@@ -410,7 +410,11 @@ mod tests {
 
     #[test]
     fn betterweather_settles_under_good_signal() {
-        let k = run(Box::new(BetterWeather::new()), Environment::unattended(), 10);
+        let k = run(
+            Box::new(BetterWeather::new()),
+            Environment::unattended(),
+            10,
+        );
         let app = k.app_by_name("BetterWeather").unwrap();
         assert!(
             k.ledger().app_opt(app).unwrap().ui_updates > 0,
@@ -433,7 +437,11 @@ mod tests {
             let (_, o) = k.ledger().objects_of(id).next().unwrap();
             assert_eq!(o.held_time(end), SimDuration::from_mins(20), "{name}");
             assert_eq!(
-                k.ledger().app_opt(id).unwrap().activity_time(end).as_millis(),
+                k.ledger()
+                    .app_opt(id)
+                    .unwrap()
+                    .activity_time(end)
+                    .as_millis(),
                 0,
                 "{name}: no Activity consumes the fixes"
             );
@@ -474,8 +482,8 @@ mod tests {
                 .map(|(_, o)| o.searching_time(end).as_secs_f64())
                 .sum()
         };
-        let bw = searching(Box::new(BetterWeather::new()), "BetterWeather");
-        let wh = searching(Box::new(Where::new()), "WHERE");
+        let bw = searching(Box::<BetterWeather>::default(), "BetterWeather");
+        let wh = searching(Box::<Where>::default(), "WHERE");
         assert!(
             wh > bw * 1.2,
             "WHERE ({wh:.0}s) should out-search BetterWeather ({bw:.0}s)"
@@ -490,8 +498,8 @@ mod tests {
             let deliveries = k.ledger().objects_of(id).next().unwrap().1.deliveries;
             deliveries
         };
-        let one_hz = count(Box::new(MozStumbler::new()), "MozStumbler");
-        let half_hz = count(Box::new(GpsLogger::new()), "GPSLogger");
+        let one_hz = count(Box::<MozStumbler>::default(), "MozStumbler");
+        let half_hz = count(Box::<GpsLogger>::default(), "GPSLogger");
         assert!(
             one_hz > half_hz * 3 / 2,
             "1 Hz ({one_hz}) vs 0.5 Hz ({half_hz}) delivery rates"
@@ -500,11 +508,19 @@ mod tests {
 
     #[test]
     fn opengpstracker_burns_cpu_per_fix() {
-        let k = run(Box::new(OpenGpsTracker::new()), Environment::unattended(), 20);
+        let k = run(
+            Box::new(OpenGpsTracker::new()),
+            Environment::unattended(),
+            20,
+        );
         let id = k.app_by_name("OpenGPSTracker").unwrap();
         let cpu = k.ledger().app_opt(id).unwrap().cpu_ms;
         // ~280 ms per 1 s fix for 20 min ≈ 320 s of CPU.
         assert!(cpu > 200_000, "got {cpu} ms");
-        assert_eq!(k.ledger().app_opt(id).unwrap().data_written, 0, "nothing logged");
+        assert_eq!(
+            k.ledger().app_opt(id).unwrap().data_written,
+            0,
+            "nothing logged"
+        );
     }
 }

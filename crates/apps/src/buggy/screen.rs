@@ -99,12 +99,11 @@ mod tests {
             let id = k.add_app(app);
             k.run_until(end);
             assert!(k.is_screen_on(), "{name}");
-            let screen_mj = k.meter().component_energy_mj(id.consumer(), ComponentKind::Screen);
+            let screen_mj = k
+                .meter()
+                .component_energy_mj(id.consumer(), ComponentKind::Screen);
             // 30 min × 480 mW = 864 000 mJ.
-            assert!(
-                screen_mj > 800_000.0,
-                "{name}: screen energy {screen_mj}"
-            );
+            assert!(screen_mj > 800_000.0, "{name}: screen energy {screen_mj}");
         }
     }
 

@@ -137,7 +137,9 @@ mod tests {
         let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::unattended(), 5);
         let id = k.add_app(Box::new(TapAndTurn::new()));
         k.run_until(end);
-        let mj = k.meter().component_energy_mj(id.consumer(), ComponentKind::Sensor);
+        let mj = k
+            .meter()
+            .component_energy_mj(id.consumer(), ComponentKind::Sensor);
         assert!(mj > 15_000.0, "30 min of sensor draw, got {mj}");
         let app = k.app_model::<TapAndTurn>(id).unwrap();
         assert!(app.rotations > 100);
@@ -157,7 +159,11 @@ mod tests {
         let id = k.add_app(Box::new(Riot::new()));
         k.run_until(end);
         let (_, o) = k.ledger().objects_of(id).next().unwrap();
-        assert!(o.deliveries > 10_000, "10 Hz for 30 min, got {}", o.deliveries);
+        assert!(
+            o.deliveries > 10_000,
+            "10 Hz for 30 min, got {}",
+            o.deliveries
+        );
         assert!(k.ledger().app_opt(id).unwrap().interactions == 0);
     }
 }

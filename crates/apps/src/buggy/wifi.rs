@@ -48,7 +48,9 @@ mod tests {
         let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::unattended(), 7);
         let id = k.add_app(Box::new(ConnectBotWifi::new()));
         k.run_until(end);
-        let wifi_mj = k.meter().component_energy_mj(id.consumer(), ComponentKind::Wifi);
+        let wifi_mj = k
+            .meter()
+            .component_energy_mj(id.consumer(), ComponentKind::Wifi);
         // ≈ 1800 s × 16 mW idle draw (plus the brief handshake burst).
         assert!(wifi_mj > 25_000.0, "got {wifi_mj}");
         let stats = k.ledger().app_opt(id).unwrap();

@@ -165,8 +165,7 @@ mod tests {
         let cases = study_cases();
         assert_eq!(cases.len(), 109);
         // Ids are unique.
-        let ids: std::collections::BTreeSet<&str> =
-            cases.iter().map(|c| c.id.as_str()).collect();
+        let ids: std::collections::BTreeSet<&str> = cases.iter().map(|c| c.id.as_str()).collect();
         assert_eq!(ids.len(), 109);
     }
 
@@ -174,7 +173,13 @@ mod tests {
     fn aggregation_reproduces_table2() {
         let t = aggregate(&study_cases());
         assert_eq!(
-            (t.fab.total(), t.lhb.total(), t.lub.total(), t.eub.total(), t.na.total()),
+            (
+                t.fab.total(),
+                t.lhb.total(),
+                t.lub.total(),
+                t.eub.total(),
+                t.na.total()
+            ),
             (12, 23, 28, 34, 12)
         );
         assert_eq!(t.total(), 109);

@@ -72,7 +72,10 @@ impl IntermittentMisbehaver {
     /// Builds the app from an explicit slice schedule (misbehaving first,
     /// then alternating).
     pub fn with_schedule(schedule: Vec<SimDuration>) -> Self {
-        assert!(!schedule.is_empty(), "schedule must have at least one slice");
+        assert!(
+            !schedule.is_empty(),
+            "schedule must have at least one slice"
+        );
         IntermittentMisbehaver {
             schedule,
             index: 0,
@@ -230,17 +233,17 @@ impl AppModel for InteractionFlow {
                     }
                 }
             }
-            AppEvent::SensorReading { obj }
-                if self.started.is_some() => {
-                    ctx.close(obj);
-                    self.finish(ctx);
-                }
-            AppEvent::GpsFix { obj, .. }
-                if self.started.is_some() => {
-                    ctx.close(obj);
-                    ctx.do_work(SimDuration::from_millis(60), FLOW_WORK);
-                }
-            AppEvent::NetDone { token: FLOW_NET, .. } => {
+            AppEvent::SensorReading { obj } if self.started.is_some() => {
+                ctx.close(obj);
+                self.finish(ctx);
+            }
+            AppEvent::GpsFix { obj, .. } if self.started.is_some() => {
+                ctx.close(obj);
+                ctx.do_work(SimDuration::from_millis(60), FLOW_WORK);
+            }
+            AppEvent::NetDone {
+                token: FLOW_NET, ..
+            } => {
                 ctx.do_work(SimDuration::from_millis(250), FLOW_WORK);
             }
             AppEvent::WorkDone(FLOW_WORK) => {
@@ -294,7 +297,11 @@ mod tests {
 
     #[test]
     fn flows_complete_and_measure_latency() {
-        for kind in [ResourceKind::Sensor, ResourceKind::Wakelock, ResourceKind::Gps] {
+        for kind in [
+            ResourceKind::Sensor,
+            ResourceKind::Wakelock,
+            ResourceKind::Gps,
+        ] {
             let mut env = Environment::new(); // user present: screen on
             env.movement_speed_mps = 1.0;
             let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), env, 9);
@@ -306,7 +313,9 @@ mod tests {
             assert!(!lat.is_zero(), "{kind}");
             match kind {
                 // Sensor flows are tens of ms; wakelock/GPS flows seconds.
-                ResourceKind::Sensor => assert!(lat < SimDuration::from_millis(200), "{kind}: {lat}"),
+                ResourceKind::Sensor => {
+                    assert!(lat < SimDuration::from_millis(200), "{kind}: {lat}")
+                }
                 _ => assert!(lat > SimDuration::from_millis(500), "{kind}: {lat}"),
             }
         }

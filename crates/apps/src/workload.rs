@@ -125,7 +125,10 @@ impl InteractiveApp {
 
     fn schedule_next(&mut self, ctx: &mut AppCtx<'_>) {
         let gap_ms = ctx.rng().exponential(self.session_gap.as_millis() as f64) as u64;
-        ctx.schedule_alarm(SimDuration::from_millis(gap_ms.clamp(2_000, 600_000)), NEXT_SESSION);
+        ctx.schedule_alarm(
+            SimDuration::from_millis(gap_ms.clamp(2_000, 600_000)),
+            NEXT_SESSION,
+        );
     }
 }
 
@@ -148,11 +151,10 @@ impl AppModel for InteractiveApp {
                     self.schedule_next(ctx);
                 }
             }
-            AppEvent::Timer(SESSION_END)
-                if self.in_session => {
-                    self.end_session(ctx);
-                    self.schedule_next(ctx);
-                }
+            AppEvent::Timer(SESSION_END) if self.in_session => {
+                self.end_session(ctx);
+                self.schedule_next(ctx);
+            }
             AppEvent::WorkDone(BURST_DONE) => {
                 self.bursting = false;
                 if self.in_session {
@@ -161,33 +163,31 @@ impl AppModel for InteractiveApp {
                     ctx.schedule(SimDuration::from_millis(gap), BURST);
                 }
             }
-            AppEvent::Timer(BURST)
-                if self.in_session && !self.bursting => {
-                    self.bursting = true;
-                    ctx.note_user_interaction();
-                    let work = match self.profile {
-                        Profile::Game => ctx.rng().range_u64(300, 900),
-                        Profile::Video => ctx.rng().range_u64(150, 400),
-                        _ => ctx.rng().range_u64(80, 350),
-                    };
-                    ctx.do_work(SimDuration::from_millis(work), BURST_DONE);
-                }
+            AppEvent::Timer(BURST) if self.in_session && !self.bursting => {
+                self.bursting = true;
+                ctx.note_user_interaction();
+                let work = match self.profile {
+                    Profile::Game => ctx.rng().range_u64(300, 900),
+                    Profile::Video => ctx.rng().range_u64(150, 400),
+                    _ => ctx.rng().range_u64(80, 350),
+                };
+                ctx.do_work(SimDuration::from_millis(work), BURST_DONE);
+            }
             AppEvent::NetDone { token: NET, .. } => {
                 self.net_in_flight = false;
                 if self.in_session {
                     ctx.schedule(SimDuration::from_secs(4), CHUNK);
                 }
             }
-            AppEvent::Timer(CHUNK)
-                if self.in_session => {
-                    if self.net_in_flight {
-                        // Straggler op still draining; poll again shortly.
-                        ctx.schedule(SimDuration::from_secs(1), CHUNK);
-                    } else {
-                        self.net_in_flight = true;
-                        ctx.network_op(200_000, NET);
-                    }
+            AppEvent::Timer(CHUNK) if self.in_session => {
+                if self.net_in_flight {
+                    // Straggler op still draining; poll again shortly.
+                    ctx.schedule(SimDuration::from_secs(1), CHUNK);
+                } else {
+                    self.net_in_flight = true;
+                    ctx.network_op(200_000, NET);
                 }
+            }
             _ => {}
         }
     }
@@ -306,7 +306,11 @@ mod tests {
         k.run_until(SimTime::ZERO + scenario.duration);
         let total_sessions: u64 = ids
             .iter()
-            .map(|id| k.app_model::<InteractiveApp>(*id).map(|a| a.sessions).unwrap_or(0))
+            .map(|id| {
+                k.app_model::<InteractiveApp>(*id)
+                    .map(|a| a.sessions)
+                    .unwrap_or(0)
+            })
             .sum();
         assert!(total_sessions > 20, "active half hour: {total_sessions}");
         // All objects are closed by session end or the run cutoff: no object
@@ -346,7 +350,10 @@ mod tests {
         let mut actives: Vec<f64> = reports.iter().map(|r| r.active_secs).collect();
         actives.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = actives[actives.len() / 2];
-        assert!(median < 60.0, "most leases are short-lived: median {median}s");
+        assert!(
+            median < 60.0,
+            "most leases are short-lived: median {median}s"
+        );
         let max = actives.last().copied().unwrap_or(0.0);
         assert!(max > 240.0, "the music session lease is long: {max}s");
     }

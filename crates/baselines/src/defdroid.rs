@@ -226,13 +226,17 @@ impl ResourcePolicy for DefDroid {
                         watch.armed = false;
                         return Vec::new();
                     }
-                    let accrued = o.held_time(ctx.now).as_millis().saturating_sub(watch.baseline_ms);
+                    let accrued = o
+                        .held_time(ctx.now)
+                        .as_millis()
+                        .saturating_sub(watch.baseline_ms);
                     let threshold = setting.hold_threshold.as_millis();
                     if accrued < threshold {
                         watch.generation += 1;
                         let remaining = threshold - accrued.max(1);
                         return vec![PolicyAction::ScheduleTimer {
-                            at: ctx.now + leaseos_simkit::SimDuration::from_millis(remaining.max(1_000)),
+                            at: ctx.now
+                                + leaseos_simkit::SimDuration::from_millis(remaining.max(1_000)),
                             key: Self::key(obj, watch.generation),
                         }];
                     }
@@ -272,7 +276,9 @@ impl ResourcePolicy for DefDroid {
     }
 
     fn overhead(&self) -> PolicyOverhead {
-        PolicyOverhead { per_op_cpu_ms: 0.05 }
+        PolicyOverhead {
+            per_op_cpu_ms: 0.05,
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

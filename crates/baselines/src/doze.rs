@@ -141,7 +141,10 @@ impl Doze {
     fn deferrable(kind: ResourceKind) -> bool {
         matches!(
             kind,
-            ResourceKind::Wakelock | ResourceKind::WifiLock | ResourceKind::Gps | ResourceKind::Sensor
+            ResourceKind::Wakelock
+                | ResourceKind::WifiLock
+                | ResourceKind::Gps
+                | ResourceKind::Sensor
         )
     }
 
@@ -152,7 +155,10 @@ impl Doze {
             .ledger
             .live_objects()
             .any(|(_, o)| o.kind == ResourceKind::Audio && o.held && !o.revoked);
-        ctx.screen_on || ctx.env.user_present.at(ctx.now) || ctx.env.in_motion.at(ctx.now) || playing
+        ctx.screen_on
+            || ctx.env.user_present.at(ctx.now)
+            || ctx.env.in_motion.at(ctx.now)
+            || playing
     }
 
     fn enter_doze(&mut self, ctx: &PolicyCtx<'_>) -> Vec<PolicyAction> {
@@ -290,7 +296,9 @@ impl ResourcePolicy for Doze {
     }
 
     fn overhead(&self) -> PolicyOverhead {
-        PolicyOverhead { per_op_cpu_ms: 0.05 }
+        PolicyOverhead {
+            per_op_cpu_ms: 0.05,
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -462,7 +470,11 @@ mod tests {
         let app = k.add_app(Box::new(MediaApp));
         k.run_until(SimTime::from_mins(30));
         let doze = k.policy().as_any().downcast_ref::<Doze>().unwrap();
-        assert_eq!(doze.doze_entries(), 0, "audio playback keeps the device in use");
+        assert_eq!(
+            doze.doze_entries(),
+            0,
+            "audio playback keeps the device in use"
+        );
         let (_, lock) = k
             .ledger()
             .objects_of(app)

@@ -125,7 +125,9 @@ impl ResourcePolicy for PureThrottle {
     }
 
     fn overhead(&self) -> PolicyOverhead {
-        PolicyOverhead { per_op_cpu_ms: 0.05 }
+        PolicyOverhead {
+            per_op_cpu_ms: 0.05,
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

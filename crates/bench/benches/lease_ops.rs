@@ -64,7 +64,9 @@ fn bench_create(c: &mut Criterion) {
 fn bench_check(c: &mut Criterion) {
     let m = populated_manager(256);
     let id = m.lease_of_obj(ObjId(17)).unwrap();
-    c.bench_function("lease_check_accept", |b| b.iter(|| m.check(std::hint::black_box(id))));
+    c.bench_function("lease_check_accept", |b| {
+        b.iter(|| m.check(std::hint::black_box(id)))
+    });
     c.bench_function("lease_check_reject", |b| {
         b.iter(|| m.check(std::hint::black_box(LeaseId(9_999_999))))
     });

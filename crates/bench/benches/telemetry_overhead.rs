@@ -1,0 +1,78 @@
+//! Overhead of the always-on telemetry bus (the reproduction's analogue of
+//! the paper's <1% accounting-overhead claim, Fig. 13).
+//!
+//! Three configurations of the same 30-minute Table 5 scenario:
+//!
+//! * `disabled` — no sinks attached: `emit` bumps a counter and never
+//!   builds the event value (the zero-allocation path). The acceptance
+//!   bar is <1% over what the kernel would cost with telemetry ripped
+//!   out entirely, which this path approximates by construction.
+//! * `ring` — a bounded in-memory ring sink attached.
+//! * `jsonl` — full serialization into an in-memory JSONL buffer.
+//!
+//! Run: `cargo bench -p leaseos-bench --bench telemetry_overhead`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leaseos::LeaseOs;
+use leaseos_apps::buggy::table5_cases;
+use leaseos_bench::{Matrix, ScenarioSpec};
+use leaseos_simkit::{JsonlSink, RingBufferSink};
+
+fn torch_spec() -> ScenarioSpec {
+    let cases = table5_cases();
+    let torch = cases.iter().find(|case| case.name == "Torch").unwrap();
+    Matrix::new(leaseos_bench::RUN_LENGTH)
+        .seeds(vec![1])
+        .app(
+            torch.name,
+            Arc::new(torch.build),
+            Arc::new(torch.environment),
+        )
+        .policy("leaseos", Arc::new(|| Box::new(LeaseOs::new()) as _))
+        .specs()
+        .remove(0)
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    let spec = torch_spec();
+    c.bench_function("table5_torch_30min_telemetry_disabled", |b| {
+        b.iter(|| black_box(spec.execute().app_power_mw()))
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let spec = torch_spec();
+    c.bench_function("table5_torch_30min_telemetry_ring", |b| {
+        b.iter(|| {
+            let run = spec.execute_with(|kernel| {
+                kernel
+                    .telemetry()
+                    .attach(Rc::new(RefCell::new(RingBufferSink::new(4096))));
+            });
+            black_box(run.app_power_mw())
+        })
+    });
+}
+
+fn bench_jsonl(c: &mut Criterion) {
+    let spec = torch_spec();
+    c.bench_function("table5_torch_30min_telemetry_jsonl", |b| {
+        b.iter(|| {
+            let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())));
+            let run = spec.execute_with(|kernel| kernel.telemetry().attach(sink.clone()));
+            let bytes = sink.borrow().get_ref().len();
+            black_box((run.app_power_mw(), bytes))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_disabled, bench_ring, bench_jsonl
+}
+criterion_main!(benches);

@@ -18,12 +18,14 @@
 //!
 //! Run: `cargo run --release -p leaseos-bench --bin ablation`
 
+use std::sync::Arc;
+
 use leaseos::{Classifier, ClassifierConfig, LeaseOs, LeasePolicy};
 use leaseos_apps::buggy::table5_cases;
 use leaseos_apps::normal::{Haven, RunKeeper, Spotify};
-use leaseos_bench::{f1, PolicyKind, TextTable};
-use leaseos_framework::{AppModel, Kernel, ResourcePolicy};
-use leaseos_simkit::{DeviceProfile, Environment, Schedule, SimDuration, SimTime};
+use leaseos_bench::{f1, Matrix, ScenarioRun, ScenarioRunner, TextTable};
+use leaseos_framework::{AppModel, ResourcePolicy, VanillaPolicy};
+use leaseos_simkit::{Environment, EventKind, Schedule, SimDuration};
 
 const RUN: SimDuration = SimDuration::from_mins(30);
 
@@ -68,7 +70,10 @@ fn variants() -> Vec<Variant> {
                     evidence_window: SimDuration::from_secs(5),
                     ..ClassifierConfig::default()
                 });
-                Box::new(LeaseOs::with_policy_and_classifier(LeasePolicy::default(), classifier))
+                Box::new(LeaseOs::with_policy_and_classifier(
+                    LeasePolicy::default(),
+                    classifier,
+                ))
             },
         },
         Variant {
@@ -81,86 +86,126 @@ fn variants() -> Vec<Variant> {
                     lhb_max_utilization: f64::INFINITY,
                     ..ClassifierConfig::default()
                 });
-                Box::new(LeaseOs::with_policy_and_classifier(LeasePolicy::default(), classifier))
+                Box::new(LeaseOs::with_policy_and_classifier(
+                    LeasePolicy::default(),
+                    classifier,
+                ))
             },
         },
     ]
 }
 
-fn mitigation_avg(build: fn() -> Box<dyn ResourcePolicy>) -> f64 {
+fn mitigation_avg(runner: &ScenarioRunner, build: fn() -> Box<dyn ResourcePolicy>) -> f64 {
     let cases = table5_cases();
-    let mut total = 0.0;
+    let mut matrix = Matrix::new(RUN)
+        .policy("vanilla", Arc::new(|| Box::new(VanillaPolicy::new()) as _))
+        .policy("variant", Arc::new(build));
     for case in &cases {
-        let base = leaseos_bench::run_case(case, PolicyKind::Vanilla, 42).app_power_mw;
-        let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), (case.environment)(), build(), 42);
-        let id = kernel.add_app((case.build)());
-        kernel.run_until(SimTime::ZERO + RUN);
-        let treated = kernel.avg_app_power_mw(id, RUN);
+        matrix = matrix.app(case.name, Arc::new(case.build), Arc::new(case.environment));
+    }
+    let powers = runner.run_each(&matrix.specs(), |_, run| run.app_power_mw());
+    let mut total = 0.0;
+    for i in 0..cases.len() {
+        let (base, treated) = (powers[i * 2], powers[i * 2 + 1]);
         total += 100.0 * (base - treated) / base;
     }
     total / cases.len() as f64
 }
 
-/// Returns (average useful-output retention %, total deferrals) over the
-/// three §7.4 subjects.
-fn usability(build: fn() -> Box<dyn ResourcePolicy>) -> (f64, u64) {
-    let mut retention = 0.0;
-    let mut deferrals = 0;
-    let subjects: Vec<(fn() -> Box<dyn AppModel>, fn() -> Environment)> = vec![
-        (
-            || Box::new(RunKeeper::new()),
-            || {
+/// The three §7.4 legitimate heavy apps with their environments.
+fn subjects(length: SimDuration) -> Matrix {
+    Matrix::new(length)
+        .seeds(vec![31])
+        .app(
+            "RunKeeper",
+            Arc::new(|| Box::new(RunKeeper::new()) as Box<dyn AppModel>),
+            Arc::new(|| {
                 let mut env = Environment::unattended();
                 env.in_motion = Schedule::new(true);
                 env
-            },
-        ),
-        (|| Box::new(Spotify::new()), Environment::unattended),
-        (|| Box::new(Haven::new()), Environment::unattended),
-    ];
-    for (app, env) in &subjects {
-        let output = |policy: Box<dyn ResourcePolicy>| -> (u64, u64) {
-            let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), env(), policy, 31);
-            let id = kernel.add_app(app());
-            kernel.run_until(SimTime::ZERO + RUN);
-            let out = kernel
-                .app_model::<RunKeeper>(id)
-                .map(|a| a.points_logged)
-                .or_else(|| kernel.app_model::<Spotify>(id).map(|a| a.chunks_played))
-                .or_else(|| kernel.app_model::<Haven>(id).map(|a| a.events_logged))
-                .unwrap_or(0);
-            let defs = kernel
-                .policy()
-                .as_any()
-                .downcast_ref::<LeaseOs>()
-                .map(|os| {
-                    os.manager()
-                        .lease_reports(SimTime::ZERO + RUN)
-                        .iter()
-                        .map(|r| r.deferrals)
-                        .sum()
-                })
-                .unwrap_or(0);
-            (out, defs)
-        };
-        let (base, _) = output(Box::new(leaseos_framework::VanillaPolicy::new()));
-        let (treated, defs) = output(build());
+            }),
+        )
+        .app(
+            "Spotify",
+            Arc::new(|| Box::new(Spotify::new()) as Box<dyn AppModel>),
+            Arc::new(Environment::unattended),
+        )
+        .app(
+            "Haven",
+            Arc::new(|| Box::new(Haven::new()) as Box<dyn AppModel>),
+            Arc::new(Environment::unattended),
+        )
+}
+
+/// Useful output units the subject produced, plus its total deferrals.
+fn useful_output(run: &ScenarioRun) -> (u64, u64) {
+    let out = run
+        .kernel
+        .app_model::<RunKeeper>(run.app)
+        .map(|a| a.points_logged)
+        .or_else(|| {
+            run.kernel
+                .app_model::<Spotify>(run.app)
+                .map(|a| a.chunks_played)
+        })
+        .or_else(|| {
+            run.kernel
+                .app_model::<Haven>(run.app)
+                .map(|a| a.events_logged)
+        })
+        .unwrap_or(0);
+    let defs = run
+        .kernel
+        .policy()
+        .as_any()
+        .downcast_ref::<LeaseOs>()
+        .map(|os| {
+            os.manager()
+                .lease_reports(run.end)
+                .iter()
+                .map(|r| r.deferrals)
+                .sum()
+        })
+        .unwrap_or(0);
+    (out, defs)
+}
+
+/// Returns (average useful-output retention %, total deferrals) over the
+/// three §7.4 subjects.
+fn usability(runner: &ScenarioRunner, build: fn() -> Box<dyn ResourcePolicy>) -> (f64, u64) {
+    let matrix = subjects(RUN)
+        .policy("vanilla", Arc::new(|| Box::new(VanillaPolicy::new()) as _))
+        .policy("variant", Arc::new(build));
+    let outputs = runner.run_each(&matrix.specs(), |_, run| useful_output(&run));
+    let mut retention = 0.0;
+    let mut deferrals = 0;
+    for pair in outputs.chunks_exact(2) {
+        let ((base, _), (treated, defs)) = (pair[0], pair[1]);
         retention += 100.0 * treated as f64 / base.max(1) as f64;
         deferrals += defs;
     }
-    (retention / subjects.len() as f64, deferrals)
+    (retention / (outputs.len() / 2) as f64, deferrals)
 }
 
 /// Policy bookkeeping operations over a 30-minute streaming workload — the
-/// overhead the §5.2 adaptive terms exist to cut.
-fn bookkeeping_ops(build: fn() -> Box<dyn ResourcePolicy>) -> u64 {
-    let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), Environment::unattended(), build(), 31);
-    kernel.add_app(Box::new(Spotify::new()));
-    kernel.run_until(SimTime::ZERO + RUN);
-    kernel.policy_op_count()
+/// overhead the §5.2 adaptive terms exist to cut. Counted straight off the
+/// kernel's telemetry bus.
+fn bookkeeping_ops(runner: &ScenarioRunner, build: fn() -> Box<dyn ResourcePolicy>) -> u64 {
+    let matrix = Matrix::new(RUN)
+        .seeds(vec![31])
+        .app(
+            "Spotify",
+            Arc::new(|| Box::new(Spotify::new()) as Box<dyn AppModel>),
+            Arc::new(Environment::unattended),
+        )
+        .policy("variant", Arc::new(build));
+    runner.run_each(&matrix.specs(), |_, run| {
+        run.kernel.telemetry().count(EventKind::PolicyOp)
+    })[0]
 }
 
 fn main() {
+    let runner = ScenarioRunner::new();
     println!("Ablation — LeaseOS design choices (20 buggy apps + 3 legitimate apps, 30 min)");
     let mut table = TextTable::new([
         "variant",
@@ -170,9 +215,9 @@ fn main() {
         "bookkeeping ops",
     ]);
     for v in variants() {
-        let mitigation = mitigation_avg(v.build);
-        let (retention, deferrals) = usability(v.build);
-        let ops = bookkeeping_ops(v.build);
+        let mitigation = mitigation_avg(&runner, v.build);
+        let (retention, deferrals) = usability(&runner, v.build);
+        let ops = bookkeeping_ops(&runner, v.build);
         table.row([
             v.name.to_owned(),
             f1(mitigation),

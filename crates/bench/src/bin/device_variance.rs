@@ -10,11 +10,13 @@
 //!
 //! Run: `cargo run --release -p leaseos-bench --bin device_variance`
 
+use std::sync::Arc;
+
 use leaseos::LeaseOs;
 use leaseos_apps::buggy::cpu::K9Mail;
-use leaseos_bench::{f1, f2, TextTable};
-use leaseos_framework::Kernel;
-use leaseos_simkit::{DeviceProfile, Environment, Schedule, SimDuration, SimTime};
+use leaseos_bench::{f1, f2, Matrix, ScenarioRunner, TextTable};
+use leaseos_framework::{AppModel, VanillaPolicy};
+use leaseos_simkit::{DeviceProfile, Environment, Schedule, SimDuration};
 
 const RUN: SimDuration = SimDuration::from_mins(30);
 
@@ -25,6 +27,7 @@ fn k9_env() -> Environment {
 }
 
 fn main() {
+    let runner = ScenarioRunner::new();
     println!("Device variance — buggy K-9 (bad server) across six phones");
     let mut table = TextTable::new([
         "device",
@@ -33,31 +36,38 @@ fn main() {
         "app mW (LeaseOS)",
         "reduction %",
     ]);
+    let devices = DeviceProfile::all();
+    let matrix = Matrix::new(RUN)
+        .seeds(vec![7])
+        .devices(devices.clone())
+        .app(
+            "K-9",
+            Arc::new(|| Box::new(K9Mail::new()) as Box<dyn AppModel>),
+            Arc::new(k9_env),
+        )
+        .policy("vanilla", Arc::new(|| Box::new(VanillaPolicy::new()) as _))
+        .policy("leaseos", Arc::new(|| Box::new(LeaseOs::new()) as _));
+    // Row-major with one app: vanilla across all devices, then LeaseOS.
+    let results = runner.run_each(&matrix.specs(), |_, run| {
+        let cpu_ms = run
+            .kernel
+            .ledger()
+            .app_opt(run.app)
+            .map(|a| a.cpu_ms)
+            .unwrap_or(0);
+        (run.app_power_mw(), cpu_ms as f64)
+    });
     let mut reductions: Vec<f64> = Vec::new();
     let mut cpu_rates: Vec<f64> = Vec::new();
-    for device in DeviceProfile::all() {
-        let name = device.name;
-        let (base, cpu_per_min) = {
-            let mut kernel = Kernel::vanilla(device.clone(), k9_env(), 7);
-            let id = kernel.add_app(Box::new(K9Mail::new()));
-            kernel.run_until(SimTime::ZERO + RUN);
-            let cpu = kernel.ledger().app_opt(id).map(|a| a.cpu_ms).unwrap_or(0) as f64;
-            (
-                kernel.avg_app_power_mw(id, RUN),
-                cpu / 1_000.0 / RUN.as_mins_f64(),
-            )
-        };
-        let treated = {
-            let mut kernel = Kernel::new(device, k9_env(), Box::new(LeaseOs::new()), 7);
-            let id = kernel.add_app(Box::new(K9Mail::new()));
-            kernel.run_until(SimTime::ZERO + RUN);
-            kernel.avg_app_power_mw(id, RUN)
-        };
+    for (i, device) in devices.iter().enumerate() {
+        let (base, cpu_ms) = results[i];
+        let (treated, _) = results[devices.len() + i];
+        let cpu_per_min = cpu_ms / 1_000.0 / RUN.as_mins_f64();
         let reduction = 100.0 * (base - treated) / base;
         reductions.push(reduction);
         cpu_rates.push(cpu_per_min);
         table.row([
-            name.to_owned(),
+            device.name.to_owned(),
             f1(cpu_per_min),
             f2(base),
             f2(treated),

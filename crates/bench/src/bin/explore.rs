@@ -13,12 +13,15 @@
 //! `--minutes <n>`, `--seed <n>`, `--trace <n>` (print the last n kernel
 //! trace entries), `--list` (show available apps).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use leaseos::LeaseOs;
 use leaseos_apps::buggy::table5_cases;
 use leaseos_apps::normal::{Haven, RunKeeper, Spotify};
 use leaseos_baselines::{DefDroid, Doze, PureThrottle, VanillaPolicy};
 use leaseos_framework::{AppModel, Kernel, ResourcePolicy};
-use leaseos_simkit::{DeviceProfile, Environment, Schedule, SimDuration, SimTime};
+use leaseos_simkit::{DeviceProfile, Environment, RingBufferSink, Schedule, SimDuration, SimTime};
 
 fn parse_args() -> std::collections::HashMap<String, String> {
     let mut map = std::collections::HashMap::new();
@@ -97,7 +100,10 @@ fn main() {
     let app_name = args.get("app").map(String::as_str).unwrap_or("Torch");
     let policy_name = args.get("policy").map(String::as_str).unwrap_or("leaseos");
     let device_name = args.get("device").map(String::as_str).unwrap_or("pixel-xl");
-    let minutes: u64 = args.get("minutes").and_then(|s| s.parse().ok()).unwrap_or(30);
+    let minutes: u64 = args
+        .get("minutes")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let seed: u64 = args.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
 
     let Some((app, env)) = app_and_env(app_name) else {
@@ -108,18 +114,23 @@ fn main() {
     let trace_lines: usize = args.get("trace").and_then(|s| s.parse().ok()).unwrap_or(0);
     let run = SimDuration::from_mins(minutes);
     let mut kernel = Kernel::new(device(device_name), env, policy(policy_name), seed);
-    if trace_lines > 0 {
-        kernel.enable_trace();
-    }
+    let ring = if trace_lines > 0 {
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(trace_lines)));
+        kernel.telemetry().attach(ring.clone());
+        Some(ring)
+    } else {
+        None
+    };
     kernel.enable_profiler(SimDuration::from_secs(60));
     let id = kernel.add_app(app);
     let end = SimTime::ZERO + run;
     kernel.run_until(end);
 
+    println!("{app_name} under {policy_name} on {device_name} for {minutes} min (seed {seed})");
     println!(
-        "{app_name} under {policy_name} on {device_name} for {minutes} min (seed {seed})"
+        "  app avg power:     {:.2} mW",
+        kernel.avg_app_power_mw(id, run)
     );
-    println!("  app avg power:     {:.2} mW", kernel.avg_app_power_mw(id, run));
     println!(
         "  system avg power:  {:.2} mW",
         kernel.meter().avg_total_power_mw(run)
@@ -166,11 +177,12 @@ fn main() {
             println!("    {component:<8} {mj:>12.1} mJ");
         }
     }
-    if trace_lines > 0 {
-        let trace = kernel.trace();
-        println!("  kernel trace (last {} of {} entries):", trace_lines.min(trace.len()), trace.len());
-        for entry in trace.iter().rev().take(trace_lines).rev() {
-            println!("    [{}] {}", entry.at, entry.what);
+    if let Some(ring) = ring {
+        let ring = ring.borrow();
+        let total = ring.dropped() + ring.len() as u64;
+        println!("  kernel trace (last {} of {} entries):", ring.len(), total);
+        for event in ring.events() {
+            println!("    {event}");
         }
     }
 }

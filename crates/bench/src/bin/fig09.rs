@@ -27,7 +27,12 @@ fn holding_secs(term: Option<(SimDuration, SimDuration)>) -> f64 {
         Some((t, tau)) => Box::new(LeaseOs::with_policy(LeasePolicy::fixed(t, tau))),
         None => Box::new(VanillaPolicy::new()),
     };
-    let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), Environment::unattended(), policy, 9);
+    let mut kernel = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        Environment::unattended(),
+        policy,
+        9,
+    );
     let app = kernel.add_app(Box::new(LongHolder::new()));
     let end = SimTime::ZERO + RUN;
     kernel.run_until(end);
@@ -51,7 +56,12 @@ fn main() {
         let expected = expected_holding_time(RUN, *term, tau).as_secs_f64();
         a.row([term.to_string(), f1(measured), f1(expected), f1(paper)]);
     }
-    a.row(["inf".to_owned(), f1(holding_secs(None)), f1(1800.0), f1(1800.0)]);
+    a.row([
+        "inf".to_owned(),
+        f1(holding_secs(None)),
+        f1(1800.0),
+        f1(1800.0),
+    ]);
     println!("{}", a.render());
 
     println!("Figure 9(b) — holding time (s), λ = 1 (τ = term)");
@@ -62,7 +72,12 @@ fn main() {
         let expected = expected_holding_time(RUN, *term, *term).as_secs_f64();
         b.row([term.to_string(), f1(measured), f1(expected), f1(paper)]);
     }
-    b.row(["inf".to_owned(), f1(holding_secs(None)), f1(1800.0), f1(1800.0)]);
+    b.row([
+        "inf".to_owned(),
+        f1(holding_secs(None)),
+        f1(1800.0),
+        f1(1800.0),
+    ]);
     println!("{}", b.render());
     println!("Conclusion (as in §5.1): at fixed λ the holding time is independent of the");
     println!("absolute term — the τ-to-term ratio is what matters.");

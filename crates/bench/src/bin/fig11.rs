@@ -27,7 +27,11 @@ fn main() {
     let end = SimTime::ZERO + scenario.duration;
     kernel.run_until(end);
 
-    let os = kernel.policy().as_any().downcast_ref::<LeaseOs>().expect("LeaseOS");
+    let os = kernel
+        .policy()
+        .as_any()
+        .downcast_ref::<LeaseOs>()
+        .expect("LeaseOS");
     let manager = os.manager();
 
     // Per-minute active-lease series (sampled from the event-driven series).

@@ -32,7 +32,12 @@ fn effective_holding(policy: Box<dyn ResourcePolicy>, seed: u64) -> (f64, SimDur
     let app = IntermittentMisbehaver::random(&mut rng, PAIRS, MAX_SLICE);
     let misbehaving = app.misbehaving_time();
     let total = app.total_time();
-    let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), Environment::unattended(), policy, seed);
+    let mut kernel = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        Environment::unattended(),
+        policy,
+        seed,
+    );
     let id = kernel.add_app(Box::new(app));
     let end = SimTime::ZERO + total + SimDuration::from_mins(1);
     kernel.run_until(end);

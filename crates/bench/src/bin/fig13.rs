@@ -14,9 +14,17 @@ use leaseos_simkit::{stats, DeviceProfile, SimTime};
 
 const SEEDS: u64 = 8;
 
+/// A named workload constructor.
+type Setting = (&'static str, fn() -> Scenario);
+
 fn scenario_power(build: fn() -> Scenario, policy: PolicyKind, seed: u64) -> f64 {
     let scenario = build();
-    let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), scenario.env, policy.build(), seed);
+    let mut kernel = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        scenario.env,
+        policy.build(),
+        seed,
+    );
     for app in scenario.apps {
         kernel.add_app(app);
     }
@@ -27,7 +35,7 @@ fn scenario_power(build: fn() -> Scenario, policy: PolicyKind, seed: u64) -> f64
 }
 
 fn main() {
-    let settings: [(&str, fn() -> Scenario); 5] = [
+    let settings: [Setting; 5] = [
         ("Idle", Scenario::idle),
         ("No Interaction", Scenario::screen_no_interaction),
         ("Use YouTube", Scenario::youtube),
@@ -51,8 +59,14 @@ fn main() {
         let lease: Vec<f64> = (0..SEEDS)
             .map(|s| scenario_power(build, PolicyKind::LeaseOs, 100 + s))
             .collect();
-        let (vm, vs) = (stats::mean(&vanilla).unwrap(), stats::std_dev(&vanilla).unwrap());
-        let (lm, ls) = (stats::mean(&lease).unwrap(), stats::std_dev(&lease).unwrap());
+        let (vm, vs) = (
+            stats::mean(&vanilla).unwrap(),
+            stats::std_dev(&vanilla).unwrap(),
+        );
+        let (lm, ls) = (
+            stats::mean(&lease).unwrap(),
+            stats::std_dev(&lease).unwrap(),
+        );
         let overhead = 100.0 * (lm - vm) / vm;
         table.row([
             name.to_owned(),

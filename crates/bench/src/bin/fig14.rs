@@ -39,7 +39,14 @@ fn avg_latency_ms(kind: ResourceKind, policy: PolicyKind) -> f64 {
 
 fn main() {
     println!("Figure 14 — end-to-end interaction latency (ms)");
-    let mut table = TextTable::new(["app", "w/o lease", "with lease", "delta", "paper w/o", "paper w/"]);
+    let mut table = TextTable::new([
+        "app",
+        "w/o lease",
+        "with lease",
+        "delta",
+        "paper w/o",
+        "paper w/",
+    ]);
     let rows = [
         (ResourceKind::Sensor, "Sensor app", 57.1, 57.6),
         (ResourceKind::Wakelock, "Wakelock app", 2785.4, 2787.8),

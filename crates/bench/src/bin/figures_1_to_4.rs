@@ -32,7 +32,8 @@ fn profile(app: Box<dyn AppModel>, env: Environment, device: DeviceProfile) -> S
 fn print_series(title: &str, set: &SeriesSet, columns: &[(&str, &str)]) {
     println!("{title}");
     let mut table = TextTable::new(
-        std::iter::once("minute".to_owned()).chain(columns.iter().map(|(_, label)| (*label).to_owned())),
+        std::iter::once("minute".to_owned())
+            .chain(columns.iter().map(|(_, label)| (*label).to_owned())),
     );
     let rows = set.get(columns[0].0).map(|s| s.len()).unwrap_or(0);
     for i in 0..rows {
@@ -80,10 +81,16 @@ fn main() {
     print_series(
         "Figure 2 — buggy K-9: wakelock hold & CPU per 60 s (bad mail server)",
         &fig2,
-        &[("wakelock_hold_s", "wakelock_s"), ("cpu_s", "cpu_s"), ("cpu_wl_ratio", "ratio")],
+        &[
+            ("wakelock_hold_s", "wakelock_s"),
+            ("cpu_s", "cpu_s"),
+            ("cpu_wl_ratio", "ratio"),
+        ],
     );
     let (ratio_mean, _) = summarize(&fig2, "cpu_wl_ratio");
-    println!("mean CPU/wakelock ratio: {ratio_mean:.3} (paper: ultralow-to-moderate, well under 1)\n");
+    println!(
+        "mean CPU/wakelock ratio: {ratio_mean:.3} (paper: ultralow-to-moderate, well under 1)\n"
+    );
 
     // Figure 3 — Kontalk on two phones.
     for device in [DeviceProfile::nexus_6(), DeviceProfile::galaxy_s4()] {
@@ -106,7 +113,11 @@ fn main() {
     print_series(
         "Figure 4 — buggy K-9: wakelock hold & CPU per 60 s (disconnected)",
         &fig4,
-        &[("wakelock_hold_s", "wakelock_s"), ("cpu_s", "cpu_s"), ("cpu_wl_ratio", "ratio")],
+        &[
+            ("wakelock_hold_s", "wakelock_s"),
+            ("cpu_s", "cpu_s"),
+            ("cpu_wl_ratio", "ratio"),
+        ],
     );
     let (ratio_mean, ratio_max) = summarize(&fig4, "cpu_wl_ratio");
     println!(

@@ -28,7 +28,9 @@ fn main() {
             mark(BehaviorType::Normal, kind).to_owned(),
         ]);
     }
-    println!("Table 1 — energy-misbehaviour applicability (Y = can occur, Y* = different semantic)");
+    println!(
+        "Table 1 — energy-misbehaviour applicability (Y = can occur, Y* = different semantic)"
+    );
     println!("{}", table.render());
     println!("Paper: FAB only for GPS; LHB has listener semantics for GPS/sensors; all else applies everywhere.");
 }

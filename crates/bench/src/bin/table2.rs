@@ -26,7 +26,10 @@ fn main() {
     push("LUB", &t.lub, t.pct(&t.lub));
     push("EUB", &t.eub, t.pct(&t.eub));
     push("N/A", &t.na, t.pct(&t.na));
-    println!("Table 2 — prevalence of energy-misbehaviour types in {} real-world cases", t.total());
+    println!(
+        "Table 2 — prevalence of energy-misbehaviour types in {} real-world cases",
+        t.total()
+    );
     println!("{}", table.render());
     let (mitigable, eub) = t.finding1();
     let (bug_share, eub_nonbug) = t.finding2();

@@ -81,10 +81,22 @@ fn main() {
     let update_ns = t0.elapsed().as_nanos() as f64 / ROUNDS as f64;
 
     println!("Table 4 — average latency of major lease operations");
-    let mut table = TextTable::new(["operation", "this repro (ns)", "paper (ms, with binder IPC)"]);
+    let mut table = TextTable::new([
+        "operation",
+        "this repro (ns)",
+        "paper (ms, with binder IPC)",
+    ]);
     table.row(["Create".to_owned(), f2(create_ns), "0.357".to_owned()]);
-    table.row(["Check (Acc)".to_owned(), f2(check_acc_ns), "0.498".to_owned()]);
-    table.row(["Check (Rej)".to_owned(), f2(check_rej_ns), "0.388".to_owned()]);
+    table.row([
+        "Check (Acc)".to_owned(),
+        f2(check_acc_ns),
+        "0.498".to_owned(),
+    ]);
+    table.row([
+        "Check (Rej)".to_owned(),
+        f2(check_rej_ns),
+        "0.388".to_owned(),
+    ]);
     table.row(["Update".to_owned(), f2(update_ns), "4.79".to_owned()]);
     println!("{}", table.render());
     println!(

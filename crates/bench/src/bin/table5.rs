@@ -5,18 +5,102 @@
 //! Run: `cargo run --release -p leaseos-bench --bin table5 [seeds]`
 //!
 //! An optional positional argument averages each cell over that many seeds
-//! (default 1, i.e. the deterministic committed run).
+//! (default 1, i.e. the deterministic committed run). `--threads <n>`
+//! overrides the worker count (default: all cores), and `--jsonl <dir>`
+//! writes one telemetry JSONL file per scenario into `dir`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
 
 use leaseos_apps::buggy::table5_cases;
-use leaseos_bench::{f2, reduction_pct, BuggyCaseExt, PolicyKind, TextTable};
+use leaseos_bench::{
+    f2, reduction_pct, Matrix, PolicyKind, ScenarioRunner, ScenarioSpec, TextTable, RUN_LENGTH,
+};
+use leaseos_simkit::JsonlSink;
+
+fn parse_flags() -> (u64, Option<usize>, Option<std::path::PathBuf>) {
+    let mut seeds = 1;
+    let mut threads = None;
+    let mut jsonl = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => threads = args.next().and_then(|s| s.parse().ok()),
+            "--jsonl" => jsonl = args.next().map(std::path::PathBuf::from),
+            other => {
+                if let Ok(n) = other.parse() {
+                    seeds = n;
+                }
+            }
+        }
+    }
+    (seeds.max(1), threads, jsonl)
+}
+
+/// File-safe version of a scenario label.
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| match c {
+            '/' => '_',
+            ' ' => '-',
+            c => c,
+        })
+        .collect()
+}
+
+fn run_matrix(
+    specs: &[ScenarioSpec],
+    runner: &ScenarioRunner,
+    jsonl: Option<&std::path::Path>,
+) -> Vec<f64> {
+    runner.run(specs, |_, spec| {
+        let run = match jsonl {
+            None => spec.execute(),
+            Some(dir) => {
+                let path = dir.join(format!("{}.jsonl", slug(&spec.label)));
+                let file = std::io::BufWriter::new(
+                    std::fs::File::create(&path).expect("create JSONL output file"),
+                );
+                spec.execute_with(|kernel| {
+                    kernel
+                        .telemetry()
+                        .attach(Rc::new(RefCell::new(JsonlSink::new(file))));
+                })
+            }
+        };
+        run.app_power_mw()
+    })
+}
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
-        .max(1);
+    let (seeds, threads, jsonl) = parse_flags();
+    if let Some(dir) = &jsonl {
+        std::fs::create_dir_all(dir).expect("create JSONL output directory");
+    }
+    let runner = threads
+        .map(ScenarioRunner::with_threads)
+        .unwrap_or_default();
     let cases = table5_cases();
+
+    let mut matrix = Matrix::new(RUN_LENGTH).seeds((0..seeds).map(|s| 42 + s).collect());
+    for case in &cases {
+        let (build, environment) = (case.build, case.environment);
+        matrix = matrix.app(case.name, Arc::new(build), Arc::new(environment));
+    }
+    for policy in PolicyKind::TABLE5 {
+        matrix = matrix.policy(policy.label(), Arc::new(move || policy.build()));
+    }
+    let specs = matrix.specs();
+    let powers = run_matrix(&specs, &runner, jsonl.as_deref());
+    // Row-major: case → policy → seed. Average each (case, policy) cell.
+    let n_pol = PolicyKind::TABLE5.len();
+    let cell = |case: usize, policy: usize| -> f64 {
+        let start = (case * n_pol + policy) * seeds as usize;
+        powers[start..start + seeds as usize].iter().sum::<f64>() / seeds as f64
+    };
+
     let mut table = TextTable::new([
         "App",
         "Res.",
@@ -31,11 +115,11 @@ fn main() {
         "paper L%",
     ]);
     let (mut sum_lease, mut sum_doze, mut sum_dd) = (0.0, 0.0, 0.0);
-    for case in &cases {
-        let base = case.mean_power(PolicyKind::Vanilla, seeds);
-        let lease = case.mean_power(PolicyKind::LeaseOs, seeds);
-        let doze = case.mean_power(PolicyKind::DozeAggressive, seeds);
-        let dd = case.mean_power(PolicyKind::DefDroid, seeds);
+    for (i, case) in cases.iter().enumerate() {
+        let base = cell(i, 0);
+        let lease = cell(i, 1);
+        let doze = cell(i, 2);
+        let dd = cell(i, 3);
         let (rl, rz, rd) = (
             reduction_pct(base, lease),
             reduction_pct(base, doze),

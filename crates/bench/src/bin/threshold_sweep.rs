@@ -11,82 +11,106 @@
 //!
 //! Run: `cargo run --release -p leaseos-bench --bin threshold_sweep`
 
+use std::sync::Arc;
+
 use leaseos::{Classifier, ClassifierConfig, LeaseOs, LeasePolicy};
 use leaseos_apps::buggy::table5_cases;
 use leaseos_apps::normal::{Haven, RunKeeper, Spotify};
-use leaseos_bench::{f1, PolicyKind, TextTable};
-use leaseos_framework::{AppModel, Kernel, ResourcePolicy};
-use leaseos_simkit::{DeviceProfile, Environment, Schedule, SimDuration, SimTime};
+use leaseos_bench::{f1, Matrix, PolicyBuilder, ScenarioRunner, TextTable};
+use leaseos_framework::{AppModel, ResourcePolicy, VanillaPolicy};
+use leaseos_simkit::{Environment, Schedule, SimDuration};
 
 const RUN: SimDuration = SimDuration::from_mins(30);
 
-fn lease_with_threshold(threshold: f64) -> Box<dyn ResourcePolicy> {
-    let classifier = Classifier::with_config(ClassifierConfig {
-        lhb_max_utilization: threshold,
-        ..ClassifierConfig::default()
-    });
-    Box::new(LeaseOs::with_policy_and_classifier(LeasePolicy::default(), classifier))
+/// LeaseOS with a custom LHB utilization cutoff — an `Arc` closure because
+/// the builder has to capture the swept threshold.
+fn lease_with_threshold(threshold: f64) -> PolicyBuilder {
+    Arc::new(move || {
+        let classifier = Classifier::with_config(ClassifierConfig {
+            lhb_max_utilization: threshold,
+            ..ClassifierConfig::default()
+        });
+        Box::new(LeaseOs::with_policy_and_classifier(
+            LeasePolicy::default(),
+            classifier,
+        )) as Box<dyn ResourcePolicy>
+    })
 }
 
-fn mitigation(threshold: f64) -> f64 {
+fn mitigation(runner: &ScenarioRunner, threshold: f64) -> f64 {
     let cases = table5_cases();
-    let mut total = 0.0;
+    let mut matrix = Matrix::new(RUN)
+        .policy("vanilla", Arc::new(|| Box::new(VanillaPolicy::new()) as _))
+        .policy("lease", lease_with_threshold(threshold));
     for case in &cases {
-        let base = leaseos_bench::run_case(case, PolicyKind::Vanilla, 42).app_power_mw;
-        let mut kernel = Kernel::new(
-            DeviceProfile::pixel_xl(),
-            (case.environment)(),
-            lease_with_threshold(threshold),
-            42,
-        );
-        let id = kernel.add_app((case.build)());
-        kernel.run_until(SimTime::ZERO + RUN);
-        total += 100.0 * (base - kernel.avg_app_power_mw(id, RUN)) / base;
+        matrix = matrix.app(case.name, Arc::new(case.build), Arc::new(case.environment));
+    }
+    let powers = runner.run_each(&matrix.specs(), |_, run| run.app_power_mw());
+    let mut total = 0.0;
+    for i in 0..cases.len() {
+        let (base, treated) = (powers[i * 2], powers[i * 2 + 1]);
+        total += 100.0 * (base - treated) / base;
     }
     total / cases.len() as f64
 }
 
-fn retention(threshold: f64) -> f64 {
-    let subjects: Vec<(fn() -> Box<dyn AppModel>, fn() -> Environment)> = vec![
-        (
-            || Box::new(RunKeeper::new()),
-            || {
+fn retention(runner: &ScenarioRunner, threshold: f64) -> f64 {
+    let matrix = Matrix::new(RUN)
+        .seeds(vec![31])
+        .app(
+            "RunKeeper",
+            Arc::new(|| Box::new(RunKeeper::new()) as Box<dyn AppModel>),
+            Arc::new(|| {
                 let mut env = Environment::unattended();
                 env.in_motion = Schedule::new(true);
                 env
-            },
-        ),
-        (|| Box::new(Spotify::new()), Environment::unattended),
-        (|| Box::new(Haven::new()), Environment::unattended),
-    ];
+            }),
+        )
+        .app(
+            "Spotify",
+            Arc::new(|| Box::new(Spotify::new()) as Box<dyn AppModel>),
+            Arc::new(Environment::unattended),
+        )
+        .app(
+            "Haven",
+            Arc::new(|| Box::new(Haven::new()) as Box<dyn AppModel>),
+            Arc::new(Environment::unattended),
+        )
+        .policy("vanilla", Arc::new(|| Box::new(VanillaPolicy::new()) as _))
+        .policy("lease", lease_with_threshold(threshold));
+    let outputs = runner.run_each(&matrix.specs(), |_, run| {
+        run.kernel
+            .app_model::<RunKeeper>(run.app)
+            .map(|a| a.points_logged)
+            .or_else(|| {
+                run.kernel
+                    .app_model::<Spotify>(run.app)
+                    .map(|a| a.chunks_played)
+            })
+            .or_else(|| {
+                run.kernel
+                    .app_model::<Haven>(run.app)
+                    .map(|a| a.events_logged)
+            })
+            .unwrap_or(0)
+    });
     let mut sum = 0.0;
-    for (app, env) in &subjects {
-        let output = |policy: Box<dyn ResourcePolicy>| -> u64 {
-            let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), env(), policy, 31);
-            let id = kernel.add_app(app());
-            kernel.run_until(SimTime::ZERO + RUN);
-            kernel
-                .app_model::<RunKeeper>(id)
-                .map(|a| a.points_logged)
-                .or_else(|| kernel.app_model::<Spotify>(id).map(|a| a.chunks_played))
-                .or_else(|| kernel.app_model::<Haven>(id).map(|a| a.events_logged))
-                .unwrap_or(0)
-        };
-        let base = output(Box::new(leaseos_framework::VanillaPolicy::new()));
-        let treated = output(lease_with_threshold(threshold));
+    for pair in outputs.chunks_exact(2) {
+        let (base, treated) = (pair[0], pair[1]);
         sum += 100.0 * treated as f64 / base.max(1) as f64;
     }
-    sum / subjects.len() as f64
+    sum / (outputs.len() / 2) as f64
 }
 
 fn main() {
+    let runner = ScenarioRunner::new();
     println!("LHB utilization-threshold sweep (paper §2.3: the signature is <1%)");
     let mut table = TextTable::new(["threshold", "mitigation %", "usability retention %"]);
     for threshold in [0.005, 0.01, 0.02, 0.05, 0.10, 0.30] {
         table.row([
             format!("{threshold}"),
-            f1(mitigation(threshold)),
-            f1(retention(threshold)),
+            f1(mitigation(&runner, threshold)),
+            f1(retention(&runner, threshold)),
         ]);
     }
     println!("{}", table.render());

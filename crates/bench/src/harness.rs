@@ -1,0 +1,329 @@
+//! Declarative scenario matrix + parallel runner.
+//!
+//! Every harness binary runs the same loop: build a kernel for some
+//! (app × policy × device × environment × seed) combination, simulate for a
+//! fixed duration, and extract a few numbers. [`ScenarioSpec`] makes that
+//! combination a value, [`Matrix`] enumerates the cross product, and
+//! [`ScenarioRunner`] executes a batch of specs across worker threads.
+//!
+//! Determinism: every scenario owns its kernel and its seed, so results
+//! depend only on the spec — never on thread count or completion order. The
+//! runner returns results in spec order regardless of which worker finished
+//! first, which is what lets `table5 --threads 8` print byte-identical
+//! output to the sequential run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use leaseos_framework::{AppId, AppModel, Kernel, ResourcePolicy};
+use leaseos_simkit::{DeviceProfile, Environment, SimDuration, SimTime};
+
+/// Shareable app-model factory.
+pub type AppBuilder = Arc<dyn Fn() -> Box<dyn AppModel> + Send + Sync>;
+/// Shareable environment factory.
+pub type EnvBuilder = Arc<dyn Fn() -> Environment + Send + Sync>;
+/// Shareable policy factory (an `Arc` closure so sweeps can capture
+/// parameters like the LHB threshold).
+pub type PolicyBuilder = Arc<dyn Fn() -> Box<dyn ResourcePolicy> + Send + Sync>;
+
+/// One cell of an experiment matrix: everything needed to build and run a
+/// kernel, as data.
+#[derive(Clone)]
+pub struct ScenarioSpec {
+    /// Human-readable identifier ("K-9 Mail/leaseos/Pixel XL/42").
+    pub label: String,
+    /// Builds the app under test.
+    pub app: AppBuilder,
+    /// Builds the resource policy.
+    pub policy: PolicyBuilder,
+    /// The simulated phone.
+    pub device: DeviceProfile,
+    /// Builds the scripted environment.
+    pub env: EnvBuilder,
+    /// Kernel RNG seed.
+    pub seed: u64,
+    /// Simulated duration.
+    pub length: SimDuration,
+}
+
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("label", &self.label)
+            .field("device", &self.device.name)
+            .field("seed", &self.seed)
+            .field("length", &self.length)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A completed scenario: the kernel after `run_until(end)` plus the ids
+/// needed to read results out of it.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The kernel, stopped at `end`.
+    pub kernel: Kernel,
+    /// The app the spec installed.
+    pub app: AppId,
+    /// The instant the run stopped.
+    pub end: SimTime,
+    /// The simulated duration.
+    pub length: SimDuration,
+}
+
+impl ScenarioRun {
+    /// Average power attributed to the app over the run, mW.
+    pub fn app_power_mw(&self) -> f64 {
+        self.kernel.avg_app_power_mw(self.app, self.length)
+    }
+
+    /// Average system-wide power including modeled policy overhead, mW.
+    pub fn system_power_mw(&self) -> f64 {
+        self.kernel.meter().avg_total_power_mw(self.length)
+            + self.kernel.policy_overhead_mj() / self.length.as_secs_f64()
+    }
+}
+
+impl ScenarioSpec {
+    /// Builds the kernel, installs the app, and simulates to the end.
+    pub fn execute(&self) -> ScenarioRun {
+        self.execute_with(|_| {})
+    }
+
+    /// Like [`execute`](Self::execute), but calls `configure` on the fresh
+    /// kernel before the run — the hook for attaching telemetry sinks.
+    pub fn execute_with(&self, configure: impl FnOnce(&mut Kernel)) -> ScenarioRun {
+        let mut kernel = Kernel::new(
+            self.device.clone(),
+            (self.env)(),
+            (self.policy)(),
+            self.seed,
+        );
+        configure(&mut kernel);
+        let app = kernel.add_app((self.app)());
+        let end = SimTime::ZERO + self.length;
+        kernel.run_until(end);
+        ScenarioRun {
+            kernel,
+            app,
+            end,
+            length: self.length,
+        }
+    }
+}
+
+/// Declarative (app × policy × device × seed) cross product.
+///
+/// Specs are emitted in row-major order — apps outermost, then policies,
+/// devices, seeds — so callers can index results with simple arithmetic.
+pub struct Matrix {
+    apps: Vec<(String, AppBuilder, EnvBuilder)>,
+    policies: Vec<(String, PolicyBuilder)>,
+    devices: Vec<DeviceProfile>,
+    seeds: Vec<u64>,
+    length: SimDuration,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Matrix")
+            .field("apps", &self.apps.len())
+            .field("policies", &self.policies.len())
+            .field("devices", &self.devices.len())
+            .field("seeds", &self.seeds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Matrix {
+    /// An empty matrix with the standard 30-minute run, Pixel XL, seed 42.
+    pub fn new(length: SimDuration) -> Self {
+        Matrix {
+            apps: Vec::new(),
+            policies: Vec::new(),
+            devices: vec![DeviceProfile::pixel_xl()],
+            seeds: vec![42],
+            length,
+        }
+    }
+
+    /// Adds an app (with its trigger environment) as a matrix row.
+    pub fn app(mut self, name: impl Into<String>, app: AppBuilder, env: EnvBuilder) -> Self {
+        self.apps.push((name.into(), app, env));
+        self
+    }
+
+    /// Adds a policy column.
+    pub fn policy(mut self, name: impl Into<String>, build: PolicyBuilder) -> Self {
+        self.policies.push((name.into(), build));
+        self
+    }
+
+    /// Replaces the device axis (default: Pixel XL only).
+    pub fn devices(mut self, devices: Vec<DeviceProfile>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Replaces the seed axis (default: the single committed seed 42).
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Enumerates every combination, row-major.
+    pub fn specs(&self) -> Vec<ScenarioSpec> {
+        let mut specs = Vec::with_capacity(
+            self.apps.len() * self.policies.len() * self.devices.len() * self.seeds.len(),
+        );
+        for (app_name, app, env) in &self.apps {
+            for (policy_name, policy) in &self.policies {
+                for device in &self.devices {
+                    for &seed in &self.seeds {
+                        specs.push(ScenarioSpec {
+                            label: format!("{app_name}/{policy_name}/{}/{seed}", device.name),
+                            app: app.clone(),
+                            policy: policy.clone(),
+                            device: device.clone(),
+                            env: env.clone(),
+                            seed,
+                            length: self.length,
+                        });
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// Runs batches of scenarios across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioRunner {
+    threads: usize,
+}
+
+impl Default for ScenarioRunner {
+    fn default() -> Self {
+        ScenarioRunner::new()
+    }
+}
+
+impl ScenarioRunner {
+    /// A runner sized from `LEASEOS_BENCH_THREADS` if set, else the
+    /// machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = std::env::var("LEASEOS_BENCH_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1);
+        ScenarioRunner::with_threads(threads)
+    }
+
+    /// A runner with an explicit worker count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ScenarioRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `measure` once per spec and returns the results **in spec
+    /// order**, independent of scheduling.
+    ///
+    /// Workers pull the next unclaimed index from a shared atomic counter
+    /// (cheap work stealing — scenario runtimes vary by an order of
+    /// magnitude between a sleepy tracker and a busy-loop bug), build the
+    /// kernel inside the worker, and write into that index's result slot.
+    pub fn run<T, F>(&self, specs: &[ScenarioSpec], measure: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &ScenarioSpec) -> T + Send + Sync,
+    {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(specs.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let result = measure(i, spec);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index was claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// Convenience: [`run`](Self::run) where the measurement is a pure
+    /// function of the finished [`ScenarioRun`].
+    pub fn run_each<T, F>(&self, specs: &[ScenarioSpec], measure: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ScenarioSpec, ScenarioRun) -> T + Send + Sync,
+    {
+        self.run(specs, |_, spec| measure(spec, spec.execute()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaseos_framework::VanillaPolicy;
+
+    fn tiny_matrix(seeds: Vec<u64>) -> Matrix {
+        use leaseos_apps::normal::Spotify;
+        Matrix::new(SimDuration::from_mins(2))
+            .app(
+                "Spotify",
+                Arc::new(|| Box::new(Spotify::new()) as Box<dyn AppModel>),
+                Arc::new(Environment::unattended),
+            )
+            .policy("vanilla", Arc::new(|| Box::new(VanillaPolicy::new()) as _))
+            .seeds(seeds)
+    }
+
+    #[test]
+    fn matrix_enumerates_row_major() {
+        let specs = tiny_matrix(vec![1, 2]).specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].label, "Spotify/vanilla/Pixel XL/1");
+        assert_eq!(specs[1].seed, 2);
+    }
+
+    #[test]
+    fn results_are_in_spec_order_and_thread_invariant() {
+        let specs = tiny_matrix(vec![1, 2, 3, 4]).specs();
+        let sequential =
+            ScenarioRunner::with_threads(1).run_each(&specs, |_, run| run.app_power_mw());
+        let parallel =
+            ScenarioRunner::with_threads(4).run_each(&specs, |_, run| run.app_power_mw());
+        assert_eq!(sequential, parallel);
+        // Different seeds genuinely differ, so order mix-ups would show.
+        assert_ne!(sequential[0], sequential[1]);
+    }
+
+    #[test]
+    fn runner_handles_empty_batches_and_clamps_threads() {
+        let runner = ScenarioRunner::with_threads(0);
+        assert_eq!(runner.threads(), 1);
+        let out: Vec<u8> = runner.run(&[], |_, _| 0);
+        assert!(out.is_empty());
+    }
+}

@@ -27,6 +27,12 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
+pub use harness::{
+    AppBuilder, EnvBuilder, Matrix, PolicyBuilder, ScenarioRun, ScenarioRunner, ScenarioSpec,
+};
+
 use leaseos::LeaseOs;
 use leaseos_apps::buggy::BuggyCase;
 use leaseos_baselines::{DefDroid, Doze, PureThrottle, VanillaPolicy};

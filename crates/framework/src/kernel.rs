@@ -27,8 +27,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use leaseos_simkit::{
-    ComponentKind, Consumer, DeviceProfile, EnergyMeter, Environment, EventHandle, EventQueue,
-    GpsSignal, SimDuration, SimRng, SimTime,
+    ComponentKind, Consumer, DeviceProfile, EnergyMeter, Environment, EventHandle, EventKind,
+    EventQueue, GpsSignal, SimDuration, SimRng, SimTime, TelemetryBus, TelemetryEvent,
 };
 
 use crate::app::{AppEvent, AppModel};
@@ -57,14 +57,35 @@ const NET_BYTES_PER_MS: u64 = 2_000;
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum SysEvent {
     StartApp(AppId),
-    AppTimer { app: AppId, token: Token, wake: bool },
-    WorkDone { app: AppId, token: Token },
-    NetDone { app: AppId, token: Token, result: NetResult },
-    GpsFix { obj: ObjId },
-    GpsLost { obj: ObjId },
-    GpsDeliver { obj: ObjId },
-    SensorDeliver { obj: ObjId },
-    PolicyTimer { key: u64 },
+    AppTimer {
+        app: AppId,
+        token: Token,
+        wake: bool,
+    },
+    WorkDone {
+        app: AppId,
+        token: Token,
+    },
+    NetDone {
+        app: AppId,
+        token: Token,
+        result: NetResult,
+    },
+    GpsFix {
+        obj: ObjId,
+    },
+    GpsLost {
+        obj: ObjId,
+    },
+    GpsDeliver {
+        obj: ObjId,
+    },
+    SensorDeliver {
+        obj: ObjId,
+    },
+    PolicyTimer {
+        key: u64,
+    },
     EnvChange,
     ProfilerTick,
 }
@@ -135,7 +156,7 @@ pub struct Kernel {
     ledger: Ledger,
     root_rng: SimRng,
     policy: Option<Box<dyn ResourcePolicy>>,
-    policy_ops: u64,
+    telemetry: TelemetryBus,
     apps: Vec<AppSlot>,
     profiler: Option<Profiler>,
 
@@ -150,16 +171,6 @@ pub struct Kernel {
     prev_draws: HashMap<(Consumer, ComponentKind), f64>,
     policy_overhead_mj: f64,
     started: bool,
-    trace: Option<Vec<TraceEntry>>,
-}
-
-/// One entry of the optional kernel trace (see [`Kernel::enable_trace`]).
-#[derive(Debug, Clone, PartialEq)]
-pub struct TraceEntry {
-    /// When it happened.
-    pub at: SimTime,
-    /// What happened, in human-readable form.
-    pub what: String,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -191,7 +202,7 @@ impl Kernel {
             ledger: Ledger::new(),
             root_rng: SimRng::new(seed),
             policy: Some(policy),
-            policy_ops: 0,
+            telemetry: TelemetryBus::new(),
             apps: Vec::new(),
             profiler: None,
             awake: false,
@@ -203,32 +214,13 @@ impl Kernel {
             prev_draws: HashMap::new(),
             policy_overhead_mj: 0.0,
             started: false,
-            trace: None,
         }
     }
 
-    /// Starts recording a human-readable trace of resource grants,
-    /// releases, revocations, restores, object deaths, and device
-    /// sleep/wake transitions. Read it back with [`trace`](Self::trace).
-    pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Vec::new());
-        }
-    }
-
-    /// The recorded trace (empty unless [`enable_trace`](Self::enable_trace)
-    /// was called).
-    pub fn trace(&self) -> &[TraceEntry] {
-        self.trace.as_deref().unwrap_or(&[])
-    }
-
-    fn note_trace(&mut self, what: impl FnOnce() -> String) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEntry {
-                at: self.queue.now(),
-                what: what(),
-            });
-        }
+    /// The kernel's telemetry bus. Attach sinks before running to observe
+    /// the event stream; counters run regardless.
+    pub fn telemetry(&self) -> &TelemetryBus {
+        &self.telemetry
     }
 
     /// Convenience constructor with the vanilla policy.
@@ -292,13 +284,9 @@ impl Kernel {
 
     /// The installed policy (for downcasting to read policy-specific stats).
     pub fn policy(&self) -> &dyn ResourcePolicy {
-        self.policy.as_deref().expect("policy busy during hook dispatch")
-    }
-
-    /// Number of policy hook invocations so far (the bookkeeping-op count
-    /// used for overhead accounting).
-    pub fn policy_op_count(&self) -> u64 {
-        self.policy_ops
+        self.policy
+            .as_deref()
+            .expect("policy busy during hook dispatch")
     }
 
     /// The profiler's recorded series for `app`, if profiling was enabled.
@@ -354,8 +342,33 @@ impl Kernel {
             self.dispatch(t, ev);
         }
         self.queue.advance_to(end);
-        self.ledger.set_user_present(self.env.user_present.at(end), end);
+        self.ledger
+            .set_user_present(self.env.user_present.at(end), end);
         self.meter.advance_to(end);
+        self.emit_energy_snapshots(end);
+    }
+
+    /// Emits one [`TelemetryEvent::EnergySnapshot`] per app plus one for
+    /// the system consumer — the paper's energy-attribution view at `at`.
+    fn emit_energy_snapshots(&self, at: SimTime) {
+        for slot in &self.apps {
+            self.telemetry.emit(EventKind::EnergySnapshot, || {
+                TelemetryEvent::EnergySnapshot {
+                    at,
+                    consumer: "app",
+                    id: slot.id.0,
+                    energy_mj: self.meter.energy_mj(slot.id.consumer()),
+                }
+            });
+        }
+        self.telemetry.emit(EventKind::EnergySnapshot, || {
+            TelemetryEvent::EnergySnapshot {
+                at,
+                consumer: "system",
+                id: 0,
+                energy_mj: self.meter.energy_mj(Consumer::System) + self.policy_overhead_mj,
+            }
+        });
     }
 
     fn ensure_started(&mut self) {
@@ -377,12 +390,13 @@ impl Kernel {
         // Profiler ticks.
         if let Some(p) = &self.profiler {
             let interval = p.interval();
-            self.queue.push(SimTime::ZERO + interval, SysEvent::ProfilerTick);
+            self.queue
+                .push(SimTime::ZERO + interval, SysEvent::ProfilerTick);
         }
         self.update_device_state();
         // Policies that watch device state (e.g. Doze's idle detector) get
         // an initial notification of the starting conditions.
-        let actions = self.call_policy(|p, ctx| p.on_device_state(ctx));
+        let actions = self.call_policy("on_device_state", |p, ctx| p.on_device_state(ctx));
         self.apply_actions(actions);
     }
 
@@ -392,6 +406,12 @@ impl Kernel {
                 let idx = self.slot_index(app);
                 if !self.apps[idx].started {
                     self.apps[idx].started = true;
+                    self.telemetry
+                        .emit(EventKind::AppLifecycle, || TelemetryEvent::AppLifecycle {
+                            at: now,
+                            app: app.0,
+                            event: "start",
+                        });
                     self.with_app(app, |model, ctx| model.on_start(ctx));
                 }
             }
@@ -404,10 +424,19 @@ impl Kernel {
                     self.apps[idx].deferred_timers.push(token);
                 } else {
                     if wake {
-                        let actions = self.call_policy(|p, ctx| p.on_alarm(ctx, app));
+                        self.telemetry.emit(EventKind::AppLifecycle, || {
+                            TelemetryEvent::AppLifecycle {
+                                at: now,
+                                app: app.0,
+                                event: "alarm",
+                            }
+                        });
+                        let actions = self.call_policy("on_alarm", |p, ctx| p.on_alarm(ctx, app));
                         self.apply_actions(actions);
                     }
-                    self.with_app(app, |model, ctx| model.on_event(ctx, AppEvent::Timer(token)));
+                    self.with_app(app, |model, ctx| {
+                        model.on_event(ctx, AppEvent::Timer(token))
+                    });
                 }
             }
             SysEvent::WorkDone { app, token } => self.finish_work(now, app, token),
@@ -417,7 +446,7 @@ impl Kernel {
             SysEvent::GpsDeliver { obj } => self.gps_deliver(now, obj),
             SysEvent::SensorDeliver { obj } => self.sensor_deliver(now, obj),
             SysEvent::PolicyTimer { key } => {
-                let actions = self.call_policy(|p, ctx| p.on_timer(ctx, key));
+                let actions = self.call_policy("on_timer", |p, ctx| p.on_timer(ctx, key));
                 self.apply_actions(actions);
             }
             SysEvent::EnvChange => self.on_env_change(now),
@@ -451,7 +480,11 @@ impl Kernel {
             .model
             .take()
             .unwrap_or_else(|| panic!("reentrant dispatch to {app}"));
-        let mut ctx = AppCtx { kernel: self, app, idx };
+        let mut ctx = AppCtx {
+            kernel: self,
+            app,
+            idx,
+        };
         f(&mut model, &mut ctx);
         self.apps[idx].model = Some(model);
         self.update_device_state();
@@ -474,6 +507,12 @@ impl Kernel {
         }
         self.apps[idx].stopped = true;
         self.apps[idx].deferred_timers.clear();
+        self.telemetry
+            .emit(EventKind::AppLifecycle, || TelemetryEvent::AppLifecycle {
+                at: now,
+                app: app.0,
+                event: "stop",
+            });
 
         // In-flight CPU bursts: credit what ran, then drop.
         let works: Vec<(AppId, Token)> = self
@@ -504,10 +543,16 @@ impl Kernel {
         let objs: Vec<ObjId> = self.ledger.objects_of(app).map(|(obj, _)| obj).collect();
         for obj in objs {
             self.park_runtime(obj);
+            self.telemetry
+                .emit(EventKind::ObjectDead, || TelemetryEvent::ObjectDead {
+                    at: now,
+                    app: app.0,
+                    obj: obj.0,
+                });
             self.ledger.note_dead(obj, now);
             self.gps.remove(&obj);
             self.sensors.remove(&obj);
-            let actions = self.call_policy(|p, ctx| p.on_object_dead(ctx, obj));
+            let actions = self.call_policy("on_object_dead", |p, ctx| p.on_object_dead(ctx, obj));
             self.apply_actions(actions);
         }
         self.ledger.set_activity_alive(app, false, now);
@@ -522,20 +567,56 @@ impl Kernel {
 
     // ---- policy plumbing ---------------------------------------------------
 
-    fn call_policy<R>(&mut self, f: impl FnOnce(&mut dyn ResourcePolicy, &PolicyCtx<'_>) -> R) -> R {
+    fn call_policy<R>(
+        &mut self,
+        hook: &'static str,
+        f: impl FnOnce(&mut dyn ResourcePolicy, &PolicyCtx<'_>) -> R,
+    ) -> R {
         let mut policy = self.policy.take().expect("policy re-entered");
+        let now = self.queue.now();
         let ctx = PolicyCtx {
-            now: self.queue.now(),
+            now,
             ledger: &self.ledger,
             env: &self.env,
             screen_on: self.screen_on,
+            telemetry: &self.telemetry,
         };
         let r = f(policy.as_mut(), &ctx);
         let overhead = policy.overhead();
         self.policy = Some(policy);
-        self.policy_ops += 1;
+        // One PolicyOp per hook invocation: the bookkeeping-op unit the
+        // overhead experiments count (paper Fig. 13/14).
+        self.telemetry
+            .emit(EventKind::PolicyOp, || TelemetryEvent::PolicyOp {
+                at: now,
+                hook,
+            });
         self.bill_policy_overhead(overhead.per_op_cpu_ms);
         r
+    }
+
+    fn emit_acquire(
+        &self,
+        at: SimTime,
+        app: AppId,
+        obj: ObjId,
+        kind: ResourceKind,
+        decision: AcquireDecision,
+        first: bool,
+    ) {
+        self.telemetry.emit(EventKind::ServiceAcquire, || {
+            TelemetryEvent::ServiceAcquire {
+                at,
+                app: app.0,
+                obj: obj.0,
+                kind: kind.name(),
+                decision: match decision {
+                    AcquireDecision::Grant => "grant",
+                    AcquireDecision::PretendGrant => "pretend",
+                },
+                first,
+            }
+        });
     }
 
     fn bill_policy_overhead(&mut self, cpu_ms: f64) {
@@ -562,6 +643,13 @@ impl Kernel {
                 PolicyAction::Restore(obj) => self.restore(obj),
                 PolicyAction::ScheduleTimer { at, key } => {
                     let at = at.max(self.queue.now());
+                    let now = self.queue.now();
+                    self.telemetry
+                        .emit(EventKind::PolicyAction, || TelemetryEvent::PolicyAction {
+                            at: now,
+                            action: "timer",
+                            obj: key,
+                        });
                     self.queue.push(at, SysEvent::PolicyTimer { key });
                 }
             }
@@ -575,9 +663,15 @@ impl Kernel {
         let now = self.queue.now();
         let obj = self.ledger.create_object(kind, app, now);
         self.ledger.note_acquire(obj, now);
-        let req = AcquireRequest { app, kind, obj, params, first: true };
-        let outcome = self.call_policy(|p, ctx| p.on_acquire(ctx, &req));
-        self.note_trace(|| format!("{app} acquires {kind} as {obj} ({:?})", outcome.decision));
+        let req = AcquireRequest {
+            app,
+            kind,
+            obj,
+            params,
+            first: true,
+        };
+        let outcome = self.call_policy("on_acquire", |p, ctx| p.on_acquire(ctx, &req));
+        self.emit_acquire(now, app, obj, kind, outcome.decision, true);
         self.install_runtime(obj, kind, params);
         if outcome.decision == AcquireDecision::PretendGrant {
             self.do_revoke_effects(obj);
@@ -597,8 +691,15 @@ impl Kernel {
         };
         self.ledger.note_acquire(obj, now);
         let params = self.params_of(obj);
-        let req = AcquireRequest { app, kind, obj, params, first: false };
-        let outcome = self.call_policy(|p, ctx| p.on_acquire(ctx, &req));
+        let req = AcquireRequest {
+            app,
+            kind,
+            obj,
+            params,
+            first: false,
+        };
+        let outcome = self.call_policy("on_acquire", |p, ctx| p.on_acquire(ctx, &req));
+        self.emit_acquire(now, app, obj, kind, outcome.decision, false);
         if outcome.decision == AcquireDecision::PretendGrant {
             self.do_revoke_effects(obj);
         } else if !was_held || self.ledger.obj(obj).revoked {
@@ -621,23 +722,42 @@ impl Kernel {
 
     fn release(&mut self, app: AppId, obj: ObjId) {
         let now = self.queue.now();
-        assert_eq!(self.ledger.obj(obj).owner, app, "{app} released foreign object {obj}");
-        self.note_trace(|| format!("{app} releases {obj}"));
+        assert_eq!(
+            self.ledger.obj(obj).owner,
+            app,
+            "{app} released foreign object {obj}"
+        );
+        self.telemetry.emit(EventKind::ServiceRelease, || {
+            TelemetryEvent::ServiceRelease {
+                at: now,
+                app: app.0,
+                obj: obj.0,
+            }
+        });
         self.ledger.note_release(obj, now);
         self.park_runtime(obj);
-        let actions = self.call_policy(|p, ctx| p.on_release(ctx, obj));
+        let actions = self.call_policy("on_release", |p, ctx| p.on_release(ctx, obj));
         self.apply_actions(actions);
     }
 
     fn close(&mut self, app: AppId, obj: ObjId) {
         let now = self.queue.now();
-        assert_eq!(self.ledger.obj(obj).owner, app, "{app} closed foreign object {obj}");
-        self.note_trace(|| format!("{app} closes {obj}; the kernel object dies"));
+        assert_eq!(
+            self.ledger.obj(obj).owner,
+            app,
+            "{app} closed foreign object {obj}"
+        );
+        self.telemetry
+            .emit(EventKind::ObjectDead, || TelemetryEvent::ObjectDead {
+                at: now,
+                app: app.0,
+                obj: obj.0,
+            });
         self.park_runtime(obj);
         self.ledger.note_dead(obj, now);
         self.gps.remove(&obj);
         self.sensors.remove(&obj);
-        let actions = self.call_policy(|p, ctx| p.on_object_dead(ctx, obj));
+        let actions = self.call_policy("on_object_dead", |p, ctx| p.on_object_dead(ctx, obj));
         self.apply_actions(actions);
     }
 
@@ -659,7 +779,13 @@ impl Kernel {
             }
             ResourceKind::Sensor => {
                 let interval = params.interval.unwrap_or(SimDuration::from_secs(1));
-                self.sensors.insert(obj, SensorRuntime { interval, pending_deliver: None });
+                self.sensors.insert(
+                    obj,
+                    SensorRuntime {
+                        interval,
+                        pending_deliver: None,
+                    },
+                );
             }
             _ => {}
         }
@@ -673,8 +799,13 @@ impl Kernel {
             ResourceKind::Gps => self.gps_begin_search(now, obj),
             ResourceKind::Sensor => {
                 let interval = self.sensors.get(&obj).expect("sensor runtime").interval;
-                let h = self.queue.push(now + interval, SysEvent::SensorDeliver { obj });
-                self.sensors.get_mut(&obj).expect("sensor runtime").pending_deliver = Some(h);
+                let h = self
+                    .queue
+                    .push(now + interval, SysEvent::SensorDeliver { obj });
+                self.sensors
+                    .get_mut(&obj)
+                    .expect("sensor runtime")
+                    .pending_deliver = Some(h);
             }
             _ => {}
         }
@@ -684,7 +815,14 @@ impl Kernel {
     fn park_runtime(&mut self, obj: ObjId) {
         let now = self.queue.now();
         if let Some(g) = self.gps.get_mut(&obj) {
-            for h in [g.pending_fix.take(), g.pending_loss.take(), g.pending_deliver.take()].into_iter().flatten() {
+            for h in [
+                g.pending_fix.take(),
+                g.pending_loss.take(),
+                g.pending_deliver.take(),
+            ]
+            .into_iter()
+            .flatten()
+            {
                 self.queue.cancel(h);
             }
             g.phase = GpsRunPhase::Parked;
@@ -706,7 +844,12 @@ impl Kernel {
 
     fn do_revoke_effects(&mut self, obj: ObjId) {
         let now = self.queue.now();
-        self.note_trace(|| format!("policy revokes {obj}"));
+        self.telemetry
+            .emit(EventKind::PolicyAction, || TelemetryEvent::PolicyAction {
+                at: now,
+                action: "revoke",
+                obj: obj.0,
+            });
         self.ledger.note_revoked(obj, true, now);
         self.park_runtime(obj);
         self.update_device_state();
@@ -717,12 +860,16 @@ impl Kernel {
             return;
         }
         let now = self.queue.now();
-        self.note_trace(|| format!("policy restores {obj}"));
+        self.telemetry
+            .emit(EventKind::PolicyAction, || TelemetryEvent::PolicyAction {
+                at: now,
+                action: "restore",
+                obj: obj.0,
+            });
         self.ledger.note_revoked(obj, false, now);
         if self.ledger.obj(obj).held {
             self.start_runtime(obj);
         }
-        let _ = now;
         self.update_device_state();
     }
 
@@ -731,9 +878,16 @@ impl Kernel {
     fn do_work(&mut self, app: AppId, cpu: SimDuration, token: Token) {
         assert!(!cpu.is_zero(), "zero-length work burst");
         let wall = self.device.cpu_time_for_work(cpu);
-        let burst = WorkBurst { remaining: wall, handle: None, running_since: None };
+        let burst = WorkBurst {
+            remaining: wall,
+            handle: None,
+            running_since: None,
+        };
         let replaced = self.works.insert((app, token), burst);
-        assert!(replaced.is_none(), "{app} reused in-flight work token {token}");
+        assert!(
+            replaced.is_none(),
+            "{app} reused in-flight work token {token}"
+        );
         if self.awake {
             self.start_burst(app, token);
         }
@@ -746,7 +900,9 @@ impl Kernel {
         if burst.running_since.is_some() {
             return;
         }
-        let h = self.queue.push(now + burst.remaining, SysEvent::WorkDone { app, token });
+        let h = self
+            .queue
+            .push(now + burst.remaining, SysEvent::WorkDone { app, token });
         burst.handle = Some(h);
         burst.running_since = Some(now);
     }
@@ -773,7 +929,9 @@ impl Kernel {
             self.ledger.add_cpu_ms(app, now.since(since).as_millis());
         }
         self.update_device_state();
-        self.with_app(app, |model, ctx| model.on_event(ctx, AppEvent::WorkDone(token)));
+        self.with_app(app, |model, ctx| {
+            model.on_event(ctx, AppEvent::WorkDone(token))
+        });
     }
 
     // ---- network -----------------------------------------------------------
@@ -801,13 +959,22 @@ impl Kernel {
             }
         };
         self.ledger.add_net_op(app, result.is_err());
-        let h = self
-            .queue
-            .push(now + SimDuration::from_millis(latency_ms), SysEvent::NetDone { app, token, result });
-        let replaced = self
-            .netops
-            .insert((app, token), NetOp { handle: Some(h), result, suspended: false });
-        assert!(replaced.is_none(), "{app} reused in-flight net token {token}");
+        let h = self.queue.push(
+            now + SimDuration::from_millis(latency_ms),
+            SysEvent::NetDone { app, token, result },
+        );
+        let replaced = self.netops.insert(
+            (app, token),
+            NetOp {
+                handle: Some(h),
+                result,
+                suspended: false,
+            },
+        );
+        assert!(
+            replaced.is_none(),
+            "{app} reused in-flight net token {token}"
+        );
         self.update_device_state();
     }
 
@@ -858,7 +1025,9 @@ impl Kernel {
             interval = g.interval;
         }
         self.ledger.set_gps_state(obj, GpsPhase::Fixed, now);
-        let deliver = self.queue.push(now + interval, SysEvent::GpsDeliver { obj });
+        let deliver = self
+            .queue
+            .push(now + interval, SysEvent::GpsDeliver { obj });
         // Under weak signal, fixes are eventually lost.
         let loss = if signal == GpsSignal::Weak {
             let idx = self.slot_index(self.ledger.obj(obj).owner);
@@ -898,13 +1067,25 @@ impl Kernel {
             let since = g.last_delivery.unwrap_or(now);
             g.last_delivery = Some(now);
             let interval = g.interval;
-            g.pending_deliver = Some(self.queue.push(now + interval, SysEvent::GpsDeliver { obj }));
-            (self.ledger.obj(obj).owner, self.env.distance_moved_m(since, now))
+            g.pending_deliver = Some(
+                self.queue
+                    .push(now + interval, SysEvent::GpsDeliver { obj }),
+            );
+            (
+                self.ledger.obj(obj).owner,
+                self.env.distance_moved_m(since, now),
+            )
         };
         self.ledger.note_delivery(obj, now);
         self.ledger.add_distance(owner, distance);
         self.with_app(owner, |model, ctx| {
-            model.on_event(ctx, AppEvent::GpsFix { obj, distance_m: distance })
+            model.on_event(
+                ctx,
+                AppEvent::GpsFix {
+                    obj,
+                    distance_m: distance,
+                },
+            )
         });
     }
 
@@ -917,7 +1098,10 @@ impl Kernel {
                 None => return,
             };
             let interval = s.interval;
-            s.pending_deliver = Some(self.queue.push(now + interval, SysEvent::SensorDeliver { obj }));
+            s.pending_deliver = Some(
+                self.queue
+                    .push(now + interval, SysEvent::SensorDeliver { obj }),
+            );
             self.ledger.obj(obj).owner
         };
         self.ledger.note_delivery(obj, now);
@@ -939,8 +1123,14 @@ impl Kernel {
                         self.queue.cancel(h);
                     }
                     op.result = NetResult::Timeout;
-                    self.queue
-                        .push(now, SysEvent::NetDone { app, token, result: NetResult::Timeout });
+                    self.queue.push(
+                        now,
+                        SysEvent::NetDone {
+                            app,
+                            token,
+                            result: NetResult::Timeout,
+                        },
+                    );
                 }
             }
         }
@@ -953,7 +1143,13 @@ impl Kernel {
                 (GpsRunPhase::Fixed, GpsSignal::None) => self.gps_fix_lost_now(now, obj),
                 (GpsRunPhase::Searching, _) => {
                     // Re-roll the acquisition under the new signal.
-                    if let Some(h) = self.gps.get_mut(&obj).expect("gps runtime").pending_fix.take() {
+                    if let Some(h) = self
+                        .gps
+                        .get_mut(&obj)
+                        .expect("gps runtime")
+                        .pending_fix
+                        .take()
+                    {
                         self.queue.cancel(h);
                     }
                     self.gps_begin_search(now, obj);
@@ -961,14 +1157,17 @@ impl Kernel {
                 _ => {}
             }
         }
-        let actions = self.call_policy(|p, ctx| p.on_device_state(ctx));
+        let actions = self.call_policy("on_device_state", |p, ctx| p.on_device_state(ctx));
         self.apply_actions(actions);
     }
 
     fn gps_fix_lost_now(&mut self, now: SimTime, obj: ObjId) {
         {
             let g = self.gps.get_mut(&obj).expect("gps runtime");
-            for h in [g.pending_loss.take(), g.pending_deliver.take()].into_iter().flatten() {
+            for h in [g.pending_loss.take(), g.pending_deliver.take()]
+                .into_iter()
+                .flatten()
+            {
                 self.queue.cancel(h);
             }
         }
@@ -993,7 +1192,10 @@ impl Kernel {
         let now = self.queue.now();
         let user = self.env.user_present.at(now);
         self.ledger.set_user_present(user, now);
-        let screen = user || !self.effective_holders(ResourceKind::ScreenWakelock).is_empty();
+        let screen = user
+            || !self
+                .effective_holders(ResourceKind::ScreenWakelock)
+                .is_empty();
         let awake = screen || !self.effective_holders(ResourceKind::Wakelock).is_empty();
 
         let screen_changed = screen != self.screen_on;
@@ -1001,16 +1203,26 @@ impl Kernel {
 
         if awake != self.awake {
             self.awake = awake;
+            let state = if awake { "wake" } else { "deep_sleep" };
+            self.telemetry
+                .emit(EventKind::DeviceState, || TelemetryEvent::DeviceState {
+                    at: now,
+                    state,
+                });
             if awake {
-                self.note_trace(|| "device wakes".to_owned());
                 self.on_wake(now);
             } else {
-                self.note_trace(|| "device enters deep sleep".to_owned());
                 self.on_sleep();
             }
         }
         if screen_changed {
-            let actions = self.call_policy(|p, ctx| p.on_device_state(ctx));
+            let state = if screen { "screen_on" } else { "screen_off" };
+            self.telemetry
+                .emit(EventKind::DeviceState, || TelemetryEvent::DeviceState {
+                    at: now,
+                    state,
+                });
+            let actions = self.call_policy("on_device_state", |p, ctx| p.on_device_state(ctx));
             // Note: apply_actions calls back into update_device_state; the
             // recursion terminates because the second pass sees no change.
             self.apply_actions_inner(actions);
@@ -1030,6 +1242,13 @@ impl Kernel {
                 PolicyAction::Restore(obj) => self.restore(obj),
                 PolicyAction::ScheduleTimer { at, key } => {
                     let at = at.max(self.queue.now());
+                    let now = self.queue.now();
+                    self.telemetry
+                        .emit(EventKind::PolicyAction, || TelemetryEvent::PolicyAction {
+                            at: now,
+                            action: "timer",
+                            obj: key,
+                        });
                     self.queue.push(at, SysEvent::PolicyTimer { key });
                 }
             }
@@ -1048,8 +1267,14 @@ impl Kernel {
             let op = self.netops.get_mut(&(app, token)).expect("netop");
             if op.suspended {
                 op.suspended = false;
-                self.queue
-                    .push(now, SysEvent::NetDone { app, token, result: NetResult::Timeout });
+                self.queue.push(
+                    now,
+                    SysEvent::NetDone {
+                        app,
+                        token,
+                        result: NetResult::Timeout,
+                    },
+                );
             }
         }
         // Flush deferrable timers that came due during sleep.
@@ -1057,7 +1282,14 @@ impl Kernel {
             let app = self.apps[idx].id;
             let tokens = std::mem::take(&mut self.apps[idx].deferred_timers);
             for token in tokens {
-                self.queue.push(now, SysEvent::AppTimer { app, token, wake: false });
+                self.queue.push(
+                    now,
+                    SysEvent::AppTimer {
+                        app,
+                        token,
+                        wake: false,
+                    },
+                );
             }
         }
     }
@@ -1083,22 +1315,32 @@ impl Kernel {
         let p = &self.device.power;
         let mut desired: HashMap<(Consumer, ComponentKind), f64> = HashMap::new();
         let add = |map: &mut HashMap<(Consumer, ComponentKind), f64>,
-                       c: Consumer,
-                       k: ComponentKind,
-                       mw: f64| {
+                   c: Consumer,
+                   k: ComponentKind,
+                   mw: f64| {
             if mw > 0.0 {
                 *map.entry((c, k)).or_insert(0.0) += mw;
             }
         };
 
         // CPU floor.
-        add(&mut desired, Consumer::System, ComponentKind::Cpu, p.cpu_deep_sleep_mw);
+        add(
+            &mut desired,
+            Consumer::System,
+            ComponentKind::Cpu,
+            p.cpu_deep_sleep_mw,
+        );
         if self.awake {
             let idle_delta = p.cpu_idle_mw - p.cpu_deep_sleep_mw;
             let wakers = self.effective_holders(ResourceKind::Wakelock);
             if self.screen_on || wakers.is_empty() {
                 // The user keeps the device up; the baseline pays.
-                add(&mut desired, Consumer::System, ComponentKind::Cpu, idle_delta);
+                add(
+                    &mut desired,
+                    Consumer::System,
+                    ComponentKind::Cpu,
+                    idle_delta,
+                );
             } else {
                 let share = idle_delta / wakers.len() as f64;
                 for app in wakers {
@@ -1117,14 +1359,24 @@ impl Kernel {
             running.sort();
             running.dedup();
             for app in running {
-                add(&mut desired, app.consumer(), ComponentKind::Cpu, active_delta);
+                add(
+                    &mut desired,
+                    app.consumer(),
+                    ComponentKind::Cpu,
+                    active_delta,
+                );
             }
         }
 
         // Screen.
         if self.screen_on {
             if self.env.user_present.at(now) {
-                add(&mut desired, Consumer::System, ComponentKind::Screen, p.screen_on_mw);
+                add(
+                    &mut desired,
+                    Consumer::System,
+                    ComponentKind::Screen,
+                    p.screen_on_mw,
+                );
             } else {
                 let holders = self.effective_holders(ResourceKind::ScreenWakelock);
                 let share = p.screen_on_mw / holders.len().max(1) as f64;
@@ -1227,7 +1479,9 @@ pub struct AppCtx<'k> {
 
 impl std::fmt::Debug for AppCtx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AppCtx").field("app", &self.app).finish_non_exhaustive()
+        f.debug_struct("AppCtx")
+            .field("app", &self.app)
+            .finish_non_exhaustive()
     }
 }
 
@@ -1257,35 +1511,47 @@ impl AppCtx<'_> {
 
     /// Acquires a new CPU wakelock.
     pub fn acquire_wakelock(&mut self) -> ObjId {
-        self.kernel.acquire(self.app, ResourceKind::Wakelock, AcquireParams::held())
+        self.kernel
+            .acquire(self.app, ResourceKind::Wakelock, AcquireParams::held())
     }
 
     /// Acquires a new screen wakelock.
     pub fn acquire_screen_wakelock(&mut self) -> ObjId {
-        self.kernel
-            .acquire(self.app, ResourceKind::ScreenWakelock, AcquireParams::held())
+        self.kernel.acquire(
+            self.app,
+            ResourceKind::ScreenWakelock,
+            AcquireParams::held(),
+        )
     }
 
     /// Acquires a new Wi-Fi lock.
     pub fn acquire_wifilock(&mut self) -> ObjId {
-        self.kernel.acquire(self.app, ResourceKind::WifiLock, AcquireParams::held())
+        self.kernel
+            .acquire(self.app, ResourceKind::WifiLock, AcquireParams::held())
     }
 
     /// Opens an audio session.
     pub fn acquire_audio(&mut self) -> ObjId {
-        self.kernel.acquire(self.app, ResourceKind::Audio, AcquireParams::held())
+        self.kernel
+            .acquire(self.app, ResourceKind::Audio, AcquireParams::held())
     }
 
     /// Registers a GPS location request delivering every `interval`.
     pub fn request_gps(&mut self, interval: SimDuration) -> ObjId {
-        self.kernel
-            .acquire(self.app, ResourceKind::Gps, AcquireParams::listener(interval))
+        self.kernel.acquire(
+            self.app,
+            ResourceKind::Gps,
+            AcquireParams::listener(interval),
+        )
     }
 
     /// Registers a sensor listener delivering every `interval`.
     pub fn register_sensor(&mut self, interval: SimDuration) -> ObjId {
-        self.kernel
-            .acquire(self.app, ResourceKind::Sensor, AcquireParams::listener(interval))
+        self.kernel.acquire(
+            self.app,
+            ResourceKind::Sensor,
+            AcquireParams::listener(interval),
+        )
     }
 
     /// Re-acquires an existing (possibly released or expired) resource.
@@ -1330,18 +1596,28 @@ impl AppCtx<'_> {
     /// deep sleep; flushed on wake).
     pub fn schedule(&mut self, after: SimDuration, token: Token) {
         let at = self.kernel.queue.now() + after;
-        self.kernel
-            .queue
-            .push(at, SysEvent::AppTimer { app: self.app, token, wake: false });
+        self.kernel.queue.push(
+            at,
+            SysEvent::AppTimer {
+                app: self.app,
+                token,
+                wake: false,
+            },
+        );
     }
 
     /// Schedules an alarm `after` from now; alarms fire even during deep
     /// sleep (they wake the device transiently, like `AlarmManager`).
     pub fn schedule_alarm(&mut self, after: SimDuration, token: Token) {
         let at = self.kernel.queue.now() + after;
-        self.kernel
-            .queue
-            .push(at, SysEvent::AppTimer { app: self.app, token, wake: true });
+        self.kernel.queue.push(
+            at,
+            SysEvent::AppTimer {
+                app: self.app,
+                token,
+                wake: true,
+            },
+        );
     }
 
     // -- utility signals --

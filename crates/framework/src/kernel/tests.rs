@@ -1,7 +1,10 @@
 use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use leaseos_simkit::{
-    ComponentKind, Consumer, DeviceProfile, Environment, Schedule, SimDuration, SimTime,
+    ComponentKind, Consumer, DeviceProfile, Environment, EventKind, RingBufferSink, Schedule,
+    SimDuration, SimTime,
 };
 
 use crate::app::{AppEvent, AppModel};
@@ -55,7 +58,10 @@ struct WorkOnce {
 
 impl WorkOnce {
     fn new() -> Self {
-        WorkOnce { lock: None, done_at: None }
+        WorkOnce {
+            lock: None,
+            done_at: None,
+        }
     }
 }
 
@@ -83,7 +89,10 @@ struct NetOnce {
 
 impl NetOnce {
     fn new() -> Self {
-        NetOnce { lock: None, result: None }
+        NetOnce {
+            lock: None,
+            result: None,
+        }
     }
 }
 
@@ -110,7 +119,10 @@ struct GpsOnce {
 
 impl GpsOnce {
     fn new() -> Self {
-        GpsOnce { fixes: 0, distance: 0.0 }
+        GpsOnce {
+            fixes: 0,
+            distance: 0.0,
+        }
     }
 }
 
@@ -138,7 +150,10 @@ struct ScriptPolicy {
 
 impl ScriptPolicy {
     fn new(script: Vec<(SimTime, PolicyAction)>) -> Self {
-        ScriptPolicy { script, installed: false }
+        ScriptPolicy {
+            script,
+            installed: false,
+        }
     }
 }
 
@@ -155,7 +170,10 @@ impl ResourcePolicy for ScriptPolicy {
             .script
             .iter()
             .enumerate()
-            .map(|(i, (at, _))| PolicyAction::ScheduleTimer { at: *at, key: i as u64 })
+            .map(|(i, (at, _))| PolicyAction::ScheduleTimer {
+                at: *at,
+                key: i as u64,
+            })
             .collect();
         AcquireOutcome::grant().with_actions(timers)
     }
@@ -184,7 +202,11 @@ impl ResourcePolicy for AlwaysPretend {
 
 fn downcast<T: 'static>(kernel: &Kernel, app: AppId) -> &T {
     let _ = app;
-    kernel.policy().as_any().downcast_ref::<T>().expect("policy type")
+    kernel
+        .policy()
+        .as_any()
+        .downcast_ref::<T>()
+        .expect("policy type")
 }
 
 #[test]
@@ -208,7 +230,10 @@ fn idle_device_deep_sleeps_on_system_floor() {
     k.run_until(t(100));
     assert!(!k.is_awake());
     let sys = k.meter().energy_mj(Consumer::System);
-    assert!((sys - 700.0).abs() < 1e-6, "only the deep-sleep floor, got {sys}");
+    assert!(
+        (sys - 700.0).abs() < 1e-6,
+        "only the deep-sleep floor, got {sys}"
+    );
     assert_eq!(k.meter().total_energy_mj(), sys);
 }
 
@@ -226,7 +251,8 @@ fn work_completes_and_credits_cpu_time() {
     assert!(!k.is_awake());
     // Energy: 5 s active delta + 5 s idle delta + floor.
     let p = DeviceProfile::pixel_xl().power;
-    let expect = 5.0 * (p.cpu_active_mw - p.cpu_idle_mw) + 5.0 * (p.cpu_idle_mw - p.cpu_deep_sleep_mw);
+    let expect =
+        5.0 * (p.cpu_active_mw - p.cpu_idle_mw) + 5.0 * (p.cpu_idle_mw - p.cpu_deep_sleep_mw);
     let e = k.meter().energy_mj(app.consumer());
     assert!((e - expect).abs() < 1e-6, "expected {expect}, got {e}");
 }
@@ -324,17 +350,29 @@ fn gps_fix_flows_and_distance_accrues_while_moving() {
     let app = k.add_app(Box::new(GpsOnce::new()));
     k.run_until(t(120));
     let stats = k.ledger().app_opt(app).unwrap();
-    assert!(stats.distance_m > 100.0, "moving 2 m/s for ~2 min: {}", stats.distance_m);
+    assert!(
+        stats.distance_m > 100.0,
+        "moving 2 m/s for ~2 min: {}",
+        stats.distance_m
+    );
     let (obj, o) = k.ledger().objects_of(app).next().unwrap();
     let _ = obj;
     assert_eq!(o.fix_count, 1);
-    assert!(o.deliveries > 50, "per-second deliveries, got {}", o.deliveries);
+    assert!(
+        o.deliveries > 50,
+        "per-second deliveries, got {}",
+        o.deliveries
+    );
     assert!(o.searching_time(t(120)) < d(10), "good signal locks fast");
 }
 
 #[test]
 fn gps_never_fixes_without_signal() {
-    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::weak_gps_building(), 42);
+    let mut k = Kernel::vanilla(
+        DeviceProfile::pixel_xl(),
+        Environment::weak_gps_building(),
+        42,
+    );
     let app = k.add_app(Box::new(GpsOnce::new()));
     k.run_until(t(300));
     let (_, o) = k.ledger().objects_of(app).next().unwrap();
@@ -343,7 +381,9 @@ fn gps_never_fixes_without_signal() {
     assert_eq!(o.searching_time(t(300)), d(300), "searching the whole run");
     // Searching draws the expensive GPS state the whole time.
     let p = DeviceProfile::pixel_xl().power;
-    let e = k.meter().component_energy_mj(app.consumer(), ComponentKind::Gps);
+    let e = k
+        .meter()
+        .component_energy_mj(app.consumer(), ComponentKind::Gps);
     assert!((e - 300.0 * p.gps_searching_mw).abs() < 1e-6);
 }
 
@@ -377,7 +417,11 @@ fn deferrable_timer_waits_for_wake_alarm_fires_asleep() {
     }
 
     let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
-    let id = k.add_app(Box::new(TimerApp { timer_at: None, alarm_at: None, lock: None }));
+    let id = k.add_app(Box::new(TimerApp {
+        timer_at: None,
+        alarm_at: None,
+        lock: None,
+    }));
     k.run_until(t(60));
     let app = k.app_model::<TimerApp>(id).unwrap();
     // The deferrable timer (due t=10, device asleep) flushed when the alarm
@@ -467,7 +511,9 @@ fn screen_wakelock_lights_screen_and_bills_holder() {
     k.run_until(t(10));
     assert!(k.is_screen_on());
     assert!(k.is_awake(), "screen implies awake");
-    let e = k.meter().component_energy_mj(app.consumer(), ComponentKind::Screen);
+    let e = k
+        .meter()
+        .component_energy_mj(app.consumer(), ComponentKind::Screen);
     let p = DeviceProfile::pixel_xl().power;
     assert!((e - 10.0 * p.screen_on_mw).abs() < 1e-6);
 }
@@ -559,7 +605,9 @@ fn network_transfers_bill_wifi_active_to_the_transferring_app() {
     let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
     let app = k.add_app(Box::new(NetOnce::new()));
     k.run_until(t(60));
-    let wifi = k.meter().component_energy_mj(app.consumer(), ComponentKind::Wifi);
+    let wifi = k
+        .meter()
+        .component_energy_mj(app.consumer(), ComponentKind::Wifi);
     // The op lasts ~125–205 ms at 240 mW: tens of mJ, then the radio is off.
     assert!(wifi > 10.0 && wifi < 80.0, "got {wifi}");
 }
@@ -573,7 +621,11 @@ fn weak_gps_signal_cycles_between_search_and_fix() {
     k.run_until(SimTime::from_mins(60));
     let (_, o) = k.ledger().objects_of(app).next().unwrap();
     let end = SimTime::from_mins(60);
-    assert!(o.fix_count >= 2, "weak signal re-acquires fixes: {}", o.fix_count);
+    assert!(
+        o.fix_count >= 2,
+        "weak signal re-acquires fixes: {}",
+        o.fix_count
+    );
     assert!(
         o.searching_time(end).as_secs() > 30,
         "long acquisition under weak signal"
@@ -587,7 +639,8 @@ fn weak_gps_signal_cycles_between_search_and_fix() {
 fn gps_signal_loss_mid_run_drops_the_fix() {
     let mut env = background_env();
     // Good signal for 2 minutes, then the user walks into a basement.
-    env.gps_signal.set_from(t(120), leaseos_simkit::GpsSignal::None);
+    env.gps_signal
+        .set_from(t(120), leaseos_simkit::GpsSignal::None);
     let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), env, 23);
     let app = k.add_app(Box::new(GpsOnce::new()));
     k.run_until(SimTime::from_mins(10));
@@ -611,7 +664,11 @@ fn profiler_tracks_each_app_separately() {
     let holder = k.add_app(Box::new(HoldForever::new()));
     let idle = k.add_app(Box::new(GpsOnce::new()));
     k.run_until(t(300));
-    let hold_series = k.profile_of(holder).unwrap().get("wakelock_hold_s").unwrap();
+    let hold_series = k
+        .profile_of(holder)
+        .unwrap()
+        .get("wakelock_hold_s")
+        .unwrap();
     let idle_series = k.profile_of(idle).unwrap().get("wakelock_hold_s").unwrap();
     assert!(hold_series.values().all(|v| v > 59.0));
     assert!(idle_series.values().all(|v| v == 0.0));
@@ -666,7 +723,10 @@ fn stopped_apps_receive_no_further_events() {
         }
     }
     let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
-    let id = k.add_app(Box::new(Suicidal { events_after_stop: 0, stopped: false }));
+    let id = k.add_app(Box::new(Suicidal {
+        events_after_stop: 0,
+        stopped: false,
+    }));
     k.run_until(t(60));
     let app = k.app_model::<Suicidal>(id).unwrap();
     assert!(app.stopped);
@@ -685,29 +745,33 @@ fn stop_app_cancels_in_flight_work_and_io() {
 }
 
 #[test]
-fn trace_records_lifecycle_when_enabled() {
+fn telemetry_records_lifecycle_when_sink_attached() {
     let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
-    k.enable_trace();
+    let ring = Rc::new(RefCell::new(RingBufferSink::new(4096)));
+    k.telemetry().attach(ring.clone());
     k.add_app(Box::new(WorkOnce::new()));
     k.run_until(t(30));
-    let entries: Vec<&str> = k.trace().iter().map(|e| e.what.as_str()).collect();
-    assert!(entries.iter().any(|w| w.contains("acquires wakelock")));
-    assert!(entries.iter().any(|w| w.contains("releases")));
-    assert!(entries.iter().any(|w| w.contains("deep sleep")));
-    // Trace entries are chronological.
+    let ring = ring.borrow();
+    let lines: Vec<String> = ring.events().map(|e| e.to_string()).collect();
+    assert!(lines.iter().any(|w| w.contains("acquires wakelock")));
+    assert!(lines.iter().any(|w| w.contains("releases")));
+    assert!(lines.iter().any(|w| w.contains("deep_sleep")));
+    // Events are chronological.
     let mut last = SimTime::ZERO;
-    for e in k.trace() {
-        assert!(e.at >= last);
-        last = e.at;
+    for e in ring.events() {
+        assert!(e.at() >= last);
+        last = e.at();
     }
 }
 
 #[test]
-fn trace_is_empty_when_disabled() {
+fn telemetry_counters_run_even_without_sinks() {
     let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
     k.add_app(Box::new(WorkOnce::new()));
     k.run_until(t(30));
-    assert!(k.trace().is_empty());
+    assert!(!k.telemetry().is_active(), "no sinks attached");
+    assert!(k.telemetry().count(EventKind::ServiceAcquire) >= 1);
+    assert!(k.telemetry().count(EventKind::PolicyOp) >= 2);
 }
 
 #[test]
@@ -732,7 +796,8 @@ fn policy_overhead_accrues_per_op() {
     );
     k.add_app(Box::new(WorkOnce::new()));
     k.run_until(t(30));
-    assert!(k.policy_op_count() >= 2, "acquire + release at least");
-    let expect = k.policy_op_count() as f64 * 1.0 / 1_000.0 * 1_050.0;
+    let ops = k.telemetry().count(EventKind::PolicyOp);
+    assert!(ops >= 2, "acquire + release at least");
+    let expect = ops as f64 * 1.0 / 1_000.0 * 1_050.0;
     assert!((k.policy_overhead_mj() - expect).abs() < 1e-9);
 }

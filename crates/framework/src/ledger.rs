@@ -199,7 +199,9 @@ impl Ledger {
     ///
     /// Panics if the object does not exist — a substrate invariant violation.
     pub fn obj(&self, obj: ObjId) -> &ObjStats {
-        self.objects.get(&obj).unwrap_or_else(|| panic!("unknown object {obj}"))
+        self.objects
+            .get(&obj)
+            .unwrap_or_else(|| panic!("unknown object {obj}"))
     }
 
     /// True if the object exists.
@@ -208,7 +210,9 @@ impl Ledger {
     }
 
     fn obj_mut(&mut self, obj: ObjId) -> &mut ObjStats {
-        self.objects.get_mut(&obj).unwrap_or_else(|| panic!("unknown object {obj}"))
+        self.objects
+            .get_mut(&obj)
+            .unwrap_or_else(|| panic!("unknown object {obj}"))
     }
 
     /// The stats for `app` (creating an empty record on first touch).
@@ -227,7 +231,10 @@ impl Ledger {
 
     /// All live (not dead) objects, in id order.
     pub fn live_objects(&self) -> impl Iterator<Item = (ObjId, &ObjStats)> {
-        self.objects.iter().filter(|(_, o)| !o.dead).map(|(id, o)| (*id, o))
+        self.objects
+            .iter()
+            .filter(|(_, o)| !o.dead)
+            .map(|(id, o)| (*id, o))
     }
 
     /// All objects ever created, in id order.
@@ -470,7 +477,10 @@ mod tests {
         l.note_revoked(o, false, t(35));
         // App view: held the whole 60 s. Effective: minus the 25 s deferral.
         assert_eq!(l.obj(o).held_time(t(60)), SimDuration::from_secs(60));
-        assert_eq!(l.obj(o).effective_held_time(t(60)), SimDuration::from_secs(35));
+        assert_eq!(
+            l.obj(o).effective_held_time(t(60)),
+            SimDuration::from_secs(35)
+        );
     }
 
     #[test]
@@ -481,7 +491,10 @@ mod tests {
         l.note_dead(o, t(30));
         assert!(l.obj(o).dead);
         assert_eq!(l.obj(o).held_time(t(100)), SimDuration::from_secs(30));
-        assert_eq!(l.obj(o).effective_held_time(t(100)), SimDuration::from_secs(30));
+        assert_eq!(
+            l.obj(o).effective_held_time(t(100)),
+            SimDuration::from_secs(30)
+        );
         assert_eq!(l.live_objects().count(), 0);
         assert_eq!(l.all_objects().count(), 1);
     }

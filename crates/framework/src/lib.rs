@@ -65,7 +65,7 @@ mod resource;
 
 pub use app::{AppEvent, AppModel};
 pub use ids::{AppId, ObjId, Token};
-pub use kernel::{AppCtx, Kernel, TraceEntry};
+pub use kernel::{AppCtx, Kernel};
 pub use ledger::{AppStats, GpsPhase, Ledger, ObjStats};
 pub use policy::{
     AcquireDecision, AcquireOutcome, AcquireRequest, PolicyAction, PolicyCtx, PolicyOverhead,

@@ -13,7 +13,7 @@
 
 use std::any::Any;
 
-use leaseos_simkit::{SimTime, Environment};
+use leaseos_simkit::{Environment, SimTime, TelemetryBus};
 
 use crate::ids::{AppId, ObjId};
 use crate::ledger::Ledger;
@@ -29,6 +29,9 @@ pub struct PolicyCtx<'a> {
     pub env: &'a Environment,
     /// Whether the screen is currently on.
     pub screen_on: bool,
+    /// The kernel's telemetry bus, so policies can emit structured events
+    /// at their decision points (lease transitions, verdicts, deferrals).
+    pub telemetry: &'a TelemetryBus,
 }
 
 impl std::fmt::Debug for PolicyCtx<'_> {
@@ -217,11 +220,13 @@ mod tests {
         let mut p = VanillaPolicy::new();
         let ledger = Ledger::new();
         let env = Environment::new();
+        let telemetry = TelemetryBus::new();
         let ctx = PolicyCtx {
             now: SimTime::ZERO,
             ledger: &ledger,
             env: &env,
             screen_on: true,
+            telemetry: &telemetry,
         };
         let req = AcquireRequest {
             app: AppId(1),
@@ -259,11 +264,13 @@ mod tests {
     fn policy_ctx_debug_is_nonempty() {
         let ledger = Ledger::new();
         let env = Environment::new();
+        let telemetry = TelemetryBus::new();
         let ctx = PolicyCtx {
             now: SimTime::from_secs(1),
             ledger: &ledger,
             env: &env,
             screen_on: false,
+            telemetry: &telemetry,
         };
         assert!(format!("{ctx:?}").contains("PolicyCtx"));
     }

@@ -64,7 +64,11 @@ impl Profiler {
             let cpu_s = (cur.cpu_ms - prev.cpu_ms) as f64 / 1_000.0;
             set.record("wakelock_hold_s", now, wl_s);
             set.record("cpu_s", now, cpu_s);
-            set.record("cpu_wl_ratio", now, if wl_s > 0.0 { cpu_s / wl_s } else { 0.0 });
+            set.record(
+                "cpu_wl_ratio",
+                now,
+                if wl_s > 0.0 { cpu_s / wl_s } else { 0.0 },
+            );
             set.record(
                 "gps_try_s",
                 now,

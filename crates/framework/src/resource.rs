@@ -62,19 +62,23 @@ impl ResourceKind {
     pub fn ask_can_fail(self) -> bool {
         matches!(self, ResourceKind::Gps)
     }
-}
 
-impl fmt::Display for ResourceKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable machine-readable name, used in telemetry events.
+    pub fn name(self) -> &'static str {
+        match self {
             ResourceKind::Wakelock => "wakelock",
             ResourceKind::ScreenWakelock => "screen-wakelock",
             ResourceKind::WifiLock => "wifilock",
             ResourceKind::Gps => "gps",
             ResourceKind::Sensor => "sensor",
             ResourceKind::Audio => "audio",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -129,7 +133,10 @@ mod tests {
     #[test]
     fn component_mapping_is_total_and_matches_table1() {
         assert_eq!(ResourceKind::Wakelock.component(), ComponentKind::Cpu);
-        assert_eq!(ResourceKind::ScreenWakelock.component(), ComponentKind::Screen);
+        assert_eq!(
+            ResourceKind::ScreenWakelock.component(),
+            ComponentKind::Screen
+        );
         assert_eq!(ResourceKind::WifiLock.component(), ComponentKind::Wifi);
         assert_eq!(ResourceKind::Gps.component(), ComponentKind::Gps);
         assert_eq!(ResourceKind::Sensor.component(), ComponentKind::Sensor);

@@ -52,6 +52,17 @@ impl BehaviorType {
         }
     }
 
+    /// Stable lowercase key, used in telemetry classifier-verdict events.
+    pub fn key(self) -> &'static str {
+        match self {
+            BehaviorType::Normal => "normal",
+            BehaviorType::FrequentAsk => "fab",
+            BehaviorType::LongHolding => "lhb",
+            BehaviorType::LowUtility => "lub",
+            BehaviorType::ExcessiveUse => "eub",
+        }
+    }
+
     /// Whether this behaviour can occur for `kind` — the paper's Table 1
     /// applicability matrix. FAB requires an ask that can fail (only GPS);
     /// everything else applies to all resources.

@@ -130,7 +130,10 @@ impl Lease {
 
     /// Total time this lease has spent in the active state, up to `now`.
     pub fn active_time(&self, now: SimTime) -> SimDuration {
-        let open = self.active_since.map(|s| now.since(s).as_millis()).unwrap_or(0);
+        let open = self
+            .active_since
+            .map(|s| now.since(s).as_millis())
+            .unwrap_or(0);
         SimDuration::from_millis(self.total_active_ms + open)
     }
 
@@ -182,7 +185,11 @@ mod tests {
     #[test]
     fn begin_term_advances_counters() {
         let mut l = lease();
-        l.begin_term(SimTime::from_secs(5), SimDuration::from_secs(60), UsageSnapshot::default());
+        l.begin_term(
+            SimTime::from_secs(5),
+            SimDuration::from_secs(60),
+            UsageSnapshot::default(),
+        );
         assert_eq!(l.terms_assigned, 2);
         assert_eq!(l.term_end(), SimTime::from_secs(65));
     }

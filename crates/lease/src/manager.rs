@@ -283,8 +283,16 @@ impl LeaseManager {
     /// Runs the scheduled check for `id` (term end for active leases,
     /// deferral end for deferred ones), given the cumulative `snapshot` at
     /// `now`.
-    pub fn process_check(&mut self, id: LeaseId, mut snapshot: UsageSnapshot, now: SimTime) -> CheckOutcome {
-        if let Some(counter) = self.counters.get(&self.leases.get(&id).map(|l| l.holder).unwrap_or(AppId(0))) {
+    pub fn process_check(
+        &mut self,
+        id: LeaseId,
+        mut snapshot: UsageSnapshot,
+        now: SimTime,
+    ) -> CheckOutcome {
+        if let Some(counter) = self
+            .counters
+            .get(&self.leases.get(&id).map(|l| l.holder).unwrap_or(AppId(0)))
+        {
             snapshot.custom_utility = Some(counter.score().clamp(0.0, 100.0));
         }
         let Some(lease) = self.leases.get_mut(&id) else {
@@ -317,7 +325,8 @@ impl LeaseManager {
                     // A stale timer from a superseded term.
                     return CheckOutcome::Stale;
                 }
-                let stats = TermStats::between(lease.kind, lease.term_len, &lease.term_snapshot, &snapshot);
+                let stats =
+                    TermStats::between(lease.kind, lease.term_len, &lease.term_snapshot, &snapshot);
                 if !snapshot.held {
                     lease.transition(Transition::TermEndNotHeld, now);
                     lease.record_term(BehaviorType::Normal, stats);
@@ -458,7 +467,13 @@ mod tests {
     #[test]
     fn create_schedules_first_term_end() {
         let mut m = LeaseManager::new();
-        let (id, next) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, next) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         assert_eq!(next, t(5), "paper default 5 s term");
         assert!(m.check(id));
         assert_eq!(m.active_count(), 1);
@@ -469,10 +484,19 @@ mod tests {
     #[test]
     fn idle_holder_is_deferred_at_term_end() {
         let mut m = LeaseManager::new();
-        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         let out = m.process_check(id, held_idle_snapshot(5_000), t(5));
         match out {
-            CheckOutcome::Deferred { restore_at, behavior } => {
+            CheckOutcome::Deferred {
+                restore_at,
+                behavior,
+            } => {
                 assert_eq!(restore_at, t(30), "τ = 25 s");
                 assert_eq!(behavior, BehaviorType::LongHolding);
             }
@@ -485,7 +509,13 @@ mod tests {
     #[test]
     fn deferral_end_restores_with_fresh_short_term() {
         let mut m = LeaseManager::new();
-        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         m.process_check(id, held_idle_snapshot(5_000), t(5));
         let out = m.process_check(id, held_idle_snapshot(5_000), t(30));
         assert_eq!(out, CheckOutcome::Restored { next_check: t(35) });
@@ -496,10 +526,19 @@ mod tests {
     #[test]
     fn busy_holder_renews() {
         let mut m = LeaseManager::new();
-        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         let out = m.process_check(id, busy_snapshot(5_000, 2_000, 4), t(5));
         match out {
-            CheckOutcome::Renewed { next_check, behavior } => {
+            CheckOutcome::Renewed {
+                next_check,
+                behavior,
+            } => {
                 assert_eq!(next_check, t(10));
                 assert_eq!(behavior, BehaviorType::Normal);
             }
@@ -510,7 +549,13 @@ mod tests {
     #[test]
     fn adaptive_ladder_grows_terms_and_misbehaviour_resets() {
         let mut m = LeaseManager::new();
-        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         let mut now = t(5);
         let mut cum = UsageSnapshot::default();
         // 12 normal terms -> the 13th term should be 1 minute.
@@ -539,7 +584,9 @@ mod tests {
         let out = m.process_check(id, cum, restore_at);
         assert_eq!(
             out,
-            CheckOutcome::Restored { next_check: restore_at + SimDuration::from_secs(5) }
+            CheckOutcome::Restored {
+                next_check: restore_at + SimDuration::from_secs(5)
+            }
         );
         assert_eq!(m.lease(id).unwrap().normal_streak, 0);
     }
@@ -547,7 +594,13 @@ mod tests {
     #[test]
     fn released_resource_goes_inactive_and_reacquire_renews() {
         let mut m = LeaseManager::new();
-        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         // Term ends with the resource released after brief useful work.
         let snap = UsageSnapshot {
             held: false,
@@ -568,7 +621,13 @@ mod tests {
     #[test]
     fn reacquire_during_deferral_pretends_success() {
         let mut m = LeaseManager::new();
-        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         m.process_check(id, held_idle_snapshot(5_000), t(5));
         let out = m.note_event(id, LeaseEvent::Reacquire, held_idle_snapshot(5_000), t(10));
         assert_eq!(out, ReacquireOutcome::StillDeferred);
@@ -592,9 +651,18 @@ mod tests {
     #[test]
     fn stale_checks_are_ignored() {
         let mut m = LeaseManager::new();
-        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         // A check before the term end (e.g. superseded timer) is stale.
-        assert_eq!(m.process_check(id, held_idle_snapshot(1_000), t(1)), CheckOutcome::Stale);
+        assert_eq!(
+            m.process_check(id, held_idle_snapshot(1_000), t(1)),
+            CheckOutcome::Stale
+        );
         // Unknown lease likewise.
         assert_eq!(
             m.process_check(LeaseId(99), UsageSnapshot::default(), t(5)),
@@ -605,8 +673,20 @@ mod tests {
     #[test]
     fn active_series_tracks_population() {
         let mut m = LeaseManager::new();
-        let (a, _) = m.create(ResourceKind::Wakelock, APP, ObjId(0), UsageSnapshot::default(), t(0));
-        let (_b, _) = m.create(ResourceKind::Gps, APP, ObjId(1), UsageSnapshot::default(), t(1));
+        let (a, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            ObjId(0),
+            UsageSnapshot::default(),
+            t(0),
+        );
+        let (_b, _) = m.create(
+            ResourceKind::Gps,
+            APP,
+            ObjId(1),
+            UsageSnapshot::default(),
+            t(1),
+        );
         m.remove(a, t(2));
         let counts: Vec<f64> = m.active_series().values().collect();
         assert_eq!(counts, vec![1.0, 2.0, 1.0]);
@@ -619,7 +699,13 @@ mod tests {
             SimDuration::from_secs(60),
             SimDuration::from_secs(25),
         ));
-        let (id, _) = m.create(ResourceKind::Sensor, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = m.create(
+            ResourceKind::Sensor,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         // Activity alive + an interaction → generic utility is high, but the
         // app's own counter says the sensed data was worthless.
         m.set_utility(APP, Box::new(|| 0.0));
@@ -633,7 +719,13 @@ mod tests {
         };
         let out = m.process_check(id, snap, t(60));
         assert!(
-            matches!(out, CheckOutcome::Deferred { behavior: BehaviorType::LowUtility, .. }),
+            matches!(
+                out,
+                CheckOutcome::Deferred {
+                    behavior: BehaviorType::LowUtility,
+                    ..
+                }
+            ),
             "custom counter pushed the term to LUB: {out:?}"
         );
         assert!(m.clear_utility(APP));
@@ -659,7 +751,13 @@ mod tests {
         );
 
         let mut tolerant = LeaseManager::with_policy(sixty.clone());
-        let (id, _) = tolerant.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = tolerant.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         match tolerant.process_check(id, heavy, t(60)) {
             CheckOutcome::Renewed { behavior, .. } => {
                 assert_eq!(behavior, BehaviorType::ExcessiveUse)
@@ -671,11 +769,20 @@ mod tests {
             mitigate_eub: true,
             ..sixty
         });
-        let (id, _) = strict.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
+        let (id, _) = strict.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
         assert!(
             matches!(
                 strict.process_check(id, heavy, t(60)),
-                CheckOutcome::Deferred { behavior: BehaviorType::ExcessiveUse, .. }
+                CheckOutcome::Deferred {
+                    behavior: BehaviorType::ExcessiveUse,
+                    ..
+                }
             ),
             "the experimental flag defers EUB"
         );
@@ -695,8 +802,19 @@ mod tests {
     #[test]
     fn explicit_renew_api() {
         let mut m = LeaseManager::new();
-        let (id, _) = m.create(ResourceKind::Wakelock, APP, OBJ, UsageSnapshot::default(), t(0));
-        let released = UsageSnapshot { held: false, held_ms: 1_000, cpu_ms: 900, ..UsageSnapshot::default() };
+        let (id, _) = m.create(
+            ResourceKind::Wakelock,
+            APP,
+            OBJ,
+            UsageSnapshot::default(),
+            t(0),
+        );
+        let released = UsageSnapshot {
+            held: false,
+            held_ms: 1_000,
+            cpu_ms: 900,
+            ..UsageSnapshot::default()
+        };
         m.process_check(id, released, t(5));
         assert_eq!(m.renew(id, released, t(10)), Some(t(15)));
         assert_eq!(m.renew(id, released, t(11)), None, "already active");

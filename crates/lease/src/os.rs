@@ -12,7 +12,9 @@ use leaseos_framework::{
     AcquireOutcome, AcquireRequest, ObjId, PolicyAction, PolicyCtx, PolicyOverhead, ResourceKind,
     ResourcePolicy,
 };
+use leaseos_simkit::{EventKind, SimTime, TelemetryEvent};
 
+use crate::behavior::BehaviorType;
 use crate::classifier::Classifier;
 use crate::descriptor::{LeaseEvent, LeaseId};
 use crate::manager::{CheckOutcome, LeaseManager, ReacquireOutcome};
@@ -88,6 +90,43 @@ impl LeaseOs {
         let o = ctx.ledger.obj(obj);
         UsageSnapshot::capture(ctx.ledger, obj, o.owner, ctx.now)
     }
+
+    fn emit_transition(
+        ctx: &PolicyCtx<'_>,
+        lease: LeaseId,
+        obj: ObjId,
+        from: &'static str,
+        to: &'static str,
+    ) {
+        ctx.telemetry.emit(EventKind::LeaseTransition, || {
+            TelemetryEvent::LeaseTransition {
+                at: ctx.now,
+                lease: lease.0,
+                obj: obj.0,
+                from,
+                to,
+            }
+        });
+    }
+
+    fn emit_renewed(ctx: &PolicyCtx<'_>, lease: LeaseId, next_check: SimTime) {
+        ctx.telemetry
+            .emit(EventKind::TermRenewed, || TelemetryEvent::TermRenewed {
+                at: ctx.now,
+                lease: lease.0,
+                term_s: (next_check - ctx.now).as_secs_f64(),
+            });
+    }
+
+    fn emit_verdict(ctx: &PolicyCtx<'_>, lease: LeaseId, behavior: BehaviorType) {
+        ctx.telemetry.emit(EventKind::ClassifierVerdict, || {
+            TelemetryEvent::ClassifierVerdict {
+                at: ctx.now,
+                lease: lease.0,
+                verdict: behavior.key(),
+            }
+        });
+    }
 }
 
 impl Default for LeaseOs {
@@ -109,10 +148,12 @@ impl ResourcePolicy for LeaseOs {
             // A lease is created when the app first accesses the kernel
             // object (§3.1), with the first term-end check scheduled.
             let snapshot = Self::snapshot(ctx, req.obj);
-            let (lease, next_check) =
-                self.manager
-                    .create(req.kind, req.app, req.obj, snapshot, ctx.now);
+            let (lease, next_check) = self
+                .manager
+                .create(req.kind, req.app, req.obj, snapshot, ctx.now);
             self.proxy_mut(req.kind).bind(req.obj, lease);
+            Self::emit_transition(ctx, lease, req.obj, "none", "active");
+            Self::emit_renewed(ctx, lease, next_check);
             AcquireOutcome::grant().with_actions(vec![PolicyAction::ScheduleTimer {
                 at: next_check,
                 key: lease.0,
@@ -129,6 +170,8 @@ impl ResourcePolicy for LeaseOs {
                 ReacquireOutcome::Granted => AcquireOutcome::grant(),
                 ReacquireOutcome::Renewed { next_check } => {
                     self.proxy_mut(req.kind).on_renew(lease);
+                    Self::emit_transition(ctx, lease, req.obj, "inactive", "active");
+                    Self::emit_renewed(ctx, lease, next_check);
                     AcquireOutcome::grant().with_actions(vec![PolicyAction::ScheduleTimer {
                         at: next_check,
                         key: lease.0,
@@ -152,8 +195,14 @@ impl ResourcePolicy for LeaseOs {
     fn on_object_dead(&mut self, ctx: &PolicyCtx<'_>, obj: ObjId) -> Vec<PolicyAction> {
         if let Some(lease) = self.manager.lease_of_obj(obj) {
             let kind = ctx.ledger.obj(obj).kind;
+            let from = self
+                .manager
+                .lease(lease)
+                .map(|l| l.state.name())
+                .unwrap_or("active");
             self.manager.remove(lease, ctx.now);
             self.proxy_mut(kind).unbind(lease);
+            Self::emit_transition(ctx, lease, obj, from, "dead");
         }
         Vec::new()
     }
@@ -166,26 +215,57 @@ impl ResourcePolicy for LeaseOs {
         let (obj, kind) = (record.obj, record.kind);
         let snapshot = Self::snapshot(ctx, obj);
         match self.manager.process_check(lease, snapshot, ctx.now) {
-            CheckOutcome::Renewed { next_check, .. } => {
-                vec![PolicyAction::ScheduleTimer { at: next_check, key }]
+            CheckOutcome::Renewed {
+                next_check,
+                behavior,
+            } => {
+                Self::emit_verdict(ctx, lease, behavior);
+                Self::emit_renewed(ctx, lease, next_check);
+                vec![PolicyAction::ScheduleTimer {
+                    at: next_check,
+                    key,
+                }]
             }
-            CheckOutcome::Deferred { restore_at, .. } => {
+            CheckOutcome::Deferred {
+                restore_at,
+                behavior,
+            } => {
+                Self::emit_verdict(ctx, lease, behavior);
+                Self::emit_transition(ctx, lease, obj, "active", "deferred");
+                ctx.telemetry
+                    .emit(EventKind::TermDeferred, || TelemetryEvent::TermDeferred {
+                        at: ctx.now,
+                        lease: lease.0,
+                        defer_s: (restore_at - ctx.now).as_secs_f64(),
+                    });
                 let mut actions = Vec::new();
                 if let Some(obj) = self.proxy_mut(kind).on_expire(lease) {
                     actions.push(PolicyAction::Revoke(obj));
                 }
-                actions.push(PolicyAction::ScheduleTimer { at: restore_at, key });
+                actions.push(PolicyAction::ScheduleTimer {
+                    at: restore_at,
+                    key,
+                });
                 actions
             }
             CheckOutcome::Restored { next_check } => {
+                Self::emit_transition(ctx, lease, obj, "deferred", "active");
+                Self::emit_renewed(ctx, lease, next_check);
                 let mut actions = Vec::new();
                 if let Some(obj) = self.proxy_mut(kind).on_renew(lease) {
                     actions.push(PolicyAction::Restore(obj));
                 }
-                actions.push(PolicyAction::ScheduleTimer { at: next_check, key });
+                actions.push(PolicyAction::ScheduleTimer {
+                    at: next_check,
+                    key,
+                });
                 actions
             }
-            CheckOutcome::WentInactive | CheckOutcome::Stale => Vec::new(),
+            CheckOutcome::WentInactive => {
+                Self::emit_transition(ctx, lease, obj, "active", "inactive");
+                Vec::new()
+            }
+            CheckOutcome::Stale => Vec::new(),
         }
     }
 
@@ -269,7 +349,11 @@ mod tests {
             (effective - 20.0).abs() <= 5.0,
             "expected ≈1/6 of 120 s, got {effective}"
         );
-        assert_eq!(o.held_time(t(120)).as_secs_f64(), 120.0, "app view unchanged");
+        assert_eq!(
+            o.held_time(t(120)).as_secs_f64(),
+            120.0,
+            "app view unchanged"
+        );
         let m = leaseos(&k).manager();
         assert_eq!(m.created_count(), 1);
         assert!(m.lease_reports(t(120))[0].deferrals >= 3);
@@ -382,7 +466,9 @@ mod tests {
         let mut k = lease_kernel(Box::new(BackgroundGps));
         k.run_until(t(600));
         let app = k.app_by_name("bg-gps").unwrap();
-        let gps_mj = k.meter().component_energy_mj(app.consumer(), ComponentKind::Gps);
+        let gps_mj = k
+            .meter()
+            .component_energy_mj(app.consumer(), ComponentKind::Gps);
         // Vanilla would pay full fixed-draw: 600 s × 85 mW = 51 000 mJ.
         assert!(
             gps_mj < 51_000.0 * 0.4,
@@ -419,6 +505,58 @@ mod tests {
         // The run continues without stale lease timers doing harm.
         k.run_until(t(300));
         assert_eq!(leaseos(&k).manager().active_count(), 0);
+    }
+
+    #[test]
+    fn lease_lifecycle_is_emitted_on_the_telemetry_bus() {
+        use leaseos_simkit::RingBufferSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut k = lease_kernel(Box::new(Leaky));
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(8192)));
+        k.telemetry().attach(ring.clone());
+        k.run_until(t(120));
+        let ring = ring.borrow();
+        let has = |f: &dyn Fn(&TelemetryEvent) -> bool| ring.events().any(f);
+        assert!(has(&|e| matches!(
+            e,
+            TelemetryEvent::LeaseTransition {
+                from: "none",
+                to: "active",
+                ..
+            }
+        )));
+        assert!(
+            has(&|e| matches!(e, TelemetryEvent::ClassifierVerdict { verdict: "lhb", .. })),
+            "a leaked wakelock must be classified as Long-Holding"
+        );
+        assert!(has(&|e| matches!(
+            e,
+            TelemetryEvent::LeaseTransition {
+                from: "active",
+                to: "deferred",
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            TelemetryEvent::LeaseTransition {
+                from: "deferred",
+                to: "active",
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            TelemetryEvent::TermDeferred { defer_s, .. } if *defer_s > 0.0
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            TelemetryEvent::TermRenewed { term_s, .. } if *term_s > 0.0
+        )));
+        // Bus counters agree with the manager's own bookkeeping.
+        assert!(k.telemetry().count(EventKind::TermDeferred) >= 3);
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl LeasePolicy {
     /// without an intervening normal term.
     pub fn deferral_for(&self, consecutive: u64) -> SimDuration {
         let factor = self.deferral_growth.powi(consecutive.min(16) as i32);
-        self.deferral.mul_f64(factor).min(self.deferral_cap).max(self.deferral)
+        self.deferral
+            .mul_f64(factor)
+            .min(self.deferral_cap)
+            .max(self.deferral)
     }
 
     /// The term to use after `normal_streak` consecutive normal terms.
@@ -105,7 +108,9 @@ impl LeasePolicy {
     /// Returns a description of the first invalid parameter.
     pub fn validate(&self) -> Result<(), String> {
         if self.initial_term.is_zero() {
-            return Err("initial term must be positive (a zero term would check every access)".into());
+            return Err(
+                "initial term must be positive (a zero term would check every access)".into(),
+            );
         }
         if self.deferral.is_zero() {
             return Err("deferral interval must be positive".into());
@@ -152,12 +157,16 @@ pub fn reduction_ratio_for_lambda(lambda: f64) -> f64 {
 /// a lease of term `t` and deferral `τ`, over a run of `total` (the Figure 9
 /// model): the lease alternates ACTIVE(t) → DEFERRED(τ) cycles, so holding
 /// accrues only during the active phases.
-pub fn expected_holding_time(total: SimDuration, term: SimDuration, deferral: SimDuration) -> SimDuration {
+pub fn expected_holding_time(
+    total: SimDuration,
+    term: SimDuration,
+    deferral: SimDuration,
+) -> SimDuration {
     assert!(!term.is_zero(), "term must be positive");
     let cycle = term + deferral;
     let full_cycles = total.as_millis() / cycle.as_millis();
     let rem = SimDuration::from_millis(total.as_millis() % cycle.as_millis());
-    
+
     term * full_cycles + rem.min(term)
 }
 
@@ -243,14 +252,21 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        assert!(LeasePolicy::fixed(SimDuration::ZERO, SimDuration::from_secs(1))
-            .validate()
-            .is_err());
-        assert!(LeasePolicy::fixed(SimDuration::from_secs(1), SimDuration::ZERO)
-            .validate()
-            .is_err());
+        assert!(
+            LeasePolicy::fixed(SimDuration::ZERO, SimDuration::from_secs(1))
+                .validate()
+                .is_err()
+        );
+        assert!(
+            LeasePolicy::fixed(SimDuration::from_secs(1), SimDuration::ZERO)
+                .validate()
+                .is_err()
+        );
         let bad_ladder = LeasePolicy {
-            ladder: vec![(10, SimDuration::from_mins(1)), (5, SimDuration::from_mins(5))],
+            ladder: vec![
+                (10, SimDuration::from_mins(1)),
+                (5, SimDuration::from_mins(5)),
+            ],
             ..LeasePolicy::default()
         };
         assert!(bad_ladder.validate().is_err());

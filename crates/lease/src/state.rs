@@ -97,6 +97,16 @@ impl LeaseState {
     pub fn has_pending_check(self) -> bool {
         matches!(self, LeaseState::Active | LeaseState::Deferred)
     }
+
+    /// Stable lowercase name, used in telemetry events.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeaseState::Active => "active",
+            LeaseState::Inactive => "inactive",
+            LeaseState::Deferred => "deferred",
+            LeaseState::Dead => "dead",
+        }
+    }
 }
 
 impl fmt::Display for LeaseState {
@@ -122,7 +132,11 @@ pub struct IllegalTransition {
 
 impl fmt::Display for IllegalTransition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal lease transition {:?} from {}", self.transition, self.from)
+        write!(
+            f,
+            "illegal lease transition {:?} from {}",
+            self.transition, self.from
+        )
     }
 }
 

@@ -12,7 +12,7 @@
 //!   Holding,
 //! * utility rate (utility score per unit of use) → Low-Utility.
 
-use leaseos_framework::{AppId, Ledger, ObjId, ResourceKind, ObjStats};
+use leaseos_framework::{AppId, Ledger, ObjId, ObjStats, ResourceKind};
 use leaseos_simkit::{SimDuration, SimTime};
 
 /// Cumulative counters for one lease's object and holder, read from the
@@ -128,7 +128,12 @@ pub struct TermStats {
 impl TermStats {
     /// Computes the stats for a term of `term` length from the snapshots at
     /// its start and end.
-    pub fn between(kind: ResourceKind, term: SimDuration, start: &UsageSnapshot, end: &UsageSnapshot) -> Self {
+    pub fn between(
+        kind: ResourceKind,
+        term: SimDuration,
+        start: &UsageSnapshot,
+        end: &UsageSnapshot,
+    ) -> Self {
         TermStats {
             kind,
             term,
@@ -236,7 +241,10 @@ impl TermStats {
     /// successful network ops) per minute of term.
     pub fn positive_signal_rate(&self) -> f64 {
         let ok_net = self.net_ops.saturating_sub(self.net_failures);
-        per_minute(self.ui_updates + self.interactions + self.data_written + ok_net, self.term)
+        per_minute(
+            self.ui_updates + self.interactions + self.data_written + ok_net,
+            self.term,
+        )
     }
 }
 
@@ -290,7 +298,12 @@ mod tests {
             custom_utility: Some(80.0),
             ..UsageSnapshot::default()
         };
-        let t = TermStats::between(ResourceKind::Wakelock, SimDuration::from_secs(5), &start, &end);
+        let t = TermStats::between(
+            ResourceKind::Wakelock,
+            SimDuration::from_secs(5),
+            &start,
+            &end,
+        );
         assert_eq!(t.held_ms, 5_000);
         assert_eq!(t.cpu_ms, 200);
         assert_eq!(t.exceptions, 3);

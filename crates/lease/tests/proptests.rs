@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use leaseos::{
-    expected_holding_time, reduction_ratio_for_lambda, Classifier, LeaseManager,
-    LeasePolicy, LeaseState, TermStats, Transition, UsageSnapshot,
+    expected_holding_time, reduction_ratio_for_lambda, Classifier, LeaseManager, LeasePolicy,
+    LeaseState, TermStats, Transition, UsageSnapshot,
 };
 use leaseos_framework::{AppId, ObjId, ResourceKind};
 use leaseos_simkit::{SimDuration, SimTime};

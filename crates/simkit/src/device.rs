@@ -195,7 +195,9 @@ mod tests {
     #[test]
     fn all_profiles_have_valid_power_tables() {
         for p in DeviceProfile::all() {
-            p.power.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            p.power
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert!(p.battery_mah > 0.0);
             assert!(p.cpu_speed > 0.0 && p.cpu_speed <= 1.0);
         }

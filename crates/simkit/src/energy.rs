@@ -109,13 +109,22 @@ impl EnergyMeter {
     ///
     /// Panics if `mw` is negative or non-finite: a negative draw would let
     /// accounting bugs masquerade as savings.
-    pub fn set_draw(&mut self, now: SimTime, consumer: Consumer, component: ComponentKind, mw: f64) {
+    pub fn set_draw(
+        &mut self,
+        now: SimTime,
+        consumer: Consumer,
+        component: ComponentKind,
+        mw: f64,
+    ) {
         assert!(
             mw.is_finite() && mw >= 0.0,
             "draw must be a non-negative finite mW value, got {mw}"
         );
         self.advance_to(now);
-        let channel = Channel { consumer, component };
+        let channel = Channel {
+            consumer,
+            component,
+        };
         if mw == 0.0 {
             self.draws.remove(&channel);
         } else {
@@ -141,7 +150,10 @@ impl EnergyMeter {
     /// The draw currently charged to `(consumer, component)`, in mW.
     pub fn current_draw_mw_on(&self, consumer: Consumer, component: ComponentKind) -> f64 {
         self.draws
-            .get(&Channel { consumer, component })
+            .get(&Channel {
+                consumer,
+                component,
+            })
             .copied()
             .unwrap_or(0.0)
     }
@@ -168,7 +180,10 @@ impl EnergyMeter {
     /// Energy billed to `consumer` for one component, in mJ.
     pub fn component_energy_mj(&self, consumer: Consumer, component: ComponentKind) -> f64 {
         self.channel_energy
-            .get(&Channel { consumer, component })
+            .get(&Channel {
+                consumer,
+                component,
+            })
             .copied()
             .unwrap_or(0.0)
     }

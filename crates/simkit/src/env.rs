@@ -278,7 +278,8 @@ mod tests {
     fn environment_aggregates_next_change() {
         let mut env = Environment::new();
         env.network_up.set_from(SimTime::from_mins(10), false);
-        env.gps_signal.set_from(SimTime::from_mins(4), GpsSignal::Weak);
+        env.gps_signal
+            .set_from(SimTime::from_mins(4), GpsSignal::Weak);
         assert_eq!(
             env.next_change_after(SimTime::ZERO),
             Some(SimTime::from_mins(4))
@@ -303,8 +304,14 @@ mod tests {
     #[test]
     fn distance_zero_for_empty_or_reversed_window() {
         let env = Environment::new();
-        assert_eq!(env.distance_moved_m(SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
-        assert_eq!(env.distance_moved_m(SimTime::from_secs(9), SimTime::from_secs(4)), 0.0);
+        assert_eq!(
+            env.distance_moved_m(SimTime::from_secs(5), SimTime::from_secs(5)),
+            0.0
+        );
+        assert_eq!(
+            env.distance_moved_m(SimTime::from_secs(9), SimTime::from_secs(4)),
+            0.0
+        );
     }
 
     #[test]

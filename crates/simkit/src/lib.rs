@@ -54,6 +54,7 @@ mod power;
 mod queue;
 mod rng;
 pub mod stats;
+pub mod telemetry;
 mod time;
 mod trace;
 
@@ -64,5 +65,9 @@ pub use env::{Environment, GpsSignal, Schedule};
 pub use power::{ComponentKind, ComponentState, CpuState, GpsState, PowerTable, WifiState};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
+pub use telemetry::{
+    AggregateSink, EventKind, Histogram, JsonlSink, RingBufferSink, Sink, TelemetryBus,
+    TelemetryEvent,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{SeriesSet, TimeSeries};

@@ -243,7 +243,9 @@ impl PowerTable {
         ];
         for (name, v) in fields {
             if !v.is_finite() || v < 0.0 {
-                return Err(format!("{name} must be a non-negative finite draw, got {v}"));
+                return Err(format!(
+                    "{name} must be a non-negative finite draw, got {v}"
+                ));
             }
         }
         if self.cpu_deep_sleep_mw > self.cpu_idle_mw || self.cpu_idle_mw > self.cpu_active_mw {
@@ -319,8 +321,14 @@ mod tests {
 
     #[test]
     fn state_kind_mapping() {
-        assert_eq!(ComponentState::Cpu(CpuState::Idle).kind(), ComponentKind::Cpu);
-        assert_eq!(ComponentState::Gps(GpsState::Fixed).kind(), ComponentKind::Gps);
+        assert_eq!(
+            ComponentState::Cpu(CpuState::Idle).kind(),
+            ComponentKind::Cpu
+        );
+        assert_eq!(
+            ComponentState::Gps(GpsState::Fixed).kind(),
+            ComponentKind::Gps
+        );
         assert_eq!(ComponentState::Audio(true).kind(), ComponentKind::Audio);
     }
 

@@ -5,9 +5,75 @@
 //! from a [`SimRng`] derived from the experiment seed. Forking a child stream
 //! per app keeps runs reproducible even when apps are added or reordered: an
 //! app's stream depends only on the root seed and its own stream id.
+//!
+//! The generator is a self-contained xoshiro256++ seeded through SplitMix64
+//! (Blackman & Vigna's recommended seeding), so the whole simulation stack
+//! carries zero external dependencies and every stream is reproducible
+//! bit-for-bit across platforms.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// The core xoshiro256++ generator state.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expands a 64-bit seed into the 256-bit state via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, n)` via Lemire's widening-multiply method
+    /// (debiased).
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
 
 /// A seeded random stream.
 ///
@@ -21,7 +87,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    inner: Xoshiro256,
 }
 
 impl SimRng {
@@ -29,7 +95,7 @@ impl SimRng {
     pub fn new(seed: u64) -> Self {
         SimRng {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256::seed_from_u64(seed),
         }
     }
 
@@ -56,12 +122,12 @@ impl SimRng {
 
     /// A uniform `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.inner.next_u64()
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.next_f64()
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -71,7 +137,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.inner.below(hi - lo)
     }
 
     /// A uniform float in `[lo, hi)`.
@@ -80,8 +146,11 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
+        lo + self.inner.next_f64() * (hi - lo)
     }
 
     /// Bernoulli draw with probability `p` of `true`.
@@ -91,7 +160,7 @@ impl SimRng {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        self.inner.gen::<f64>() < p
+        self.inner.next_f64() < p
     }
 
     /// An exponentially distributed value with the given mean.
@@ -103,15 +172,15 @@ impl SimRng {
     /// Panics if `mean` is not positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.range_f64(f64::EPSILON, 1.0);
         -mean * u.ln()
     }
 
     /// A normally distributed value via Box–Muller, clamped to `>= 0` when
     /// `clamp_non_negative` is set (power samples can never be negative).
     pub fn normal(&mut self, mean: f64, std_dev: f64, clamp_non_negative: bool) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen();
+        let u1 = self.range_f64(f64::EPSILON, 1.0);
+        let u2 = self.inner.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let v = mean + std_dev * z;
         if clamp_non_negative {
@@ -196,7 +265,10 @@ mod tests {
         let n = 20_000;
         let sum: f64 = (0..n).map(|_| rng.exponential(5.0)).sum();
         let mean = sum / n as f64;
-        assert!((mean - 5.0).abs() < 0.2, "sample mean {mean} too far from 5");
+        assert!(
+            (mean - 5.0).abs() < 0.2,
+            "sample mean {mean} too far from 5"
+        );
     }
 
     #[test]

@@ -159,7 +159,10 @@ mod tests {
     fn reduction_ratio_edge_cases() {
         assert_eq!(reduction_ratio(0.0, 5.0), 0.0);
         assert_eq!(reduction_ratio(-1.0, 5.0), 0.0);
-        assert!(reduction_ratio(10.0, 20.0) < 0.0, "increase reported as negative");
+        assert!(
+            reduction_ratio(10.0, 20.0) < 0.0,
+            "increase reported as negative"
+        );
     }
 
     #[test]

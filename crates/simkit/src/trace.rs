@@ -31,7 +31,10 @@ impl TimeSeries {
     /// chronological order).
     pub fn record(&mut self, time: SimTime, value: f64) {
         if let Some((last, _)) = self.samples.last() {
-            assert!(time >= *last, "samples must be chronological: {time} < {last}");
+            assert!(
+                time >= *last,
+                "samples must be chronological: {time} < {last}"
+            );
         }
         self.samples.push((time, value));
     }
@@ -101,7 +104,10 @@ impl SeriesSet {
 
     /// Appends a sample to the named series, creating it on first use.
     pub fn record(&mut self, name: &str, time: SimTime, value: f64) {
-        self.series.entry(name.to_owned()).or_default().record(time, value);
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .record(time, value);
     }
 
     /// The named series, if it exists.

@@ -52,7 +52,12 @@ fn main() {
 
     // LeaseOS: the Low-Utility terms (all exceptions, no progress) are
     // detected and the wakelock deferred.
-    let mut leased = Kernel::new(DeviceProfile::pixel_xl(), k9_env(), Box::new(LeaseOs::new()), 7);
+    let mut leased = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        k9_env(),
+        Box::new(LeaseOs::new()),
+        7,
+    );
     let app = leased.add_app(Box::new(K9Mail::new()));
     leased.run_until(end);
     let treated = leased.avg_app_power_mw(app, end - SimTime::ZERO);

@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run -p leaseos-examples --example custom_utility`
 
-use leaseos::{LeaseOs, LeaseManager, UsageSnapshot, CheckOutcome};
+use leaseos::{CheckOutcome, LeaseManager, LeaseOs, UsageSnapshot};
 use leaseos_apps::buggy::sensor::TapAndTurn;
 use leaseos_framework::{AppId, Kernel, ObjId, ResourceKind};
 use leaseos_simkit::{DeviceProfile, Environment, SimTime};
@@ -79,6 +79,9 @@ fn main() {
                 break;
             }
         }
-        assert!(now < SimTime::from_mins(10), "the guard should trip quickly");
+        assert!(
+            now < SimTime::from_mins(10),
+            "the guard should trip quickly"
+        );
     }
 }

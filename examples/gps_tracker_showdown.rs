@@ -52,9 +52,17 @@ fn main() {
     println!("RunKeeper (user moving):");
     println!("  distance covered:   {:.0} m", runner_stats.distance_m);
     println!("  track points:       {}", runner_stats.data_written);
-    println!("  GPS effective hold: {}", runner_gps.effective_held_time(end));
+    println!(
+        "  GPS effective hold: {}",
+        runner_gps.effective_held_time(end)
+    );
     let os = good.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
-    let runner_deferrals: u64 = os.manager().lease_reports(end).iter().map(|r| r.deferrals).sum();
+    let runner_deferrals: u64 = os
+        .manager()
+        .lease_reports(end)
+        .iter()
+        .map(|r| r.deferrals)
+        .sum();
     println!("  deferrals:          {runner_deferrals}\n");
 
     let parked_stats = bad.ledger().app_opt(parked).unwrap();
@@ -66,9 +74,17 @@ fn main() {
     println!("OpenGPSTracker (device parked on a desk):");
     println!("  distance covered:   {:.0} m", parked_stats.distance_m);
     println!("  track points:       {}", parked_stats.data_written);
-    println!("  GPS effective hold: {}", parked_gps.effective_held_time(end));
+    println!(
+        "  GPS effective hold: {}",
+        parked_gps.effective_held_time(end)
+    );
     let os = bad.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
-    let parked_deferrals: u64 = os.manager().lease_reports(end).iter().map(|r| r.deferrals).sum();
+    let parked_deferrals: u64 = os
+        .manager()
+        .lease_reports(end)
+        .iter()
+        .map(|r| r.deferrals)
+        .sum();
     println!("  deferrals:          {parked_deferrals}");
     println!();
     println!("A holding-time throttler cannot tell these two apart; the utility metrics can.");

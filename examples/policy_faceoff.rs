@@ -16,7 +16,10 @@ const RUN: SimDuration = SimDuration::from_mins(30);
 
 fn policies() -> Vec<(&'static str, Box<dyn ResourcePolicy>)> {
     vec![
-        ("vanilla", Box::new(VanillaPolicy::new()) as Box<dyn ResourcePolicy>),
+        (
+            "vanilla",
+            Box::new(VanillaPolicy::new()) as Box<dyn ResourcePolicy>,
+        ),
         ("doze*", Box::new(Doze::aggressive())),
         ("defdroid", Box::new(DefDroid::new())),
         ("throttle", Box::new(PureThrottle::new())),
@@ -25,7 +28,12 @@ fn policies() -> Vec<(&'static str, Box<dyn ResourcePolicy>)> {
 }
 
 fn run_app(build: impl Fn() -> Box<dyn AppModel>, policy: Box<dyn ResourcePolicy>) -> Kernel {
-    let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), Environment::unattended(), policy, 13);
+    let mut kernel = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        Environment::unattended(),
+        policy,
+        13,
+    );
     kernel.add_app(build());
     kernel.run_until(SimTime::ZERO + RUN);
     kernel
@@ -43,7 +51,10 @@ fn main() {
             base = mw;
             println!("  {name:<10} {mw:>10.2} {:>12}", "—");
         } else {
-            println!("  {name:<10} {mw:>10.2} {:>11.1}%", 100.0 * (base - mw) / base);
+            println!(
+                "  {name:<10} {mw:>10.2} {:>11.1}%",
+                100.0 * (base - mw) / base
+            );
         }
     }
 

@@ -6,16 +6,18 @@ use leaseos::LeaseOs;
 use leaseos_apps::buggy::table5_cases;
 use leaseos_apps::workload::Scenario;
 use leaseos_framework::Kernel;
-use leaseos_simkit::{DeviceProfile, SimDuration, SimTime};
+use leaseos_simkit::{DeviceProfile, EventKind, SimDuration, SimTime};
 
 #[test]
 fn energy_is_conserved_across_every_table5_case() {
     for case in table5_cases() {
         for policy in [
             leaseos_bench_policy(),
-            Box::new(leaseos_framework::VanillaPolicy::new()) as Box<dyn leaseos_framework::ResourcePolicy>,
+            Box::new(leaseos_framework::VanillaPolicy::new())
+                as Box<dyn leaseos_framework::ResourcePolicy>,
         ] {
-            let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), (case.environment)(), policy, 3);
+            let mut kernel =
+                Kernel::new(DeviceProfile::pixel_xl(), (case.environment)(), policy, 3);
             kernel.add_app((case.build)());
             kernel.run_until(SimTime::from_mins(10));
             let meter = kernel.meter();
@@ -45,7 +47,7 @@ fn identical_seeds_reproduce_bit_identical_workload_runs() {
         kernel.run_until(SimTime::from_mins(20));
         (
             kernel.meter().total_energy_mj(),
-            kernel.policy_op_count(),
+            kernel.telemetry().count(EventKind::PolicyOp),
             kernel.ledger().all_objects().count(),
         )
     };
@@ -98,5 +100,8 @@ fn device_profiles_change_absolute_but_not_relative_results() {
     }
     // §2.3: absolute numbers differ ~2x across ecosystems, but the lease's
     // effectiveness is a ratio and stays put.
-    assert!((reductions[0] - reductions[1]).abs() < 0.05, "{reductions:?}");
+    assert!(
+        (reductions[0] - reductions[1]).abs() < 0.05,
+        "{reductions:?}"
+    );
 }

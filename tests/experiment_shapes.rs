@@ -87,7 +87,12 @@ fn battery_life_extends_under_leaseos() {
         } else {
             Box::new(VanillaPolicy::new())
         };
-        let mut kernel = Kernel::new(DeviceProfile::pixel_xl(), Environment::unattended(), policy, 5);
+        let mut kernel = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            policy,
+            5,
+        );
         kernel.add_app(Box::new(leaseos_apps::buggy::gps::GpsLogger::new()));
         kernel.run_until(SimTime::ZERO + slice);
         kernel.meter().avg_total_power_mw(slice)

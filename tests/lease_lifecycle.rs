@@ -32,11 +32,10 @@ impl AppModel for Figure8App {
 
     fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
         match event {
-            AppEvent::WorkDone(99)
-                if self.phase == 0 => {
-                    ctx.note_ui_update();
-                    ctx.do_work(SimDuration::from_secs(2), 99);
-                }
+            AppEvent::WorkDone(99) if self.phase == 0 => {
+                ctx.note_ui_update();
+                ctx.do_work(SimDuration::from_secs(2), 99);
+            }
             AppEvent::Timer(STEP) => {
                 self.phase += 1;
                 let lock = self.lock.expect("lock");
@@ -84,7 +83,9 @@ fn figure8_walkthrough() {
     let os = kernel.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
     let lease_id = {
         let (obj, _) = kernel.ledger().objects_of(id).next().unwrap();
-        os.manager().lease_of_obj(obj).expect("lease created on first acquire")
+        os.manager()
+            .lease_of_obj(obj)
+            .expect("lease created on first acquire")
     };
     let lease = os.manager().lease(lease_id).unwrap();
     assert_eq!(lease.state, LeaseState::Active);

@@ -4,16 +4,26 @@
 
 use leaseos::{BehaviorType, LeaseOs};
 use leaseos_apps::buggy::table5_cases;
-use leaseos_integration::{app_power, run_app, total_deferrals, RUN};
 use leaseos_framework::VanillaPolicy;
+use leaseos_integration::{app_power, run_app, total_deferrals, RUN};
 use leaseos_simkit::SimTime;
 
 #[test]
 fn every_case_is_substantially_mitigated() {
     for case in table5_cases() {
-        let (vanilla, id) = run_app((case.build)(), (case.environment)(), Box::new(VanillaPolicy::new()), 42);
+        let (vanilla, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(VanillaPolicy::new()),
+            42,
+        );
         let base = app_power(&vanilla, id);
-        let (leased, id) = run_app((case.build)(), (case.environment)(), Box::new(LeaseOs::new()), 42);
+        let (leased, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(LeaseOs::new()),
+            42,
+        );
         let treated = app_power(&leased, id);
         let reduction = 100.0 * (base - treated) / base;
         assert!(
@@ -32,7 +42,12 @@ fn every_case_is_substantially_mitigated() {
 #[test]
 fn observed_behaviour_classes_match_the_catalog() {
     for case in table5_cases() {
-        let (leased, _) = run_app((case.build)(), (case.environment)(), Box::new(LeaseOs::new()), 42);
+        let (leased, _) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(LeaseOs::new()),
+            42,
+        );
         let os = leased.policy().as_any().downcast_ref::<LeaseOs>().unwrap();
         // Collect the misbehaviour classes the manager observed on the
         // catalogued resource kind.
@@ -63,9 +78,19 @@ fn observed_behaviour_classes_match_the_catalog() {
 #[test]
 fn vanilla_baseline_is_always_the_most_expensive() {
     for case in table5_cases() {
-        let (vanilla, id) = run_app((case.build)(), (case.environment)(), Box::new(VanillaPolicy::new()), 7);
+        let (vanilla, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(VanillaPolicy::new()),
+            7,
+        );
         let base = app_power(&vanilla, id);
-        let (leased, id) = run_app((case.build)(), (case.environment)(), Box::new(LeaseOs::new()), 7);
+        let (leased, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(LeaseOs::new()),
+            7,
+        );
         let treated = app_power(&leased, id);
         assert!(base > treated, "{}: {base:.2} <= {treated:.2}", case.name);
     }
@@ -77,7 +102,12 @@ fn buggy_apps_keep_believing_they_hold_their_resources() {
     // view of holding time is untouched by revocations.
     let cases = table5_cases();
     let torch = cases.iter().find(|c| c.name == "Torch").unwrap();
-    let (leased, id) = run_app((torch.build)(), (torch.environment)(), Box::new(LeaseOs::new()), 42);
+    let (leased, id) = run_app(
+        (torch.build)(),
+        (torch.environment)(),
+        Box::new(LeaseOs::new()),
+        42,
+    );
     let end = SimTime::ZERO + RUN;
     let (_, lock) = leased.ledger().objects_of(id).next().unwrap();
     assert_eq!(lock.held_time(end), RUN, "app view: held the whole run");

@@ -2,17 +2,22 @@
 //! seeds, LeaseOS reduces wasted power more than aggressive Doze, which
 //! beats DefDroid-style throttling, and all of them beat doing nothing.
 
+use leaseos::LeaseOs;
 use leaseos_apps::buggy::table5_cases;
 use leaseos_baselines::{DefDroid, Doze};
-use leaseos_integration::{app_power, run_app};
-use leaseos::LeaseOs;
 use leaseos_framework::{ResourcePolicy, VanillaPolicy};
+use leaseos_integration::{app_power, run_app};
 
 fn average_reduction(make: fn() -> Box<dyn ResourcePolicy>) -> f64 {
     let cases = table5_cases();
     let mut total = 0.0;
     for case in &cases {
-        let (vanilla, id) = run_app((case.build)(), (case.environment)(), Box::new(VanillaPolicy::new()), 42);
+        let (vanilla, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(VanillaPolicy::new()),
+            42,
+        );
         let base = app_power(&vanilla, id);
         let (treated, id) = run_app((case.build)(), (case.environment)(), make(), 42);
         let power = app_power(&treated, id);
@@ -28,11 +33,20 @@ fn average_reductions_are_ordered_as_in_the_paper() {
     let defdroid = average_reduction(|| Box::new(DefDroid::new()));
 
     // Paper: 92.62% / 69.64% / 62.04%.
-    assert!(lease > doze, "LeaseOS {lease:.1}% must beat Doze {doze:.1}%");
-    assert!(doze > defdroid, "Doze {doze:.1}% must beat DefDroid {defdroid:.1}%");
+    assert!(
+        lease > doze,
+        "LeaseOS {lease:.1}% must beat Doze {doze:.1}%"
+    );
+    assert!(
+        doze > defdroid,
+        "Doze {doze:.1}% must beat DefDroid {defdroid:.1}%"
+    );
     assert!(lease > 88.0, "LeaseOS average too low: {lease:.1}%");
     assert!((50.0..90.0).contains(&doze), "Doze out of band: {doze:.1}%");
-    assert!((40.0..80.0).contains(&defdroid), "DefDroid out of band: {defdroid:.1}%");
+    assert!(
+        (40.0..80.0).contains(&defdroid),
+        "DefDroid out of band: {defdroid:.1}%"
+    );
 }
 
 #[test]
@@ -42,9 +56,19 @@ fn stock_doze_rarely_helps_within_thirty_minutes() {
     let cases = table5_cases();
     let mut helped = 0;
     for case in &cases {
-        let (vanilla, id) = run_app((case.build)(), (case.environment)(), Box::new(VanillaPolicy::new()), 42);
+        let (vanilla, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(VanillaPolicy::new()),
+            42,
+        );
         let base = app_power(&vanilla, id);
-        let (stock, id) = run_app((case.build)(), (case.environment)(), Box::new(Doze::new()), 42);
+        let (stock, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(Doze::new()),
+            42,
+        );
         let power = app_power(&stock, id);
         if (base - power) / base > 0.2 {
             helped += 1;
@@ -63,12 +87,25 @@ fn doze_is_useless_against_screen_holders() {
     let cases = table5_cases();
     for name in ["ConnectBot(screen)", "Standup Timer"] {
         let case = cases.iter().find(|c| c.name == name).unwrap();
-        let (vanilla, id) = run_app((case.build)(), (case.environment)(), Box::new(VanillaPolicy::new()), 42);
+        let (vanilla, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(VanillaPolicy::new()),
+            42,
+        );
         let base = app_power(&vanilla, id);
-        let (dozed, id) = run_app((case.build)(), (case.environment)(), Box::new(Doze::aggressive()), 42);
+        let (dozed, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(Doze::aggressive()),
+            42,
+        );
         let power = app_power(&dozed, id);
         let reduction = 100.0 * (base - power) / base;
-        assert!(reduction < 10.0, "{name}: doze should not help, got {reduction:.1}%");
+        assert!(
+            reduction < 10.0,
+            "{name}: doze should not help, got {reduction:.1}%"
+        );
     }
 }
 
@@ -80,9 +117,19 @@ fn defdroid_is_weakest_on_gps() {
     let mut wakelock = Vec::new();
     let mut gps = Vec::new();
     for case in &cases {
-        let (vanilla, id) = run_app((case.build)(), (case.environment)(), Box::new(VanillaPolicy::new()), 42);
+        let (vanilla, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(VanillaPolicy::new()),
+            42,
+        );
         let base = app_power(&vanilla, id);
-        let (dd, id) = run_app((case.build)(), (case.environment)(), Box::new(DefDroid::new()), 42);
+        let (dd, id) = run_app(
+            (case.build)(),
+            (case.environment)(),
+            Box::new(DefDroid::new()),
+            42,
+        );
         let reduction = 100.0 * (base - app_power(&dd, id)) / base;
         match case.resource {
             leaseos_framework::ResourceKind::Wakelock => wakelock.push(reduction),

@@ -24,10 +24,20 @@ fn output_of(kernel: &Kernel, id: leaseos_framework::AppId, name: &str) -> u64 {
     }
 }
 
-fn subjects() -> Vec<(&'static str, fn() -> Box<dyn AppModel>, fn() -> Environment)> {
+type Subject = (&'static str, fn() -> Box<dyn AppModel>, fn() -> Environment);
+
+fn subjects() -> Vec<Subject> {
     vec![
-        ("RunKeeper", || Box::new(RunKeeper::new()), running_env as fn() -> Environment),
-        ("Spotify", || Box::new(Spotify::new()), Environment::unattended),
+        (
+            "RunKeeper",
+            || Box::new(RunKeeper::new()),
+            running_env as fn() -> Environment,
+        ),
+        (
+            "Spotify",
+            || Box::new(Spotify::new()),
+            Environment::unattended,
+        ),
         ("Haven", || Box::new(Haven::new()), Environment::unattended),
     ]
 }
@@ -73,5 +83,9 @@ fn long_but_productive_wakelock_holds_are_not_flagged() {
     assert_eq!(total_deferrals(&leased), 0);
     let end = SimTime::ZERO + RUN;
     let (_, lock) = leased.ledger().objects_of(id).next().unwrap();
-    assert_eq!(lock.effective_held_time(end), RUN, "held all 30 minutes, untouched");
+    assert_eq!(
+        lock.effective_held_time(end),
+        RUN,
+        "held all 30 minutes, untouched"
+    );
 }

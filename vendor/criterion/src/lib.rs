@@ -1,0 +1,182 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds with no network access, so `cargo bench` resolves
+//! this shim instead of the real crate. It implements the API the bench
+//! files use — `criterion_group!`/`criterion_main!`, `Criterion`
+//! `::default().sample_size(n)`, `bench_function`, and the `Bencher`
+//! `iter`/`iter_batched`/`iter_batched_ref` forms — with a straightforward
+//! measurement loop: per sample, time a calibrated batch of iterations with
+//! `std::time::Instant` and report the mean/median/min nanoseconds per
+//! iteration.
+//!
+//! It is deliberately simple (no warm-up phases beyond calibration, no
+//! outlier analysis, no HTML reports), but the numbers are real wall-clock
+//! measurements and are comparable across benchmarks in one run.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Re-export of `std::hint::black_box`, which real criterion also offers.
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its per-iteration timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Collects timed samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+/// Batch sizing hint for `iter_batched`; the shim treats all variants the
+/// same (one setup per measured batch element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine` called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate how many iterations fill one sample window.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET / 2 || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.push_sample(start.elapsed(), iters);
+        }
+    }
+
+    /// Times `routine` on values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.push_sample(start.elapsed(), 1);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.push_sample(start.elapsed(), 1);
+        }
+    }
+
+    fn push_sample(&mut self, elapsed: Duration, iters: u64) {
+        self.samples_ns
+            .push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{name:<40} mean {mean:>12.1} ns/iter   median {median:>12.1}   min {min:>12.1}   ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// Groups benchmark functions, with or without an explicit config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

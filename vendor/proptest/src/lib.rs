@@ -1,0 +1,108 @@
+//! A small, dependency-free stand-in for the `proptest` crate.
+//!
+//! This workspace must build with no network access, so instead of the real
+//! crate the dev-dependency resolves to this shim, which implements exactly
+//! the API surface the test suite uses: the `proptest!`, `prop_compose!`,
+//! `prop_oneof!`, and `prop_assert*` macros, `any::<T>()`, range and tuple
+//! strategies, `Just`, and `prop::collection::vec`.
+//!
+//! Semantics are simplified but honest: each test function runs
+//! `ProptestConfig::cases` times with inputs drawn from a deterministic
+//! per-case RNG (so failures are reproducible run to run), and assertion
+//! failures panic with the formatted message. There is no shrinking and no
+//! persisted failure file — a failing case simply reports the panic.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of `proptest::collection` the suite uses.
+pub mod collection {
+    pub use crate::strategy::{vec, VecStrategy};
+}
+
+/// Mirrors `proptest::prelude::prop` (module-style access).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Runs each contained `fn` as a property test over many generated cases.
+///
+/// Supports an optional leading `#![proptest_config(...)]` attribute and any
+/// number of test functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategies = ($(&($strat),)+);
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Defines a function returning a composite strategy, as in real proptest.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident()($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// A strategy choosing uniformly among the listed sub-strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking: plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test (no shrinking: plain panic).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
