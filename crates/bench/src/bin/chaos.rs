@@ -1,0 +1,294 @@
+//! Chaos harness: runs the Table 5 scenarios under deterministic fault
+//! injection and checks two properties the paper's design implies but the
+//! other harnesses never stress:
+//!
+//! 1. **Robustness** — no panics and no runtime-invariant violations
+//!    (energy conservation, queue bookkeeping, object lifetime, lease
+//!    state-machine legality) under any fault class, for LeaseOS *and* the
+//!    vanilla baseline;
+//! 2. **Graceful degradation** — LeaseOS's Table-5-style power reduction
+//!    moves by at most `--tolerance` percentage points (default ±35) when
+//!    faults are injected, relative to the fault-free control arm on the
+//!    same seed. The default bound is deliberately loose: leaking an app's
+//!    sole resource object collapses *both* arms' power toward the idle
+//!    floor, which deflates the reduction ratio by ~20–30 pp without any
+//!    policy misbehaviour. The bound exists to catch inversions — a fault
+//!    class that makes LeaseOS *worse* than vanilla.
+//!
+//! The matrix is [control + 4 fault classes] × 3 apps × 2 policies. Faults
+//! ride the telemetry bus as `fault_injected` events, so a `--jsonl` dump of
+//! a chaos run is byte-reproducible for a fixed seed — the CI smoke job runs
+//! the binary twice and diffs the output.
+//!
+//! Run: `cargo run --release -p leaseos-bench --bin chaos [--seed N]
+//!       [--mins M] [--mean-secs S] [--tolerance PP] [--threads N]
+//!       [--jsonl DIR]`
+
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use leaseos_apps::buggy::table5_cases;
+use leaseos_bench::{f2, reduction_pct, PolicyKind, ScenarioRunner, ScenarioSpec, TextTable};
+use leaseos_simkit::{
+    FaultKind, FaultPlan, FaultSpec, JsonlSink, LeaseStateAudit, SimDuration, SimTime,
+};
+
+/// Policies under chaos: the baseline the paper measures against, and
+/// LeaseOS itself.
+const POLICIES: [PolicyKind; 2] = [PolicyKind::Vanilla, PolicyKind::LeaseOs];
+
+/// The Table 5 apps to chaos-test: two wakelock cases plus a GPS case, so
+/// every fault class (listener failures need a callback-carrying object)
+/// finds an eligible target.
+const APPS: [&str; 3] = ["Facebook", "Torch", "GPSLogger"];
+
+/// The fault arms: a fault-free control plus each class alone. Per-class
+/// RNG streams are independent, so the control arm and every fault arm see
+/// identical app/environment behaviour between faults.
+const ARMS: [(&str, Option<FaultKind>); 5] = [
+    ("control", None),
+    ("app_crash", Some(FaultKind::AppCrash)),
+    ("object_leak", Some(FaultKind::ObjectLeak)),
+    ("listener_failure", Some(FaultKind::ListenerFailure)),
+    ("service_exception", Some(FaultKind::ServiceException)),
+];
+
+struct Flags {
+    seed: u64,
+    mins: u64,
+    mean_secs: u64,
+    tolerance_pp: f64,
+    threads: Option<usize>,
+    jsonl: Option<PathBuf>,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        seed: 42,
+        mins: 30,
+        mean_secs: 300,
+        tolerance_pp: 35.0,
+        threads: None,
+        jsonl: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().unwrap_or_else(|| panic!("{arg} needs a value"));
+        match arg.as_str() {
+            "--seed" => flags.seed = take().parse().expect("--seed takes an integer"),
+            "--mins" => flags.mins = take().parse().expect("--mins takes an integer"),
+            "--mean-secs" => {
+                flags.mean_secs = take().parse().expect("--mean-secs takes an integer")
+            }
+            "--tolerance" => {
+                flags.tolerance_pp = take().parse().expect("--tolerance takes a number")
+            }
+            "--threads" => {
+                flags.threads = Some(take().parse().expect("--threads takes an integer"))
+            }
+            "--jsonl" => flags.jsonl = Some(PathBuf::from(take())),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    flags
+}
+
+/// File-safe version of a scenario label.
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| match c {
+            '/' => '_',
+            ' ' => '-',
+            c => c,
+        })
+        .collect()
+}
+
+/// What one chaos cell reports back.
+struct CellResult {
+    app_power_mw: f64,
+    faults_injected: u64,
+    kernel_violations: Vec<String>,
+    state_violations: Vec<String>,
+}
+
+fn run_cell(spec: &ScenarioSpec, plan: &FaultPlan, jsonl: Option<&Path>) -> CellResult {
+    let state_audit = Rc::new(RefCell::new(LeaseStateAudit::new()));
+    let audit_handle = state_audit.clone();
+    let run = spec.execute_with(|kernel| {
+        kernel.install_fault_plan(plan);
+        // Force periodic audits on even in release builds: chaos is exactly
+        // the run where we want them.
+        kernel.set_audit_interval(Some(256));
+        kernel.telemetry().attach(audit_handle);
+        if let Some(dir) = jsonl {
+            let path = dir.join(format!("{}.jsonl", slug(&spec.label)));
+            let file = std::io::BufWriter::new(
+                std::fs::File::create(&path).expect("create JSONL output file"),
+            );
+            kernel
+                .telemetry()
+                .attach(Rc::new(RefCell::new(JsonlSink::new(file))));
+        }
+    });
+    let kernel_violations = run.kernel.audit().iter().map(|v| v.to_string()).collect();
+    let state_violations = state_audit
+        .borrow()
+        .violations()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    CellResult {
+        app_power_mw: run.app_power_mw(),
+        faults_injected: run
+            .kernel
+            .telemetry()
+            .count(leaseos_simkit::EventKind::FaultInjected),
+        kernel_violations,
+        state_violations,
+    }
+}
+
+fn main() {
+    let flags = parse_flags();
+    if let Some(dir) = &flags.jsonl {
+        std::fs::create_dir_all(dir).expect("create JSONL output directory");
+    }
+    let runner = flags
+        .threads
+        .map(ScenarioRunner::with_threads)
+        .unwrap_or_default();
+    let length = SimDuration::from_mins(flags.mins);
+    let mean = SimDuration::from_secs(flags.mean_secs);
+    let cases: Vec<_> = table5_cases()
+        .into_iter()
+        .filter(|c| APPS.contains(&c.name))
+        .collect();
+    assert_eq!(cases.len(), APPS.len(), "unknown app name in APPS");
+
+    // One fault plan per arm, shared across every (app, policy) cell so the
+    // arms are comparable; the control arm's plan is empty.
+    let plans: Vec<FaultPlan> = ARMS
+        .iter()
+        .map(|(_, kind)| match kind {
+            None => FaultPlan::none(),
+            Some(kind) => FaultPlan::generate(
+                flags.seed,
+                length,
+                &FaultSpec::single(*kind).with_mean_interval(mean),
+            ),
+        })
+        .collect();
+
+    // Row-major spec order: app → policy → arm.
+    let mut specs = Vec::new();
+    let mut spec_plan = Vec::new();
+    for case in &cases {
+        for policy in POLICIES {
+            for (arm_idx, (arm_name, _)) in ARMS.iter().enumerate() {
+                specs.push(ScenarioSpec {
+                    label: format!(
+                        "{}/{}/{}/{}",
+                        case.name,
+                        policy.label(),
+                        arm_name,
+                        flags.seed
+                    ),
+                    app: Arc::new(case.build),
+                    policy: Arc::new(move || policy.build()),
+                    device: leaseos_simkit::DeviceProfile::pixel_xl(),
+                    env: Arc::new(case.environment),
+                    seed: flags.seed,
+                    length,
+                });
+                spec_plan.push(arm_idx);
+            }
+        }
+    }
+
+    let results = runner.run(&specs, |i, spec| {
+        run_cell(spec, &plans[spec_plan[i]], flags.jsonl.as_deref())
+    });
+
+    let cell = |app: usize, policy: usize, arm: usize| -> &CellResult {
+        &results[(app * POLICIES.len() + policy) * ARMS.len() + arm]
+    };
+
+    let mut table = TextTable::new([
+        "App",
+        "Arm",
+        "Faults",
+        "w/o lease",
+        "w/ lease",
+        "Red.%",
+        "ΔRed. pp",
+        "Audits",
+    ]);
+    let mut failures: Vec<String> = Vec::new();
+    for (a, case) in cases.iter().enumerate() {
+        let control_red = reduction_pct(cell(a, 0, 0).app_power_mw, cell(a, 1, 0).app_power_mw);
+        for (arm_idx, (arm_name, _)) in ARMS.iter().enumerate() {
+            let base = cell(a, 0, arm_idx);
+            let lease = cell(a, 1, arm_idx);
+            let red = reduction_pct(base.app_power_mw, lease.app_power_mw);
+            let delta = red - control_red;
+            let mut audit_note = "clean";
+            for (policy_idx, policy) in POLICIES.iter().enumerate() {
+                let r = cell(a, policy_idx, arm_idx);
+                for v in r.kernel_violations.iter().chain(&r.state_violations) {
+                    audit_note = "VIOLATED";
+                    failures.push(format!("{}/{}/{arm_name}: {v}", case.name, policy.label()));
+                }
+            }
+            if arm_idx != 0 && delta.abs() > flags.tolerance_pp {
+                failures.push(format!(
+                    "{}/{arm_name}: reduction moved {delta:+.2} pp vs control \
+                     (tolerance ±{:.1} pp)",
+                    case.name, flags.tolerance_pp
+                ));
+            }
+            table.row([
+                case.name.to_owned(),
+                (*arm_name).to_owned(),
+                format!("{}+{}", base.faults_injected, lease.faults_injected),
+                f2(base.app_power_mw),
+                f2(lease.app_power_mw),
+                f2(red),
+                format!("{delta:+.2}"),
+                audit_note.to_owned(),
+            ]);
+        }
+    }
+
+    let end = SimTime::ZERO + length;
+    let _ = end;
+    println!(
+        "Chaos matrix — {} apps × {} policies × {} arms, {} min runs, seed {}, \
+         fault mean interval {} s",
+        cases.len(),
+        POLICIES.len(),
+        ARMS.len(),
+        flags.mins,
+        flags.seed,
+        flags.mean_secs
+    );
+    println!("{}", table.render());
+    println!(
+        "Faults column is w/o-lease + w/-lease injections; ΔRed. is the drift of the\n\
+         LeaseOS reduction vs the fault-free control arm (tolerance ±{:.1} pp).",
+        flags.tolerance_pp
+    );
+
+    if failures.is_empty() {
+        println!("chaos: OK — all audits clean, degradation within tolerance");
+    } else {
+        eprintln!("chaos: FAILED");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

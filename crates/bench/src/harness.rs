@@ -197,6 +197,14 @@ impl Matrix {
     }
 }
 
+/// Parses a `LEASEOS_BENCH_THREADS`-style worker count: a non-negative
+/// integer, where `0` means "auto" (available parallelism).
+pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
+    raw.trim()
+        .parse::<usize>()
+        .map_err(|e| format!("not a thread count: {e}"))
+}
+
 /// Runs batches of scenarios across worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct ScenarioRunner {
@@ -211,21 +219,36 @@ impl Default for ScenarioRunner {
 
 impl ScenarioRunner {
     /// A runner sized from `LEASEOS_BENCH_THREADS` if set, else the
-    /// machine's available parallelism.
+    /// machine's available parallelism. A value that fails to parse is
+    /// *warned about*, not silently swallowed, and `0` means "auto".
     pub fn new() -> Self {
-        let threads = std::env::var("LEASEOS_BENCH_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
-            .unwrap_or(1);
+        let threads = match std::env::var("LEASEOS_BENCH_THREADS") {
+            Ok(raw) => match parse_thread_count(&raw) {
+                Ok(n) => n,
+                Err(why) => {
+                    eprintln!(
+                        "warning: ignoring LEASEOS_BENCH_THREADS={raw:?} ({why}); \
+                         using available parallelism"
+                    );
+                    0
+                }
+            },
+            Err(_) => 0,
+        };
         ScenarioRunner::with_threads(threads)
     }
 
-    /// A runner with an explicit worker count (clamped to ≥ 1).
+    /// A runner with an explicit worker count; `0` selects the machine's
+    /// available parallelism.
     pub fn with_threads(threads: usize) -> Self {
-        ScenarioRunner {
-            threads: threads.max(1),
-        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        ScenarioRunner { threads }
     }
 
     /// The worker count.
@@ -320,10 +343,23 @@ mod tests {
     }
 
     #[test]
-    fn runner_handles_empty_batches_and_clamps_threads() {
+    fn runner_handles_empty_batches_and_zero_means_auto() {
         let runner = ScenarioRunner::with_threads(0);
-        assert_eq!(runner.threads(), 1);
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(runner.threads(), auto, "0 selects available parallelism");
         let out: Vec<u8> = runner.run(&[], |_, _| 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_parsing_accepts_integers_and_rejects_garbage() {
+        assert_eq!(parse_thread_count("4"), Ok(4));
+        assert_eq!(parse_thread_count(" 8 "), Ok(8), "whitespace tolerated");
+        assert_eq!(parse_thread_count("0"), Ok(0), "0 is the auto sentinel");
+        assert!(parse_thread_count("four").is_err());
+        assert!(parse_thread_count("-2").is_err());
+        assert!(parse_thread_count("").is_err());
     }
 }

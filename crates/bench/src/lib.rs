@@ -30,7 +30,8 @@
 pub mod harness;
 
 pub use harness::{
-    AppBuilder, EnvBuilder, Matrix, PolicyBuilder, ScenarioRun, ScenarioRunner, ScenarioSpec,
+    parse_thread_count, AppBuilder, EnvBuilder, Matrix, PolicyBuilder, ScenarioRun, ScenarioRunner,
+    ScenarioSpec,
 };
 
 use leaseos::LeaseOs;

@@ -24,11 +24,12 @@
 //! * GPS fixes and sensor readings are delivered regardless of sleep (their
 //!   listener callbacks wake the app transiently, as on Android).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use leaseos_simkit::{
-    ComponentKind, Consumer, DeviceProfile, EnergyMeter, Environment, EventHandle, EventKind,
-    EventQueue, GpsSignal, SimDuration, SimRng, SimTime, TelemetryBus, TelemetryEvent,
+    AuditViolation, ComponentKind, Consumer, DeviceProfile, EnergyConservation, EnergyMeter,
+    Environment, EventHandle, EventKind, EventQueue, FaultKind, FaultPlan, GpsSignal, Invariant,
+    QueueConsistency, SimDuration, SimRng, SimTime, TelemetryBus, TelemetryEvent,
 };
 
 use crate::app::{AppEvent, AppModel};
@@ -53,14 +54,29 @@ const NET_RTT_MS: u64 = 120;
 /// Modeled throughput in bytes per millisecond (≈2 MB/s).
 const NET_BYTES_PER_MS: u64 = 2_000;
 
+/// Delay before a crashed app's process is restarted by the fault injector
+/// (Android restarts sticky services on a backoff of this order).
+const CRASH_RESTART_MS: u64 = 30_000;
+/// Default event-count interval between invariant audits in debug builds.
+const DEFAULT_AUDIT_EVERY: u64 = 256;
+
 /// Kernel-internal events.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum SysEvent {
     StartApp(AppId),
+    /// Re-arms a crashed app's slot and starts it again.
+    RestartApp(AppId),
+    /// A scheduled fault from the installed [`FaultPlan`] fires.
+    Fault {
+        kind: FaultKind,
+    },
     AppTimer {
         app: AppId,
         token: Token,
         wake: bool,
+        /// Slot epoch at scheduling time; timers from a previous process
+        /// incarnation (pre-crash) are dropped on delivery.
+        epoch: u32,
     },
     WorkDone {
         app: AppId,
@@ -100,6 +116,9 @@ struct AppSlot {
     deferred_timers: Vec<Token>,
     started: bool,
     stopped: bool,
+    /// Process incarnation, bumped on every stop so events scheduled by a
+    /// previous incarnation cannot leak into a restarted process.
+    epoch: u32,
 }
 
 /// An in-flight CPU burst.
@@ -171,6 +190,16 @@ pub struct Kernel {
     prev_draws: HashMap<(Consumer, ComponentKind), f64>,
     policy_overhead_mj: f64,
     started: bool,
+
+    /// RNG stream for fault target selection, present once a plan is
+    /// installed.
+    fault_rng: Option<SimRng>,
+    /// Apps whose next acquire/release IPC throws a service exception.
+    pending_exceptions: BTreeSet<AppId>,
+    /// Run invariant audits every this many processed events (`None`
+    /// disables the periodic audits; debug builds default them on).
+    audit_interval: Option<u64>,
+    last_audit_count: u64,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -214,6 +243,10 @@ impl Kernel {
             prev_draws: HashMap::new(),
             policy_overhead_mj: 0.0,
             started: false,
+            fault_rng: None,
+            pending_exceptions: BTreeSet::new(),
+            audit_interval: cfg!(debug_assertions).then_some(DEFAULT_AUDIT_EVERY),
+            last_audit_count: 0,
         }
     }
 
@@ -241,6 +274,7 @@ impl Kernel {
             deferred_timers: Vec::new(),
             started: false,
             stopped: false,
+            epoch: 0,
         });
         if self.started {
             self.queue.push(self.queue.now(), SysEvent::StartApp(id));
@@ -253,6 +287,104 @@ impl Kernel {
     pub fn enable_profiler(&mut self, interval: SimDuration) {
         assert!(!interval.is_zero(), "profiler interval must be positive");
         self.profiler = Some(Profiler::new(interval));
+    }
+
+    /// Installs a deterministic fault schedule: each fault becomes a queued
+    /// kernel event, and target selection draws from a dedicated RNG stream
+    /// forked off the kernel seed — so a fault run is exactly as
+    /// reproducible as a fault-free one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        assert!(
+            !self.started,
+            "install the fault plan before the first run_until"
+        );
+        self.fault_rng = Some(self.root_rng.fork(0xFA_0175));
+        for fault in plan.faults() {
+            self.queue
+                .push(fault.at, SysEvent::Fault { kind: fault.kind });
+        }
+    }
+
+    /// Sets the event-count interval between runtime invariant audits
+    /// (`None` disables periodic auditing). Debug builds default to every
+    /// [`DEFAULT_AUDIT_EVERY`] events; release builds default off.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval.
+    pub fn set_audit_interval(&mut self, every_events: Option<u64>) {
+        assert!(every_events != Some(0), "audit interval must be positive");
+        self.audit_interval = every_events;
+    }
+
+    /// Runs every runtime invariant against the kernel's current state and
+    /// returns the violations (empty on a healthy kernel):
+    ///
+    /// * energy conservation — per-consumer and per-channel sums equal the
+    ///   meter total within tolerance;
+    /// * event-queue bookkeeping consistency;
+    /// * object lifetime — no kernel object outlives its owning app.
+    ///
+    /// Audits are read-only: they draw no randomness and emit no telemetry,
+    /// so running them never perturbs the event stream.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let now = self.queue.now();
+        let mut violations = Vec::new();
+        if let Err(v) = EnergyConservation::default().check(now, &self.meter) {
+            violations.push(v);
+        }
+        if let Err(v) = QueueConsistency.check(now, &self.queue) {
+            violations.push(v);
+        }
+        for slot in &self.apps {
+            if !slot.stopped {
+                continue;
+            }
+            for (obj, stats) in self.ledger.objects_of(slot.id) {
+                if !stats.dead {
+                    violations.push(AuditViolation {
+                        at: now,
+                        invariant: "object_lifetime",
+                        detail: format!(
+                            "{obj} ({kind:?}) outlives its stopped owner {owner}",
+                            kind = stats.kind,
+                            owner = slot.id
+                        ),
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    /// Periodic audit trigger, driven by the processed-event counter.
+    fn maybe_audit(&mut self) {
+        let Some(every) = self.audit_interval else {
+            return;
+        };
+        let processed = self.queue.events_processed();
+        if processed.saturating_sub(self.last_audit_count) < every {
+            return;
+        }
+        self.last_audit_count = processed;
+        self.assert_audits_clean();
+    }
+
+    fn assert_audits_clean(&self) {
+        let violations = self.audit();
+        assert!(
+            violations.is_empty(),
+            "runtime invariant audit failed:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 
     // ---- accessors ---------------------------------------------------------
@@ -340,12 +472,16 @@ impl Kernel {
             }
             let (t, ev) = self.queue.pop().expect("peeked event vanished");
             self.dispatch(t, ev);
+            self.maybe_audit();
         }
         self.queue.advance_to(end);
         self.ledger
             .set_user_present(self.env.user_present.at(end), end);
         self.meter.advance_to(end);
         self.emit_energy_snapshots(end);
+        if self.audit_interval.is_some() {
+            self.assert_audits_clean();
+        }
     }
 
     /// Emits one [`TelemetryEvent::EnergySnapshot`] per app plus one for
@@ -415,12 +551,27 @@ impl Kernel {
                     self.with_app(app, |model, ctx| model.on_start(ctx));
                 }
             }
-            SysEvent::AppTimer { app, token, wake } => {
-                if self.apps[self.slot_index(app)].stopped {
+            SysEvent::RestartApp(app) => {
+                let idx = self.slot_index(app);
+                if self.apps[idx].stopped {
+                    self.apps[idx].stopped = false;
+                    self.apps[idx].started = false;
+                    self.queue.push(now, SysEvent::StartApp(app));
+                }
+            }
+            SysEvent::Fault { kind } => self.inject_fault(now, kind),
+            SysEvent::AppTimer {
+                app,
+                token,
+                wake,
+                epoch,
+            } => {
+                let idx = self.slot_index(app);
+                if self.apps[idx].stopped || self.apps[idx].epoch != epoch {
                     // A dead process's pending timers vanish with it; they
-                    // must not wake the device or reach the policy.
+                    // must not wake the device, reach the policy, or leak
+                    // into a restarted incarnation.
                 } else if !self.awake && !wake {
-                    let idx = self.slot_index(app);
                     self.apps[idx].deferred_timers.push(token);
                 } else {
                     if wake {
@@ -506,7 +657,9 @@ impl Kernel {
             return;
         }
         self.apps[idx].stopped = true;
+        self.apps[idx].epoch += 1;
         self.apps[idx].deferred_timers.clear();
+        self.pending_exceptions.remove(&app);
         self.telemetry
             .emit(EventKind::AppLifecycle, || TelemetryEvent::AppLifecycle {
                 at: now,
@@ -563,6 +716,107 @@ impl Kernel {
     pub fn is_app_stopped(&self, app: AppId) -> bool {
         let idx = self.slot_index(app);
         self.apps[idx].stopped
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    /// Delivers one scheduled fault. Target selection is deterministic — a
+    /// dedicated RNG stream indexing BTreeMap-ordered candidates — and a
+    /// fault with no eligible target is skipped without drawing randomness.
+    fn inject_fault(&mut self, now: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::AppCrash => {
+                let Some(app) = self.pick_fault_app() else {
+                    return;
+                };
+                self.emit_fault(now, kind, app, 0);
+                self.stop_app(app);
+                self.queue.push(
+                    now + SimDuration::from_millis(CRASH_RESTART_MS),
+                    SysEvent::RestartApp(app),
+                );
+            }
+            FaultKind::ObjectLeak => {
+                let Some(obj) = self.pick_fault_object(false) else {
+                    return;
+                };
+                let owner = self.ledger.obj(obj).owner;
+                self.emit_fault(now, kind, owner, obj.0);
+                // The kernel object dies without the app ever releasing it —
+                // the death notification is the only cleanup signal.
+                self.kill_object(owner, obj);
+            }
+            FaultKind::ListenerFailure => {
+                let Some(obj) = self.pick_fault_object(true) else {
+                    return;
+                };
+                let owner = self.ledger.obj(obj).owner;
+                self.emit_fault(now, kind, owner, obj.0);
+                // The callback threw; the runtime catches it and records a
+                // severe exception against the owner (§3.3's signal).
+                self.ledger.add_exception(owner);
+            }
+            FaultKind::ServiceException => {
+                let Some(app) = self.pick_fault_app() else {
+                    return;
+                };
+                self.emit_fault(now, kind, app, 0);
+                self.pending_exceptions.insert(app);
+            }
+        }
+    }
+
+    fn emit_fault(&self, now: SimTime, kind: FaultKind, app: AppId, obj: u64) {
+        self.telemetry
+            .emit(EventKind::FaultInjected, || TelemetryEvent::FaultInjected {
+                at: now,
+                fault: kind.name(),
+                app: app.0,
+                obj,
+            });
+    }
+
+    /// A running app to target, or `None` when none is eligible.
+    fn pick_fault_app(&mut self) -> Option<AppId> {
+        let candidates: Vec<AppId> = self
+            .apps
+            .iter()
+            .filter(|s| s.started && !s.stopped)
+            .map(|s| s.id)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let rng = self.fault_rng.as_mut().expect("fault plan installed");
+        Some(candidates[rng.range_u64(0, candidates.len() as u64) as usize])
+    }
+
+    /// A live kernel object to target (`listeners_only` restricts to
+    /// callback-carrying kinds), or `None` when none is eligible.
+    fn pick_fault_object(&mut self, listeners_only: bool) -> Option<ObjId> {
+        let candidates: Vec<ObjId> = self
+            .ledger
+            .live_objects()
+            .filter(|(_, o)| o.held)
+            .filter(|(_, o)| {
+                !listeners_only || matches!(o.kind, ResourceKind::Gps | ResourceKind::Sensor)
+            })
+            .map(|(obj, _)| obj)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let rng = self.fault_rng.as_mut().expect("fault plan installed");
+        Some(candidates[rng.range_u64(0, candidates.len() as u64) as usize])
+    }
+
+    /// §4.6 defer-transparency: the acquire/release IPC appears to succeed,
+    /// but the swallowed service exception is recorded against the app (the
+    /// libcore hook of §6 observes it).
+    fn consume_pending_exception(&mut self, app: AppId) {
+        if self.pending_exceptions.remove(&app) {
+            self.ledger.add_exception(app);
+        }
     }
 
     // ---- policy plumbing ---------------------------------------------------
@@ -661,6 +915,7 @@ impl Kernel {
 
     fn acquire(&mut self, app: AppId, kind: ResourceKind, params: AcquireParams) -> ObjId {
         let now = self.queue.now();
+        self.consume_pending_exception(app);
         let obj = self.ledger.create_object(kind, app, now);
         self.ledger.note_acquire(obj, now);
         let req = AcquireRequest {
@@ -682,8 +937,25 @@ impl Kernel {
         obj
     }
 
+    /// An IPC on a dead kernel object. Android surfaces this to the caller
+    /// as a `DeadObjectException` rather than aborting anything — the call
+    /// is dropped and the severe exception is recorded against the app (the
+    /// §3.3 low-utility signal). Returns true when the call must be dropped.
+    fn dead_object_call(&mut self, app: AppId, obj: ObjId) -> bool {
+        if self.ledger.has_obj(obj) && self.ledger.obj(obj).dead {
+            self.ledger.add_exception(app);
+            true
+        } else {
+            false
+        }
+    }
+
     fn reacquire(&mut self, app: AppId, obj: ObjId) {
         let now = self.queue.now();
+        self.consume_pending_exception(app);
+        if self.dead_object_call(app, obj) {
+            return;
+        }
         let (kind, was_held) = {
             let o = self.ledger.obj(obj);
             assert_eq!(o.owner, app, "{app} re-acquired foreign object {obj}");
@@ -722,6 +994,10 @@ impl Kernel {
 
     fn release(&mut self, app: AppId, obj: ObjId) {
         let now = self.queue.now();
+        self.consume_pending_exception(app);
+        if self.dead_object_call(app, obj) {
+            return;
+        }
         assert_eq!(
             self.ledger.obj(obj).owner,
             app,
@@ -741,16 +1017,26 @@ impl Kernel {
     }
 
     fn close(&mut self, app: AppId, obj: ObjId) {
-        let now = self.queue.now();
+        if self.dead_object_call(app, obj) {
+            return;
+        }
         assert_eq!(
             self.ledger.obj(obj).owner,
             app,
             "{app} closed foreign object {obj}"
         );
+        self.kill_object(app, obj);
+    }
+
+    /// Kernel-object death: the binder-style death notification path shared
+    /// by app-initiated `close` and kernel-initiated faults (the policy's
+    /// `on_object_dead` — LeaseOS's lease removal, §4.3 — runs either way).
+    fn kill_object(&mut self, owner: AppId, obj: ObjId) {
+        let now = self.queue.now();
         self.telemetry
             .emit(EventKind::ObjectDead, || TelemetryEvent::ObjectDead {
                 at: now,
-                app: app.0,
+                app: owner.0,
                 obj: obj.0,
             });
         self.park_runtime(obj);
@@ -1280,6 +1566,7 @@ impl Kernel {
         // Flush deferrable timers that came due during sleep.
         for idx in 0..self.apps.len() {
             let app = self.apps[idx].id;
+            let epoch = self.apps[idx].epoch;
             let tokens = std::mem::take(&mut self.apps[idx].deferred_timers);
             for token in tokens {
                 self.queue.push(
@@ -1288,6 +1575,7 @@ impl Kernel {
                         app,
                         token,
                         wake: false,
+                        epoch,
                     },
                 );
             }
@@ -1596,12 +1884,14 @@ impl AppCtx<'_> {
     /// deep sleep; flushed on wake).
     pub fn schedule(&mut self, after: SimDuration, token: Token) {
         let at = self.kernel.queue.now() + after;
+        let epoch = self.kernel.apps[self.idx].epoch;
         self.kernel.queue.push(
             at,
             SysEvent::AppTimer {
                 app: self.app,
                 token,
                 wake: false,
+                epoch,
             },
         );
     }
@@ -1610,12 +1900,14 @@ impl AppCtx<'_> {
     /// sleep (they wake the device transiently, like `AlarmManager`).
     pub fn schedule_alarm(&mut self, after: SimDuration, token: Token) {
         let at = self.kernel.queue.now() + after;
+        let epoch = self.kernel.apps[self.idx].epoch;
         self.kernel.queue.push(
             at,
             SysEvent::AppTimer {
                 app: self.app,
                 token,
                 wake: true,
+                epoch,
             },
         );
     }

@@ -3,8 +3,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use leaseos_simkit::{
-    ComponentKind, Consumer, DeviceProfile, Environment, EventKind, RingBufferSink, Schedule,
-    SimDuration, SimTime,
+    ComponentKind, Consumer, DeviceProfile, Environment, EventKind, FaultKind, FaultPlan,
+    FaultSpec, RingBufferSink, Schedule, ScheduledFault, SimDuration, SimTime,
 };
 
 use crate::app::{AppEvent, AppModel};
@@ -772,6 +772,172 @@ fn telemetry_counters_run_even_without_sinks() {
     assert!(!k.telemetry().is_active(), "no sinks attached");
     assert!(k.telemetry().count(EventKind::ServiceAcquire) >= 1);
     assert!(k.telemetry().count(EventKind::PolicyOp) >= 2);
+}
+
+// ---- fault injection & runtime audits ----------------------------------
+
+fn one_fault(at: SimTime, kind: FaultKind) -> FaultPlan {
+    FaultPlan::scripted(vec![ScheduledFault { at, kind }])
+}
+
+#[test]
+fn app_crash_fault_stops_and_restarts_the_app() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
+    k.install_fault_plan(&one_fault(t(10), FaultKind::AppCrash));
+    let app = k.add_app(Box::new(HoldForever::new()));
+    k.run_until(t(20));
+    assert!(k.is_app_stopped(app), "crashed at t=10, restart pending");
+    assert!(!k.is_awake(), "the leaked wakelock died with the process");
+    k.run_until(t(60));
+    assert!(!k.is_app_stopped(app), "restarted 30 s after the crash");
+    assert!(k.is_awake(), "the new incarnation re-acquired its lock");
+    assert_eq!(k.telemetry().count(EventKind::FaultInjected), 1);
+    assert!(k.audit().is_empty(), "{:?}", k.audit());
+}
+
+#[test]
+fn object_leak_fault_kills_the_object_without_a_release() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
+    k.install_fault_plan(&one_fault(t(10), FaultKind::ObjectLeak));
+    let app = k.add_app(Box::new(HoldForever::new()));
+    k.run_until(t(30));
+    assert!(!k.is_app_stopped(app), "only the object died, not the app");
+    assert!(!k.is_awake(), "the sole wakelock is dead");
+    let (_, o) = k
+        .ledger()
+        .all_objects()
+        .find(|(_, o)| o.owner == app)
+        .unwrap();
+    assert!(o.dead && !o.held);
+    // The death notification reached the policy and the telemetry bus.
+    assert_eq!(k.telemetry().count(EventKind::ObjectDead), 1);
+}
+
+#[test]
+fn listener_failure_records_a_severe_exception_against_the_owner() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 42);
+    k.install_fault_plan(&one_fault(t(30), FaultKind::ListenerFailure));
+    let app = k.add_app(Box::new(GpsOnce::new()));
+    k.run_until(t(60));
+    assert_eq!(k.ledger().app_opt(app).unwrap().exceptions, 1);
+    // The callback threw but the registration survives.
+    let (_, o) = k.ledger().objects_of(app).next().unwrap();
+    assert!(!o.dead);
+}
+
+#[test]
+fn service_exception_fault_lands_on_the_next_service_call() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
+    // WorkOnce acquires at t=0 and releases at t=5; the fault arrives in
+    // between, is swallowed (§4.6 transparency), and surfaces as a recorded
+    // exception only at the release IPC.
+    k.install_fault_plan(&one_fault(t(2), FaultKind::ServiceException));
+    let app = k.add_app(Box::new(WorkOnce::new()));
+    k.run_until(t(3));
+    assert_eq!(k.ledger().app_opt(app).map_or(0, |a| a.exceptions), 0);
+    k.run_until(t(30));
+    assert_eq!(k.ledger().app_opt(app).map_or(0, |a| a.exceptions), 1);
+}
+
+#[test]
+fn fault_with_no_eligible_target_is_skipped() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
+    // No GPS/sensor object ever exists, so the listener fault has no target.
+    k.install_fault_plan(&one_fault(t(10), FaultKind::ListenerFailure));
+    let app = k.add_app(Box::new(HoldForever::new()));
+    k.run_until(t(30));
+    assert_eq!(k.telemetry().count(EventKind::FaultInjected), 0);
+    assert_eq!(k.ledger().app_opt(app).map_or(0, |a| a.exceptions), 0);
+}
+
+#[test]
+fn timers_from_a_crashed_incarnation_never_reach_the_restart() {
+    /// First incarnation schedules an alarm for t=50 and crashes at t=10;
+    /// the restart (t=40) schedules its own alarm for t=45.
+    struct Reborn {
+        incarnations: u32,
+        stale_fired: u32,
+        fresh_fired: u32,
+    }
+    impl AppModel for Reborn {
+        fn name(&self) -> &str {
+            "reborn"
+        }
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            self.incarnations += 1;
+            if self.incarnations == 1 {
+                ctx.schedule_alarm(d(50), 1);
+            } else {
+                ctx.schedule_alarm(d(5), 2);
+            }
+        }
+        fn on_event(&mut self, _ctx: &mut AppCtx<'_>, event: AppEvent) {
+            match event {
+                AppEvent::Timer(1) => self.stale_fired += 1,
+                AppEvent::Timer(2) => self.fresh_fired += 1,
+                _ => {}
+            }
+        }
+    }
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
+    k.install_fault_plan(&one_fault(t(10), FaultKind::AppCrash));
+    let id = k.add_app(Box::new(Reborn {
+        incarnations: 0,
+        stale_fired: 0,
+        fresh_fired: 0,
+    }));
+    k.run_until(t(120));
+    let app = k.app_model::<Reborn>(id).unwrap();
+    assert_eq!(app.incarnations, 2);
+    assert_eq!(app.fresh_fired, 1, "the restart's own alarm fires");
+    assert_eq!(
+        app.stale_fired, 0,
+        "the dead incarnation's alarm must not leak across the restart"
+    );
+}
+
+#[test]
+fn fault_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), seed);
+        let plan = FaultPlan::generate(seed, SimDuration::from_mins(30), &FaultSpec::all());
+        k.install_fault_plan(&plan);
+        let a = k.add_app(Box::new(GpsOnce::new()));
+        let b = k.add_app(Box::new(HoldForever::new()));
+        k.run_until(SimTime::from_mins(30));
+        (
+            k.meter().energy_mj(a.consumer()),
+            k.meter().energy_mj(b.consumer()),
+            k.meter().total_energy_mj(),
+            k.telemetry().count(EventKind::FaultInjected),
+        )
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn audits_stay_clean_across_a_faulty_run() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 5);
+    let plan = FaultPlan::generate(
+        5,
+        SimDuration::from_mins(30),
+        &FaultSpec::all().with_mean_interval(SimDuration::from_mins(2)),
+    );
+    k.install_fault_plan(&plan);
+    k.set_audit_interval(Some(16));
+    k.add_app(Box::new(GpsOnce::new()));
+    k.add_app(Box::new(WorkOnce::new()));
+    k.add_app(Box::new(HoldForever::new()));
+    k.run_until(SimTime::from_mins(30));
+    assert!(k.audit().is_empty(), "{:?}", k.audit());
+}
+
+#[test]
+#[should_panic(expected = "before the first run_until")]
+fn fault_plan_after_start_is_rejected() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
+    k.run_until(t(1));
+    k.install_fault_plan(&FaultPlan::none());
 }
 
 #[test]

@@ -363,8 +363,17 @@ impl LeaseManager {
                     lease.term_len = tau;
                     self.active_now -= 1;
                     self.active_series.record(now, self.active_now as f64);
+                    let restore_at = now + tau;
+                    debug_assert!(
+                        !lease.state.grants_capability(),
+                        "deferred lease {id} must not grant capability"
+                    );
+                    debug_assert!(
+                        restore_at > now,
+                        "deferral of lease {id} must schedule a strictly future restore (τ = {tau})"
+                    );
                     CheckOutcome::Deferred {
-                        restore_at: now + tau,
+                        restore_at,
                         behavior,
                     }
                 } else {

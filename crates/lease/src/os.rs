@@ -213,6 +213,10 @@ impl ResourcePolicy for LeaseOs {
             return Vec::new(); // removed in the meantime
         };
         let (obj, kind) = (record.obj, record.kind);
+        // The pre-check state: WentInactive can be reached from Active (term
+        // ended unheld) *or* Deferred (released during τ), and the emitted
+        // transition must say which — the telemetry state audit replays it.
+        let from = record.state.name();
         let snapshot = Self::snapshot(ctx, obj);
         match self.manager.process_check(lease, snapshot, ctx.now) {
             CheckOutcome::Renewed {
@@ -230,8 +234,19 @@ impl ResourcePolicy for LeaseOs {
                 restore_at,
                 behavior,
             } => {
+                debug_assert!(
+                    restore_at > ctx.now,
+                    "a deferral must always schedule its restore timer"
+                );
+                debug_assert!(
+                    self.manager
+                        .lease(lease)
+                        .map(|l| !l.state.grants_capability())
+                        .unwrap_or(true),
+                    "a deferred lease must never grant capability"
+                );
                 Self::emit_verdict(ctx, lease, behavior);
-                Self::emit_transition(ctx, lease, obj, "active", "deferred");
+                Self::emit_transition(ctx, lease, obj, from, "deferred");
                 ctx.telemetry
                     .emit(EventKind::TermDeferred, || TelemetryEvent::TermDeferred {
                         at: ctx.now,
@@ -262,7 +277,7 @@ impl ResourcePolicy for LeaseOs {
                 actions
             }
             CheckOutcome::WentInactive => {
-                Self::emit_transition(ctx, lease, obj, "active", "inactive");
+                Self::emit_transition(ctx, lease, obj, from, "inactive");
                 Vec::new()
             }
             CheckOutcome::Stale => Vec::new(),
@@ -282,9 +297,14 @@ impl ResourcePolicy for LeaseOs {
 
 #[cfg(test)]
 mod tests {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
     use super::*;
     use leaseos_framework::{AppCtx, AppEvent, AppModel, Kernel};
-    use leaseos_simkit::{ComponentKind, DeviceProfile, Environment, SimDuration, SimTime};
+    use leaseos_simkit::{
+        ComponentKind, DeviceProfile, Environment, LeaseStateAudit, SimDuration, SimTime,
+    };
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
@@ -357,6 +377,55 @@ mod tests {
         let m = leaseos(&k).manager();
         assert_eq!(m.created_count(), 1);
         assert!(m.lease_reports(t(120))[0].deferrals >= 3);
+    }
+
+    #[test]
+    fn release_during_deferral_emits_deferred_to_inactive() {
+        /// Leaks a wakelock, gets deferred at t=5, then releases at t=15 —
+        /// mid-deferral. The deferral-end check at t=30 must report the
+        /// transition as deferred→inactive, not active→inactive; the replayed
+        /// state audit catches any mislabelled edge.
+        struct LeakThenRelease {
+            lock: Option<ObjId>,
+        }
+        impl AppModel for LeakThenRelease {
+            fn name(&self) -> &str {
+                "leak-then-release"
+            }
+            fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+                self.lock = Some(ctx.acquire_wakelock());
+                ctx.schedule_alarm(SimDuration::from_secs(15), 1);
+            }
+            fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+                if let AppEvent::Timer(1) = event {
+                    ctx.release(self.lock.take().expect("lock"));
+                }
+            }
+        }
+        let audit = Rc::new(RefCell::new(LeaseStateAudit::new()));
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(LeaseOs::new()),
+            1,
+        );
+        k.telemetry().attach(audit.clone());
+        k.add_app(Box::new(LeakThenRelease { lock: None }));
+        k.run_until(t(60));
+        let audit = audit.borrow();
+        assert_eq!(audit.leases_seen(), 1);
+        assert!(audit.is_clean(), "{:?}", audit.violations());
+    }
+
+    #[test]
+    fn lease_lifecycle_stays_legal_under_the_state_audit() {
+        let audit = Rc::new(RefCell::new(LeaseStateAudit::new()));
+        let mut k = lease_kernel(Box::new(Leaky));
+        k.telemetry().attach(audit.clone());
+        k.run_until(t(300));
+        let audit = audit.borrow();
+        assert_eq!(audit.leases_seen(), 1);
+        assert!(audit.is_clean(), "{:?}", audit.violations());
     }
 
     #[test]

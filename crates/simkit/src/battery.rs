@@ -73,13 +73,28 @@ impl Battery {
     /// Projected time-to-empty at a constant `avg_power_mw`, from the current
     /// charge.
     ///
-    /// Returns [`SimDuration::FOREVER`] for a non-positive draw.
+    /// Returns [`SimDuration::FOREVER`] for a non-positive draw, or when the
+    /// projection overflows the representable range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_power_mw` is not finite: a NaN draw would previously
+    /// slip past the `<= 0.0` guard and cast to a silent zero-length life.
     pub fn life_at(&self, avg_power_mw: f64) -> SimDuration {
+        assert!(
+            avg_power_mw.is_finite(),
+            "average power must be a finite mW value, got {avg_power_mw}"
+        );
         if avg_power_mw <= 0.0 {
             return SimDuration::FOREVER;
         }
-        let hours = self.remaining_mwh / avg_power_mw;
-        SimDuration::from_millis((hours * 3_600_000.0) as u64)
+        // May overflow to +inf for a vanishing draw; the clamp below turns
+        // any out-of-range projection into FOREVER.
+        let ms = self.remaining_mwh / avg_power_mw * 3_600_000.0;
+        if ms >= u64::MAX as f64 {
+            return SimDuration::FOREVER;
+        }
+        SimDuration::from_millis(ms as u64)
     }
 }
 
@@ -136,6 +151,20 @@ mod tests {
     fn life_at_zero_power_is_forever() {
         let b = Battery::new(100.0);
         assert_eq!(b.life_at(0.0), SimDuration::FOREVER);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite mW value")]
+    fn life_at_nan_power_panics() {
+        // Regression: NaN slipped past the `<= 0.0` guard and the f64→u64
+        // cast turned it into a silent zero-length battery life.
+        Battery::new(100.0).life_at(f64::NAN);
+    }
+
+    #[test]
+    fn life_at_vanishing_power_clamps_to_forever() {
+        let b = Battery::new(100.0);
+        assert_eq!(b.life_at(f64::MIN_POSITIVE), SimDuration::FOREVER);
     }
 
     #[test]

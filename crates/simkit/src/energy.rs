@@ -225,6 +225,15 @@ impl EnergyMeter {
     pub fn attributed_energy_mj(&self) -> f64 {
         self.energy.values().sum()
     }
+
+    /// Sum of per-channel energies; equals [`total_energy_mj`] by
+    /// construction (the finer-grained conservation check used by the
+    /// runtime invariant audits).
+    ///
+    /// [`total_energy_mj`]: Self::total_energy_mj
+    pub fn channel_attributed_energy_mj(&self) -> f64 {
+        self.channel_energy.values().sum()
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +280,7 @@ mod tests {
         m.set_draw(SimTime::from_secs(3), APP, ComponentKind::Cpu, 0.0);
         m.advance_to(SimTime::from_secs(5));
         assert!((m.total_energy_mj() - m.attributed_energy_mj()).abs() < 1e-9);
+        assert!((m.total_energy_mj() - m.channel_attributed_energy_mj()).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! Deterministic fault injection and runtime invariant audits.
+//!
+//! The paper's robustness argument (§4.6, §6) is that leases keep working
+//! when apps misbehave in ways no scripted workload exercises: processes
+//! crash mid-term, kernel objects die without a release, listener callbacks
+//! throw, and defer-transparency swallows service exceptions. This module
+//! supplies the two halves of a chaos harness for those paths:
+//!
+//! * [`FaultPlan`] — a seeded schedule of typed [`FaultKind`]s drawn from
+//!   the same deterministic RNG as the rest of the simulation, so a fault
+//!   run is exactly as reproducible as a fault-free one. The substrate
+//!   (`leaseos-framework`) delivers the faults; injection is a telemetry
+//!   event ([`crate::telemetry::EventKind::FaultInjected`]), so JSONL runs
+//!   stay byte-identical per seed.
+//! * [`Invariant`] — runtime audits over live simulation state (energy
+//!   conservation, event-queue bookkeeping, lease state-machine legality),
+//!   run at configurable intervals and always-on in debug builds. A failed
+//!   audit yields an [`AuditViolation`] naming the invariant and the
+//!   evidence.
+//!
+//! [`LeaseStateAudit`] is an [`Invariant`]-adjacent telemetry [`Sink`]: it
+//! replays every `LeaseTransition` event against the paper's lease automaton
+//! and records any edge the state machine does not allow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::energy::EnergyMeter;
+use crate::queue::EventQueue;
+use crate::rng::SimRng;
+use crate::telemetry::{Sink, TelemetryEvent};
+use crate::time::{SimDuration, SimTime};
+
+/// The typed fault classes the plan can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// The target app's process crashes and later restarts — every owned
+    /// kernel object dies through the binder-style death notification path.
+    AppCrash,
+    /// One kernel object dies without the app ever calling release
+    /// (the DroidLeaks abnormal-exit / leak cluster).
+    ObjectLeak,
+    /// A listener callback fails: the app is billed an exception on a live
+    /// callback-carrying object.
+    ListenerFailure,
+    /// The service throws on the app's next acquire/release IPC — the path
+    /// defer-transparency (§4.6) must swallow without wedging the lease.
+    ServiceException,
+}
+
+impl FaultKind {
+    /// Every fault class, in discriminant order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::AppCrash,
+        FaultKind::ObjectLeak,
+        FaultKind::ListenerFailure,
+        FaultKind::ServiceException,
+    ];
+
+    /// Stable machine-readable name (the JSONL `fault` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::AppCrash => "app_crash",
+            FaultKind::ObjectLeak => "object_leak",
+            FaultKind::ListenerFailure => "listener_failure",
+            FaultKind::ServiceException => "service_exception",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a [`FaultPlan`] should contain: which classes to schedule and how
+/// often each arrives on average.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    kinds: Vec<FaultKind>,
+    mean_interval: SimDuration,
+}
+
+impl FaultSpec {
+    /// A spec scheduling only `kind`, at the default mean interval (5 min).
+    pub fn single(kind: FaultKind) -> Self {
+        FaultSpec {
+            kinds: vec![kind],
+            mean_interval: SimDuration::from_mins(5),
+        }
+    }
+
+    /// A spec scheduling every fault class.
+    pub fn all() -> Self {
+        FaultSpec {
+            kinds: FaultKind::ALL.to_vec(),
+            mean_interval: SimDuration::from_mins(5),
+        }
+    }
+
+    /// Sets the mean inter-arrival interval per enabled class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero: a zero mean would schedule an unbounded
+    /// number of faults.
+    pub fn with_mean_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "fault mean interval must be positive");
+        self.mean_interval = interval;
+        self
+    }
+
+    /// The enabled fault classes.
+    pub fn kinds(&self) -> &[FaultKind] {
+        &self.kinds
+    }
+}
+
+/// One scheduled fault occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// Which class of fault.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded schedule of faults over a run horizon.
+///
+/// Each enabled class arrives as an independent Poisson process drawn from
+/// its own forked RNG stream, so adding or removing a class never perturbs
+/// the arrival times of the others — the property that lets the chaos
+/// harness compare fault classes pairwise on one seed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the control arm of a chaos matrix).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A hand-written schedule, for tests that need faults at exact
+    /// instants. The faults are put in canonical `(at, kind)` order.
+    pub fn scripted(mut faults: Vec<ScheduledFault>) -> Self {
+        faults.sort_by_key(|f| (f.at, f.kind));
+        FaultPlan { faults }
+    }
+
+    /// Generates the schedule for `spec` over `[0, horizon)` from `seed`.
+    pub fn generate(seed: u64, horizon: SimDuration, spec: &FaultSpec) -> Self {
+        let root = SimRng::new(seed);
+        let mean_ms = spec.mean_interval.as_millis() as f64;
+        let mut faults = Vec::new();
+        for kind in FaultKind::ALL {
+            if !spec.kinds.contains(&kind) {
+                continue;
+            }
+            // Stable per-class stream id: independent of which other classes
+            // are enabled.
+            let mut rng = root.fork(0xFA17 + kind as u64);
+            let mut t = SimTime::ZERO + SimDuration::from_millis(rng.exponential(mean_ms) as u64);
+            while t < SimTime::ZERO + horizon {
+                faults.push(ScheduledFault { at: t, kind });
+                t += SimDuration::from_millis(rng.exponential(mean_ms).max(1.0) as u64);
+            }
+        }
+        // Merge the per-class streams into one time-ordered schedule; ties
+        // break on class order so the merged order is deterministic.
+        faults.sort_by_key(|f| (f.at, f.kind));
+        FaultPlan { faults }
+    }
+
+    /// The scheduled faults, time-ordered.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Evidence of a violated runtime invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Simulation instant of the audit that failed.
+    pub at: SimTime,
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{at}] invariant '{inv}' violated: {detail}",
+            at = self.at,
+            inv = self.invariant,
+            detail = self.detail
+        )
+    }
+}
+
+/// A runtime-checkable invariant over a piece of simulation state `C`.
+///
+/// Implementations must be read-only observers: an audit may neither draw
+/// randomness nor emit telemetry, so running audits (or not) never changes
+/// a run's event stream.
+pub trait Invariant<C: ?Sized> {
+    /// Stable invariant name, used in violation reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks the invariant against `ctx` at instant `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation evidence when the invariant does not hold.
+    fn check(&self, now: SimTime, ctx: &C) -> Result<(), AuditViolation>;
+}
+
+/// Energy conservation: attributed per-consumer and per-channel sums must
+/// both equal the meter's `total_mj` within a relative tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyConservation {
+    /// Relative tolerance (floored at 1 mJ absolute) for the comparison.
+    pub tolerance: f64,
+}
+
+impl Default for EnergyConservation {
+    fn default() -> Self {
+        EnergyConservation { tolerance: 1e-6 }
+    }
+}
+
+impl Invariant<EnergyMeter> for EnergyConservation {
+    fn name(&self) -> &'static str {
+        "energy_conservation"
+    }
+
+    fn check(&self, now: SimTime, meter: &EnergyMeter) -> Result<(), AuditViolation> {
+        let total = meter.total_energy_mj();
+        // Relative tolerance with a 1 mJ floor: the sums accumulate in a
+        // different order than the scalar total, so the gap scales with the
+        // magnitude, not a fixed epsilon.
+        let tol = self.tolerance * total.abs().max(1.0);
+        for (label, sum) in [
+            ("per-consumer", meter.attributed_energy_mj()),
+            ("per-channel", meter.channel_attributed_energy_mj()),
+        ] {
+            if (sum - total).abs() > tol {
+                return Err(AuditViolation {
+                    at: now,
+                    invariant: self.name(),
+                    detail: format!(
+                        "{label} sum {sum} mJ diverges from total {total} mJ (tolerance {tol})"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Event-queue bookkeeping consistency (see [`EventQueue::audit`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueConsistency;
+
+impl<E> Invariant<EventQueue<E>> for QueueConsistency {
+    fn name(&self) -> &'static str {
+        "queue_consistency"
+    }
+
+    fn check(&self, now: SimTime, queue: &EventQueue<E>) -> Result<(), AuditViolation> {
+        queue.audit().map_err(|detail| AuditViolation {
+            at: now,
+            invariant: "queue_consistency",
+            detail,
+        })
+    }
+}
+
+/// Replays `LeaseTransition` telemetry against the paper's lease automaton.
+///
+/// Attach before the kernel starts so every lease is observed from its
+/// creation edge. Two properties are checked per event:
+///
+/// * **continuity** — the event's `from` state matches the last state this
+///   audit observed for that lease (`"none"` before creation);
+/// * **legality** — the `(from, to)` edge exists in the automaton. The
+///   telemetry stream compresses the two-step "deferral ended, resource no
+///   longer held" path into one `deferred -> inactive` event, so that
+///   composite edge is accepted alongside the primitive ones.
+#[derive(Debug, Default)]
+pub struct LeaseStateAudit {
+    states: BTreeMap<u64, &'static str>,
+    violations: Vec<AuditViolation>,
+}
+
+impl LeaseStateAudit {
+    /// An audit that has observed nothing yet.
+    pub fn new() -> Self {
+        LeaseStateAudit::default()
+    }
+
+    fn edge_allowed(from: &str, to: &str) -> bool {
+        match (from, to) {
+            // Creation: the manager grants a fresh lease active.
+            ("none", "active") => true,
+            // Any live state may die with its kernel object.
+            ("active" | "inactive" | "deferred", "dead") => true,
+            ("active", "active" | "inactive" | "deferred") => true,
+            ("deferred", "active" | "deferred") => true,
+            // Composite: DeferralEnd then TermEndNotHeld in one event.
+            ("deferred", "inactive") => true,
+            ("inactive", "active") => true,
+            _ => false,
+        }
+    }
+
+    /// Violations recorded so far, in observation order.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// True while no violation has been observed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of leases observed.
+    pub fn leases_seen(&self) -> usize {
+        self.states.len()
+    }
+}
+
+impl Sink for LeaseStateAudit {
+    fn record(&mut self, event: &TelemetryEvent) {
+        let &TelemetryEvent::LeaseTransition {
+            at,
+            lease,
+            from,
+            to,
+            ..
+        } = event
+        else {
+            return;
+        };
+        let observed = self.states.get(&lease).copied().unwrap_or("none");
+        if observed != from {
+            self.violations.push(AuditViolation {
+                at,
+                invariant: "lease_state_continuity",
+                detail: format!(
+                    "lease{lease} claims transition from '{from}' but was last seen '{observed}'"
+                ),
+            });
+        }
+        if !Self::edge_allowed(from, to) {
+            self.violations.push(AuditViolation {
+                at,
+                invariant: "lease_state_legality",
+                detail: format!("lease{lease} took illegal edge '{from}' -> '{to}'"),
+            });
+        }
+        self.states.insert(lease, to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(at_s: u64, lease: u64, from: &'static str, to: &'static str) -> TelemetryEvent {
+        TelemetryEvent::LeaseTransition {
+            at: SimTime::from_secs(at_s),
+            lease,
+            obj: lease,
+            from,
+            to,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let spec = FaultSpec::all();
+        let a = FaultPlan::generate(7, SimDuration::from_mins(30), &spec);
+        let b = FaultPlan::generate(7, SimDuration::from_mins(30), &spec);
+        assert_eq!(a.faults(), b.faults());
+        assert!(!a.is_empty(), "30 min at 5 min mean should schedule faults");
+        let c = FaultPlan::generate(8, SimDuration::from_mins(30), &spec);
+        assert_ne!(a.faults(), c.faults(), "seed must matter");
+    }
+
+    #[test]
+    fn plan_is_time_ordered_and_within_horizon() {
+        let horizon = SimDuration::from_mins(30);
+        let plan = FaultPlan::generate(3, horizon, &FaultSpec::all());
+        let end = SimTime::ZERO + horizon;
+        for pair in plan.faults().windows(2) {
+            assert!(pair[0].at <= pair[1].at, "plan must be time-ordered");
+        }
+        assert!(plan.faults().iter().all(|f| f.at < end));
+        assert_eq!(plan.len(), plan.faults().len());
+    }
+
+    #[test]
+    fn class_streams_are_independent() {
+        // Enabling extra classes must not move an existing class's arrivals.
+        let horizon = SimDuration::from_mins(30);
+        let solo = FaultPlan::generate(11, horizon, &FaultSpec::single(FaultKind::AppCrash));
+        let all = FaultPlan::generate(11, horizon, &FaultSpec::all());
+        let crashes: Vec<_> = all
+            .faults()
+            .iter()
+            .filter(|f| f.kind == FaultKind::AppCrash)
+            .copied()
+            .collect();
+        assert_eq!(solo.faults(), crashes.as_slice());
+    }
+
+    #[test]
+    fn empty_plan_and_names() {
+        assert!(FaultPlan::none().is_empty());
+        let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+        assert_eq!(FaultKind::AppCrash.to_string(), "app_crash");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mean_interval_rejected() {
+        let _ = FaultSpec::all().with_mean_interval(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn energy_conservation_invariant_detects_nothing_on_fresh_meter() {
+        let meter = EnergyMeter::new();
+        EnergyConservation::default()
+            .check(SimTime::ZERO, &meter)
+            .unwrap();
+    }
+
+    #[test]
+    fn queue_consistency_invariant_wraps_queue_audit() {
+        let q: EventQueue<()> = EventQueue::new();
+        QueueConsistency.check(SimTime::ZERO, &q).unwrap();
+        assert_eq!(
+            <QueueConsistency as Invariant<EventQueue<()>>>::name(&QueueConsistency),
+            "queue_consistency"
+        );
+    }
+
+    #[test]
+    fn lease_audit_accepts_the_papers_lifecycle() {
+        let mut audit = LeaseStateAudit::new();
+        for ev in [
+            transition(0, 1, "none", "active"),
+            transition(1, 1, "active", "deferred"),
+            transition(2, 1, "deferred", "active"),
+            transition(3, 1, "active", "inactive"),
+            transition(4, 1, "inactive", "active"),
+            transition(5, 1, "active", "dead"),
+            transition(0, 2, "none", "active"),
+            transition(6, 2, "active", "deferred"),
+            transition(7, 2, "deferred", "inactive"),
+        ] {
+            audit.record(&ev);
+        }
+        assert!(audit.is_clean(), "violations: {:?}", audit.violations());
+        assert_eq!(audit.leases_seen(), 2);
+    }
+
+    #[test]
+    fn lease_audit_flags_illegal_edges_and_discontinuities() {
+        let mut audit = LeaseStateAudit::new();
+        audit.record(&transition(0, 1, "none", "active"));
+        // Discontinuity: claims to come from a state we never saw.
+        audit.record(&transition(1, 1, "inactive", "active"));
+        // Illegal edge: nothing leaves DEAD.
+        audit.record(&transition(2, 2, "none", "active"));
+        audit.record(&transition(3, 2, "active", "dead"));
+        audit.record(&transition(4, 2, "dead", "active"));
+        assert_eq!(audit.violations().len(), 2);
+        assert_eq!(audit.violations()[0].invariant, "lease_state_continuity");
+        assert_eq!(audit.violations()[1].invariant, "lease_state_legality");
+        let shown = audit.violations()[1].to_string();
+        assert!(shown.contains("lease2") && shown.contains("'dead' -> 'active'"));
+    }
+}

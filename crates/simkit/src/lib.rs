@@ -50,6 +50,7 @@ mod battery;
 mod device;
 mod energy;
 mod env;
+pub mod faults;
 mod power;
 mod queue;
 mod rng;
@@ -62,6 +63,10 @@ pub use battery::{battery_life, Battery};
 pub use device::DeviceProfile;
 pub use energy::{Channel, Consumer, EnergyMeter};
 pub use env::{Environment, GpsSignal, Schedule};
+pub use faults::{
+    AuditViolation, EnergyConservation, FaultKind, FaultPlan, FaultSpec, Invariant,
+    LeaseStateAudit, QueueConsistency, ScheduledFault,
+};
 pub use power::{ComponentKind, ComponentState, CpuState, GpsState, PowerTable, WifiState};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;

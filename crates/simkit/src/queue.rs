@@ -66,7 +66,11 @@ pub struct EventHandle(u64);
 #[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Seqs of entries still in the heap that have been lazily cancelled.
     cancelled: std::collections::HashSet<u64>,
+    /// Seqs of entries still in the heap that are live (not cancelled).
+    /// `heap.len() == pending.len() + cancelled.len()` at all times.
+    pending: std::collections::HashSet<u64>,
     seq: u64,
     now: SimTime,
     popped: u64,
@@ -78,6 +82,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             cancelled: std::collections::HashSet::new(),
+            pending: std::collections::HashSet::new(),
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -92,7 +97,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) scheduled events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// True if no live events remain.
@@ -122,6 +127,7 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
         EventHandle(seq)
     }
 
@@ -134,13 +140,15 @@ impl<E> EventQueue<E> {
     /// handle from another [`EventQueue`] may cancel an unrelated event,
     /// since sequence numbers are per-queue.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.seq {
-            return false;
+        // Only seqs still pending in the heap may move to the cancelled set;
+        // a fired (or already-cancelled) handle must not touch `cancelled`,
+        // or `len()` would under-count live events forever.
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
         }
-        // We cannot cheaply tell "already fired" apart from "unknown", so we
-        // record the cancellation and let pop() discard it lazily. Inserting
-        // a fired seq is harmless: it can never be popped again.
-        self.cancelled.insert(handle.0)
     }
 
     /// Pops the earliest live event, advancing the clock to its timestamp.
@@ -150,6 +158,7 @@ impl<E> EventQueue<E> {
                 continue;
             }
             debug_assert!(entry.time >= self.now, "heap returned a past event");
+            self.pending.remove(&entry.seq);
             self.now = entry.time;
             self.popped += 1;
             return Some((entry.time, entry.event));
@@ -189,6 +198,23 @@ impl<E> EventQueue<E> {
             );
         }
         self.now = time;
+    }
+
+    /// Checks the queue's internal bookkeeping invariants.
+    ///
+    /// Every heap entry must be tracked as exactly one of pending or
+    /// cancelled, so `heap.len() == pending.len() + cancelled.len()` and
+    /// [`len`](Self::len) can never underflow. Returns a description of the
+    /// violation, if any. Used by the runtime invariant audits.
+    pub fn audit(&self) -> Result<(), String> {
+        let (heap, pending, cancelled) =
+            (self.heap.len(), self.pending.len(), self.cancelled.len());
+        if heap != pending + cancelled {
+            return Err(format!(
+                "event-queue count mismatch: heap={heap} != pending={pending} + cancelled={cancelled}"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -304,6 +330,37 @@ mod tests {
         q.cancel(h);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_corrupt_len() {
+        // Regression: cancelling an already-fired handle used to park its seq
+        // in `cancelled` forever, making `len()` under-report and eventually
+        // underflow (panicking in debug builds).
+        let mut q = EventQueue::new();
+        let h = q.push(SimTime::from_secs(1), 'a');
+        q.pop();
+        assert!(!q.cancel(h), "fired handles must report false");
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        q.push(SimTime::from_secs(2), 'b');
+        assert_eq!(q.len(), 1, "len must see the new event, not underflow");
+        q.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_passes_through_mixed_operations() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(SimTime::from_secs(1), 1);
+        let h2 = q.push(SimTime::from_secs(2), 2);
+        q.push(SimTime::from_secs(3), 3);
+        q.audit().unwrap();
+        q.cancel(h2);
+        q.audit().unwrap();
+        q.pop();
+        q.cancel(h1); // already fired
+        q.audit().unwrap();
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -61,11 +61,13 @@ pub enum EventKind {
     DeviceState,
     /// An energy attribution snapshot for one consumer.
     EnergySnapshot,
+    /// A fault-plan fault was injected into the run.
+    FaultInjected,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::ServiceAcquire,
         EventKind::ServiceRelease,
         EventKind::ObjectDead,
@@ -78,6 +80,7 @@ impl EventKind {
         EventKind::AppLifecycle,
         EventKind::DeviceState,
         EventKind::EnergySnapshot,
+        EventKind::FaultInjected,
     ];
 
     /// Number of kinds (size of counter arrays).
@@ -98,6 +101,7 @@ impl EventKind {
             EventKind::AppLifecycle => "app_lifecycle",
             EventKind::DeviceState => "device_state",
             EventKind::EnergySnapshot => "energy_snapshot",
+            EventKind::FaultInjected => "fault_injected",
         }
     }
 }
@@ -225,6 +229,17 @@ pub enum TelemetryEvent {
         /// Attributed energy so far, millijoules.
         energy_mj: f64,
     },
+    /// A scheduled fault was injected.
+    FaultInjected {
+        /// When.
+        at: SimTime,
+        /// Fault class name (`"app_crash"`, `"object_leak"`, …).
+        fault: &'static str,
+        /// The app the fault targeted.
+        app: u32,
+        /// The kernel object involved, or 0 when the fault has no object.
+        obj: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -243,6 +258,7 @@ impl TelemetryEvent {
             TelemetryEvent::AppLifecycle { .. } => EventKind::AppLifecycle,
             TelemetryEvent::DeviceState { .. } => EventKind::DeviceState,
             TelemetryEvent::EnergySnapshot { .. } => EventKind::EnergySnapshot,
+            TelemetryEvent::FaultInjected { .. } => EventKind::FaultInjected,
         }
     }
 
@@ -260,7 +276,8 @@ impl TelemetryEvent {
             | TelemetryEvent::TermDeferred { at, .. }
             | TelemetryEvent::AppLifecycle { at, .. }
             | TelemetryEvent::DeviceState { at, .. }
-            | TelemetryEvent::EnergySnapshot { at, .. } => at,
+            | TelemetryEvent::EnergySnapshot { at, .. }
+            | TelemetryEvent::FaultInjected { at, .. } => at,
         }
     }
 
@@ -355,6 +372,13 @@ impl TelemetryEvent {
                 push_field_num(&mut s, "id", id as f64);
                 push_field_num_key(&mut s, "energy_mj", energy_mj);
             }
+            TelemetryEvent::FaultInjected {
+                fault, app, obj, ..
+            } => {
+                push_field_str(&mut s, "fault", fault);
+                push_field_num(&mut s, "app", app as f64);
+                push_field_num(&mut s, "obj", obj as f64);
+            }
         }
         s.push('}');
         s
@@ -416,6 +440,14 @@ impl fmt::Display for TelemetryEvent {
                 energy_mj,
             } => {
                 write!(f, "[{at}] energy {consumer}{id}: {energy_mj:.1} mJ")
+            }
+            TelemetryEvent::FaultInjected {
+                at,
+                fault,
+                app,
+                obj,
+            } => {
+                write!(f, "[{at}] fault {fault} injected into app{app} (obj{obj})")
             }
         }
     }
@@ -1224,6 +1256,12 @@ mod tests {
                 consumer: "app",
                 id: 3,
                 energy_mj: 1234.5,
+            },
+            TelemetryEvent::FaultInjected {
+                at: SimTime::from_millis(11),
+                fault: "app_crash",
+                app: 3,
+                obj: 9,
             },
         ];
         for event in &events {

@@ -161,7 +161,9 @@ impl SimDuration {
     }
 
     /// Multiplies the span by a non-negative float, rounding to the nearest
-    /// millisecond.
+    /// millisecond. Products beyond the representable range saturate to
+    /// [`SimDuration::FOREVER`] instead of wrapping through an unchecked
+    /// f64→u64 cast.
     ///
     /// # Panics
     ///
@@ -171,7 +173,11 @@ impl SimDuration {
             factor >= 0.0 && factor.is_finite(),
             "duration factor must be finite and non-negative, got {factor}"
         );
-        SimDuration((self.0 as f64 * factor).round() as u64)
+        let ms = (self.0 as f64 * factor).round();
+        if ms >= u64::MAX as f64 {
+            return SimDuration::FOREVER;
+        }
+        SimDuration(ms as u64)
     }
 }
 
@@ -319,6 +325,17 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn mul_f64_rejects_negative() {
         let _ = SimDuration::from_secs(1).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn mul_f64_saturates_to_forever() {
+        // Regression: the raw f64→u64 cast on an overflowing product is
+        // unspecified-looking saturation; make it an explicit FOREVER.
+        assert_eq!(
+            SimDuration::from_hours(1).mul_f64(f64::MAX),
+            SimDuration::FOREVER
+        );
+        assert_eq!(SimDuration::FOREVER.mul_f64(2.0), SimDuration::FOREVER);
     }
 
     #[test]

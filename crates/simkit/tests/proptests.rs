@@ -63,6 +63,98 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// The queue agrees with a naive reference model under arbitrary
+    /// push/pop/cancel interleavings — including cancels of handles that
+    /// already fired or were already cancelled, the case that used to
+    /// poison the live count.
+    #[test]
+    fn queue_matches_model_under_random_interleavings(
+        ops in prop::collection::vec((0u8..4, 0u64..5_000), 1..200),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut handles = Vec::new(); // every handle ever issued, fired or not
+        let mut next_id = 0usize;
+        let mut model: Vec<(SimTime, usize)> = Vec::new(); // pending (time, id)
+        for (op, v) in ops {
+            match op {
+                // Push at now + v ms.
+                0 => {
+                    let at = q.now() + SimDuration::from_millis(v);
+                    let h = q.push(at, next_id);
+                    handles.push(h);
+                    model.push((at, next_id));
+                    next_id += 1;
+                }
+                // Pop: must match the model's earliest (time, id).
+                1 => {
+                    let expect = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (t, id))| (*t, *id))
+                        .map(|(i, _)| i);
+                    match expect {
+                        None => prop_assert_eq!(q.pop(), None),
+                        Some(i) => {
+                            let (t, id) = model.remove(i);
+                            prop_assert_eq!(q.pop(), Some((t, id)));
+                        }
+                    }
+                }
+                // Cancel an arbitrary handle — possibly one that already
+                // fired or was already cancelled.
+                2 => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let pick = v as usize % handles.len();
+                    let id = pick; // handles[i] was pushed with id i
+                    let live = model.iter().position(|(_, m)| *m == id);
+                    let cancelled = q.cancel(handles[pick]);
+                    prop_assert_eq!(cancelled, live.is_some(),
+                        "cancel must succeed iff the event is still pending");
+                    if let Some(i) = live {
+                        model.remove(i);
+                    }
+                }
+                // Audit checkpoint.
+                _ => prop_assert!(q.audit().is_ok()),
+            }
+            prop_assert_eq!(q.len(), model.len(), "live count diverged from model");
+        }
+        prop_assert!(q.audit().is_ok());
+        // Drain: whatever remains pops in model order.
+        while let Some((t, id)) = q.pop() {
+            let i = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (mt, mid))| (*mt, *mid))
+                .map(|(i, _)| i)
+                .expect("queue had more events than the model");
+            let (mt, mid) = model.remove(i);
+            prop_assert_eq!((t, id), (mt, mid));
+        }
+        prop_assert!(model.is_empty(), "model had more events than the queue");
+    }
+
+    /// Per-channel energy attributions sum to the meter total, for
+    /// arbitrary draw change sequences — the §2 energy-accounting
+    /// invariant the runtime audits enforce mid-run.
+    #[test]
+    fn channel_energies_sum_to_total(
+        changes in prop::collection::vec((0u64..10_000, 0u32..5, 0u8..6, 0f64..500.0), 1..200)
+    ) {
+        let mut sorted = changes;
+        sorted.sort_by_key(|(t, ..)| *t);
+        let mut meter = EnergyMeter::new();
+        for (t, app, comp, mw) in sorted {
+            let component = ComponentKind::ALL[comp as usize];
+            meter.set_draw(SimTime::from_millis(t), Consumer::App(app), component, mw);
+        }
+        meter.advance_to(SimTime::from_millis(20_000));
+        let diff = (meter.total_energy_mj() - meter.channel_attributed_energy_mj()).abs();
+        prop_assert!(diff < 1e-6, "channel sums leaked {diff} mJ");
+    }
+
     /// Total integrated energy always equals the sum of per-consumer
     /// attributions, for arbitrary draw change sequences.
     #[test]
