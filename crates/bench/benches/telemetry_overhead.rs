@@ -1,14 +1,20 @@
 //! Overhead of the always-on telemetry bus (the reproduction's analogue of
 //! the paper's <1% accounting-overhead claim, Fig. 13).
 //!
-//! Three configurations of the same 30-minute Table 5 scenario:
+//! Four configurations of the same 30-minute Table 5 scenario:
 //!
 //! * `disabled` — no sinks attached: `emit` bumps a counter and never
 //!   builds the event value (the zero-allocation path). The acceptance
 //!   bar is <1% over what the kernel would cost with telemetry ripped
-//!   out entirely, which this path approximates by construction.
+//!   out entirely, which this path approximates by construction. The
+//!   span/attribution layer is compiled in but dormant here — its only
+//!   cost without `enable_tracing()` is one `Option` check per power
+//!   resync, so this arm also bounds the diagnosis layer's off-state
+//!   overhead.
 //! * `ring` — a bounded in-memory ring sink attached.
 //! * `jsonl` — full serialization into an in-memory JSONL buffer.
+//! * `tracing` — the full diagnosis layer: causal span ledger with
+//!   per-span energy integrals plus the periodic lease-legality audit.
 //!
 //! Run: `cargo bench -p leaseos-bench --bench telemetry_overhead`
 
@@ -70,9 +76,23 @@ fn bench_jsonl(c: &mut Criterion) {
     });
 }
 
+fn bench_tracing(c: &mut Criterion) {
+    let spec = torch_spec();
+    c.bench_function("table5_torch_30min_telemetry_tracing", |b| {
+        b.iter(|| {
+            let run = spec.execute_with(|kernel| {
+                kernel.enable_tracing();
+                kernel.set_audit_interval(Some(256));
+            });
+            let wasted = run.kernel.tracing().map(|s| s.total_wasted_mj());
+            black_box((run.app_power_mw(), wasted))
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_disabled, bench_ring, bench_jsonl
+    targets = bench_disabled, bench_ring, bench_jsonl, bench_tracing
 }
 criterion_main!(benches);

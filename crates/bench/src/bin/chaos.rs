@@ -31,9 +31,7 @@ use std::sync::Arc;
 
 use leaseos_apps::buggy::table5_cases;
 use leaseos_bench::{f2, reduction_pct, PolicyKind, ScenarioRunner, ScenarioSpec, TextTable};
-use leaseos_simkit::{
-    FaultKind, FaultPlan, FaultSpec, JsonlSink, LeaseStateAudit, SimDuration, SimTime,
-};
+use leaseos_simkit::{FaultKind, FaultPlan, FaultSpec, JsonlSink, SimDuration, SimTime};
 
 /// Policies under chaos: the baseline the paper measures against, and
 /// LeaseOS itself.
@@ -112,18 +110,16 @@ struct CellResult {
     app_power_mw: f64,
     faults_injected: u64,
     kernel_violations: Vec<String>,
-    state_violations: Vec<String>,
 }
 
 fn run_cell(spec: &ScenarioSpec, plan: &FaultPlan, jsonl: Option<&Path>) -> CellResult {
-    let state_audit = Rc::new(RefCell::new(LeaseStateAudit::new()));
-    let audit_handle = state_audit.clone();
     let run = spec.execute_with(|kernel| {
         kernel.install_fault_plan(plan);
         // Force periodic audits on even in release builds: chaos is exactly
-        // the run where we want them.
+        // the run where we want them. The kernel attaches its own lease
+        // state-machine replay sink whenever audits are on, so a separate
+        // LeaseStateAudit here would double-count the same stream.
         kernel.set_audit_interval(Some(256));
-        kernel.telemetry().attach(audit_handle);
         if let Some(dir) = jsonl {
             let path = dir.join(format!("{}.jsonl", slug(&spec.label)));
             let file = std::io::BufWriter::new(
@@ -135,12 +131,6 @@ fn run_cell(spec: &ScenarioSpec, plan: &FaultPlan, jsonl: Option<&Path>) -> Cell
         }
     });
     let kernel_violations = run.kernel.audit().iter().map(|v| v.to_string()).collect();
-    let state_violations = state_audit
-        .borrow()
-        .violations()
-        .iter()
-        .map(|v| v.to_string())
-        .collect();
     CellResult {
         app_power_mw: run.app_power_mw(),
         faults_injected: run
@@ -148,7 +138,6 @@ fn run_cell(spec: &ScenarioSpec, plan: &FaultPlan, jsonl: Option<&Path>) -> Cell
             .telemetry()
             .count(leaseos_simkit::EventKind::FaultInjected),
         kernel_violations,
-        state_violations,
     }
 }
 
@@ -238,7 +227,7 @@ fn main() {
             let mut audit_note = "clean";
             for (policy_idx, policy) in POLICIES.iter().enumerate() {
                 let r = cell(a, policy_idx, arm_idx);
-                for v in r.kernel_violations.iter().chain(&r.state_violations) {
+                for v in &r.kernel_violations {
                     audit_note = "VIOLATED";
                     failures.push(format!("{}/{}/{arm_name}: {v}", case.name, policy.label()));
                 }

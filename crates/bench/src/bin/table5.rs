@@ -6,8 +6,11 @@
 //!
 //! An optional positional argument averages each cell over that many seeds
 //! (default 1, i.e. the deterministic committed run). `--threads <n>`
-//! overrides the worker count (default: all cores), and `--jsonl <dir>`
-//! writes one telemetry JSONL file per scenario into `dir`.
+//! overrides the worker count (default: all cores), `--jsonl <dir>`
+//! writes one telemetry JSONL file per scenario into `dir`, and
+//! `--attribution` traces every run and appends wasted-energy columns
+//! (vanilla vs LeaseOS, mJ over the run) from the span ledger — the
+//! utilitarian view of the same table.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -19,15 +22,17 @@ use leaseos_bench::{
 };
 use leaseos_simkit::JsonlSink;
 
-fn parse_flags() -> (u64, Option<usize>, Option<std::path::PathBuf>) {
+fn parse_flags() -> (u64, Option<usize>, Option<std::path::PathBuf>, bool) {
     let mut seeds = 1;
     let mut threads = None;
     let mut jsonl = None;
+    let mut attribution = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => threads = args.next().and_then(|s| s.parse().ok()),
             "--jsonl" => jsonl = args.next().map(std::path::PathBuf::from),
+            "--attribution" => attribution = true,
             other => {
                 if let Ok(n) = other.parse() {
                     seeds = n;
@@ -35,7 +40,7 @@ fn parse_flags() -> (u64, Option<usize>, Option<std::path::PathBuf>) {
             }
         }
     }
-    (seeds.max(1), threads, jsonl)
+    (seeds.max(1), threads, jsonl, attribution)
 }
 
 /// File-safe version of a scenario label.
@@ -50,32 +55,40 @@ fn slug(label: &str) -> String {
         .collect()
 }
 
+/// Per-cell result: average app power, and (when `--attribution` traces the
+/// run) the span ledger's wasted-energy total.
 fn run_matrix(
     specs: &[ScenarioSpec],
     runner: &ScenarioRunner,
     jsonl: Option<&std::path::Path>,
-) -> Vec<f64> {
+    attribution: bool,
+) -> Vec<(f64, f64)> {
     runner.run(specs, |_, spec| {
-        let run = match jsonl {
-            None => spec.execute(),
-            Some(dir) => {
+        let run = spec.execute_with(|kernel| {
+            if attribution {
+                kernel.enable_tracing();
+            }
+            if let Some(dir) = jsonl {
                 let path = dir.join(format!("{}.jsonl", slug(&spec.label)));
                 let file = std::io::BufWriter::new(
                     std::fs::File::create(&path).expect("create JSONL output file"),
                 );
-                spec.execute_with(|kernel| {
-                    kernel
-                        .telemetry()
-                        .attach(Rc::new(RefCell::new(JsonlSink::new(file))));
-                })
+                kernel
+                    .telemetry()
+                    .attach(Rc::new(RefCell::new(JsonlSink::new(file))));
             }
-        };
-        run.app_power_mw()
+        });
+        let wasted_mj = run
+            .kernel
+            .tracing()
+            .map(|spans| spans.total_wasted_mj())
+            .unwrap_or(0.0);
+        (run.app_power_mw(), wasted_mj)
     })
 }
 
 fn main() {
-    let (seeds, threads, jsonl) = parse_flags();
+    let (seeds, threads, jsonl, attribution) = parse_flags();
     if let Some(dir) = &jsonl {
         std::fs::create_dir_all(dir).expect("create JSONL output directory");
     }
@@ -93,15 +106,18 @@ fn main() {
         matrix = matrix.policy(policy.label(), Arc::new(move || policy.build()));
     }
     let specs = matrix.specs();
-    let powers = run_matrix(&specs, &runner, jsonl.as_deref());
+    let results = run_matrix(&specs, &runner, jsonl.as_deref(), attribution);
     // Row-major: case → policy → seed. Average each (case, policy) cell.
     let n_pol = PolicyKind::TABLE5.len();
-    let cell = |case: usize, policy: usize| -> f64 {
+    let cell = |case: usize, policy: usize| -> (f64, f64) {
         let start = (case * n_pol + policy) * seeds as usize;
-        powers[start..start + seeds as usize].iter().sum::<f64>() / seeds as f64
+        let slice = &results[start..start + seeds as usize];
+        let power = slice.iter().fold(0.0, |acc, (p, _)| acc + p) / seeds as f64;
+        let wasted = slice.iter().fold(0.0, |acc, (_, w)| acc + w) / seeds as f64;
+        (power, wasted)
     };
 
-    let mut table = TextTable::new([
+    let mut header = vec![
         "App",
         "Res.",
         "Behav.",
@@ -113,13 +129,19 @@ fn main() {
         "Doze%",
         "DefDroid%",
         "paper L%",
-    ]);
+    ];
+    if attribution {
+        header.push("waste w/o mJ");
+        header.push("waste w/ mJ");
+    }
+    let mut table = TextTable::new(header);
     let (mut sum_lease, mut sum_doze, mut sum_dd) = (0.0, 0.0, 0.0);
+    let (mut sum_waste_base, mut sum_waste_lease) = (0.0, 0.0);
     for (i, case) in cases.iter().enumerate() {
-        let base = cell(i, 0);
-        let lease = cell(i, 1);
-        let doze = cell(i, 2);
-        let dd = cell(i, 3);
+        let (base, waste_base) = cell(i, 0);
+        let (lease, waste_lease) = cell(i, 1);
+        let (doze, _) = cell(i, 2);
+        let (dd, _) = cell(i, 3);
         let (rl, rz, rd) = (
             reduction_pct(base, lease),
             reduction_pct(base, doze),
@@ -128,7 +150,9 @@ fn main() {
         sum_lease += rl;
         sum_doze += rz;
         sum_dd += rd;
-        table.row([
+        sum_waste_base += waste_base;
+        sum_waste_lease += waste_lease;
+        let mut row = vec![
             case.name.to_owned(),
             case.resource.to_string(),
             case.behavior.to_string(),
@@ -140,7 +164,12 @@ fn main() {
             f2(rz),
             f2(rd),
             f2(case.paper.lease_reduction_pct()),
-        ]);
+        ];
+        if attribution {
+            row.push(f2(waste_base));
+            row.push(f2(waste_lease));
+        }
+        table.row(row);
     }
     let n = cases.len() as f64;
     println!("Table 5 — mitigating real-world energy misbehaviour (power in mW, 30 min runs)");
@@ -152,6 +181,15 @@ fn main() {
         sum_dd / n
     );
     println!("Paper averages:     LeaseOS 92.62%   Doze* 69.64%   DefDroid 62.04%");
+    if attribution {
+        println!(
+            "Wasted energy:      w/o lease {:.2} mJ total   w/ lease {:.2} mJ total   \
+             ({:.2}% eliminated)",
+            sum_waste_base,
+            sum_waste_lease,
+            reduction_pct(sum_waste_base, sum_waste_lease)
+        );
+    }
     println!();
     println!(
         "Note: deferral intervals escalate (25 s doubling to a 5 min cap) for repeat\n\

@@ -1,0 +1,652 @@
+//! `dumpsys`-style diagnosis reports over recorded (or freshly produced)
+//! telemetry.
+//!
+//! Android's `dumpsys batterystats` answers "which app, holding what, burned
+//! my battery?" from the framework's own bookkeeping. This module is the
+//! reproduction's equivalent: it ingests the telemetry JSONL a traced run
+//! emits (`span`, `attribution`, `lease_transition`, `fault_injected`,
+//! `energy_snapshot` events) and renders a deterministic report — top
+//! wasted-energy spans, per-app blame tables, lease state-machine timelines,
+//! and fault/audit summaries — in text, JSON, or CSV.
+//!
+//! Both ingestion paths share one pipeline: a live run attaches an in-memory
+//! [`JsonlSink`] and parses its own buffer, so `dumpsys` on a live scenario
+//! and `dumpsys --jsonl recording.jsonl` on the equivalent recording are
+//! byte-identical. Lease legality is re-checked during ingestion by
+//! replaying every `lease_transition` edge against
+//! [`LeaseStateAudit::edge_allowed`], so a doctored or truncated recording
+//! is caught offline too.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use leaseos_apps::buggy::table5_cases;
+use leaseos_framework::Kernel;
+use leaseos_simkit::telemetry::JsonValue;
+use leaseos_simkit::{DeviceProfile, JsonlSink, LeaseStateAudit, SimDuration, SimTime};
+
+use crate::{PolicyKind, TextTable};
+
+/// Output formats the report renders to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned tables for terminals.
+    Text,
+    /// One compact JSON document.
+    Json,
+    /// Flat CSV with a `record` discriminator column.
+    Csv,
+}
+
+impl Format {
+    /// Parses a `--format` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input.
+    pub fn parse(raw: &str) -> Result<Format, String> {
+        match raw {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!("unknown format {other:?} (text, json, csv)")),
+        }
+    }
+}
+
+/// Final state of one causal span, as reported by the last `span` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    /// Scope name: `system`, `app`, or `obj`.
+    pub scope: String,
+    /// Scope id (app id or object id; 0 for the system span).
+    pub id: u64,
+    /// Owning app (0 for system).
+    pub app: u32,
+    /// Resource kind, `exec`, or `system`.
+    pub kind: String,
+    /// `open` or `closed` at end of run.
+    pub state: String,
+    /// Energy the span induced that served its app, mJ.
+    pub useful_mj: f64,
+    /// Energy the span induced to no one's benefit, mJ.
+    pub wasted_mj: f64,
+}
+
+impl SpanRow {
+    /// Human name: `system`, `app3`, `obj7`.
+    pub fn name(&self) -> String {
+        if self.scope == "system" {
+            "system".to_owned()
+        } else {
+            format!("{}{}", self.scope, self.id)
+        }
+    }
+}
+
+/// One (app, component) attribution cell, batterystats-style.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrRow {
+    /// The billed app (0 = system).
+    pub app: u32,
+    /// Component name (`cpu`, `screen`, …).
+    pub component: String,
+    /// Useful share, mJ.
+    pub useful_mj: f64,
+    /// Wasted share, mJ.
+    pub wasted_mj: f64,
+}
+
+/// One observed lease state-machine edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseEdge {
+    /// When the transition happened, sim ms.
+    pub t_ms: u64,
+    /// The lease.
+    pub lease: u64,
+    /// Its kernel object.
+    pub obj: u64,
+    /// State before.
+    pub from: String,
+    /// State after.
+    pub to: String,
+}
+
+/// A fully ingested diagnosis report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Scenario label (`app/policy/seedN/Mmin`, or the recording path).
+    pub scenario: String,
+    /// Telemetry lines ingested.
+    pub events: u64,
+    /// Meter total from the final energy snapshots, mJ.
+    pub meter_total_mj: f64,
+    /// Spans in blame order: wasted mJ descending, then scope/id.
+    pub spans: Vec<SpanRow>,
+    /// Attribution rows ordered by (app, component).
+    pub attribution: Vec<AttrRow>,
+    /// Every lease transition, in stream order.
+    pub lease_edges: Vec<LeaseEdge>,
+    /// Fault injections by class.
+    pub faults: BTreeMap<String, u64>,
+    /// Lease-legality violations found while replaying the stream.
+    pub violations: Vec<String>,
+}
+
+fn num(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+fn text(v: &JsonValue, key: &str) -> String {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_owned()
+}
+
+fn scope_rank(scope: &str) -> u8 {
+    match scope {
+        "system" => 0,
+        "app" => 1,
+        _ => 2,
+    }
+}
+
+impl Report {
+    /// Ingests one telemetry JSONL stream.
+    ///
+    /// Only the last `span`/`attribution`/`energy_snapshot` value per key
+    /// matters (each settle re-emits cumulative totals); lease transitions
+    /// and faults accumulate over the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_jsonl(scenario: &str, jsonl: &str) -> Result<Report, String> {
+        let mut events = 0u64;
+        let mut spans: BTreeMap<(u8, u64), SpanRow> = BTreeMap::new();
+        let mut attribution: BTreeMap<(u32, String), AttrRow> = BTreeMap::new();
+        let mut snapshots: BTreeMap<(String, u64), f64> = BTreeMap::new();
+        let mut lease_edges = Vec::new();
+        let mut faults: BTreeMap<String, u64> = BTreeMap::new();
+        let mut violations = Vec::new();
+        let mut lease_states: BTreeMap<u64, String> = BTreeMap::new();
+
+        for (lineno, line) in jsonl.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            events += 1;
+            match text(&v, "event").as_str() {
+                "span" => {
+                    let scope = text(&v, "scope");
+                    let id = num(&v, "id") as u64;
+                    spans.insert(
+                        (scope_rank(&scope), id),
+                        SpanRow {
+                            scope,
+                            id,
+                            app: num(&v, "app") as u32,
+                            kind: text(&v, "kind"),
+                            state: text(&v, "state"),
+                            useful_mj: num(&v, "useful_mj"),
+                            wasted_mj: num(&v, "wasted_mj"),
+                        },
+                    );
+                }
+                "attribution" => {
+                    let app = num(&v, "app") as u32;
+                    let component = text(&v, "component");
+                    attribution.insert(
+                        (app, component.clone()),
+                        AttrRow {
+                            app,
+                            component,
+                            useful_mj: num(&v, "useful_mj"),
+                            wasted_mj: num(&v, "wasted_mj"),
+                        },
+                    );
+                }
+                "energy_snapshot" => {
+                    snapshots.insert(
+                        (text(&v, "consumer"), num(&v, "id") as u64),
+                        num(&v, "energy_mj"),
+                    );
+                }
+                "lease_transition" => {
+                    let edge = LeaseEdge {
+                        t_ms: num(&v, "t_ms") as u64,
+                        lease: num(&v, "lease") as u64,
+                        obj: num(&v, "obj") as u64,
+                        from: text(&v, "from"),
+                        to: text(&v, "to"),
+                    };
+                    let prev = lease_states
+                        .get(&edge.lease)
+                        .map(String::as_str)
+                        .unwrap_or("none");
+                    if prev != edge.from {
+                        violations.push(format!(
+                            "[{} ms] lease {} claims {} -> {} but was last seen {}",
+                            edge.t_ms, edge.lease, edge.from, edge.to, prev
+                        ));
+                    }
+                    if !LeaseStateAudit::edge_allowed(&edge.from, &edge.to) {
+                        violations.push(format!(
+                            "[{} ms] lease {}: illegal edge {} -> {}",
+                            edge.t_ms, edge.lease, edge.from, edge.to
+                        ));
+                    }
+                    lease_states.insert(edge.lease, edge.to.clone());
+                    lease_edges.push(edge);
+                }
+                "fault_injected" => {
+                    *faults.entry(text(&v, "fault")).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+
+        let mut spans: Vec<SpanRow> = spans.into_values().collect();
+        spans.sort_by(|a, b| {
+            b.wasted_mj
+                .total_cmp(&a.wasted_mj)
+                .then_with(|| scope_rank(&a.scope).cmp(&scope_rank(&b.scope)))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok(Report {
+            scenario: scenario.to_owned(),
+            events,
+            meter_total_mj: snapshots.values().fold(0.0, |acc, v| acc + v),
+            spans,
+            attribution: attribution.into_values().collect(),
+            lease_edges,
+            faults,
+            violations,
+        })
+    }
+
+    /// Sum of span useful energy, mJ.
+    pub fn useful_mj(&self) -> f64 {
+        self.spans.iter().fold(0.0, |acc, s| acc + s.useful_mj)
+    }
+
+    /// Sum of span wasted energy, mJ.
+    pub fn wasted_mj(&self) -> f64 {
+        self.spans.iter().fold(0.0, |acc, s| acc + s.wasted_mj)
+    }
+
+    /// Renders the report in `format`.
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Text => self.render_text(),
+            Format::Json => self.render_json(),
+            Format::Csv => self.render_csv(),
+        }
+    }
+
+    fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "dumpsys — {}", self.scenario);
+        let _ = writeln!(
+            out,
+            "events: {}   meter total: {:.3} mJ   useful: {:.3} mJ   wasted: {:.3} mJ",
+            self.events,
+            self.meter_total_mj,
+            self.useful_mj(),
+            self.wasted_mj()
+        );
+        out.push('\n');
+
+        out.push_str("Top wasted-energy spans\n");
+        let total_wasted = self.wasted_mj();
+        let mut table = TextTable::new([
+            "span",
+            "app",
+            "kind",
+            "state",
+            "useful mJ",
+            "wasted mJ",
+            "% waste",
+        ]);
+        for s in &self.spans {
+            let pct = if total_wasted > 0.0 {
+                100.0 * s.wasted_mj / total_wasted
+            } else {
+                0.0
+            };
+            table.row([
+                s.name(),
+                format!("app{}", s.app),
+                s.kind.clone(),
+                s.state.clone(),
+                format!("{:.3}", s.useful_mj),
+                format!("{:.3}", s.wasted_mj),
+                format!("{pct:.1}"),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+
+        out.push_str("Per-app attribution\n");
+        let mut table = TextTable::new(["app", "component", "useful mJ", "wasted mJ"]);
+        for a in &self.attribution {
+            table.row([
+                format!("app{}", a.app),
+                a.component.clone(),
+                format!("{:.3}", a.useful_mj),
+                format!("{:.3}", a.wasted_mj),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+
+        out.push_str("Lease timelines\n");
+        if self.lease_edges.is_empty() {
+            out.push_str("  (no leases — not a lease policy run)\n");
+        } else {
+            let mut by_lease: BTreeMap<u64, (u64, Vec<&LeaseEdge>)> = BTreeMap::new();
+            for e in &self.lease_edges {
+                let entry = by_lease.entry(e.lease).or_insert((e.obj, Vec::new()));
+                entry.1.push(e);
+            }
+            for (lease, (obj, edges)) in by_lease {
+                let _ = write!(out, "  lease {lease} (obj{obj}):");
+                for e in edges {
+                    let _ = write!(out, " [{} ms] {}->{}", e.t_ms, e.from, e.to);
+                }
+                out.push('\n');
+            }
+        }
+        out.push('\n');
+
+        out.push_str("Faults\n");
+        if self.faults.is_empty() {
+            out.push_str("  none\n");
+        } else {
+            for (fault, n) in &self.faults {
+                let _ = writeln!(out, "  {fault}: {n}");
+            }
+        }
+        out.push('\n');
+
+        out.push_str("Lease legality\n");
+        if self.violations.is_empty() {
+            let _ = writeln!(
+                out,
+                "  clean ({} transitions replayed)",
+                self.lease_edges.len()
+            );
+        } else {
+            for v in &self.violations {
+                let _ = writeln!(out, "  VIOLATION {v}");
+            }
+        }
+        out
+    }
+
+    fn render_json(&self) -> String {
+        let obj = |fields: Vec<(&str, JsonValue)>| {
+            JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        };
+        let doc = obj(vec![
+            ("scenario", JsonValue::Str(self.scenario.clone())),
+            ("events", JsonValue::Num(self.events as f64)),
+            ("meter_total_mj", JsonValue::Num(self.meter_total_mj)),
+            ("useful_mj", JsonValue::Num(self.useful_mj())),
+            ("wasted_mj", JsonValue::Num(self.wasted_mj())),
+            (
+                "spans",
+                JsonValue::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("span", JsonValue::Str(s.name())),
+                                ("app", JsonValue::Num(f64::from(s.app))),
+                                ("kind", JsonValue::Str(s.kind.clone())),
+                                ("state", JsonValue::Str(s.state.clone())),
+                                ("useful_mj", JsonValue::Num(s.useful_mj)),
+                                ("wasted_mj", JsonValue::Num(s.wasted_mj)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "attribution",
+                JsonValue::Arr(
+                    self.attribution
+                        .iter()
+                        .map(|a| {
+                            obj(vec![
+                                ("app", JsonValue::Num(f64::from(a.app))),
+                                ("component", JsonValue::Str(a.component.clone())),
+                                ("useful_mj", JsonValue::Num(a.useful_mj)),
+                                ("wasted_mj", JsonValue::Num(a.wasted_mj)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "leases",
+                JsonValue::Arr(
+                    self.lease_edges
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("t_ms", JsonValue::Num(e.t_ms as f64)),
+                                ("lease", JsonValue::Num(e.lease as f64)),
+                                ("obj", JsonValue::Num(e.obj as f64)),
+                                ("from", JsonValue::Str(e.from.clone())),
+                                ("to", JsonValue::Str(e.to.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "faults",
+                JsonValue::Obj(
+                    self.faults
+                        .iter()
+                        .map(|(k, n)| (k.clone(), JsonValue::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "violations",
+                JsonValue::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| JsonValue::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut s = doc.to_json();
+        s.push('\n');
+        s
+    }
+
+    fn render_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("record,name,app,kind,state,useful_mj,wasted_mj\n");
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "span,{},{},{},{},{:.3},{:.3}",
+                s.name(),
+                s.app,
+                s.kind,
+                s.state,
+                s.useful_mj,
+                s.wasted_mj
+            );
+        }
+        for a in &self.attribution {
+            let _ = writeln!(
+                out,
+                "attribution,{},{},,,{:.3},{:.3}",
+                a.component, a.app, a.useful_mj, a.wasted_mj
+            );
+        }
+        for (fault, n) in &self.faults {
+            let _ = writeln!(out, "fault,{fault},,,,{n},");
+        }
+        let _ = writeln!(
+            out,
+            "total,,,,{},{:.3},{:.3}",
+            if self.violations.is_empty() {
+                "clean"
+            } else {
+                "VIOLATED"
+            },
+            self.useful_mj(),
+            self.wasted_mj()
+        );
+        out
+    }
+}
+
+/// Runs one Table 5 scenario with tracing on and returns the telemetry
+/// JSONL it produced (the live half of the shared ingestion pipeline).
+///
+/// # Panics
+///
+/// Panics when `app` names no Table 5 case.
+pub fn live_jsonl(app: &str, policy: PolicyKind, seed: u64, mins: u64) -> String {
+    let cases = table5_cases();
+    let case = cases
+        .iter()
+        .find(|c| c.name == app)
+        .unwrap_or_else(|| panic!("unknown Table 5 app {app:?}"));
+    let mut kernel = Kernel::new(
+        DeviceProfile::pixel_xl(),
+        (case.environment)(),
+        policy.build(),
+        seed,
+    );
+    kernel.enable_tracing();
+    kernel.set_audit_interval(Some(256));
+    let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())));
+    kernel.telemetry().attach(sink.clone());
+    kernel.add_app((case.build)());
+    kernel.run_until(SimTime::ZERO + SimDuration::from_mins(mins));
+    let bytes = sink.borrow().get_ref().clone();
+    String::from_utf8(bytes).expect("telemetry is UTF-8")
+}
+
+/// The canonical scenario label the live path and the goldens share.
+pub fn scenario_label(app: &str, policy: PolicyKind, seed: u64, mins: u64) -> String {
+    format!("{app}/{}/seed{seed}/{mins}min", policy.label())
+}
+
+/// Runs one Table 5 scenario live and ingests its own telemetry — used by
+/// the `dumpsys` binary and the golden-file tests.
+pub fn live_report(app: &str, policy: PolicyKind, seed: u64, mins: u64) -> Report {
+    let jsonl = live_jsonl(app, policy, seed, mins);
+    Report::from_jsonl(&scenario_label(app, policy, seed, mins), &jsonl)
+        .expect("own telemetry parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingests_span_attribution_and_lease_lines() {
+        let jsonl = concat!(
+            r#"{"event":"span","t_ms":100,"scope":"obj","id":1,"app":1,"kind":"wakelock","state":"open","useful_mj":1,"wasted_mj":9}"#,
+            "\n",
+            r#"{"event":"span","t_ms":100,"scope":"system","id":0,"app":0,"kind":"system","state":"open","useful_mj":5,"wasted_mj":0}"#,
+            "\n",
+            r#"{"event":"attribution","t_ms":100,"app":1,"component":"cpu","useful_mj":1,"wasted_mj":9}"#,
+            "\n",
+            r#"{"event":"lease_transition","t_ms":50,"lease":0,"obj":1,"from":"none","to":"active"}"#,
+            "\n",
+            r#"{"event":"energy_snapshot","t_ms":100,"consumer":"app","id":1,"energy_mj":10}"#,
+            "\n",
+            r#"{"event":"energy_snapshot","t_ms":100,"consumer":"system","id":0,"energy_mj":5}"#,
+            "\n",
+        );
+        let r = Report::from_jsonl("test", jsonl).unwrap();
+        assert_eq!(r.events, 6);
+        assert_eq!(r.spans.len(), 2);
+        // Blame order: the wakelock span leads.
+        assert_eq!(r.spans[0].name(), "obj1");
+        assert_eq!(r.meter_total_mj, 15.0);
+        assert_eq!(r.lease_edges.len(), 1);
+        assert!(r.violations.is_empty());
+        assert!((r.wasted_mj() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_span_value_wins() {
+        let jsonl = concat!(
+            r#"{"event":"span","t_ms":100,"scope":"obj","id":1,"app":1,"kind":"wakelock","state":"open","useful_mj":0,"wasted_mj":1}"#,
+            "\n",
+            r#"{"event":"span","t_ms":200,"scope":"obj","id":1,"app":1,"kind":"wakelock","state":"closed","useful_mj":0,"wasted_mj":4}"#,
+            "\n",
+        );
+        let r = Report::from_jsonl("test", jsonl).unwrap();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].state, "closed");
+        assert_eq!(r.spans[0].wasted_mj, 4.0);
+    }
+
+    #[test]
+    fn illegal_lease_edge_is_flagged() {
+        let jsonl = concat!(
+            r#"{"event":"lease_transition","t_ms":10,"lease":3,"obj":1,"from":"none","to":"active"}"#,
+            "\n",
+            r#"{"event":"lease_transition","t_ms":20,"lease":3,"obj":1,"from":"dead","to":"active"}"#,
+            "\n",
+        );
+        let r = Report::from_jsonl("test", jsonl).unwrap();
+        // Continuity (active vs claimed dead) and legality (dead -> active).
+        assert_eq!(r.violations.len(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_its_number() {
+        let err = Report::from_jsonl("test", "{\"event\":\"span\"\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn all_three_formats_render() {
+        let jsonl = concat!(
+            r#"{"event":"span","t_ms":100,"scope":"obj","id":1,"app":1,"kind":"wakelock","state":"open","useful_mj":1,"wasted_mj":9}"#,
+            "\n",
+            r#"{"event":"fault_injected","t_ms":60,"fault":"app_crash","app":1,"obj":0}"#,
+            "\n",
+        );
+        let r = Report::from_jsonl("s", jsonl).unwrap();
+        let text = r.render(Format::Text);
+        assert!(text.contains("Top wasted-energy spans"));
+        assert!(text.contains("app_crash: 1"));
+        let json = r.render(Format::Json);
+        let parsed = JsonValue::parse(json.trim_end()).unwrap();
+        assert_eq!(
+            parsed.get("wasted_mj").and_then(JsonValue::as_f64),
+            Some(9.0)
+        );
+        let csv = r.render(Format::Csv);
+        assert!(csv.starts_with("record,"));
+        assert!(csv.contains("span,obj1,1,wakelock,open,1.000,9.000"));
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(Format::parse("text").unwrap(), Format::Text);
+        assert_eq!(Format::parse("json").unwrap(), Format::Json);
+        assert_eq!(Format::parse("csv").unwrap(), Format::Csv);
+        assert!(Format::parse("xml").is_err());
+    }
+}

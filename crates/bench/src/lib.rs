@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dumpsys;
 pub mod harness;
 
 pub use harness::{
@@ -72,6 +73,25 @@ impl PolicyKind {
             PolicyKind::DozeAggressive => Box::new(Doze::aggressive()),
             PolicyKind::DefDroid => Box::new(DefDroid::new()),
             PolicyKind::PureThrottle => Box::new(PureThrottle::new()),
+        }
+    }
+
+    /// Parses a CLI policy name (`vanilla`, `leaseos`, `doze`, `defdroid`,
+    /// `throttle`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input.
+    pub fn parse(raw: &str) -> Result<PolicyKind, String> {
+        match raw {
+            "vanilla" => Ok(PolicyKind::Vanilla),
+            "leaseos" => Ok(PolicyKind::LeaseOs),
+            "doze" => Ok(PolicyKind::DozeAggressive),
+            "defdroid" => Ok(PolicyKind::DefDroid),
+            "throttle" => Ok(PolicyKind::PureThrottle),
+            other => Err(format!(
+                "unknown policy {other:?} (vanilla, leaseos, doze, defdroid, throttle)"
+            )),
         }
     }
 

@@ -24,12 +24,15 @@
 //! * GPS fixes and sensor readings are delivered regardless of sleep (their
 //!   listener callbacks wake the app transiently, as on Android).
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
 
 use leaseos_simkit::{
-    AuditViolation, ComponentKind, Consumer, DeviceProfile, EnergyConservation, EnergyMeter,
-    Environment, EventHandle, EventKind, EventQueue, FaultKind, FaultPlan, GpsSignal, Invariant,
-    QueueConsistency, SimDuration, SimRng, SimTime, TelemetryBus, TelemetryEvent,
+    AuditViolation, Battery, BatteryMeterCrossCheck, BatteryMeterSample, ComponentKind, Consumer,
+    DeviceProfile, EnergyConservation, EnergyMeter, Environment, EventHandle, EventKind,
+    EventQueue, FaultKind, FaultPlan, GpsSignal, Invariant, LeaseStateAudit, QueueConsistency,
+    SimDuration, SimRng, SimTime, SpanLedger, SpanScope, TelemetryBus, TelemetryEvent,
 };
 
 use crate::app::{AppEvent, AppModel};
@@ -200,6 +203,17 @@ pub struct Kernel {
     /// disables the periodic audits; debug builds default them on).
     audit_interval: Option<u64>,
     last_audit_count: u64,
+
+    /// The battery reservoir, drained in step with the meter so the
+    /// battery-vs-meter cross-check has two independent accounts to compare.
+    battery: Battery,
+    /// Meter total already drained from the battery, mJ.
+    battery_drained_mj: f64,
+    /// The causal span ledger, present while tracing is enabled.
+    spans: Option<Rc<RefCell<SpanLedger>>>,
+    /// Kernel-internal lease legality audit, attached alongside the
+    /// periodic audits so `Kernel::audit` replays lease telemetry too.
+    lease_audit: Option<Rc<RefCell<LeaseStateAudit>>>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -223,6 +237,7 @@ impl Kernel {
         policy: Box<dyn ResourcePolicy>,
         seed: u64,
     ) -> Self {
+        let battery = Battery::for_device(&device);
         Kernel {
             device,
             env,
@@ -247,7 +262,41 @@ impl Kernel {
             pending_exceptions: BTreeSet::new(),
             audit_interval: cfg!(debug_assertions).then_some(DEFAULT_AUDIT_EVERY),
             last_audit_count: 0,
+            battery,
+            battery_drained_mj: 0.0,
+            spans: None,
+            lease_audit: None,
         }
+    }
+
+    /// Enables causal span tracing: a [`SpanLedger`] sink is attached to
+    /// the telemetry bus, and power attribution is mirrored into per-span
+    /// useful/wasted draws (see `DESIGN.md` §3.7). Tracing activates the
+    /// bus, so enable it only when the diagnosis is worth the event
+    /// construction cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has started (spans must observe every
+    /// object from its acquire edge).
+    pub fn enable_tracing(&mut self) {
+        assert!(!self.started, "enable tracing before the first run_until");
+        if self.spans.is_some() {
+            return;
+        }
+        let ledger = Rc::new(RefCell::new(SpanLedger::new()));
+        self.telemetry.attach(ledger.clone());
+        self.spans = Some(ledger);
+    }
+
+    /// The span ledger, while tracing is enabled.
+    pub fn tracing(&self) -> Option<std::cell::Ref<'_, SpanLedger>> {
+        self.spans.as_ref().map(|s| s.borrow())
+    }
+
+    /// The battery reservoir (drained in step with the energy meter).
+    pub fn battery(&self) -> &Battery {
+        &self.battery
     }
 
     /// The kernel's telemetry bus. Attach sinks before running to observe
@@ -327,6 +376,11 @@ impl Kernel {
     /// * energy conservation — per-consumer and per-channel sums equal the
     ///   meter total within tolerance;
     /// * event-queue bookkeeping consistency;
+    /// * battery-vs-meter cross-check — the reservoir drained in step with
+    ///   the meter must agree with its total within 1e-6 J;
+    /// * lease state-machine legality — replayed from lease telemetry by
+    ///   the kernel-internal [`LeaseStateAudit`] (attached whenever the
+    ///   periodic audits are enabled);
     /// * object lifetime — no kernel object outlives its owning app.
     ///
     /// Audits are read-only: they draw no randomness and emit no telemetry,
@@ -339,6 +393,12 @@ impl Kernel {
         }
         if let Err(v) = QueueConsistency.check(now, &self.queue) {
             violations.push(v);
+        }
+        if let Err(v) = BatteryMeterCrossCheck::default().check(now, &self.battery_sample()) {
+            violations.push(v);
+        }
+        if let Some(audit) = &self.lease_audit {
+            violations.extend(audit.borrow().violations().iter().cloned());
         }
         for slot in &self.apps {
             if !slot.stopped {
@@ -371,7 +431,33 @@ impl Kernel {
             return;
         }
         self.last_audit_count = processed;
+        self.sync_battery();
         self.assert_audits_clean();
+    }
+
+    /// Drains the meter total accumulated since the last sync from the
+    /// battery, keeping the two accounts comparable at audit points.
+    /// Policy-overhead energy is excluded: it is tracked outside the meter.
+    fn sync_battery(&mut self) {
+        let total = self.meter.total_energy_mj();
+        let delta = total - self.battery_drained_mj;
+        if delta > 0.0 {
+            self.battery.drain_mj(delta);
+            self.battery_drained_mj = total;
+        }
+    }
+
+    /// What the battery cross-check compares: the reservoir's observed
+    /// depletion against the meter's integrated total. Audit points sync
+    /// the battery first, so the two are independent accounts of the same
+    /// draw history. Public so diagnosis tests and tools can take the same
+    /// reading the audit does.
+    pub fn battery_sample(&self) -> BatteryMeterSample {
+        BatteryMeterSample {
+            drained_mj: (self.battery.capacity_mwh() - self.battery.remaining_mwh()) * 3_600.0,
+            meter_total_mj: self.meter.total_energy_mj(),
+            battery_empty: self.battery.is_empty(),
+        }
     }
 
     fn assert_audits_clean(&self) {
@@ -478,6 +564,10 @@ impl Kernel {
         self.ledger
             .set_user_present(self.env.user_present.at(end), end);
         self.meter.advance_to(end);
+        if let Some(spans) = &self.spans {
+            spans.borrow_mut().settle(end);
+        }
+        self.sync_battery();
         self.emit_energy_snapshots(end);
         if self.audit_interval.is_some() {
             self.assert_audits_clean();
@@ -505,6 +595,64 @@ impl Kernel {
                 energy_mj: self.meter.energy_mj(Consumer::System) + self.policy_overhead_mj,
             }
         });
+        self.emit_attribution(at);
+    }
+
+    /// Emits the span-derived views while tracing is enabled: one
+    /// [`TelemetryEvent::Attribution`] row per (app, component) and one
+    /// [`TelemetryEvent::SpanSummary`] per span. Rows are collected before
+    /// emitting so no ledger borrow is held while the bus delivers back to
+    /// the ledger's own sink.
+    fn emit_attribution(&self, at: SimTime) {
+        let Some(spans) = &self.spans else {
+            return;
+        };
+        let mut rows: BTreeMap<(u32, ComponentKind), (f64, f64)> = BTreeMap::new();
+        let mut summaries = Vec::new();
+        {
+            let spans = spans.borrow();
+            for span in spans.spans() {
+                for (component, wasted, mj) in span.energy_by_component() {
+                    let cell = rows.entry((span.app(), component)).or_insert((0.0, 0.0));
+                    if wasted {
+                        cell.1 += mj;
+                    } else {
+                        cell.0 += mj;
+                    }
+                }
+                summaries.push((
+                    span.scope(),
+                    span.app(),
+                    span.kind(),
+                    span.is_open(),
+                    span.useful_mj(),
+                    span.wasted_mj(),
+                ));
+            }
+        }
+        for ((app, component), (useful_mj, wasted_mj)) in rows {
+            self.telemetry
+                .emit(EventKind::Attribution, || TelemetryEvent::Attribution {
+                    at,
+                    app,
+                    component: component.name(),
+                    useful_mj,
+                    wasted_mj,
+                });
+        }
+        for (scope, app, kind, open, useful_mj, wasted_mj) in summaries {
+            self.telemetry
+                .emit(EventKind::SpanSummary, || TelemetryEvent::SpanSummary {
+                    at,
+                    scope: scope.name(),
+                    id: scope.id(),
+                    app,
+                    kind,
+                    state: if open { "open" } else { "closed" },
+                    useful_mj,
+                    wasted_mj,
+                });
+        }
     }
 
     fn ensure_started(&mut self) {
@@ -529,10 +677,20 @@ impl Kernel {
             self.queue
                 .push(SimTime::ZERO + interval, SysEvent::ProfilerTick);
         }
+        // Debug-default lease legality replay: when periodic audits are on,
+        // mirror every lease transition through a LeaseStateAudit sink so
+        // `audit()` can report illegal transitions alongside the energy and
+        // battery invariants. Attached before the first event so the replay
+        // sees the complete history.
+        if self.audit_interval.is_some() && self.lease_audit.is_none() {
+            let audit = Rc::new(RefCell::new(LeaseStateAudit::new()));
+            self.telemetry.attach(audit.clone());
+            self.lease_audit = Some(audit);
+        }
         self.update_device_state();
         // Policies that watch device state (e.g. Doze's idle detector) get
         // an initial notification of the starting conditions.
-        let actions = self.call_policy("on_device_state", |p, ctx| p.on_device_state(ctx));
+        let actions = self.call_policy("on_device_state", 0, |p, ctx| p.on_device_state(ctx));
         self.apply_actions(actions);
     }
 
@@ -582,7 +740,8 @@ impl Kernel {
                                 event: "alarm",
                             }
                         });
-                        let actions = self.call_policy("on_alarm", |p, ctx| p.on_alarm(ctx, app));
+                        let actions =
+                            self.call_policy("on_alarm", 0, |p, ctx| p.on_alarm(ctx, app));
                         self.apply_actions(actions);
                     }
                     self.with_app(app, |model, ctx| {
@@ -597,7 +756,7 @@ impl Kernel {
             SysEvent::GpsDeliver { obj } => self.gps_deliver(now, obj),
             SysEvent::SensorDeliver { obj } => self.sensor_deliver(now, obj),
             SysEvent::PolicyTimer { key } => {
-                let actions = self.call_policy("on_timer", |p, ctx| p.on_timer(ctx, key));
+                let actions = self.call_policy("on_timer", 0, |p, ctx| p.on_timer(ctx, key));
                 self.apply_actions(actions);
             }
             SysEvent::EnvChange => self.on_env_change(now),
@@ -705,7 +864,8 @@ impl Kernel {
             self.ledger.note_dead(obj, now);
             self.gps.remove(&obj);
             self.sensors.remove(&obj);
-            let actions = self.call_policy("on_object_dead", |p, ctx| p.on_object_dead(ctx, obj));
+            let actions =
+                self.call_policy("on_object_dead", obj.0, |p, ctx| p.on_object_dead(ctx, obj));
             self.apply_actions(actions);
         }
         self.ledger.set_activity_alive(app, false, now);
@@ -824,6 +984,7 @@ impl Kernel {
     fn call_policy<R>(
         &mut self,
         hook: &'static str,
+        obj: u64,
         f: impl FnOnce(&mut dyn ResourcePolicy, &PolicyCtx<'_>) -> R,
     ) -> R {
         let mut policy = self.policy.take().expect("policy re-entered");
@@ -839,11 +1000,14 @@ impl Kernel {
         let overhead = policy.overhead();
         self.policy = Some(policy);
         // One PolicyOp per hook invocation: the bookkeeping-op unit the
-        // overhead experiments count (paper Fig. 13/14).
+        // overhead experiments count (paper Fig. 13/14). `obj` ties the hook
+        // to the kernel object it concerns (0 for object-less hooks) so the
+        // span ledger can annotate the object's causal span.
         self.telemetry
             .emit(EventKind::PolicyOp, || TelemetryEvent::PolicyOp {
                 at: now,
                 hook,
+                obj,
             });
         self.bill_policy_overhead(overhead.per_op_cpu_ms);
         r
@@ -880,8 +1044,14 @@ impl Kernel {
         // Bookkeeping runs in system_server: charge the equivalent
         // active-CPU energy as instantaneous system overhead. It is tracked
         // separately from the meter because the op itself has (near-)zero
-        // duration on the simulation clock.
-        self.policy_overhead_mj += cpu_ms / 1_000.0 * self.device.power.cpu_active_mw;
+        // duration on the simulation clock. The system span carries it too
+        // (useful: bookkeeping serves everyone), so span totals conserve
+        // the *reported* system energy, which includes this overhead.
+        let mj = cpu_ms / 1_000.0 * self.device.power.cpu_active_mw;
+        self.policy_overhead_mj += mj;
+        if let Some(spans) = &self.spans {
+            spans.borrow_mut().bill_system_mj(ComponentKind::Cpu, mj);
+        }
     }
 
     /// Total modeled policy bookkeeping energy, in mJ (part of system
@@ -925,7 +1095,7 @@ impl Kernel {
             params,
             first: true,
         };
-        let outcome = self.call_policy("on_acquire", |p, ctx| p.on_acquire(ctx, &req));
+        let outcome = self.call_policy("on_acquire", req.obj.0, |p, ctx| p.on_acquire(ctx, &req));
         self.emit_acquire(now, app, obj, kind, outcome.decision, true);
         self.install_runtime(obj, kind, params);
         if outcome.decision == AcquireDecision::PretendGrant {
@@ -970,7 +1140,7 @@ impl Kernel {
             params,
             first: false,
         };
-        let outcome = self.call_policy("on_acquire", |p, ctx| p.on_acquire(ctx, &req));
+        let outcome = self.call_policy("on_acquire", req.obj.0, |p, ctx| p.on_acquire(ctx, &req));
         self.emit_acquire(now, app, obj, kind, outcome.decision, false);
         if outcome.decision == AcquireDecision::PretendGrant {
             self.do_revoke_effects(obj);
@@ -1012,7 +1182,7 @@ impl Kernel {
         });
         self.ledger.note_release(obj, now);
         self.park_runtime(obj);
-        let actions = self.call_policy("on_release", |p, ctx| p.on_release(ctx, obj));
+        let actions = self.call_policy("on_release", obj.0, |p, ctx| p.on_release(ctx, obj));
         self.apply_actions(actions);
     }
 
@@ -1043,7 +1213,8 @@ impl Kernel {
         self.ledger.note_dead(obj, now);
         self.gps.remove(&obj);
         self.sensors.remove(&obj);
-        let actions = self.call_policy("on_object_dead", |p, ctx| p.on_object_dead(ctx, obj));
+        let actions =
+            self.call_policy("on_object_dead", obj.0, |p, ctx| p.on_object_dead(ctx, obj));
         self.apply_actions(actions);
     }
 
@@ -1443,7 +1614,7 @@ impl Kernel {
                 _ => {}
             }
         }
-        let actions = self.call_policy("on_device_state", |p, ctx| p.on_device_state(ctx));
+        let actions = self.call_policy("on_device_state", 0, |p, ctx| p.on_device_state(ctx));
         self.apply_actions(actions);
     }
 
@@ -1508,7 +1679,7 @@ impl Kernel {
                     at: now,
                     state,
                 });
-            let actions = self.call_policy("on_device_state", |p, ctx| p.on_device_state(ctx));
+            let actions = self.call_policy("on_device_state", 0, |p, ctx| p.on_device_state(ctx));
             // Note: apply_actions calls back into update_device_state; the
             // recursion terminates because the second pass sees no change.
             self.apply_actions_inner(actions);
@@ -1750,6 +1921,205 @@ impl Kernel {
                 self.prev_draws.insert(*key, *mw);
             }
         }
+
+        // Mirror the same attribution at span granularity when tracing is
+        // enabled. Computed after the meter so both integrate from `now`.
+        if let Some(spans) = &self.spans {
+            let sd = self.span_desired(now);
+            spans.borrow_mut().set_draws(now, &sd);
+        }
+    }
+
+    /// Whether `app` currently has a CPU burst executing.
+    fn app_running_burst(&self, app: AppId) -> bool {
+        self.works
+            .iter()
+            .any(|((a, _), b)| *a == app && b.running_since.is_some())
+    }
+
+    /// The effective (held, non-revoked) objects of `kind`, grouped by owner.
+    fn effective_holder_objs(&self, kind: ResourceKind) -> BTreeMap<AppId, Vec<ObjId>> {
+        let mut map: BTreeMap<AppId, Vec<ObjId>> = BTreeMap::new();
+        for (id, o) in self.ledger.live_objects() {
+            if o.kind == kind && o.held && !o.revoked {
+                map.entry(o.owner).or_default().push(id);
+            }
+        }
+        for objs in map.values_mut() {
+            objs.sort();
+        }
+        map
+    }
+
+    /// Subdivides one app's component share among its responsible objects.
+    /// The last object takes the remainder so the slices sum back to `share`
+    /// exactly, keeping span totals aligned with the meter's consumer math.
+    fn split_app_share(
+        out: &mut BTreeMap<(SpanScope, ComponentKind, bool), f64>,
+        objs: &[ObjId],
+        comp: ComponentKind,
+        wasted: bool,
+        share: f64,
+    ) {
+        if share <= 0.0 || objs.is_empty() {
+            return;
+        }
+        let per = share / objs.len() as f64;
+        for (i, obj) in objs.iter().enumerate() {
+            let mw = if i + 1 == objs.len() {
+                share - per * (objs.len() - 1) as f64
+            } else {
+                per
+            };
+            *out.entry((SpanScope::Obj(obj.0), comp, wasted))
+                .or_insert(0.0) += mw;
+        }
+    }
+
+    /// Mirrors [`Kernel::sync_power`]'s attribution at span granularity: the
+    /// same per-app shares, subdivided among each app's responsible kernel
+    /// objects, with every slice classified useful or wasted (DESIGN.md
+    /// §3.7). Per-app totals reproduce the consumer math expression for
+    /// expression, so span energy sums match the meter to float round-off.
+    fn span_desired(&self, now: SimTime) -> BTreeMap<(SpanScope, ComponentKind, bool), f64> {
+        let p = &self.device.power;
+        let mut out: BTreeMap<(SpanScope, ComponentKind, bool), f64> = BTreeMap::new();
+        let alive = |app: AppId| {
+            self.ledger
+                .app_opt(app)
+                .map(|a| a.activity_alive)
+                .unwrap_or(false)
+        };
+
+        // CPU floor: the always-present baseline is useful system overhead.
+        *out.entry((SpanScope::System, ComponentKind::Cpu, false))
+            .or_insert(0.0) += p.cpu_deep_sleep_mw;
+
+        if self.awake {
+            let idle_delta = p.cpu_idle_mw - p.cpu_deep_sleep_mw;
+            let wakers = self.effective_holders(ResourceKind::Wakelock);
+            if self.screen_on || wakers.is_empty() {
+                *out.entry((SpanScope::System, ComponentKind::Cpu, false))
+                    .or_insert(0.0) += idle_delta;
+            } else {
+                // A held wakelock whose owner has no burst executing is the
+                // Long-Holding signature: the idle draw it induces is waste.
+                let share = idle_delta / wakers.len() as f64;
+                let objs = self.effective_holder_objs(ResourceKind::Wakelock);
+                for app in wakers {
+                    let wasted = !self.app_running_burst(app);
+                    if let Some(list) = objs.get(&app) {
+                        Self::split_app_share(&mut out, list, ComponentKind::Cpu, wasted, share);
+                    }
+                }
+            }
+            let active_delta = p.cpu_active_mw - p.cpu_idle_mw;
+            let mut running: Vec<AppId> = self
+                .works
+                .iter()
+                .filter(|(_, b)| b.running_since.is_some())
+                .map(|((app, _), _)| *app)
+                .collect();
+            running.sort();
+            running.dedup();
+            for app in running {
+                *out.entry((SpanScope::App(app.0), ComponentKind::Cpu, false))
+                    .or_insert(0.0) += active_delta;
+            }
+        }
+
+        // Screen: a lit panel with the user present is useful system draw;
+        // lit by a screen wakelock with nobody watching, it is wasted unless
+        // the owning activity is alive and plausibly rendering.
+        if self.screen_on {
+            if self.env.user_present.at(now) {
+                *out.entry((SpanScope::System, ComponentKind::Screen, false))
+                    .or_insert(0.0) += p.screen_on_mw;
+            } else {
+                let holders = self.effective_holders(ResourceKind::ScreenWakelock);
+                let share = p.screen_on_mw / holders.len().max(1) as f64;
+                let objs = self.effective_holder_objs(ResourceKind::ScreenWakelock);
+                for app in holders {
+                    let wasted = !alive(app);
+                    if let Some(list) = objs.get(&app) {
+                        Self::split_app_share(&mut out, list, ComponentKind::Screen, wasted, share);
+                    }
+                }
+            }
+        }
+
+        // GPS: searching burns the Frequent-Ask way regardless of listener
+        // health; a delivered fix is useful only to a live activity.
+        for (obj, g) in &self.gps {
+            if g.phase == GpsRunPhase::Parked {
+                continue;
+            }
+            let o = self.ledger.obj(*obj);
+            if !o.held || o.revoked || o.dead {
+                continue;
+            }
+            let (mw, wasted) = match g.phase {
+                GpsRunPhase::Searching => (p.gps_searching_mw, true),
+                GpsRunPhase::Fixed => (p.gps_fixed_mw, !alive(o.owner)),
+                GpsRunPhase::Parked => (0.0, false),
+            };
+            if mw > 0.0 {
+                *out.entry((SpanScope::Obj(obj.0), ComponentKind::Gps, wasted))
+                    .or_insert(0.0) += mw;
+            }
+        }
+
+        // Wi-Fi: active transfers are app work; an idle-held wifilock is
+        // exactly the hold-without-use waste the lease model targets.
+        let transferring: Vec<AppId> = {
+            let mut v: Vec<AppId> = self
+                .netops
+                .iter()
+                .filter(|(_, op)| !op.suspended)
+                .map(|((app, _), _)| *app)
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        if !transferring.is_empty() {
+            let share = p.wifi_active_mw / transferring.len() as f64;
+            for app in transferring {
+                *out.entry((SpanScope::App(app.0), ComponentKind::Wifi, false))
+                    .or_insert(0.0) += share;
+            }
+        } else {
+            let holders = self.effective_holders(ResourceKind::WifiLock);
+            if !holders.is_empty() {
+                let share = p.wifi_idle_mw / holders.len() as f64;
+                let objs = self.effective_holder_objs(ResourceKind::WifiLock);
+                for app in holders {
+                    if let Some(list) = objs.get(&app) {
+                        Self::split_app_share(&mut out, list, ComponentKind::Wifi, true, share);
+                    }
+                }
+            }
+        }
+
+        // Sensors feed a live activity or nobody; audio is audible either way.
+        for (kind, comp, mw) in [
+            (ResourceKind::Sensor, ComponentKind::Sensor, p.sensor_on_mw),
+            (ResourceKind::Audio, ComponentKind::Audio, p.audio_on_mw),
+        ] {
+            let holders = self.effective_holders(kind);
+            if holders.is_empty() {
+                continue;
+            }
+            let share = mw / holders.len() as f64;
+            let objs = self.effective_holder_objs(kind);
+            for app in holders {
+                let wasted = comp == ComponentKind::Sensor && !alive(app);
+                if let Some(list) = objs.get(&app) {
+                    Self::split_app_share(&mut out, list, comp, wasted, share);
+                }
+            }
+        }
+        out
     }
 }
 

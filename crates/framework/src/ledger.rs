@@ -186,9 +186,12 @@ impl Ledger {
     }
 
     /// Creates a record for a new kernel object and returns its id.
+    ///
+    /// Ids start at 1: 0 is reserved as the null object, which telemetry
+    /// uses to mark events that concern no particular object.
     pub fn create_object(&mut self, kind: ResourceKind, owner: AppId, now: SimTime) -> ObjId {
-        let id = ObjId(self.next_obj);
         self.next_obj += 1;
+        let id = ObjId(self.next_obj);
         self.objects.insert(id, ObjStats::new(kind, owner, now));
         id
     }

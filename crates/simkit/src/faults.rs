@@ -273,6 +273,60 @@ impl Invariant<EnergyMeter> for EnergyConservation {
     }
 }
 
+/// What the battery-vs-meter cross-check observes at an audit point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryMeterSample {
+    /// Energy drained from the [`crate::Battery`] so far, mJ.
+    pub drained_mj: f64,
+    /// The [`EnergyMeter`]'s integrated total, mJ.
+    pub meter_total_mj: f64,
+    /// True when the battery hit empty (its drain clamps there, so the
+    /// totals legitimately diverge).
+    pub battery_empty: bool,
+}
+
+/// Battery-vs-meter cross-check: the reservoir and the integrator are two
+/// independent accounts of the same draw, so they must agree within 1e-6 J
+/// (plus a small relative term for float accumulation) at every audit
+/// point.
+#[derive(Debug, Clone, Copy)]
+pub struct BatteryMeterCrossCheck {
+    /// Absolute tolerance, mJ (1e-3 mJ = the spec's 1e-6 J).
+    pub tolerance_mj: f64,
+}
+
+impl Default for BatteryMeterCrossCheck {
+    fn default() -> Self {
+        BatteryMeterCrossCheck { tolerance_mj: 1e-3 }
+    }
+}
+
+impl Invariant<BatteryMeterSample> for BatteryMeterCrossCheck {
+    fn name(&self) -> &'static str {
+        "battery_meter_cross_check"
+    }
+
+    fn check(&self, now: SimTime, sample: &BatteryMeterSample) -> Result<(), AuditViolation> {
+        if sample.battery_empty {
+            // Drain clamps at empty; only the meter keeps counting.
+            return Ok(());
+        }
+        let tol = self.tolerance_mj + 1e-9 * sample.meter_total_mj.abs();
+        let gap = sample.drained_mj - sample.meter_total_mj;
+        if gap.abs() > tol {
+            return Err(AuditViolation {
+                at: now,
+                invariant: self.name(),
+                detail: format!(
+                    "battery drained {} mJ but meter integrated {} mJ (gap {gap}, tolerance {tol})",
+                    sample.drained_mj, sample.meter_total_mj
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Event-queue bookkeeping consistency (see [`EventQueue::audit`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueueConsistency;
@@ -314,7 +368,10 @@ impl LeaseStateAudit {
         LeaseStateAudit::default()
     }
 
-    fn edge_allowed(from: &str, to: &str) -> bool {
+    /// Whether `(from, to)` is a legal edge of the lease automaton. Public
+    /// so offline tools (e.g. the dumpsys report) can replay legality from
+    /// recorded telemetry without reconstructing events.
+    pub fn edge_allowed(from: &str, to: &str) -> bool {
         match (from, to) {
             // Creation: the manager grants a fresh lease active.
             ("none", "active") => true,
@@ -390,6 +447,32 @@ mod tests {
             from,
             to,
         }
+    }
+
+    #[test]
+    fn battery_meter_cross_check_tolerances() {
+        let inv = BatteryMeterCrossCheck::default();
+        let now = SimTime::from_secs(10);
+        let ok = BatteryMeterSample {
+            drained_mj: 1_000.0,
+            meter_total_mj: 1_000.0 + 5e-4,
+            battery_empty: false,
+        };
+        assert!(inv.check(now, &ok).is_ok());
+        let bad = BatteryMeterSample {
+            drained_mj: 1_000.0,
+            meter_total_mj: 1_000.5,
+            battery_empty: false,
+        };
+        let err = inv.check(now, &bad).unwrap_err();
+        assert_eq!(err.invariant, "battery_meter_cross_check");
+        assert!(err.detail.contains("gap"));
+        // An empty battery clamps its drain; the divergence is expected.
+        let empty = BatteryMeterSample {
+            battery_empty: true,
+            ..bad
+        };
+        assert!(inv.check(now, &empty).is_ok());
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attribution;
 mod battery;
 mod device;
 mod energy;
@@ -59,13 +60,14 @@ pub mod telemetry;
 mod time;
 mod trace;
 
+pub use attribution::{AttributionLedger, AttributionRow};
 pub use battery::{battery_life, Battery};
 pub use device::DeviceProfile;
 pub use energy::{Channel, Consumer, EnergyMeter};
 pub use env::{Environment, GpsSignal, Schedule};
 pub use faults::{
-    AuditViolation, EnergyConservation, FaultKind, FaultPlan, FaultSpec, Invariant,
-    LeaseStateAudit, QueueConsistency, ScheduledFault,
+    AuditViolation, BatteryMeterCrossCheck, BatteryMeterSample, EnergyConservation, FaultKind,
+    FaultPlan, FaultSpec, Invariant, LeaseStateAudit, QueueConsistency, ScheduledFault,
 };
 pub use power::{ComponentKind, ComponentState, CpuState, GpsState, PowerTable, WifiState};
 pub use queue::{EventHandle, EventQueue};
@@ -75,4 +77,4 @@ pub use telemetry::{
     TelemetryEvent,
 };
 pub use time::{SimDuration, SimTime};
-pub use trace::{SeriesSet, TimeSeries};
+pub use trace::{SeriesSet, Span, SpanLedger, SpanNote, SpanScope, TimeSeries};

@@ -45,17 +45,23 @@ impl ComponentKind {
     ];
 }
 
-impl fmt::Display for ComponentKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl ComponentKind {
+    /// Stable machine-readable name (the telemetry `component` field).
+    pub fn name(self) -> &'static str {
+        match self {
             ComponentKind::Cpu => "cpu",
             ComponentKind::Screen => "screen",
             ComponentKind::Gps => "gps",
             ComponentKind::Wifi => "wifi",
             ComponentKind::Sensor => "sensor",
             ComponentKind::Audio => "audio",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

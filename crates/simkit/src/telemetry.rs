@@ -63,11 +63,15 @@ pub enum EventKind {
     EnergySnapshot,
     /// A fault-plan fault was injected into the run.
     FaultInjected,
+    /// A per-app, per-component useful/wasted attribution row.
+    Attribution,
+    /// A causal span summary (open or closed) with its energy integrals.
+    SpanSummary,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::ServiceAcquire,
         EventKind::ServiceRelease,
         EventKind::ObjectDead,
@@ -81,6 +85,8 @@ impl EventKind {
         EventKind::DeviceState,
         EventKind::EnergySnapshot,
         EventKind::FaultInjected,
+        EventKind::Attribution,
+        EventKind::SpanSummary,
     ];
 
     /// Number of kinds (size of counter arrays).
@@ -102,6 +108,8 @@ impl EventKind {
             EventKind::DeviceState => "device_state",
             EventKind::EnergySnapshot => "energy_snapshot",
             EventKind::FaultInjected => "fault_injected",
+            EventKind::Attribution => "attribution",
+            EventKind::SpanSummary => "span",
         }
     }
 }
@@ -152,6 +160,9 @@ pub enum TelemetryEvent {
         at: SimTime,
         /// Hook name (`"on_acquire"`, `"on_timer"`, …).
         hook: &'static str,
+        /// The kernel object the hook concerns (0 for object-less hooks
+        /// like `on_timer` and `on_device_state`).
+        obj: u64,
     },
     /// The kernel applied a policy action.
     PolicyAction {
@@ -240,6 +251,40 @@ pub enum TelemetryEvent {
         /// The kernel object involved, or 0 when the fault has no object.
         obj: u64,
     },
+    /// A per-app, per-component useful/wasted attribution row (emitted at
+    /// settle points while span tracing is enabled).
+    Attribution {
+        /// When.
+        at: SimTime,
+        /// Numeric app id (0 = the system baseline).
+        app: u32,
+        /// Component name (`"cpu"`, `"screen"`, `"gps"`, …).
+        component: &'static str,
+        /// Useful energy so far, millijoules.
+        useful_mj: f64,
+        /// Wasted energy so far, millijoules.
+        wasted_mj: f64,
+    },
+    /// A causal span summary (emitted at settle points while span tracing
+    /// is enabled).
+    SpanSummary {
+        /// When.
+        at: SimTime,
+        /// Span scope (`"system"`, `"app"`, `"obj"`).
+        scope: &'static str,
+        /// Scope id (object id, app id, or 0 for system).
+        id: u64,
+        /// The owning app (0 for the system span).
+        app: u32,
+        /// Span class (resource kind name, `"exec"`, or `"system"`).
+        kind: &'static str,
+        /// `"open"` or `"closed"`.
+        state: &'static str,
+        /// Useful energy the span induced, millijoules.
+        useful_mj: f64,
+        /// Wasted energy the span induced, millijoules.
+        wasted_mj: f64,
+    },
 }
 
 impl TelemetryEvent {
@@ -259,6 +304,8 @@ impl TelemetryEvent {
             TelemetryEvent::DeviceState { .. } => EventKind::DeviceState,
             TelemetryEvent::EnergySnapshot { .. } => EventKind::EnergySnapshot,
             TelemetryEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            TelemetryEvent::Attribution { .. } => EventKind::Attribution,
+            TelemetryEvent::SpanSummary { .. } => EventKind::SpanSummary,
         }
     }
 
@@ -277,7 +324,9 @@ impl TelemetryEvent {
             | TelemetryEvent::AppLifecycle { at, .. }
             | TelemetryEvent::DeviceState { at, .. }
             | TelemetryEvent::EnergySnapshot { at, .. }
-            | TelemetryEvent::FaultInjected { at, .. } => at,
+            | TelemetryEvent::FaultInjected { at, .. }
+            | TelemetryEvent::Attribution { at, .. }
+            | TelemetryEvent::SpanSummary { at, .. } => at,
         }
     }
 
@@ -288,6 +337,7 @@ impl TelemetryEvent {
             TelemetryEvent::TermRenewed { term_s, .. } => Some(("term_s", term_s)),
             TelemetryEvent::TermDeferred { defer_s, .. } => Some(("defer_s", defer_s)),
             TelemetryEvent::EnergySnapshot { energy_mj, .. } => Some(("energy_mj", energy_mj)),
+            TelemetryEvent::Attribution { wasted_mj, .. } => Some(("wasted_mj", wasted_mj)),
             _ => None,
         }
     }
@@ -323,8 +373,9 @@ impl TelemetryEvent {
                 push_field_num(&mut s, "app", app as f64);
                 push_field_num(&mut s, "obj", obj as f64);
             }
-            TelemetryEvent::PolicyOp { hook, .. } => {
+            TelemetryEvent::PolicyOp { hook, obj, .. } => {
                 push_field_str(&mut s, "hook", hook);
+                push_field_num(&mut s, "obj", obj as f64);
             }
             TelemetryEvent::PolicyAction { action, obj, .. } => {
                 push_field_str(&mut s, "action", action);
@@ -379,6 +430,36 @@ impl TelemetryEvent {
                 push_field_num(&mut s, "app", app as f64);
                 push_field_num(&mut s, "obj", obj as f64);
             }
+            TelemetryEvent::Attribution {
+                app,
+                component,
+                useful_mj,
+                wasted_mj,
+                ..
+            } => {
+                push_field_num(&mut s, "app", app as f64);
+                push_field_str(&mut s, "component", component);
+                push_field_num_key(&mut s, "useful_mj", useful_mj);
+                push_field_num_key(&mut s, "wasted_mj", wasted_mj);
+            }
+            TelemetryEvent::SpanSummary {
+                scope,
+                id,
+                app,
+                kind,
+                state,
+                useful_mj,
+                wasted_mj,
+                ..
+            } => {
+                push_field_str(&mut s, "scope", scope);
+                push_field_num(&mut s, "id", id as f64);
+                push_field_num(&mut s, "app", app as f64);
+                push_field_str(&mut s, "kind", kind);
+                push_field_str(&mut s, "state", state);
+                push_field_num_key(&mut s, "useful_mj", useful_mj);
+                push_field_num_key(&mut s, "wasted_mj", wasted_mj);
+            }
         }
         s.push('}');
         s
@@ -407,9 +488,19 @@ impl fmt::Display for TelemetryEvent {
             TelemetryEvent::ObjectDead { at, app, obj } => {
                 write!(f, "[{at}] app{app} closes obj{obj}; the kernel object dies")
             }
-            TelemetryEvent::PolicyOp { at, hook } => write!(f, "[{at}] policy hook {hook}"),
+            TelemetryEvent::PolicyOp { at, hook, obj } => {
+                write!(f, "[{at}] policy hook {hook}")?;
+                if obj != 0 {
+                    write!(f, " obj{obj}")?;
+                }
+                Ok(())
+            }
             TelemetryEvent::PolicyAction { at, action, obj } => {
-                write!(f, "[{at}] policy {action} obj{obj}")
+                write!(f, "[{at}] policy {action}")?;
+                if obj != 0 {
+                    write!(f, " obj{obj}")?;
+                }
+                Ok(())
             }
             TelemetryEvent::LeaseTransition {
                 at,
@@ -448,6 +539,35 @@ impl fmt::Display for TelemetryEvent {
                 obj,
             } => {
                 write!(f, "[{at}] fault {fault} injected into app{app} (obj{obj})")
+            }
+            TelemetryEvent::Attribution {
+                at,
+                app,
+                component,
+                useful_mj,
+                wasted_mj,
+            } => {
+                write!(
+                    f,
+                    "[{at}] app{app} {component}: {useful_mj:.1} mJ useful, \
+                     {wasted_mj:.1} mJ wasted"
+                )
+            }
+            TelemetryEvent::SpanSummary {
+                at,
+                scope,
+                id,
+                app,
+                kind,
+                state,
+                useful_mj,
+                wasted_mj,
+            } => {
+                write!(
+                    f,
+                    "[{at}] span {scope}{id} ({kind}, app{app}, {state}): \
+                     {useful_mj:.1} mJ useful, {wasted_mj:.1} mJ wasted"
+                )
             }
         }
     }
@@ -1214,6 +1334,7 @@ mod tests {
             TelemetryEvent::PolicyOp {
                 at: SimTime::from_millis(2),
                 hook: "on_timer",
+                obj: 0,
             },
             TelemetryEvent::PolicyAction {
                 at: SimTime::from_millis(3),
@@ -1263,7 +1384,25 @@ mod tests {
                 app: 3,
                 obj: 9,
             },
+            TelemetryEvent::Attribution {
+                at: SimTime::from_millis(12),
+                app: 3,
+                component: "cpu",
+                useful_mj: 10.25,
+                wasted_mj: 99.5,
+            },
+            TelemetryEvent::SpanSummary {
+                at: SimTime::from_millis(13),
+                scope: "obj",
+                id: 9,
+                app: 3,
+                kind: "wakelock",
+                state: "open",
+                useful_mj: 0.5,
+                wasted_mj: 42.0,
+            },
         ];
+        assert_eq!(events.len(), EventKind::COUNT, "cover every kind");
         for event in &events {
             let json = event.to_json();
             let parsed = JsonValue::parse(&json).expect("parse");
