@@ -37,6 +37,7 @@ impl PaperNumbers {
 }
 
 /// One reproduced energy-bug case.
+#[derive(Clone)]
 pub struct BuggyCase {
     /// App name as it appears in Table 5.
     pub name: &'static str,
@@ -368,6 +369,17 @@ pub fn table5_cases() -> Vec<BuggyCase> {
     ]
 }
 
+/// The catalog's app names, in Table 5 order — the vocabulary harness CLIs
+/// (`chaos --apps`, `dumpsys --app`) enumerate and validate against.
+pub fn case_names() -> Vec<&'static str> {
+    table5_cases().iter().map(|c| c.name).collect()
+}
+
+/// Looks one case up by its Table 5 name.
+pub fn table5_case(name: &str) -> Option<BuggyCase> {
+    table5_cases().into_iter().find(|c| c.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +427,16 @@ mod tests {
             assert!(names.insert(case.name), "{} duplicated", case.name);
             let _env = (case.environment)();
         }
+    }
+
+    #[test]
+    fn lookup_by_name_covers_the_whole_catalog() {
+        for name in case_names() {
+            let case = table5_case(name).expect("every listed name resolves");
+            assert_eq!(case.name, name);
+        }
+        assert_eq!(case_names().len(), 20);
+        assert!(table5_case("NotAnApp").is_none());
     }
 
     #[test]

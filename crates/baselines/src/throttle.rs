@@ -7,14 +7,29 @@
 //! cycle matters: under pure throttling, RunKeeper's tracking, Spotify's
 //! streaming, and Haven's monitoring all stop mid-session, while LeaseOS —
 //! seeing their high utility — keeps renewing them.
+//!
+//! Continuity is broken only by a *voluntary* release: a fresh acquire
+//! after a genuine release gets a fresh term. Involuntary ends — the
+//! object dying with a crashed process, or leaking without a release —
+//! carry their consumed hold time forward into the app's next object of
+//! the same resource kind, and a cut-off is permanent per (app, resource)
+//! rather than per kernel object. Without that, a crash-restart loop
+//! launders the single term: each restarted generation acquires a brand
+//! new object with a brand new budget and the throttle never fires (the
+//! chaos conformance matrix's `app_crash` arm pins this).
 
 use std::any::Any;
 use std::collections::BTreeMap;
 
 use leaseos_framework::{
-    AcquireOutcome, AcquireRequest, ObjId, PolicyAction, PolicyCtx, PolicyOverhead, ResourcePolicy,
+    AcquireOutcome, AcquireRequest, AppId, ObjId, PolicyAction, PolicyCtx, PolicyOverhead,
+    ResourceKind, ResourcePolicy,
 };
-use leaseos_simkit::SimDuration;
+use leaseos_simkit::{SimDuration, SimTime};
+
+/// The throttling budget's unit of accounting: one app's use of one
+/// resource kind, across kernel-object generations.
+type HoldKey = (AppId, ResourceKind);
 
 /// The single-term throttling baseline.
 #[derive(Debug)]
@@ -24,7 +39,11 @@ pub struct PureThrottle {
     watches: BTreeMap<ObjId, u64>,
     /// objects whose single term already has a pending timer.
     armed: BTreeMap<ObjId, bool>,
-    cut_off: BTreeMap<ObjId, bool>,
+    /// live armed holds: which budget each object draws from, and since when.
+    holds: BTreeMap<ObjId, (HoldKey, SimTime)>,
+    /// hold time consumed by involuntarily-ended generations.
+    consumed: BTreeMap<HoldKey, SimDuration>,
+    cut_off: BTreeMap<HoldKey, bool>,
     revocations: u64,
 }
 
@@ -42,6 +61,8 @@ impl PureThrottle {
             term,
             watches: BTreeMap::new(),
             armed: BTreeMap::new(),
+            holds: BTreeMap::new(),
+            consumed: BTreeMap::new(),
             cut_off: BTreeMap::new(),
             revocations: 0,
         }
@@ -74,38 +95,59 @@ impl ResourcePolicy for PureThrottle {
     }
 
     fn on_acquire(&mut self, ctx: &PolicyCtx<'_>, req: &AcquireRequest) -> AcquireOutcome {
-        if self.cut_off.get(&req.obj).copied().unwrap_or(false) {
-            // Once cut off, always cut off: the single term never renews.
+        let hold_key = (req.app, req.kind);
+        if self.cut_off.get(&hold_key).copied().unwrap_or(false) {
+            // Once cut off, always cut off: the single term never renews,
+            // not even for a fresh object after a crash.
             return AcquireOutcome::pretend();
         }
         if self.armed.get(&req.obj).copied().unwrap_or(false) {
             // Redundant re-acquires must not reset the single term.
             return AcquireOutcome::grant();
         }
+        // Budget already consumed by involuntarily-ended generations counts
+        // against this one: crashes do not refill the term.
+        let consumed = self.consumed.get(&hold_key).copied().unwrap_or_default();
+        if consumed >= self.term {
+            self.cut_off.insert(hold_key, true);
+            return AcquireOutcome::pretend();
+        }
+        let remaining = self.term - consumed;
         self.armed.insert(req.obj, true);
+        self.holds.insert(req.obj, (hold_key, ctx.now));
         let generation = self.watches.entry(req.obj).or_insert(0);
         *generation += 1;
         let key = Self::key(req.obj, *generation);
         AcquireOutcome::grant().with_actions(vec![PolicyAction::ScheduleTimer {
-            at: ctx.now + self.term,
+            at: ctx.now + remaining,
             key,
         }])
     }
 
     fn on_release(&mut self, _ctx: &PolicyCtx<'_>, obj: ObjId) -> Vec<PolicyAction> {
-        // A genuine release ends the hold: disarm so the next acquire gets
-        // a fresh term.
+        // A genuine release ends the hold *and* its continuity: the next
+        // acquire gets a fresh term.
         if let Some(generation) = self.watches.get_mut(&obj) {
             *generation += 1;
         }
         self.armed.insert(obj, false);
+        if let Some((hold_key, _)) = self.holds.remove(&obj) {
+            self.consumed.remove(&hold_key);
+        }
         Vec::new()
     }
 
-    fn on_object_dead(&mut self, _ctx: &PolicyCtx<'_>, obj: ObjId) -> Vec<PolicyAction> {
+    fn on_object_dead(&mut self, ctx: &PolicyCtx<'_>, obj: ObjId) -> Vec<PolicyAction> {
+        // An involuntary end (crash, leak): bank the hold time this
+        // generation consumed so the app's next object inherits the debt.
+        if let Some((hold_key, since)) = self.holds.remove(&obj) {
+            if self.armed.get(&obj).copied().unwrap_or(false) {
+                let entry = self.consumed.entry(hold_key).or_default();
+                *entry += ctx.now.since(since);
+            }
+        }
         self.watches.remove(&obj);
         self.armed.remove(&obj);
-        self.cut_off.remove(&obj);
         Vec::new()
     }
 
@@ -119,7 +161,9 @@ impl ResourcePolicy for PureThrottle {
         if !o.held || o.revoked {
             return Vec::new();
         }
-        self.cut_off.insert(obj, true);
+        if let Some((hold_key, _)) = self.holds.remove(&obj) {
+            self.cut_off.insert(hold_key, true);
+        }
         self.revocations += 1;
         vec![PolicyAction::Revoke(obj)]
     }
@@ -240,5 +284,35 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_term_is_rejected() {
         PureThrottle::with_term(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn crash_restart_cannot_launder_the_single_term() {
+        use leaseos_simkit::{FaultKind, FaultPlan, ScheduledFault};
+        // Term 5 min, crash at minute 2: generation 1 consumes 2 minutes,
+        // the post-restart generation must inherit the debt and be cut off
+        // after 3 more — 5 minutes of effective hold in total, exactly as
+        // if the crash never happened.
+        let mut k = Kernel::new(
+            DeviceProfile::pixel_xl(),
+            Environment::unattended(),
+            Box::new(PureThrottle::with_term(SimDuration::from_mins(5))),
+            1,
+        );
+        k.install_fault_plan(&FaultPlan::scripted(vec![ScheduledFault {
+            at: SimTime::from_mins(2),
+            kind: FaultKind::AppCrash,
+        }]));
+        let app = k.add_app(Box::new(Leaky));
+        k.run_until(SimTime::from_mins(30));
+        let total: SimDuration = k
+            .ledger()
+            .all_objects()
+            .filter(|(_, o)| o.owner == app)
+            .map(|(_, o)| o.effective_held_time(SimTime::from_mins(30)))
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert_eq!(total, SimDuration::from_mins(5), "one term across crashes");
+        let p = k.policy().as_any().downcast_ref::<PureThrottle>().unwrap();
+        assert_eq!(p.revocations(), 1);
     }
 }

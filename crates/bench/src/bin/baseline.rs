@@ -17,20 +17,11 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use leaseos_apps::buggy::table5_cases;
-use leaseos_bench::{reduction_pct, PolicyKind, ScenarioRunner, ScenarioSpec, RUN_LENGTH};
-use leaseos_simkit::{DeviceProfile, FaultKind, FaultPlan, FaultSpec, SimDuration};
-
-/// The chaos harness's app subset (keep in sync with `bin/chaos.rs`).
-const CHAOS_APPS: [&str; 3] = ["Facebook", "Torch", "GPSLogger"];
-
-/// The chaos fault arms (control first; keep in sync with `bin/chaos.rs`).
-const CHAOS_ARMS: [Option<FaultKind>; 5] = [
-    None,
-    Some(FaultKind::AppCrash),
-    Some(FaultKind::ObjectLeak),
-    Some(FaultKind::ListenerFailure),
-    Some(FaultKind::ServiceException),
-];
+use leaseos_bench::conformance::run_matrix;
+use leaseos_bench::{
+    reduction_pct, MatrixConfig, PolicyKind, ScenarioRunner, ScenarioSpec, RUN_LENGTH,
+};
+use leaseos_simkit::DeviceProfile;
 
 struct Flags {
     seed: u64,
@@ -123,62 +114,35 @@ fn main() {
         waste_leaseos += cell(i, 1).wasted_mj;
     }
 
-    // Chaos matrix: control reductions and the worst drift any fault arm
-    // causes, mirroring the chaos binary's ΔRed. column.
-    let chaos_cases: Vec<_> = cases
-        .iter()
-        .filter(|c| CHAOS_APPS.contains(&c.name))
-        .collect();
-    let mean = SimDuration::from_secs(300);
-    let plans: Vec<FaultPlan> = CHAOS_ARMS
-        .iter()
-        .map(|kind| match kind {
-            None => FaultPlan::none(),
-            Some(kind) => FaultPlan::generate(
-                seed,
-                RUN_LENGTH,
-                &FaultSpec::single(*kind).with_mean_interval(mean),
-            ),
-        })
-        .collect();
-    let mut chaos_specs = Vec::new();
-    let mut chaos_plan = Vec::new();
-    for case in &chaos_cases {
-        for policy in [PolicyKind::Vanilla, PolicyKind::LeaseOs] {
-            for (arm, _) in CHAOS_ARMS.iter().enumerate() {
-                chaos_specs.push(ScenarioSpec {
-                    label: format!("chaos/{}/{}/{arm}", case.name, policy.label()),
-                    app: Arc::new(case.build),
-                    policy: Arc::new(move || policy.build()),
-                    device: DeviceProfile::pixel_xl(),
-                    env: Arc::new(case.environment),
-                    seed,
-                    length: RUN_LENGTH,
-                });
-                chaos_plan.push(arm);
-            }
-        }
+    // Chaos matrix: the conformance smoke preset (3 apps × {vanilla,
+    // leaseos} × 6 fault arms including `all`), enumerated by the same
+    // module the chaos binary runs, so the arms can never drift apart.
+    // Records control reductions plus the worst savings drift any fault
+    // arm causes, in points of the fault-free vanilla baseline —
+    // mirroring the chaos binary's Δpp columns.
+    let chaos_cfg = MatrixConfig::smoke(seed);
+    let chaos_run = run_matrix(&chaos_cfg, &runner, None, "baseline").expect("chaos smoke matrix");
+    for cell in &chaos_run.cells {
+        assert!(
+            cell.violations.is_empty(),
+            "audit violations in {}: {:?}",
+            cell.label,
+            cell.violations
+        );
     }
-    let chaos: Vec<f64> = runner.run(&chaos_specs, |i, spec| {
-        let run = spec.execute_with(|kernel| {
-            kernel.install_fault_plan(&plans[chaos_plan[i]]);
-            kernel.set_audit_interval(Some(256));
-        });
-        let violations = run.kernel.audit();
-        assert!(violations.is_empty(), "audit violations: {violations:?}");
-        run.app_power_mw()
-    });
-    let arms = CHAOS_ARMS.len();
-    let chaos_cell =
-        |app: usize, policy: usize, arm: usize| -> f64 { chaos[(app * 2 + policy) * arms + arm] };
     let mut control_red = Vec::new();
     let mut max_drift: f64 = 0.0;
-    for a in 0..chaos_cases.len() {
-        let control = reduction_pct(chaos_cell(a, 0, 0), chaos_cell(a, 1, 0));
-        control_red.push(control);
-        for arm in 1..arms {
-            let red = reduction_pct(chaos_cell(a, 0, arm), chaos_cell(a, 1, arm));
-            max_drift = max_drift.max((red - control).abs());
+    for a in 0..chaos_cfg.apps.len() {
+        let base = chaos_run.cell(a, 0, 0, 0).app_power_mw;
+        let treated_control = chaos_run.cell(a, 1, 0, 0).app_power_mw;
+        control_red.push(reduction_pct(base, treated_control));
+        if base <= 0.0 {
+            continue;
+        }
+        for arm in 1..chaos_cfg.arms.len() {
+            let treated = chaos_run.cell(a, 1, 0, arm).app_power_mw;
+            let drift = 100.0 * (treated_control - treated) / base;
+            max_drift = max_drift.max(drift.abs());
         }
     }
 
@@ -217,16 +181,16 @@ fn main() {
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"chaos\": {{");
     let _ = writeln!(json, "    \"control_reduction_pct\": {{");
-    for (i, case) in chaos_cases.iter().enumerate() {
-        let comma = if i + 1 < chaos_cases.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "      \"{}\": {:.2}{comma}",
-            case.name, control_red[i]
-        );
+    for (i, name) in chaos_cfg.apps.iter().enumerate() {
+        let comma = if i + 1 < chaos_cfg.apps.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(json, "      \"{name}\": {:.2}{comma}", control_red[i]);
     }
     let _ = writeln!(json, "    }},");
-    let _ = writeln!(json, "    \"max_reduction_drift_pp\": {max_drift:.2}");
+    let _ = writeln!(json, "    \"max_savings_drift_pp\": {max_drift:.2}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"overhead\": {{");
     let _ = writeln!(

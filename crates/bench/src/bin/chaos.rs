@@ -1,81 +1,98 @@
-//! Chaos harness: runs the Table 5 scenarios under deterministic fault
-//! injection and checks two properties the paper's design implies but the
-//! other harnesses never stress:
+//! Chaos harness: the conformance matrix CLI.
 //!
-//! 1. **Robustness** — no panics and no runtime-invariant violations
-//!    (energy conservation, queue bookkeeping, object lifetime, lease
-//!    state-machine legality) under any fault class, for LeaseOS *and* the
-//!    vanilla baseline;
-//! 2. **Graceful degradation** — LeaseOS's Table-5-style power reduction
-//!    moves by at most `--tolerance` percentage points (default ±35) when
-//!    faults are injected, relative to the fault-free control arm on the
-//!    same seed. The default bound is deliberately loose: leaking an app's
-//!    sole resource object collapses *both* arms' power toward the idle
-//!    floor, which deflates the reduction ratio by ~20–30 pp without any
-//!    policy misbehaviour. The bound exists to catch inversions — a fault
-//!    class that makes LeaseOS *worse* than vanilla.
+//! Runs Table 5 scenarios under deterministic fault injection and checks
+//! the two properties the paper's design implies but the other harnesses
+//! never stress (see `leaseos_bench::conformance` for the definitions):
+//! robustness (no runtime-invariant violations in any cell) and graceful
+//! degradation (no policy loses more than `--tolerance` pp of its
+//! fault-free savings, measured against the fault-free vanilla baseline,
+//! under any fault arm).
 //!
-//! The matrix is [control + 4 fault classes] × 3 apps × 2 policies. Faults
-//! ride the telemetry bus as `fault_injected` events, so a `--jsonl` dump of
-//! a chaos run is byte-reproducible for a fixed seed — the CI smoke job runs
-//! the binary twice and diffs the output.
+//! Two matrix presets:
 //!
-//! Run: `cargo run --release -p leaseos-bench --bin chaos [--seed N]
-//!       [--mins M] [--mean-secs S] [--tolerance PP] [--threads N]
-//!       [--jsonl DIR]`
+//! * default — the historical smoke subset: 3 apps × {vanilla, leaseos} ×
+//!   1 seed × 6 arms (control, each fault class alone, all classes
+//!   concurrently);
+//! * `--full` — every Table 5 app × every policy × 3 seeds × 6 arms
+//!   (1800 cells).
+//!
+//! Every axis can also be overridden per run (`--apps`, `--policies`,
+//! `--seeds`, `--arms`, comma-separated).
+//!
+//! Cells are cached in a persistent content-addressed store (default
+//! `target/leaseos-cache/`, override `--cache-dir`, disable `--no-cache`)
+//! keyed by (scenario fingerprint, expanded fault plan, build revision), so
+//! a warm `--full` re-run executes nothing and replays byte-identical
+//! results. Stdout (header + per-cell table + verdict) is byte-identical
+//! between cold and warm runs — cache statistics and failure details go to
+//! stderr. Faults ride the telemetry bus as `fault_injected` events, so a
+//! `--jsonl` dump of a chaos run is byte-reproducible for a fixed seed —
+//! the CI smoke job runs the binary twice and diffs the output.
+//!
+//! Run: `cargo run --release -p leaseos-bench --bin chaos [--full]
+//!       [--seed N] [--seeds A,B,..] [--apps ..] [--policies ..]
+//!       [--arms ..] [--mins M] [--mean-secs S] [--tolerance PP]
+//!       [--threads N] [--jsonl DIR] [--cache-dir DIR] [--no-cache]`
 
-use std::cell::RefCell;
-use std::path::{Path, PathBuf};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::path::PathBuf;
 
-use leaseos_apps::buggy::table5_cases;
-use leaseos_bench::{f2, reduction_pct, PolicyKind, ScenarioRunner, ScenarioSpec, TextTable};
-use leaseos_simkit::{FaultKind, FaultPlan, FaultSpec, JsonlSink, SimDuration, SimTime};
-
-/// Policies under chaos: the baseline the paper measures against, and
-/// LeaseOS itself.
-const POLICIES: [PolicyKind; 2] = [PolicyKind::Vanilla, PolicyKind::LeaseOs];
-
-/// The Table 5 apps to chaos-test: two wakelock cases plus a GPS case, so
-/// every fault class (listener failures need a callback-carrying object)
-/// finds an eligible target.
-const APPS: [&str; 3] = ["Facebook", "Torch", "GPSLogger"];
-
-/// The fault arms: a fault-free control plus each class alone. Per-class
-/// RNG streams are independent, so the control arm and every fault arm see
-/// identical app/environment behaviour between faults.
-const ARMS: [(&str, Option<FaultKind>); 5] = [
-    ("control", None),
-    ("app_crash", Some(FaultKind::AppCrash)),
-    ("object_leak", Some(FaultKind::ObjectLeak)),
-    ("listener_failure", Some(FaultKind::ListenerFailure)),
-    ("service_exception", Some(FaultKind::ServiceException)),
-];
+use leaseos_bench::conformance::{evaluate, render_table, run_matrix, FaultArm, MatrixConfig};
+use leaseos_bench::{build_rev, PolicyKind, ResultCache, ScenarioRunner};
+use leaseos_simkit::SimDuration;
 
 struct Flags {
+    full: bool,
     seed: u64,
+    seeds: Option<Vec<u64>>,
+    apps: Option<Vec<String>>,
+    policies: Option<Vec<PolicyKind>>,
+    arms: Option<Vec<FaultArm>>,
     mins: u64,
     mean_secs: u64,
     tolerance_pp: f64,
     threads: Option<usize>,
     jsonl: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+}
+
+fn parse_list<T>(raw: &str, parse: impl Fn(&str) -> Result<T, String>) -> Vec<T> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s.trim()).unwrap_or_else(|e| panic!("{e}")))
+        .collect()
 }
 
 fn parse_flags() -> Flags {
     let mut flags = Flags {
+        full: false,
         seed: 42,
+        seeds: None,
+        apps: None,
+        policies: None,
+        arms: None,
         mins: 30,
         mean_secs: 300,
         tolerance_pp: 35.0,
         threads: None,
         jsonl: None,
+        cache_dir: None,
+        no_cache: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = || args.next().unwrap_or_else(|| panic!("{arg} needs a value"));
         match arg.as_str() {
+            "--full" => flags.full = true,
             "--seed" => flags.seed = take().parse().expect("--seed takes an integer"),
+            "--seeds" => {
+                flags.seeds = Some(parse_list(&take(), |s| {
+                    s.parse::<u64>().map_err(|e| format!("bad seed {s:?}: {e}"))
+                }))
+            }
+            "--apps" => flags.apps = Some(parse_list(&take(), |s| Ok(s.to_owned()))),
+            "--policies" => flags.policies = Some(parse_list(&take(), PolicyKind::parse)),
+            "--arms" => flags.arms = Some(parse_list(&take(), FaultArm::parse)),
             "--mins" => flags.mins = take().parse().expect("--mins takes an integer"),
             "--mean-secs" => {
                 flags.mean_secs = take().parse().expect("--mean-secs takes an integer")
@@ -87,6 +104,8 @@ fn parse_flags() -> Flags {
                 flags.threads = Some(take().parse().expect("--threads takes an integer"))
             }
             "--jsonl" => flags.jsonl = Some(PathBuf::from(take())),
+            "--cache-dir" => flags.cache_dir = Some(PathBuf::from(take())),
+            "--no-cache" => flags.no_cache = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -105,175 +124,93 @@ fn slug(label: &str) -> String {
         .collect()
 }
 
-/// What one chaos cell reports back.
-struct CellResult {
-    app_power_mw: f64,
-    faults_injected: u64,
-    kernel_violations: Vec<String>,
-}
-
-fn run_cell(spec: &ScenarioSpec, plan: &FaultPlan, jsonl: Option<&Path>) -> CellResult {
-    let run = spec.execute_with(|kernel| {
-        kernel.install_fault_plan(plan);
-        // Force periodic audits on even in release builds: chaos is exactly
-        // the run where we want them. The kernel attaches its own lease
-        // state-machine replay sink whenever audits are on, so a separate
-        // LeaseStateAudit here would double-count the same stream.
-        kernel.set_audit_interval(Some(256));
-        if let Some(dir) = jsonl {
-            let path = dir.join(format!("{}.jsonl", slug(&spec.label)));
-            let file = std::io::BufWriter::new(
-                std::fs::File::create(&path).expect("create JSONL output file"),
-            );
-            kernel
-                .telemetry()
-                .attach(Rc::new(RefCell::new(JsonlSink::new(file))));
-        }
-    });
-    let kernel_violations = run.kernel.audit().iter().map(|v| v.to_string()).collect();
-    CellResult {
-        app_power_mw: run.app_power_mw(),
-        faults_injected: run
-            .kernel
-            .telemetry()
-            .count(leaseos_simkit::EventKind::FaultInjected),
-        kernel_violations,
-    }
-}
-
 fn main() {
     let flags = parse_flags();
-    if let Some(dir) = &flags.jsonl {
-        std::fs::create_dir_all(dir).expect("create JSONL output directory");
+    let mut config = if flags.full {
+        MatrixConfig::full(flags.seed, 3)
+    } else {
+        MatrixConfig::smoke(flags.seed)
+    };
+    if let Some(apps) = flags.apps {
+        config.apps = apps;
     }
+    if let Some(policies) = flags.policies {
+        config.policies = policies;
+    }
+    if let Some(seeds) = flags.seeds {
+        config.seeds = seeds;
+    }
+    if let Some(arms) = flags.arms {
+        config.arms = arms;
+    }
+    config.length = SimDuration::from_mins(flags.mins);
+    config.mean_interval = SimDuration::from_secs(flags.mean_secs);
+    config.tolerance_pp = flags.tolerance_pp;
+
     let runner = flags
         .threads
         .map(ScenarioRunner::with_threads)
         .unwrap_or_default();
-    let length = SimDuration::from_mins(flags.mins);
-    let mean = SimDuration::from_secs(flags.mean_secs);
-    let cases: Vec<_> = table5_cases()
-        .into_iter()
-        .filter(|c| APPS.contains(&c.name))
-        .collect();
-    assert_eq!(cases.len(), APPS.len(), "unknown app name in APPS");
-
-    // One fault plan per arm, shared across every (app, policy) cell so the
-    // arms are comparable; the control arm's plan is empty.
-    let plans: Vec<FaultPlan> = ARMS
-        .iter()
-        .map(|(_, kind)| match kind {
-            None => FaultPlan::none(),
-            Some(kind) => FaultPlan::generate(
-                flags.seed,
-                length,
-                &FaultSpec::single(*kind).with_mean_interval(mean),
-            ),
-        })
-        .collect();
-
-    // Row-major spec order: app → policy → arm.
-    let mut specs = Vec::new();
-    let mut spec_plan = Vec::new();
-    for case in &cases {
-        for policy in POLICIES {
-            for (arm_idx, (arm_name, _)) in ARMS.iter().enumerate() {
-                specs.push(ScenarioSpec {
-                    label: format!(
-                        "{}/{}/{}/{}",
-                        case.name,
-                        policy.label(),
-                        arm_name,
-                        flags.seed
-                    ),
-                    app: Arc::new(case.build),
-                    policy: Arc::new(move || policy.build()),
-                    device: leaseos_simkit::DeviceProfile::pixel_xl(),
-                    env: Arc::new(case.environment),
-                    seed: flags.seed,
-                    length,
-                });
-                spec_plan.push(arm_idx);
+    let cache = if flags.no_cache {
+        None
+    } else {
+        let dir = flags.cache_dir.unwrap_or_else(ResultCache::default_dir);
+        match ResultCache::open(&dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open result cache at {}: {e}",
+                    dir.display()
+                );
+                None
             }
         }
-    }
-
-    let results = runner.run(&specs, |i, spec| {
-        run_cell(spec, &plans[spec_plan[i]], flags.jsonl.as_deref())
-    });
-
-    let cell = |app: usize, policy: usize, arm: usize| -> &CellResult {
-        &results[(app * POLICIES.len() + policy) * ARMS.len() + arm]
     };
+    let rev = build_rev();
 
-    let mut table = TextTable::new([
-        "App",
-        "Arm",
-        "Faults",
-        "w/o lease",
-        "w/ lease",
-        "Red.%",
-        "ΔRed. pp",
-        "Audits",
-    ]);
-    let mut failures: Vec<String> = Vec::new();
-    for (a, case) in cases.iter().enumerate() {
-        let control_red = reduction_pct(cell(a, 0, 0).app_power_mw, cell(a, 1, 0).app_power_mw);
-        for (arm_idx, (arm_name, _)) in ARMS.iter().enumerate() {
-            let base = cell(a, 0, arm_idx);
-            let lease = cell(a, 1, arm_idx);
-            let red = reduction_pct(base.app_power_mw, lease.app_power_mw);
-            let delta = red - control_red;
-            let mut audit_note = "clean";
-            for (policy_idx, policy) in POLICIES.iter().enumerate() {
-                let r = cell(a, policy_idx, arm_idx);
-                for v in &r.kernel_violations {
-                    audit_note = "VIOLATED";
-                    failures.push(format!("{}/{}/{arm_name}: {v}", case.name, policy.label()));
-                }
-            }
-            if arm_idx != 0 && delta.abs() > flags.tolerance_pp {
-                failures.push(format!(
-                    "{}/{arm_name}: reduction moved {delta:+.2} pp vs control \
-                     (tolerance ±{:.1} pp)",
-                    case.name, flags.tolerance_pp
-                ));
-            }
-            table.row([
-                case.name.to_owned(),
-                (*arm_name).to_owned(),
-                format!("{}+{}", base.faults_injected, lease.faults_injected),
-                f2(base.app_power_mw),
-                f2(lease.app_power_mw),
-                f2(red),
-                format!("{delta:+.2}"),
-                audit_note.to_owned(),
-            ]);
+    let run =
+        run_matrix(&config, &runner, cache.as_ref(), &rev).unwrap_or_else(|e| panic!("chaos: {e}"));
+
+    if let Some(dir) = &flags.jsonl {
+        std::fs::create_dir_all(dir).expect("create JSONL output directory");
+        for cell in &run.cells {
+            let path = dir.join(format!("{}.jsonl", slug(&cell.label)));
+            std::fs::write(&path, &cell.jsonl).expect("write JSONL output file");
         }
     }
 
-    let end = SimTime::ZERO + length;
-    let _ = end;
     println!(
-        "Chaos matrix — {} apps × {} policies × {} arms, {} min runs, seed {}, \
-         fault mean interval {} s",
-        cases.len(),
-        POLICIES.len(),
-        ARMS.len(),
+        "Chaos matrix — {} apps × {} policies × {} seeds × {} arms \
+         ({} cells), {} min runs, fault mean interval {} s",
+        config.apps.len(),
+        config.policies.len(),
+        config.seeds.len(),
+        config.arms.len(),
+        config.cell_count(),
         flags.mins,
-        flags.seed,
         flags.mean_secs
     );
-    println!("{}", table.render());
+    println!("{}", render_table(&run));
     println!(
-        "Faults column is w/o-lease + w/-lease injections; ΔRed. is the drift of the\n\
-         LeaseOS reduction vs the fault-free control arm (tolerance ±{:.1} pp).",
+        "Faults column joins per-policy injection counts; Δpp columns are each\n\
+         policy's savings drift vs its fault-free control arm on the same seed,\n\
+         in points of the fault-free vanilla baseline (bound -{:.1} pp; gains\n\
+         are expected — faults kill buggy work).",
         flags.tolerance_pp
     );
 
+    if let Some(stats) = &run.cache_stats {
+        eprintln!("chaos cache: {stats} (rev {rev})");
+    }
+
+    let failures = evaluate(&run);
     if failures.is_empty() {
         println!("chaos: OK — all audits clean, degradation within tolerance");
     } else {
+        println!(
+            "chaos: FAILED — {} violation(s), see stderr",
+            failures.len()
+        );
         eprintln!("chaos: FAILED");
         for f in &failures {
             eprintln!("  {f}");

@@ -1,0 +1,427 @@
+//! Persistent, content-addressed result cache for harness sweeps.
+//!
+//! A full conformance matrix (20 apps × 5 policies × seeds × fault arms) is
+//! only a standing regression suite if reruns are cheap and bit-stable.
+//! Every simulated cell here is a pure function of its inputs, so the cache
+//! keys each result by a content hash of everything that can change it:
+//!
+//! * the [`crate::ScenarioSpec`] fingerprint (label, device, seed, length),
+//! * the fault plan fingerprint (every scheduled `(at, kind)` pair),
+//! * the build revision ([`build_rev`]: git commit when available, crate
+//!   version otherwise — any code change must invalidate every cell).
+//!
+//! An entry is two sibling files under the cache directory (default
+//! `target/leaseos-cache/`, override with `LEASEOS_CACHE_DIR`):
+//!
+//! ```text
+//! <key>.json   summary: the measured numbers + integrity metadata
+//! <key>.jsonl  the cell's full telemetry stream, byte-for-byte
+//! ```
+//!
+//! A warm lookup replays the exact bytes the cold run produced, which is
+//! what lets `chaos --full` print byte-identical output on a 100%-hit rerun.
+//! Integrity is checked on every load: the summary must parse, carry the
+//! expected key and format version, and name the JSONL stream's content
+//! hash. Corrupt or truncated entries are treated as misses (and
+//! re-executed), never trusted.
+//!
+//! Writes go through a temp file + rename so a crash mid-store can at worst
+//! leave an entry whose hash check fails — not a half-written file that
+//! validates.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use leaseos_simkit::JsonValue;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a over raw bytes — the content hash everything here keys on.
+/// Not cryptographic, but collision-free in practice for the few thousand
+/// short canonical strings a sweep produces, and fully dependency-free.
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A content-derived cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u128);
+
+impl CacheKey {
+    /// The key as the 32-hex-digit file stem the cache stores under.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Accumulates named fields into a [`CacheKey`].
+///
+/// Fields are folded into the hash as `name=value;` spans, so reordering,
+/// renaming, or dropping a field always changes the key — there is no way
+/// for two different ingredient sets to alias by concatenation.
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    hash: u128,
+}
+
+impl KeyBuilder {
+    /// Starts a key in a named domain (e.g. `"chaos-cell/v1"`). The domain
+    /// doubles as the format version: bump it when the cached payload's
+    /// schema changes.
+    pub fn new(domain: &str) -> Self {
+        let mut b = KeyBuilder { hash: FNV_OFFSET };
+        b.write(domain.as_bytes());
+        b.write(b";");
+        b
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash ^= byte as u128;
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one named ingredient into the key.
+    pub fn field(mut self, name: &str, value: impl fmt::Display) -> Self {
+        self.write(name.as_bytes());
+        self.write(b"=");
+        self.write(value.to_string().as_bytes());
+        self.write(b";");
+        self
+    }
+
+    /// The finished key.
+    pub fn finish(self) -> CacheKey {
+        CacheKey(self.hash)
+    }
+}
+
+/// One validated cache entry: the summary document plus the exact telemetry
+/// bytes the cold run wrote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The caller's summary payload (whatever was passed to
+    /// [`ResultCache::store`]); integrity metadata is stripped back off.
+    pub summary: JsonValue,
+    /// The telemetry JSONL stream, byte-for-byte.
+    pub jsonl: Vec<u8>,
+}
+
+/// Hit/miss/store counters for one cache handle's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that replayed a valid entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent, corrupt, or truncated).
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits: {}, misses: {}, stores: {}",
+            self.hits, self.misses, self.stores
+        )
+    }
+}
+
+/// The on-disk cache. Shareable across harness worker threads (`&self`
+/// everywhere, atomic counters; entries land under distinct key-named
+/// files, so concurrent stores never interleave within a file).
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+/// Keys the summary document carries for integrity checking.
+const META_KEY: &str = "cache_key";
+const META_JSONL_HASH: &str = "jsonl_fnv128";
+const META_FORMAT: &str = "cache_format";
+/// Bump to orphan (and transparently re-execute) every existing entry.
+const FORMAT_VERSION: f64 = 1.0;
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// The default cache directory: `LEASEOS_CACHE_DIR` if set, else
+    /// `target/leaseos-cache` under the current directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("LEASEOS_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/leaseos-cache"))
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn summary_path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    fn jsonl_path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.jsonl", key.hex()))
+    }
+
+    /// Looks `key` up, validating integrity. Any defect — missing files,
+    /// unparseable summary, key or format mismatch, JSONL content-hash
+    /// mismatch — counts as a miss so the caller re-executes.
+    pub fn load(&self, key: CacheKey) -> Option<CacheEntry> {
+        match self.try_load(key) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn try_load(&self, key: CacheKey) -> Option<CacheEntry> {
+        let text = fs::read_to_string(self.summary_path(key)).ok()?;
+        let doc = JsonValue::parse(&text).ok()?;
+        if doc.get(META_KEY)?.as_str()? != key.hex() {
+            return None;
+        }
+        if doc.get(META_FORMAT)?.as_f64()? != FORMAT_VERSION {
+            return None;
+        }
+        let want_hash = doc.get(META_JSONL_HASH)?.as_str()?.to_owned();
+        let jsonl = fs::read(self.jsonl_path(key)).ok()?;
+        if format!("{:032x}", fnv1a128(&jsonl)) != want_hash {
+            return None;
+        }
+        let JsonValue::Obj(fields) = doc else {
+            return None;
+        };
+        let summary = JsonValue::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| !matches!(k.as_str(), META_KEY | META_JSONL_HASH | META_FORMAT))
+                .collect(),
+        );
+        Some(CacheEntry { summary, jsonl })
+    }
+
+    /// Stores `summary` + `jsonl` under `key`, atomically per file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `summary` is not a JSON object (the integrity metadata has
+    /// nowhere to live otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, key: CacheKey, summary: &JsonValue, jsonl: &[u8]) -> io::Result<()> {
+        let JsonValue::Obj(fields) = summary else {
+            panic!("cache summary must be a JSON object");
+        };
+        let mut fields = fields.clone();
+        fields.push((META_KEY.into(), JsonValue::Str(key.hex())));
+        fields.push((
+            META_JSONL_HASH.into(),
+            JsonValue::Str(format!("{:032x}", fnv1a128(jsonl))),
+        ));
+        fields.push((META_FORMAT.into(), JsonValue::Num(FORMAT_VERSION)));
+        let doc = JsonValue::Obj(fields).to_json();
+        self.write_atomic(&self.jsonl_path(key), jsonl)?;
+        self.write_atomic(&self.summary_path(key), doc.as_bytes())?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        // Unique temp name per thread; rename is atomic on one filesystem.
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Counters accumulated over this handle's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The build revision folded into every cache key, so a code change
+/// invalidates all prior results: `LEASEOS_CACHE_REV` when set (tests and
+/// CI pin it), else the git commit hash when a repository is reachable,
+/// else the crate version alone.
+pub fn build_rev() -> String {
+    if let Ok(rev) = std::env::var("LEASEOS_CACHE_REV") {
+        return rev;
+    }
+    let version = env!("CARGO_PKG_VERSION");
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            if let Ok(rev) = String::from_utf8(out.stdout) {
+                return format!("{}+{version}", rev.trim());
+            }
+        }
+    }
+    version.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "leaseos-cache-test-{}-{tag}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn summary(power: f64) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("label".into(), JsonValue::Str("Torch/leaseos".into())),
+            ("app_power_mw".into(), JsonValue::Num(power)),
+        ])
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a128(b""), FNV_OFFSET);
+        assert_ne!(fnv1a128(b"a"), fnv1a128(b"b"));
+        assert_ne!(fnv1a128(b"ab"), fnv1a128(b"ba"));
+        assert_eq!(fnv1a128(b"chaos"), fnv1a128(b"chaos"));
+    }
+
+    #[test]
+    fn key_builder_separates_fields_and_orders_matter() {
+        let a = KeyBuilder::new("t/v1").field("x", 1).field("y", 2).finish();
+        let b = KeyBuilder::new("t/v1").field("x", 1).field("y", 2).finish();
+        assert_eq!(a, b);
+        let swapped = KeyBuilder::new("t/v1").field("y", 2).field("x", 1).finish();
+        assert_ne!(a, swapped, "field order is part of the identity");
+        let renamed = KeyBuilder::new("t/v1").field("x", 12).finish();
+        let shifted = KeyBuilder::new("t/v1").field("x1", 2).finish();
+        assert_ne!(renamed, shifted, "name/value boundary cannot alias");
+        let domain = KeyBuilder::new("t/v2").field("x", 1).field("y", 2).finish();
+        assert_ne!(a, domain, "domain version is part of the identity");
+        assert_eq!(a.hex().len(), 32);
+        assert_eq!(a.to_string(), a.hex());
+    }
+
+    #[test]
+    fn store_then_load_round_trips_bytes() {
+        let cache = ResultCache::open(scratch_dir("roundtrip")).unwrap();
+        let key = KeyBuilder::new("t/v1").field("cell", "a").finish();
+        let jsonl = b"{\"event\":\"device_state\",\"t_ms\":0,\"state\":\"wake\"}\n";
+        cache.store(key, &summary(12.5), jsonl).unwrap();
+        let entry = cache.load(key).expect("stored entry loads");
+        assert_eq!(entry.jsonl, jsonl);
+        assert_eq!(entry.summary, summary(12.5), "metadata is stripped back");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                stores: 1
+            }
+        );
+        let other = KeyBuilder::new("t/v1").field("cell", "b").finish();
+        assert!(cache.load(other).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn truncated_jsonl_is_detected_and_treated_as_miss() {
+        let cache = ResultCache::open(scratch_dir("truncated")).unwrap();
+        let key = KeyBuilder::new("t/v1").field("cell", "a").finish();
+        cache
+            .store(key, &summary(1.0), b"line one\nline two\n")
+            .unwrap();
+        fs::write(cache.jsonl_path(key), b"line one\n").unwrap();
+        assert!(
+            cache.load(key).is_none(),
+            "hash mismatch must not be trusted"
+        );
+    }
+
+    #[test]
+    fn corrupt_summary_is_detected_and_treated_as_miss() {
+        let cache = ResultCache::open(scratch_dir("corrupt")).unwrap();
+        let key = KeyBuilder::new("t/v1").field("cell", "a").finish();
+        cache.store(key, &summary(1.0), b"payload\n").unwrap();
+        // Unparseable JSON.
+        fs::write(cache.summary_path(key), b"{\"label\":").unwrap();
+        assert!(cache.load(key).is_none());
+        // Parseable, but claiming a different key (e.g. a renamed file).
+        cache.store(key, &summary(1.0), b"payload\n").unwrap();
+        let text = fs::read_to_string(cache.summary_path(key)).unwrap();
+        fs::write(
+            cache.summary_path(key),
+            text.replace(&key.hex(), &"0".repeat(32)),
+        )
+        .unwrap();
+        assert!(cache.load(key).is_none());
+    }
+
+    #[test]
+    fn rev_is_pinned_by_env_override() {
+        // Avoid mutating the process env (other tests run in parallel):
+        // exercise only the non-env fallback shape here.
+        let rev = build_rev();
+        assert!(!rev.is_empty());
+        assert!(rev.contains(env!("CARGO_PKG_VERSION")) || !rev.contains(' '));
+    }
+}

@@ -85,6 +85,30 @@ impl ScenarioRun {
 }
 
 impl ScenarioSpec {
+    /// Canonical, stable text form of everything that identifies this cell:
+    /// the label (which by harness convention encodes the app, policy, and
+    /// any swept parameter), the device and its power-relevant scalars, the
+    /// seed, and the run length.
+    ///
+    /// The app/policy/environment *builders* are closures and cannot be
+    /// hashed — their identity must be captured in the label. Every harness
+    /// binary that caches results follows that convention, so two specs
+    /// with equal fingerprints run byte-identical scenarios.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "spec:v1;label={};device={};battery_mah={};voltage={};cpu_speed={};\
+             ipc_ms={};seed={};len_ms={}",
+            self.label,
+            self.device.name,
+            self.device.battery_mah,
+            self.device.battery_voltage,
+            self.device.cpu_speed,
+            self.device.ipc_latency.as_millis(),
+            self.seed,
+            self.length.as_millis()
+        )
+    }
+
     /// Builds the kernel, installs the app, and simulates to the end.
     pub fn execute(&self) -> ScenarioRun {
         self.execute_with(|_| {})
@@ -351,6 +375,24 @@ mod tests {
         assert_eq!(runner.threads(), auto, "0 selects available parallelism");
         let out: Vec<u8> = runner.run(&[], |_, _| 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_hashable_field() {
+        let base = tiny_matrix(vec![7]).specs().remove(0);
+        assert_eq!(base.fingerprint(), base.fingerprint(), "deterministic");
+        let mut label = base.clone();
+        label.label = "renamed".into();
+        assert_ne!(base.fingerprint(), label.fingerprint());
+        let mut seed = base.clone();
+        seed.seed = 8;
+        assert_ne!(base.fingerprint(), seed.fingerprint());
+        let mut length = base.clone();
+        length.length = SimDuration::from_mins(3);
+        assert_ne!(base.fingerprint(), length.fingerprint());
+        let mut device = base.clone();
+        device.device = leaseos_simkit::DeviceProfile::nexus_6();
+        assert_ne!(base.fingerprint(), device.fingerprint());
     }
 
     #[test]

@@ -27,9 +27,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod conformance;
 pub mod dumpsys;
 pub mod harness;
 
+pub use cache::{build_rev, CacheKey, CacheStats, KeyBuilder, ResultCache};
+pub use conformance::{FaultArm, MatrixConfig, MatrixRun};
 pub use harness::{
     parse_thread_count, AppBuilder, EnvBuilder, Matrix, PolicyBuilder, ScenarioRun, ScenarioRunner,
     ScenarioSpec,
@@ -65,6 +69,16 @@ impl PolicyKind {
         PolicyKind::DefDroid,
     ];
 
+    /// Every policy the harness knows: the Table 5 four plus the §7.4
+    /// pure-throttle baseline. The conformance matrix sweeps this set.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Vanilla,
+        PolicyKind::LeaseOs,
+        PolicyKind::DozeAggressive,
+        PolicyKind::DefDroid,
+        PolicyKind::PureThrottle,
+    ];
+
     /// Builds a fresh policy instance.
     pub fn build(self) -> Box<dyn ResourcePolicy> {
         match self {
@@ -92,6 +106,18 @@ impl PolicyKind {
             other => Err(format!(
                 "unknown policy {other:?} (vanilla, leaseos, doze, defdroid, throttle)"
             )),
+        }
+    }
+
+    /// The CLI name, the exact inverse of [`parse`](Self::parse) — also the
+    /// policy's segment in cell labels and cache keys.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            PolicyKind::Vanilla => "vanilla",
+            PolicyKind::LeaseOs => "leaseos",
+            PolicyKind::DozeAggressive => "doze",
+            PolicyKind::DefDroid => "defdroid",
+            PolicyKind::PureThrottle => "throttle",
         }
     }
 
@@ -263,6 +289,25 @@ mod tests {
         }
         assert_eq!(PolicyKind::LeaseOs.build().name(), "leaseos");
         assert_eq!(PolicyKind::PureThrottle.label(), "Throttle");
+    }
+
+    #[test]
+    fn every_policy_round_trips_parse_label_and_build() {
+        assert_eq!(PolicyKind::ALL[..4], PolicyKind::TABLE5);
+        let mut labels = Vec::new();
+        let mut names = Vec::new();
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.cli_name()), Ok(kind));
+            assert!(!kind.build().name().is_empty());
+            labels.push(kind.label());
+            names.push(kind.cli_name());
+        }
+        for list in [&mut labels, &mut names] {
+            list.sort_unstable();
+            list.dedup();
+            assert_eq!(list.len(), PolicyKind::ALL.len(), "no aliasing");
+        }
+        assert!(PolicyKind::parse("santa").is_err());
     }
 
     #[test]

@@ -66,6 +66,24 @@ impl FaultKind {
             FaultKind::ServiceException => "service_exception",
         }
     }
+
+    /// Parses a [`FaultKind::name`] back into the kind — the inverse the
+    /// chaos CLI's `--arms` flag relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input.
+    pub fn parse(raw: &str) -> Result<FaultKind, String> {
+        FaultKind::ALL
+            .into_iter()
+            .find(|k| k.name() == raw)
+            .ok_or_else(|| {
+                format!(
+                    "unknown fault kind {raw:?} (app_crash, object_leak, \
+                     listener_failure, service_exception)"
+                )
+            })
+    }
 }
 
 impl fmt::Display for FaultKind {
@@ -114,6 +132,39 @@ impl FaultSpec {
     /// The enabled fault classes.
     pub fn kinds(&self) -> &[FaultKind] {
         &self.kinds
+    }
+
+    /// The mean inter-arrival interval per enabled class.
+    pub fn mean_interval(&self) -> SimDuration {
+        self.mean_interval
+    }
+
+    /// Canonical, stable text form of the spec: the enabled classes in
+    /// discriminant order plus the mean interval in milliseconds.
+    ///
+    /// Two specs that schedule the same plans render identically (class
+    /// *order* and duplicates in the builder are irrelevant to
+    /// [`FaultPlan::generate`], so they are canonicalised away) — the
+    /// property that lets a content-addressed result cache key on the spec
+    /// rather than on the expanded plan alone.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::from("faultspec:v1;kinds=");
+        let mut first = true;
+        for kind in FaultKind::ALL {
+            if !self.kinds.contains(&kind) {
+                continue;
+            }
+            if !first {
+                s.push('+');
+            }
+            s.push_str(kind.name());
+            first = false;
+        }
+        if first {
+            s.push_str("none");
+        }
+        s.push_str(&format!(";mean_ms={}", self.mean_interval.as_millis()));
+        s
     }
 }
 
@@ -187,6 +238,19 @@ impl FaultPlan {
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
+    }
+
+    /// Canonical, stable text form of the expanded schedule: every
+    /// `(at_ms, kind)` pair in plan order. Equal plans render identically
+    /// across processes, thread counts, and repeated builds, so a content
+    /// hash of this string is a stable cache-key ingredient.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("faultplan:v1;n={}", self.faults.len());
+        for f in &self.faults {
+            let _ = write!(s, ";{}@{}", f.kind.name(), f.at.as_millis());
+        }
+        s
     }
 }
 
@@ -511,6 +575,48 @@ mod tests {
             .copied()
             .collect();
         assert_eq!(solo.faults(), crashes.as_slice());
+    }
+
+    #[test]
+    fn kind_parse_round_trips_every_class() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.name()), Ok(kind));
+        }
+        assert!(FaultKind::parse("meteor_strike").is_err());
+    }
+
+    #[test]
+    fn spec_fingerprint_is_canonical_and_distinguishing() {
+        let all = FaultSpec::all();
+        assert_eq!(
+            all.fingerprint(),
+            "faultspec:v1;kinds=app_crash+object_leak+listener_failure+service_exception;\
+             mean_ms=300000"
+        );
+        let solo = FaultSpec::single(FaultKind::ObjectLeak);
+        assert_eq!(
+            solo.fingerprint(),
+            "faultspec:v1;kinds=object_leak;mean_ms=300000"
+        );
+        let faster = solo.clone().with_mean_interval(SimDuration::from_secs(60));
+        assert_ne!(solo.fingerprint(), faster.fingerprint());
+        assert_eq!(all.mean_interval(), SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn plan_fingerprint_tracks_schedule_content() {
+        let horizon = SimDuration::from_mins(30);
+        let a = FaultPlan::generate(7, horizon, &FaultSpec::all());
+        let b = FaultPlan::generate(7, horizon, &FaultSpec::all());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same seed, same bytes");
+        let c = FaultPlan::generate(8, horizon, &FaultSpec::all());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed must show");
+        assert_eq!(FaultPlan::none().fingerprint(), "faultplan:v1;n=0");
+        let scripted = FaultPlan::scripted(vec![ScheduledFault {
+            at: SimTime::from_millis(1500),
+            kind: FaultKind::AppCrash,
+        }]);
+        assert_eq!(scripted.fingerprint(), "faultplan:v1;n=1;app_crash@1500");
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use power::{ComponentKind, ComponentState, CpuState, GpsState, PowerTable, W
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use telemetry::{
-    AggregateSink, EventKind, Histogram, JsonlSink, RingBufferSink, Sink, TelemetryBus,
+    AggregateSink, EventKind, Histogram, JsonValue, JsonlSink, RingBufferSink, Sink, TelemetryBus,
     TelemetryEvent,
 };
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,196 @@
+//! End-to-end correctness of the conformance matrix's result cache.
+//!
+//! The contract (`DESIGN.md` §3.8): a warm sweep re-executes nothing and
+//! replays the cold sweep byte-for-byte; any change to a key ingredient
+//! (scenario fingerprint, fault plan, build revision) forces a miss; a
+//! corrupt or truncated entry is detected, re-executed, and repaired —
+//! never trusted.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use leaseos_bench::conformance::{cell_key, evaluate, run_matrix, FaultArm, MatrixConfig};
+use leaseos_bench::{PolicyKind, ResultCache, ScenarioRunner};
+use leaseos_simkit::{FaultKind, SimDuration};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "leaseos-conformance-test-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A 4-cell slice of the real matrix, small enough to execute in tests.
+fn tiny_config() -> MatrixConfig {
+    let mut cfg = MatrixConfig::smoke(42);
+    cfg.apps = vec!["Torch".into()];
+    cfg.policies = vec![PolicyKind::Vanilla, PolicyKind::LeaseOs];
+    cfg.arms = vec![FaultArm::Control, FaultArm::Single(FaultKind::AppCrash)];
+    cfg.length = SimDuration::from_mins(5);
+    cfg
+}
+
+#[test]
+fn warm_run_executes_nothing_and_replays_cold_bytes() {
+    let dir = scratch_dir("warm");
+    let cfg = tiny_config();
+    let runner = ScenarioRunner::with_threads(2);
+
+    let cold_cache = ResultCache::open(&dir).unwrap();
+    let cold = run_matrix(&cfg, &runner, Some(&cold_cache), "rev-a").unwrap();
+    let stats = cold.cache_stats.unwrap();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, cfg.cell_count() as u64);
+    assert_eq!(stats.stores, cfg.cell_count() as u64);
+
+    // A fresh handle on the same directory: everything replays, nothing
+    // executes, and every byte matches the cold run.
+    let warm_cache = ResultCache::open(&dir).unwrap();
+    let warm = run_matrix(&cfg, &runner, Some(&warm_cache), "rev-a").unwrap();
+    let stats = warm.cache_stats.unwrap();
+    assert_eq!(stats.hits, cfg.cell_count() as u64, "100% cache hits");
+    assert_eq!(stats.misses, 0, "a warm run re-executes zero cells");
+    assert_eq!(stats.stores, 0);
+    assert_eq!(warm.cells, cold.cells, "summaries and JSONL byte-identical");
+    assert!(evaluate(&warm).is_empty());
+}
+
+#[test]
+fn matrix_outcomes_are_thread_count_invariant() {
+    let cfg = tiny_config();
+    let sequential = run_matrix(&cfg, &ScenarioRunner::with_threads(1), None, "r").unwrap();
+    let parallel = run_matrix(&cfg, &ScenarioRunner::with_threads(4), None, "r").unwrap();
+    assert_eq!(sequential.cells, parallel.cells);
+    for cell in &sequential.cells {
+        assert!(!cell.jsonl.is_empty(), "{}: telemetry captured", cell.label);
+    }
+}
+
+#[test]
+fn every_key_ingredient_forces_a_miss_when_mutated() {
+    let dir = scratch_dir("ingredients");
+    let runner = ScenarioRunner::with_threads(1);
+    let base = tiny_config();
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&base, &runner, Some(&cache), "rev-a").unwrap();
+    let filled = cache.stats().stores;
+    assert_eq!(filled, base.cell_count() as u64);
+
+    // Changed revision: same specs, zero hits.
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&base, &runner, Some(&cache), "rev-b").unwrap();
+    assert_eq!(cache.stats().hits, 0, "rev change invalidates everything");
+
+    // Changed seed: the scenario fingerprint and the fault plan both move.
+    let mut seeded = base.clone();
+    seeded.seeds = vec![43];
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&seeded, &runner, Some(&cache), "rev-a").unwrap();
+    assert_eq!(cache.stats().hits, 0, "seed change invalidates everything");
+
+    // Changed run length: ditto.
+    let mut longer = base.clone();
+    longer.length = SimDuration::from_mins(6);
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&longer, &runner, Some(&cache), "rev-a").unwrap();
+    assert_eq!(
+        cache.stats().hits,
+        0,
+        "length change invalidates everything"
+    );
+
+    // Changed fault timing: only the faulted arm's cells miss (the control
+    // arm's plan — and therefore its key — is untouched).
+    let mut faster = base.clone();
+    faster.mean_interval = SimDuration::from_secs(120);
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&faster, &runner, Some(&cache), "rev-a").unwrap();
+    assert_eq!(cache.stats().hits, 2, "control cells still hit");
+    assert_eq!(cache.stats().misses, 2, "faulted cells re-execute");
+
+    // And the original configuration still hits 100%: nothing above
+    // clobbered the good entries.
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&base, &runner, Some(&cache), "rev-a").unwrap();
+    assert_eq!(cache.stats().misses, 0);
+}
+
+#[test]
+fn corrupt_and_truncated_entries_are_reexecuted_and_repaired() {
+    let dir = scratch_dir("corrupt");
+    let cfg = tiny_config();
+    let runner = ScenarioRunner::with_threads(1);
+    let cache = ResultCache::open(&dir).unwrap();
+    let cold = run_matrix(&cfg, &runner, Some(&cache), "rev-a").unwrap();
+
+    // Truncate one cell's telemetry and scribble over another's summary.
+    let mut jsonl_files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .collect();
+    jsonl_files.sort();
+    assert_eq!(jsonl_files.len(), cfg.cell_count());
+    let bytes = std::fs::read(&jsonl_files[0]).unwrap();
+    std::fs::write(&jsonl_files[0], &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(jsonl_files[1].with_extension("json"), b"{not json").unwrap();
+
+    let cache = ResultCache::open(&dir).unwrap();
+    let warm = run_matrix(&cfg, &runner, Some(&cache), "rev-a").unwrap();
+    let stats = warm.cache_stats.unwrap();
+    assert_eq!(stats.misses, 2, "both damaged entries re-execute");
+    assert_eq!(stats.stores, 2, "and are repaired in place");
+    assert_eq!(stats.hits, cfg.cell_count() as u64 - 2);
+    assert_eq!(warm.cells, cold.cells, "re-execution reproduces the bytes");
+
+    // After the repair, everything hits again.
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&cfg, &runner, Some(&cache), "rev-a").unwrap();
+    assert_eq!(cache.stats().misses, 0);
+}
+
+#[test]
+fn cell_keys_separate_spec_plan_and_rev() {
+    use leaseos_apps::buggy::table5_case;
+    use leaseos_simkit::{DeviceProfile, FaultPlan, FaultSpec, ScheduledFault, SimTime};
+    use std::sync::Arc;
+
+    let case = table5_case("Torch").unwrap();
+    let policy = PolicyKind::LeaseOs;
+    let spec = leaseos_bench::ScenarioSpec {
+        label: "Torch/leaseos/control/42".into(),
+        app: Arc::new(case.build),
+        policy: Arc::new(move || policy.build()),
+        device: DeviceProfile::pixel_xl(),
+        env: Arc::new(case.environment),
+        seed: 42,
+        length: SimDuration::from_mins(5),
+    };
+    let plan = FaultPlan::generate(
+        42,
+        SimDuration::from_mins(5),
+        &FaultSpec::single(FaultKind::AppCrash),
+    );
+    let base = cell_key(&spec, &plan, "rev-a");
+    assert_eq!(base, cell_key(&spec, &plan, "rev-a"), "deterministic");
+
+    let mut relabeled = spec.clone();
+    relabeled.label = "Torch/leaseos/control/43".into();
+    assert_ne!(base, cell_key(&relabeled, &plan, "rev-a"));
+
+    let mut reseeded = spec.clone();
+    reseeded.seed = 43;
+    assert_ne!(base, cell_key(&reseeded, &plan, "rev-a"));
+
+    let other_plan = FaultPlan::scripted(vec![ScheduledFault {
+        at: SimTime::from_secs(1),
+        kind: FaultKind::ObjectLeak,
+    }]);
+    assert_ne!(base, cell_key(&spec, &other_plan, "rev-a"));
+
+    assert_ne!(base, cell_key(&spec, &plan, "rev-b"));
+}

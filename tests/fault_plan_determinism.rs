@@ -1,0 +1,102 @@
+//! Determinism of fault-plan generation under the parallel harness.
+//!
+//! The conformance matrix's cache keys embed the expanded
+//! [`FaultPlan`] fingerprint, and warm runs must replay cold-run bytes
+//! exactly — both collapse unless plan generation is a pure function of
+//! `(seed, horizon, spec)`: independent of which worker thread builds the
+//! plan (`LEASEOS_BENCH_THREADS` / [`ScenarioRunner::with_threads`]), of
+//! how many times it is rebuilt, and of which *other* fault classes are
+//! enabled alongside.
+
+use std::sync::Arc;
+
+use leaseos_apps::buggy::table5_cases;
+use leaseos_bench::{Matrix, ScenarioRunner};
+use leaseos_simkit::{FaultKind, FaultPlan, FaultSpec, SimDuration};
+use proptest::prelude::*;
+
+const HORIZON: SimDuration = SimDuration::from_mins(30);
+
+/// Every spec the chaos matrix schedules: each class alone, plus all four
+/// concurrently.
+fn specs_under_test() -> Vec<FaultSpec> {
+    let mut specs: Vec<FaultSpec> = FaultKind::ALL.into_iter().map(FaultSpec::single).collect();
+    specs.push(FaultSpec::all());
+    specs
+}
+
+/// Generates one plan fingerprint per seed *inside* runner workers, the way
+/// the chaos harness does, so any thread-local or scheduling-dependent
+/// state in plan generation would surface as cross-thread divergence.
+fn fingerprints_via_runner(threads: usize, seeds: &[u64], spec: &FaultSpec) -> Vec<String> {
+    let cases = table5_cases();
+    let torch = cases.iter().find(|c| c.name == "Torch").unwrap();
+    let scenario_specs = Matrix::new(SimDuration::from_mins(1))
+        .app(
+            torch.name,
+            Arc::new(torch.build),
+            Arc::new(torch.environment),
+        )
+        .policy(
+            "vanilla",
+            Arc::new(|| Box::new(leaseos_framework::VanillaPolicy::new()) as _),
+        )
+        .seeds(seeds.to_vec())
+        .specs();
+    ScenarioRunner::with_threads(threads).run(&scenario_specs, |_, s| {
+        FaultPlan::generate(s.seed, HORIZON, spec).fingerprint()
+    })
+}
+
+#[test]
+fn plans_are_identical_across_one_and_four_worker_threads() {
+    let seeds: Vec<u64> = (0..16).map(|i| 42 + i * 7).collect();
+    for spec in specs_under_test() {
+        let sequential = fingerprints_via_runner(1, &seeds, &spec);
+        let parallel = fingerprints_via_runner(4, &seeds, &spec);
+        assert_eq!(
+            sequential,
+            parallel,
+            "plan generation diverged across thread counts for {}",
+            spec.fingerprint()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any seed and every fault spec, rebuilding the plan yields an
+    /// identical schedule (and fingerprint), and a different seed yields a
+    /// different one — the two halves of "the cache key is exactly as
+    /// discriminating as the run".
+    #[test]
+    fn any_seed_rebuilds_identically(seed in 0u64..1_000_000) {
+        for spec in specs_under_test() {
+            let a = FaultPlan::generate(seed, HORIZON, &spec);
+            let b = FaultPlan::generate(seed, HORIZON, &spec);
+            prop_assert_eq!(a.faults(), b.faults());
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+            prop_assert!(!a.is_empty(), "30 min at the 5 min default mean");
+            let other = FaultPlan::generate(seed ^ 0x9e37_79b9, HORIZON, &spec);
+            prop_assert!(a.fingerprint() != other.fingerprint());
+        }
+    }
+
+    /// Per-class RNG streams are independent: the concurrent `all()` plan
+    /// embeds each single-class plan's arrivals verbatim, for any seed.
+    #[test]
+    fn all_plan_embeds_every_single_class_stream(seed in 0u64..1_000_000) {
+        let all = FaultPlan::generate(seed, HORIZON, &FaultSpec::all());
+        for kind in FaultKind::ALL {
+            let solo = FaultPlan::generate(seed, HORIZON, &FaultSpec::single(kind));
+            let embedded: Vec<_> = all
+                .faults()
+                .iter()
+                .filter(|f| f.kind == kind)
+                .copied()
+                .collect();
+            prop_assert_eq!(solo.faults(), embedded.as_slice());
+        }
+    }
+}
