@@ -61,6 +61,14 @@ impl AppModel for Facebook {
             _ => {}
         }
     }
+
+    fn on_restart(&mut self, cold: bool) {
+        // The service's wakelock handle and in-flight flag live in process
+        // memory; nothing here is persisted.
+        if cold {
+            *self = Facebook::new();
+        }
+    }
 }
 
 /// CyanogenMod Torch's FlashDevice bug: "get the wakelock only if it isn't
@@ -90,6 +98,15 @@ impl AppModel for Torch {
     }
 
     fn on_event(&mut self, _ctx: &mut AppCtx<'_>, _event: AppEvent) {}
+
+    fn on_restart(&mut self, cold: bool) {
+        // The acquire-if-not-held guard reads a field that on a real device
+        // dies with the process: a cold start forgets the (dead) handle and
+        // re-acquires, which is exactly how the bug re-arms after a crash.
+        if cold {
+            self.lock = None;
+        }
+    }
 }
 
 /// Kontalk's issue #143 (paper Case II): the messaging service acquires a
@@ -135,6 +152,14 @@ impl AppModel for Kontalk {
             _ => {}
         }
     }
+
+    fn on_restart(&mut self, cold: bool) {
+        // The XMPP session (and with it the authenticated flag) is held in
+        // memory; a cold start re-runs onCreate's full authentication.
+        if cold {
+            *self = Kontalk::new();
+        }
+    }
 }
 
 /// K-9 Mail (paper Case I): on a network failure the mail sync handles the
@@ -154,6 +179,9 @@ pub struct K9Mail {
     sync_busy: bool,
     in_flight: bool,
     failing: bool,
+    /// Successful syncs recorded in the mail database — the model's
+    /// persistent half, surviving cold restarts.
+    synced: u64,
 }
 
 impl Default for K9Mail {
@@ -174,12 +202,18 @@ impl K9Mail {
             sync_busy: false,
             in_flight: false,
             failing: false,
+            synced: 0,
         }
     }
 
     /// Number of retry iterations executed (test observability).
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Successful syncs written to the mail database (test observability).
+    pub fn synced(&self) -> u64 {
+        self.synced
     }
 }
 
@@ -223,9 +257,10 @@ impl AppModel for K9Mail {
                         ctx.do_work(self.aux_work, AUX_WORK);
                     }
                 } else {
-                    // A healthy sync releases the lock and sleeps until the
-                    // next scheduled poll; the bug only triggers in failing
-                    // environments.
+                    // A healthy sync commits to the mail database, releases
+                    // the lock, and sleeps until the next scheduled poll;
+                    // the bug only triggers in failing environments.
+                    self.synced += 1;
                     ctx.release(self.lock.expect("lock"));
                     ctx.schedule_alarm(SimDuration::from_mins(5), RETRY);
                 }
@@ -248,6 +283,17 @@ impl AppModel for K9Mail {
                 }
             }
             _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, cold: bool) {
+        // Transient: the retry/backoff counters, thread-busy flags, and the
+        // dead wakelock handle all lived in the crashed process. Persistent:
+        // the mail database — the synced count survives.
+        if cold {
+            let synced = self.synced;
+            *self = K9Mail::new();
+            self.synced = synced;
         }
     }
 }
@@ -311,6 +357,14 @@ impl AppModel for ServalMesh {
             _ => {}
         }
     }
+
+    fn on_restart(&mut self, cold: bool) {
+        // Scan state is all in-memory; the restarted service rescans from
+        // scratch.
+        if cold {
+            *self = ServalMesh::new();
+        }
+    }
 }
 
 /// TextSecure issue #2498: the message-send job retries on server errors
@@ -372,6 +426,14 @@ impl AppModel for TextSecure {
                 ctx.schedule_alarm(SimDuration::from_secs(90), WATCHDOG);
             }
             _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, cold: bool) {
+        // The send job's queue position and busy flags die with the
+        // process; the job scheduler re-enqueues from scratch on start.
+        if cold {
+            *self = TextSecure::new();
         }
     }
 }

@@ -42,6 +42,13 @@ impl SearchLoop {
         self.begin_try(ctx);
     }
 
+    /// Cold restart: the listener handle and fix flag lived in process
+    /// memory; `try_for`/`pause` are configuration and survive.
+    fn reset_transient(&mut self) {
+        self.request = None;
+        self.got_fix = false;
+    }
+
     fn begin_try(&mut self, ctx: &mut AppCtx<'_>) {
         self.got_fix = false;
         // The app keeps one LocationListener and re-registers it each try
@@ -110,6 +117,11 @@ impl AppModel for BetterWeather {
     fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
         self.inner.handle(ctx, event);
     }
+    fn on_restart(&mut self, cold: bool) {
+        if cold {
+            self.inner.reset_transient();
+        }
+    }
 }
 
 /// WHERE: the travel app's location poller, trying harder (longer tries,
@@ -143,6 +155,11 @@ impl AppModel for Where {
     }
     fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
         self.inner.handle(ctx, event);
+    }
+    fn on_restart(&mut self, cold: bool) {
+        if cold {
+            self.inner.reset_transient();
+        }
     }
 }
 
@@ -178,6 +195,12 @@ impl BackgroundHolder {
             ctx.schedule_alarm(SimDuration::from_secs(60), SCAN);
         }
     }
+
+    /// Cold restart: the listener handle dies with the process; the
+    /// configured interval survives.
+    fn reset_transient(&mut self) {
+        self.request = None;
+    }
 }
 
 macro_rules! background_gps_app {
@@ -212,6 +235,11 @@ macro_rules! background_gps_app {
             }
             fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
                 self.inner.handle(ctx, event);
+            }
+            fn on_restart(&mut self, cold: bool) {
+                if cold {
+                    self.inner.reset_transient();
+                }
             }
         }
     };
@@ -303,6 +331,14 @@ impl StationaryTracker {
             _ => {}
         }
     }
+
+    /// Cold restart: handles and the per-fix busy flag are in-memory; the
+    /// tracking configuration survives.
+    fn reset_transient(&mut self) {
+        self.request = None;
+        self.lock = None;
+        self.busy = false;
+    }
 }
 
 macro_rules! stationary_gps_app {
@@ -340,6 +376,11 @@ macro_rules! stationary_gps_app {
             }
             fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
                 self.inner.handle(ctx, event);
+            }
+            fn on_restart(&mut self, cold: bool) {
+                if cold {
+                    self.inner.reset_transient();
+                }
             }
         }
     };

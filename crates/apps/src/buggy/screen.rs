@@ -42,6 +42,13 @@ impl AppModel for ConnectBotScreen {
             ctx.schedule(SimDuration::from_secs(30), TICK);
         }
     }
+
+    fn on_restart(&mut self, cold: bool) {
+        // The screen-lock handle dies with the process.
+        if cold {
+            self.lock = None;
+        }
+    }
 }
 
 /// Standup Timer commit 72bf4b9: the wakeLock was only released in
@@ -75,6 +82,13 @@ impl AppModel for StandupTimer {
             ctx.note_ui_update();
             ctx.do_work(SimDuration::from_millis(5), 2);
             ctx.schedule(SimDuration::from_secs(1), TICK);
+        }
+    }
+
+    fn on_restart(&mut self, cold: bool) {
+        // The screen-lock handle dies with the process.
+        if cold {
+            self.lock = None;
         }
     }
 }

@@ -70,6 +70,15 @@ impl AppModel for TapAndTurn {
             }
         }
     }
+
+    fn on_restart(&mut self, cold: bool) {
+        // The Figure 6 counters (rotations, clicks) are the app's persisted
+        // statistics; the sensor handle and raw reading count are not.
+        if cold {
+            self.sensor = None;
+            self.readings = 0;
+        }
+    }
 }
 
 /// Riot issue #1830: the accelerometer listener registered for shake
@@ -121,6 +130,13 @@ impl AppModel for Riot {
                 self.busy = false;
             }
             _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, cold: bool) {
+        // Shake detection keeps no persistent state.
+        if cold {
+            *self = Riot::new();
         }
     }
 }

@@ -34,6 +34,14 @@ impl AppModel for ConnectBotWifi {
     }
 
     fn on_event(&mut self, _ctx: &mut AppCtx<'_>, _event: AppEvent) {}
+
+    fn on_restart(&mut self, cold: bool) {
+        // The wifilock handle dies with the process; the restarted session
+        // re-locks and re-handshakes from on_start.
+        if cold {
+            self.lock = None;
+        }
+    }
 }
 
 #[cfg(test)]

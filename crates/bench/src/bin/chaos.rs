@@ -11,28 +11,32 @@
 //! Two matrix presets:
 //!
 //! * default — the historical smoke subset: 3 apps × {vanilla, leaseos} ×
-//!   1 seed × 6 arms (control, each fault class alone, all classes
-//!   concurrently);
-//! * `--full` — every Table 5 app × every policy × 3 seeds × 6 arms
-//!   (1800 cells).
+//!   1 seed × 8 arms (control, each fault class alone, the correlated
+//!   crash storm, all classes concurrently);
+//! * `--full` — every Table 5 app × every policy × 3 seeds × 8 arms
+//!   (2400 cells).
 //!
 //! Every axis can also be overridden per run (`--apps`, `--policies`,
-//! `--seeds`, `--arms`, comma-separated).
+//! `--seeds`, `--arms`, comma-separated; `netdrop` is shorthand for the
+//! `network_drop` arm). `--warm-restart` reverts crash recovery to the
+//! legacy warm semantics (restarted models keep their transient state).
 //!
 //! Cells are cached in a persistent content-addressed store (default
 //! `target/leaseos-cache/`, override `--cache-dir`, disable `--no-cache`)
-//! keyed by (scenario fingerprint, expanded fault plan, build revision), so
-//! a warm `--full` re-run executes nothing and replays byte-identical
-//! results. Stdout (header + per-cell table + verdict) is byte-identical
-//! between cold and warm runs — cache statistics and failure details go to
-//! stderr. Faults ride the telemetry bus as `fault_injected` events, so a
-//! `--jsonl` dump of a chaos run is byte-reproducible for a fixed seed —
-//! the CI smoke job runs the binary twice and diffs the output.
+//! keyed by (scenario fingerprint, expanded fault plan, restart semantics,
+//! build revision), so a warm `--full` re-run executes nothing and replays
+//! byte-identical results. Stdout (header + per-cell table + verdict) is
+//! byte-identical between cold and warm runs — cache statistics and failure
+//! details go to stderr. Faults ride the telemetry bus as `fault_injected`
+//! events, so a `--jsonl` dump of a chaos run is byte-reproducible for a
+//! fixed seed — the CI smoke job runs the binary twice and diffs the
+//! output.
 //!
 //! Run: `cargo run --release -p leaseos-bench --bin chaos [--full]
 //!       [--seed N] [--seeds A,B,..] [--apps ..] [--policies ..]
 //!       [--arms ..] [--mins M] [--mean-secs S] [--tolerance PP]
-//!       [--threads N] [--jsonl DIR] [--cache-dir DIR] [--no-cache]`
+//!       [--warm-restart] [--threads N] [--jsonl DIR] [--cache-dir DIR]
+//!       [--no-cache]`
 
 use std::path::PathBuf;
 
@@ -50,6 +54,7 @@ struct Flags {
     mins: u64,
     mean_secs: u64,
     tolerance_pp: f64,
+    warm_restart: bool,
     threads: Option<usize>,
     jsonl: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
@@ -74,6 +79,7 @@ fn parse_flags() -> Flags {
         mins: 30,
         mean_secs: 300,
         tolerance_pp: 35.0,
+        warm_restart: false,
         threads: None,
         jsonl: None,
         cache_dir: None,
@@ -100,6 +106,7 @@ fn parse_flags() -> Flags {
             "--tolerance" => {
                 flags.tolerance_pp = take().parse().expect("--tolerance takes a number")
             }
+            "--warm-restart" => flags.warm_restart = true,
             "--threads" => {
                 flags.threads = Some(take().parse().expect("--threads takes an integer"))
             }
@@ -146,6 +153,7 @@ fn main() {
     config.length = SimDuration::from_mins(flags.mins);
     config.mean_interval = SimDuration::from_secs(flags.mean_secs);
     config.tolerance_pp = flags.tolerance_pp;
+    config.cold_restart = !flags.warm_restart;
 
     let runner = flags
         .threads

@@ -3,8 +3,9 @@
 //! The paper's Table 5 claim is that mitigation survives across all 20
 //! buggy apps and every policy; the chaos harness adds deterministic fault
 //! injection on top. This module makes that cross product — app × policy ×
-//! seed × fault arm, including a concurrent-fault arm running every
-//! [`FaultKind`] at once — a first-class value ([`MatrixConfig`]), executes
+//! seed × fault arm, including a correlated crash-storm arm and a
+//! concurrent-fault arm running every [`FaultKind`] at once — a
+//! first-class value ([`MatrixConfig`]), executes
 //! it through the parallel [`ScenarioRunner`] with an optional
 //! content-addressed [`ResultCache`], and evaluates two properties over
 //! **every** cell before reporting:
@@ -43,28 +44,37 @@ use leaseos_simkit::{
 use crate::cache::{CacheKey, CacheStats, KeyBuilder, ResultCache};
 use crate::{f2, PolicyKind, ScenarioRunner, ScenarioSpec, TextTable};
 
-/// One fault arm of the matrix: no faults, one class alone, or every class
-/// concurrently.
+/// One fault arm of the matrix: no faults, one class alone, the correlated
+/// crash storm, or every class concurrently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultArm {
     /// The fault-free control arm reductions are measured against.
     Control,
     /// One fault class alone.
     Single(FaultKind),
-    /// All four classes concurrently ([`FaultSpec::all`]). Per-class RNG
+    /// The correlated arm ([`FaultSpec::crash_storm`]): a base object-leak
+    /// stream whose every leak spawns a burst of app crashes within a
+    /// two-minute window. The leak arrivals are identical to the
+    /// `object_leak` single arm on the same seed (per-class streams stay
+    /// independent); only the follower crashes are added.
+    Storm,
+    /// All classes concurrently ([`FaultSpec::all`]). Per-class RNG
     /// streams are independent, so each class's arrivals here are identical
     /// to its single-class arm on the same seed.
     All,
 }
 
 impl FaultArm {
-    /// Every arm, in report order: control, the four single classes, all.
-    pub const ALL_ARMS: [FaultArm; 6] = [
+    /// Every arm, in report order: control, each single class, the
+    /// correlated storm, all.
+    pub const ALL_ARMS: [FaultArm; 8] = [
         FaultArm::Control,
         FaultArm::Single(FaultKind::AppCrash),
         FaultArm::Single(FaultKind::ObjectLeak),
         FaultArm::Single(FaultKind::ListenerFailure),
         FaultArm::Single(FaultKind::ServiceException),
+        FaultArm::Single(FaultKind::NetworkDrop),
+        FaultArm::Storm,
         FaultArm::All,
     ];
 
@@ -73,34 +83,38 @@ impl FaultArm {
         match self {
             FaultArm::Control => "control",
             FaultArm::Single(kind) => kind.name(),
+            FaultArm::Storm => "storm",
             FaultArm::All => "all",
         }
     }
 
-    /// Parses an arm name (`control`, a [`FaultKind::name`], or `all`).
+    /// Parses an arm name (`control`, a [`FaultKind::name`], `storm`, or
+    /// `all`; `netdrop` is accepted as shorthand for `network_drop`).
     ///
     /// # Errors
     ///
-    /// Returns the unrecognised input.
+    /// Returns the unrecognised input with the full vocabulary.
     pub fn parse(raw: &str) -> Result<FaultArm, String> {
         match raw {
             "control" => Ok(FaultArm::Control),
+            "storm" => Ok(FaultArm::Storm),
             "all" => Ok(FaultArm::All),
+            "netdrop" => Ok(FaultArm::Single(FaultKind::NetworkDrop)),
             other => FaultKind::parse(other).map(FaultArm::Single).map_err(|_| {
-                format!(
-                    "unknown fault arm {other:?} (control, app_crash, object_leak, \
-                     listener_failure, service_exception, all)"
-                )
+                let names: Vec<&str> = FaultArm::ALL_ARMS.iter().map(|a| a.name()).collect();
+                format!("unknown fault arm {other:?} ({})", names.join(", "))
             }),
         }
     }
 
     /// The arm's fault plan for one seed: empty for control, one class's
-    /// Poisson stream, or all four concurrently.
+    /// Poisson stream, the leak-triggered crash storm, or all classes
+    /// concurrently.
     pub fn plan(self, seed: u64, length: SimDuration, mean: SimDuration) -> FaultPlan {
         let spec = match self {
             FaultArm::Control => return FaultPlan::none(),
             FaultArm::Single(kind) => FaultSpec::single(kind),
+            FaultArm::Storm => FaultSpec::crash_storm(),
             FaultArm::All => FaultSpec::all(),
         };
         FaultPlan::generate(seed, length, &spec.with_mean_interval(mean))
@@ -127,11 +141,17 @@ pub struct MatrixConfig {
     /// Degradation bound: the most savings (percentage points of the
     /// fault-free vanilla baseline) a policy may lose under any fault arm.
     pub tolerance_pp: f64,
+    /// Whether an [`FaultKind::AppCrash`] restart is a cold start (the
+    /// restarted process loses its transient state — handles, counters,
+    /// in-flight retries — and keeps only what its model persists). `false`
+    /// replays the legacy warm-restart semantics, where the model resumes
+    /// with its full pre-crash state.
+    pub cold_restart: bool,
 }
 
 impl MatrixConfig {
     /// The full conformance matrix: all 20 catalog apps × all 5 policies ×
-    /// `n_seeds` seeds from `base_seed` × all 6 arms.
+    /// `n_seeds` seeds from `base_seed` × all 8 arms.
     pub fn full(base_seed: u64, n_seeds: u64) -> Self {
         MatrixConfig {
             apps: case_names().iter().map(|s| (*s).to_owned()).collect(),
@@ -141,12 +161,13 @@ impl MatrixConfig {
             length: crate::RUN_LENGTH,
             mean_interval: SimDuration::from_secs(300),
             tolerance_pp: 35.0,
+            cold_restart: true,
         }
     }
 
     /// The historical smoke subset: two wakelock cases plus a GPS case (so
     /// every fault class finds an eligible target), vanilla vs LeaseOS,
-    /// one seed, all six arms.
+    /// one seed, all eight arms.
     pub fn smoke(seed: u64) -> Self {
         MatrixConfig {
             apps: ["Facebook", "Torch", "GPSLogger"]
@@ -159,6 +180,7 @@ impl MatrixConfig {
             length: crate::RUN_LENGTH,
             mean_interval: SimDuration::from_secs(300),
             tolerance_pp: 35.0,
+            cold_restart: true,
         }
     }
 
@@ -293,21 +315,25 @@ impl MatrixRun {
 }
 
 /// The cache key of one cell: a content hash over the scenario fingerprint,
-/// the expanded fault plan, and the build revision.
-pub fn cell_key(spec: &ScenarioSpec, plan: &FaultPlan, rev: &str) -> CacheKey {
-    KeyBuilder::new("chaos-cell/v1;audit=256")
+/// the expanded fault plan, the restart semantics, and the build revision.
+/// The domain is `v2`: `v1` entries predate correlated plans and cold
+/// restarts and must never replay against them.
+pub fn cell_key(spec: &ScenarioSpec, plan: &FaultPlan, cold_restart: bool, rev: &str) -> CacheKey {
+    KeyBuilder::new("chaos-cell/v2;audit=256")
         .field("spec", spec.fingerprint())
         .field("plan", plan.fingerprint())
+        .field("cold", if cold_restart { "1" } else { "0" })
         .field("rev", rev)
         .finish()
 }
 
-/// Executes one cell for real: kernel + fault plan + always-on audits +
-/// in-memory JSONL capture.
-fn execute_cell(spec: &ScenarioSpec, plan: &FaultPlan) -> CellOutcome {
+/// Executes one cell for real: kernel + fault plan + restart semantics +
+/// always-on audits + in-memory JSONL capture.
+fn execute_cell(spec: &ScenarioSpec, plan: &FaultPlan, cold_restart: bool) -> CellOutcome {
     let sink: Rc<RefCell<JsonlSink<Vec<u8>>>> = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
     let run = spec.execute_with(|kernel| {
         kernel.install_fault_plan(plan);
+        kernel.set_cold_restart(cold_restart);
         // Force periodic audits on even in release builds: the conformance
         // matrix is exactly the run where we want them. The kernel attaches
         // its own lease state-machine replay sink whenever audits are on.
@@ -378,24 +404,25 @@ pub fn run_matrix(
         }
     }
 
+    let cold_restart = config.cold_restart;
     let cells = runner.run(&specs, |i, spec| {
         let (si, ai) = spec_plan[i];
         let plan = &plans[si][ai];
         if let Some(cache) = cache {
-            let key = cell_key(spec, plan, rev);
+            let key = cell_key(spec, plan, cold_restart, rev);
             if let Some(entry) = cache.load(key) {
                 if let Ok(outcome) = CellOutcome::from_summary(&entry.summary, entry.jsonl) {
                     return outcome;
                 }
                 // Undecodable payload: fall through and re-execute.
             }
-            let outcome = execute_cell(spec, plan);
+            let outcome = execute_cell(spec, plan, cold_restart);
             if let Err(e) = cache.store(key, &outcome.summary_json(), &outcome.jsonl) {
                 eprintln!("warning: cache store failed for {}: {e}", spec.label);
             }
             outcome
         } else {
-            execute_cell(spec, plan)
+            execute_cell(spec, plan, cold_restart)
         }
     });
 
@@ -558,7 +585,50 @@ mod tests {
         for arm in FaultArm::ALL_ARMS {
             assert_eq!(FaultArm::parse(arm.name()), Ok(arm));
         }
-        assert!(FaultArm::parse("meteor").is_err());
+        assert_eq!(
+            FaultArm::parse("netdrop"),
+            Ok(FaultArm::Single(FaultKind::NetworkDrop)),
+            "CLI shorthand"
+        );
+        let err = FaultArm::parse("meteor").unwrap_err();
+        for arm in FaultArm::ALL_ARMS {
+            assert!(err.contains(arm.name()), "error lists {:?}", arm.name());
+        }
+    }
+
+    /// The gap test the ISSUE asks for: a [`FaultKind`] added to the enum
+    /// cannot be silently omitted from the arm vocabulary.
+    #[test]
+    fn every_fault_kind_has_a_single_arm() {
+        for kind in FaultKind::ALL {
+            assert!(
+                FaultArm::ALL_ARMS.contains(&FaultArm::Single(kind)),
+                "FaultKind::{kind} missing from FaultArm::ALL_ARMS"
+            );
+        }
+    }
+
+    #[test]
+    fn storm_arm_embeds_the_leak_stream_and_adds_follower_crashes() {
+        let len = SimDuration::from_mins(60);
+        let mean = SimDuration::from_secs(300);
+        let storm = FaultArm::Storm.plan(7, len, mean);
+        let leaks = FaultArm::Single(FaultKind::ObjectLeak).plan(7, len, mean);
+        let storm_leaks: Vec<_> = storm
+            .faults()
+            .iter()
+            .filter(|f| f.kind == FaultKind::ObjectLeak)
+            .copied()
+            .collect();
+        assert_eq!(
+            leaks.faults(),
+            storm_leaks.as_slice(),
+            "the base leak stream is untouched by correlation"
+        );
+        assert!(
+            storm.faults().iter().any(|f| f.kind == FaultKind::AppCrash),
+            "an hour of leaks at 5 min mean must spawn follower crashes"
+        );
     }
 
     #[test]
@@ -592,8 +662,9 @@ mod tests {
         assert_eq!(cfg.apps.len(), 20);
         assert_eq!(cfg.policies.len(), 5);
         assert_eq!(cfg.seeds, vec![42, 43, 44]);
-        assert_eq!(cfg.arms.len(), 6);
-        assert_eq!(cfg.cell_count(), 20 * 5 * 3 * 6);
+        assert_eq!(cfg.arms.len(), 8);
+        assert_eq!(cfg.cell_count(), 20 * 5 * 3 * 8);
+        assert!(cfg.cold_restart, "cold starts are the realistic default");
         assert!(cfg.resolve_cases().is_ok());
     }
 

@@ -63,6 +63,26 @@ pub trait AppModel: std::any::Any {
 
     /// Called for each subsequent event.
     fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent);
+
+    /// Called when the app's crashed process is about to restart, just
+    /// before the new incarnation's [`AppModel::on_start`].
+    ///
+    /// This is where a model splits its state into persistent and transient
+    /// halves: on a **cold** restart (`cold == true`, the kernel default)
+    /// everything that would have lived in process memory on a real device —
+    /// backoff counters, cached object handles, in-flight markers — must be
+    /// reset, while state a real app persists to disk (databases, settings,
+    /// long-lived statistics) survives. A **warm** restart (`cold == false`)
+    /// models the pre-split simplification where the process image survives
+    /// the crash; the default implementation keeps all state, so models
+    /// without an override behave exactly as before.
+    ///
+    /// Kernel-side state is unaffected either way: the crash already tore
+    /// down every owned object through the binder-style death-notification
+    /// path (§4.6), regardless of what the model remembers.
+    fn on_restart(&mut self, cold: bool) {
+        let _ = cold;
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,10 @@ const NET_BYTES_PER_MS: u64 = 2_000;
 /// Delay before a crashed app's process is restarted by the fault injector
 /// (Android restarts sticky services on a backoff of this order).
 const CRASH_RESTART_MS: u64 = 30_000;
+/// Shortest injected network outage (a brief cell handover gap).
+const NET_DROP_MIN_MS: u64 = 30_000;
+/// Longest injected network outage (an elevator-ride dead zone).
+const NET_DROP_MAX_MS: u64 = 180_000;
 /// Default event-count interval between invariant audits in debug builds.
 const DEFAULT_AUDIT_EVERY: u64 = 256;
 
@@ -199,6 +203,9 @@ pub struct Kernel {
     fault_rng: Option<SimRng>,
     /// Apps whose next acquire/release IPC throws a service exception.
     pending_exceptions: BTreeSet<AppId>,
+    /// Whether a crashed app restarts cold (transient model state lost —
+    /// the realistic default) or warm (process image survives the crash).
+    cold_restart: bool,
     /// Run invariant audits every this many processed events (`None`
     /// disables the periodic audits; debug builds default them on).
     audit_interval: Option<u64>,
@@ -260,6 +267,7 @@ impl Kernel {
             started: false,
             fault_rng: None,
             pending_exceptions: BTreeSet::new(),
+            cold_restart: true,
             audit_interval: cfg!(debug_assertions).then_some(DEFAULT_AUDIT_EVERY),
             last_audit_count: 0,
             battery,
@@ -356,6 +364,15 @@ impl Kernel {
             self.queue
                 .push(fault.at, SysEvent::Fault { kind: fault.kind });
         }
+    }
+
+    /// Selects cold (default) or warm restarts for crashed apps.
+    ///
+    /// Cold restarts hand `true` to [`AppModel::on_restart`] so the new
+    /// incarnation loses its transient state; warm restarts model the old
+    /// process-image-survives simplification and leave models untouched.
+    pub fn set_cold_restart(&mut self, cold: bool) {
+        self.cold_restart = cold;
     }
 
     /// Sets the event-count interval between runtime invariant audits
@@ -712,6 +729,19 @@ impl Kernel {
             SysEvent::RestartApp(app) => {
                 let idx = self.slot_index(app);
                 if self.apps[idx].stopped {
+                    // The new process image comes up before on_start runs:
+                    // a cold restart loses the model's transient half, a
+                    // warm one keeps the pre-crash image intact.
+                    let cold = self.cold_restart;
+                    if let Some(model) = self.apps[idx].model.as_mut() {
+                        model.on_restart(cold);
+                    }
+                    self.telemetry
+                        .emit(EventKind::AppLifecycle, || TelemetryEvent::AppLifecycle {
+                            at: now,
+                            app: app.0,
+                            event: if cold { "restart_cold" } else { "restart_warm" },
+                        });
                     self.apps[idx].stopped = false;
                     self.apps[idx].started = false;
                     self.queue.push(now, SysEvent::StartApp(app));
@@ -922,6 +952,29 @@ impl Kernel {
                 };
                 self.emit_fault(now, kind, app, 0);
                 self.pending_exceptions.insert(app);
+            }
+            FaultKind::NetworkDrop => {
+                // Device-wide: the scripted network signal itself goes down
+                // for a bounded outage, so app models see real Disconnected
+                // results and react (retry loops, backoff) instead of only
+                // being billed an exception. A drop while the signal is
+                // already down has no eligible target and is skipped without
+                // drawing randomness, like every other targetless fault.
+                if !self.env.network_up.at(now) {
+                    return;
+                }
+                let outage_ms = {
+                    let rng = self.fault_rng.as_mut().expect("fault plan installed");
+                    rng.range_u64(NET_DROP_MIN_MS, NET_DROP_MAX_MS + 1)
+                };
+                let until = now + SimDuration::from_millis(outage_ms);
+                self.env.network_up.force_window(now, until, false);
+                self.emit_fault(now, kind, AppId(0), 0);
+                // `ensure_started` pre-queued notifications for scripted
+                // change points only; the injected outage edges need their
+                // own, so in-flight netops fail now and recovery is observed.
+                self.queue.push(now, SysEvent::EnvChange);
+                self.queue.push(until, SysEvent::EnvChange);
             }
         }
     }

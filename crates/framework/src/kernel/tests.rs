@@ -956,6 +956,140 @@ fn fault_plan_after_start_is_rejected() {
     k.install_fault_plan(&FaultPlan::none());
 }
 
+/// Re-issues a network op every 5 s and tallies outcomes — the minimal
+/// K-9-shaped poller for observing an injected outage.
+struct NetPoller {
+    ok: u32,
+    failed: u32,
+}
+
+impl AppModel for NetPoller {
+    fn name(&self) -> &str {
+        "net-poller"
+    }
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.acquire_wakelock();
+        ctx.network_op(1_000, 1);
+    }
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::NetDone { token: 1, result } => {
+                if result.is_err() {
+                    self.failed += 1;
+                } else {
+                    self.ok += 1;
+                }
+                ctx.schedule(d(5), 1);
+            }
+            AppEvent::Timer(1) => ctx.network_op(1_000, 1),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn network_drop_fault_flips_the_signal_and_apps_react() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
+    k.install_fault_plan(&one_fault(t(60), FaultKind::NetworkDrop));
+    let app = k.add_app(Box::new(NetPoller { ok: 0, failed: 0 }));
+    k.run_until(t(59));
+    let before_outage = k.app_model::<NetPoller>(app).unwrap().ok;
+    assert!(before_outage > 5, "healthy polling before the drop");
+    assert_eq!(k.app_model::<NetPoller>(app).unwrap().failed, 0);
+    // The outage is bounded (≤ 3 min), so by t=6 min the script resumed.
+    k.run_until(t(360));
+    let m = k.app_model::<NetPoller>(app).unwrap();
+    assert!(
+        m.failed > 0,
+        "polls during the outage see real Disconnected results"
+    );
+    assert!(
+        m.ok > before_outage,
+        "the signal recovers and polling succeeds again"
+    );
+    assert_eq!(k.telemetry().count(EventKind::FaultInjected), 1);
+    let stats = k.ledger().app_opt(app).unwrap();
+    assert_eq!(
+        stats.net_failures, m.failed as u64,
+        "kernel billed the failures"
+    );
+    assert!(k.audit().is_empty(), "{:?}", k.audit());
+}
+
+#[test]
+fn network_drop_while_already_down_is_skipped() {
+    let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), Environment::disconnected(), 1);
+    k.install_fault_plan(&one_fault(t(10), FaultKind::NetworkDrop));
+    k.add_app(Box::new(NetPoller { ok: 0, failed: 0 }));
+    k.run_until(t(30));
+    assert_eq!(
+        k.telemetry().count(EventKind::FaultInjected),
+        0,
+        "a drop with the signal already down has no eligible target"
+    );
+}
+
+/// Ticks every second; the tick count is transient, the lifetime count is
+/// "persisted" by its on_restart override.
+struct SplitState {
+    ticks: u32,
+    lifetime: u32,
+}
+
+impl AppModel for SplitState {
+    fn name(&self) -> &str {
+        "split-state"
+    }
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.acquire_wakelock();
+        ctx.schedule(d(1), 1);
+    }
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Timer(1) = event {
+            self.ticks += 1;
+            self.lifetime += 1;
+            ctx.schedule(d(1), 1);
+        }
+    }
+    fn on_restart(&mut self, cold: bool) {
+        if cold {
+            self.ticks = 0;
+        }
+    }
+}
+
+#[test]
+fn cold_restart_loses_transient_state_and_warm_restart_keeps_it() {
+    let run = |cold: bool| {
+        let mut k = Kernel::vanilla(DeviceProfile::pixel_xl(), background_env(), 1);
+        k.set_cold_restart(cold);
+        k.install_fault_plan(&one_fault(t(30), FaultKind::AppCrash));
+        let app = k.add_app(Box::new(SplitState {
+            ticks: 0,
+            lifetime: 0,
+        }));
+        // Crash at t=30, restart at t=60, observe at t=90.
+        k.run_until(t(90));
+        let m = k.app_model::<SplitState>(app).unwrap();
+        (m.ticks, m.lifetime)
+    };
+    let (cold_ticks, cold_lifetime) = run(true);
+    assert!(
+        cold_ticks < cold_lifetime,
+        "cold restart reset the transient half ({cold_ticks} < {cold_lifetime})"
+    );
+    assert!(cold_ticks > 0, "the new incarnation ticks again");
+    let (warm_ticks, warm_lifetime) = run(false);
+    assert_eq!(
+        warm_ticks, warm_lifetime,
+        "warm restart keeps the whole process image"
+    );
+    assert_eq!(
+        cold_lifetime, warm_lifetime,
+        "the persistent half is identical either way"
+    );
+}
+
 #[test]
 fn policy_overhead_accrues_per_op() {
     struct CostlyVanilla;

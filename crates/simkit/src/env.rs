@@ -63,6 +63,33 @@ impl<T: Clone> Schedule<T> {
         }
     }
 
+    /// Overrides the signal to `value` over `[from, until)`, restoring at
+    /// `until` whatever the script said the value would be then.
+    ///
+    /// Unlike [`Schedule::set_from`], this may be called mid-run while
+    /// scripted changes still lie in the future — the fault-injection path
+    /// (a [`crate::FaultKind::NetworkDrop`] outage) needs exactly that.
+    /// Scripted changes strictly inside the window are subsumed by the
+    /// override; everything at or after `until` is preserved verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`: an empty window would silently do nothing.
+    pub fn force_window(&mut self, from: SimTime, until: SimTime, value: T) {
+        assert!(until > from, "force_window needs a non-empty window");
+        // What the script resumes to at `until`, computed before the window
+        // contents are dropped.
+        let resume = self.at(until);
+        self.changes.retain(|(t, _)| *t < from || *t >= until);
+        let insert_at = self.changes.partition_point(|(t, _)| *t < from);
+        // An existing change exactly at `until` already carries the resume
+        // value; only synthesise one when the instant is unoccupied.
+        if !self.changes.iter().any(|(t, _)| *t == until) {
+            self.changes.insert(insert_at, (until, resume));
+        }
+        self.changes.insert(insert_at, (from, value));
+    }
+
     /// The next instant strictly after `time` at which the signal changes.
     pub fn next_change_after(&self, time: SimTime) -> Option<SimTime> {
         self.changes.iter().map(|(t, _)| *t).find(|t| *t > time)
@@ -241,6 +268,45 @@ mod tests {
         let mut s = Schedule::new(0);
         s.set_from(SimTime::from_secs(10), 1);
         s.set_from(SimTime::from_secs(5), 2);
+    }
+
+    #[test]
+    fn force_window_overrides_and_resumes_the_script() {
+        // Script: up until 10 s, down at 10 s, up again at 40 s.
+        let mut s = Schedule::new(true);
+        s.set_from(SimTime::from_secs(10), false);
+        s.set_from(SimTime::from_secs(40), true);
+        // Mid-run outage over [5 s, 20 s): subsumes the scripted change at
+        // 10 s, and at 20 s the script says the signal is (still) down.
+        s.force_window(SimTime::from_secs(5), SimTime::from_secs(20), false);
+        assert!(s.at(SimTime::from_secs(4)));
+        assert!(!s.at(SimTime::from_secs(5)));
+        assert!(!s.at(SimTime::from_secs(19)));
+        assert!(!s.at(SimTime::from_secs(25)), "script resumes down");
+        assert!(s.at(SimTime::from_secs(40)), "later script preserved");
+        let points: Vec<SimTime> = s.change_points().collect();
+        assert!(points.windows(2).all(|w| w[0] < w[1]), "still time-ordered");
+
+        // A window past every scripted change resumes the final value.
+        let mut s = Schedule::new(true);
+        s.force_window(SimTime::from_secs(100), SimTime::from_secs(160), false);
+        assert!(!s.at(SimTime::from_secs(130)));
+        assert!(s.at(SimTime::from_secs(160)), "initial value resumes");
+
+        // A retained change exactly at the window end is not duplicated.
+        let mut s = Schedule::new(0);
+        s.set_from(SimTime::from_secs(30), 2);
+        s.force_window(SimTime::from_secs(10), SimTime::from_secs(30), 9);
+        assert_eq!(s.at(SimTime::from_secs(29)), 9);
+        assert_eq!(s.at(SimTime::from_secs(30)), 2);
+        assert_eq!(s.change_points().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty window")]
+    fn force_window_rejects_empty_windows() {
+        let mut s = Schedule::new(true);
+        s.force_window(SimTime::from_secs(5), SimTime::from_secs(5), false);
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub use device::DeviceProfile;
 pub use energy::{Channel, Consumer, EnergyMeter};
 pub use env::{Environment, GpsSignal, Schedule};
 pub use faults::{
-    AuditViolation, BatteryMeterCrossCheck, BatteryMeterSample, EnergyConservation, FaultKind,
-    FaultPlan, FaultSpec, Invariant, LeaseStateAudit, QueueConsistency, ScheduledFault,
+    AuditViolation, BatteryMeterCrossCheck, BatteryMeterSample, CorrelationRule,
+    EnergyConservation, FaultKind, FaultPlan, FaultSpec, Invariant, LeaseStateAudit,
+    QueueConsistency, ScheduledFault,
 };
 pub use power::{ComponentKind, ComponentState, CpuState, GpsState, PowerTable, WifiState};
 pub use queue::{EventHandle, EventQueue};

@@ -2,9 +2,9 @@
 //!
 //! The contract (`DESIGN.md` §3.8): a warm sweep re-executes nothing and
 //! replays the cold sweep byte-for-byte; any change to a key ingredient
-//! (scenario fingerprint, fault plan, build revision) forces a miss; a
-//! corrupt or truncated entry is detected, re-executed, and repaired —
-//! never trusted.
+//! (scenario fingerprint, fault plan — correlation rules included —
+//! restart semantics, build revision) forces a miss; a corrupt or
+//! truncated entry is detected, re-executed, and repaired — never trusted.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,12 +24,19 @@ fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// A 4-cell slice of the real matrix, small enough to execute in tests.
+/// An 8-cell slice of the real matrix, small enough to execute in tests.
+/// The arms cover the plain, environment-driven, and correlated fault
+/// shapes so the cache contract is exercised against all three.
 fn tiny_config() -> MatrixConfig {
     let mut cfg = MatrixConfig::smoke(42);
     cfg.apps = vec!["Torch".into()];
     cfg.policies = vec![PolicyKind::Vanilla, PolicyKind::LeaseOs];
-    cfg.arms = vec![FaultArm::Control, FaultArm::Single(FaultKind::AppCrash)];
+    cfg.arms = vec![
+        FaultArm::Control,
+        FaultArm::Single(FaultKind::AppCrash),
+        FaultArm::Single(FaultKind::NetworkDrop),
+        FaultArm::Storm,
+    ];
     cfg.length = SimDuration::from_mins(5);
     cfg
 }
@@ -103,20 +110,60 @@ fn every_key_ingredient_forces_a_miss_when_mutated() {
         "length change invalidates everything"
     );
 
-    // Changed fault timing: only the faulted arm's cells miss (the control
+    // Changed fault timing: only the faulted arms' cells miss (the control
     // arm's plan — and therefore its key — is untouched).
     let mut faster = base.clone();
     faster.mean_interval = SimDuration::from_secs(120);
     let cache = ResultCache::open(&dir).unwrap();
     run_matrix(&faster, &runner, Some(&cache), "rev-a").unwrap();
     assert_eq!(cache.stats().hits, 2, "control cells still hit");
-    assert_eq!(cache.stats().misses, 2, "faulted cells re-execute");
+    assert_eq!(cache.stats().misses, 6, "faulted cells re-execute");
+
+    // Flipped restart semantics: every cell misses — a crash's aftermath
+    // differs, and even fault-free cells must not replay bytes recorded
+    // under the other semantics.
+    let mut warm_restart = base.clone();
+    warm_restart.cold_restart = false;
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&warm_restart, &runner, Some(&cache), "rev-a").unwrap();
+    assert_eq!(
+        cache.stats().hits,
+        0,
+        "restart semantics are a key ingredient"
+    );
+    assert_eq!(cache.stats().misses, base.cell_count() as u64);
 
     // And the original configuration still hits 100%: nothing above
     // clobbered the good entries.
     let cache = ResultCache::open(&dir).unwrap();
     run_matrix(&base, &runner, Some(&cache), "rev-a").unwrap();
     assert_eq!(cache.stats().misses, 0);
+}
+
+/// Growing a warm cache by a correlated arm re-executes exactly the new
+/// arm's cells: the storm shares the leak arm's base stream, but its
+/// correlation rule is part of the plan fingerprint, so its cells can
+/// never replay a plain leak cell's bytes.
+#[test]
+fn adding_the_storm_arm_reexecutes_exactly_the_new_cells() {
+    let dir = scratch_dir("storm-arm");
+    let runner = ScenarioRunner::with_threads(1);
+    let mut base = tiny_config();
+    base.arms = vec![FaultArm::Control, FaultArm::Single(FaultKind::ObjectLeak)];
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&base, &runner, Some(&cache), "rev-a").unwrap();
+    assert_eq!(cache.stats().stores, base.cell_count() as u64);
+
+    let mut extended = base.clone();
+    extended.arms.push(FaultArm::Storm);
+    let cache = ResultCache::open(&dir).unwrap();
+    run_matrix(&extended, &runner, Some(&cache), "rev-a").unwrap();
+    assert_eq!(
+        cache.stats().hits,
+        base.cell_count() as u64,
+        "old cells hit"
+    );
+    assert_eq!(cache.stats().misses, 2, "exactly the storm cells execute");
 }
 
 #[test]
@@ -154,7 +201,7 @@ fn corrupt_and_truncated_entries_are_reexecuted_and_repaired() {
 }
 
 #[test]
-fn cell_keys_separate_spec_plan_and_rev() {
+fn cell_keys_separate_spec_plan_restart_semantics_and_rev() {
     use leaseos_apps::buggy::table5_case;
     use leaseos_simkit::{DeviceProfile, FaultPlan, FaultSpec, ScheduledFault, SimTime};
     use std::sync::Arc;
@@ -175,22 +222,24 @@ fn cell_keys_separate_spec_plan_and_rev() {
         SimDuration::from_mins(5),
         &FaultSpec::single(FaultKind::AppCrash),
     );
-    let base = cell_key(&spec, &plan, "rev-a");
-    assert_eq!(base, cell_key(&spec, &plan, "rev-a"), "deterministic");
+    let base = cell_key(&spec, &plan, true, "rev-a");
+    assert_eq!(base, cell_key(&spec, &plan, true, "rev-a"), "deterministic");
 
     let mut relabeled = spec.clone();
     relabeled.label = "Torch/leaseos/control/43".into();
-    assert_ne!(base, cell_key(&relabeled, &plan, "rev-a"));
+    assert_ne!(base, cell_key(&relabeled, &plan, true, "rev-a"));
 
     let mut reseeded = spec.clone();
     reseeded.seed = 43;
-    assert_ne!(base, cell_key(&reseeded, &plan, "rev-a"));
+    assert_ne!(base, cell_key(&reseeded, &plan, true, "rev-a"));
 
     let other_plan = FaultPlan::scripted(vec![ScheduledFault {
         at: SimTime::from_secs(1),
         kind: FaultKind::ObjectLeak,
     }]);
-    assert_ne!(base, cell_key(&spec, &other_plan, "rev-a"));
+    assert_ne!(base, cell_key(&spec, &other_plan, true, "rev-a"));
 
-    assert_ne!(base, cell_key(&spec, &plan, "rev-b"));
+    assert_ne!(base, cell_key(&spec, &plan, false, "rev-a"));
+
+    assert_ne!(base, cell_key(&spec, &plan, true, "rev-b"));
 }

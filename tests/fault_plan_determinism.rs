@@ -17,11 +17,12 @@ use proptest::prelude::*;
 
 const HORIZON: SimDuration = SimDuration::from_mins(30);
 
-/// Every spec the chaos matrix schedules: each class alone, plus all four
-/// concurrently.
+/// Every spec the chaos matrix schedules: each class alone, every class
+/// concurrently, and the correlated crash storm.
 fn specs_under_test() -> Vec<FaultSpec> {
     let mut specs: Vec<FaultSpec> = FaultKind::ALL.into_iter().map(FaultSpec::single).collect();
     specs.push(FaultSpec::all());
+    specs.push(FaultSpec::crash_storm());
     specs
 }
 
@@ -84,7 +85,9 @@ proptest! {
     }
 
     /// Per-class RNG streams are independent: the concurrent `all()` plan
-    /// embeds each single-class plan's arrivals verbatim, for any seed.
+    /// embeds each single-class plan's arrivals verbatim, for any seed —
+    /// including classes added after the cache shipped (the `FaultKind::ALL`
+    /// loop picks new ones up automatically).
     #[test]
     fn all_plan_embeds_every_single_class_stream(seed in 0u64..1_000_000) {
         let all = FaultPlan::generate(seed, HORIZON, &FaultSpec::all());
@@ -97,6 +100,40 @@ proptest! {
                 .copied()
                 .collect();
             prop_assert_eq!(solo.faults(), embedded.as_slice());
+        }
+    }
+
+    /// Correlated plans are causally ordered for any seed: every follower
+    /// crash in the storm spec lies strictly inside the window opened by
+    /// some trigger leak. The storm's only base class is `ObjectLeak`, so
+    /// *every* `AppCrash` in the plan must be a follower — an orphan crash
+    /// (or one at/before its earliest possible trigger) is a generation bug.
+    #[test]
+    fn storm_followers_never_precede_their_triggers(seed in 0u64..1_000_000) {
+        let spec = FaultSpec::crash_storm();
+        let rule = spec.rules()[0];
+        let window = rule.window;
+        let plan = FaultPlan::generate(seed, HORIZON, &spec);
+        let leaks: Vec<_> = plan
+            .faults()
+            .iter()
+            .filter(|f| f.kind == FaultKind::ObjectLeak)
+            .map(|f| f.at)
+            .collect();
+        prop_assert!(!leaks.is_empty(), "30 min at the 5 min default mean");
+        for fault in plan.faults() {
+            if fault.kind != FaultKind::AppCrash {
+                continue;
+            }
+            prop_assert!(
+                leaks
+                    .iter()
+                    .any(|&t| t < fault.at && fault.at <= t + window),
+                "follower at {} has no trigger leak within {:?} before it \
+                 (leaks: {leaks:?})",
+                fault.at,
+                window
+            );
         }
     }
 }
