@@ -1,0 +1,113 @@
+//! Measures kernel events-per-second on the three canonical workloads and
+//! regenerates (or gates against) `BENCH_throughput.json`.
+//!
+//! Modes:
+//!
+//! * default — run the standard-length workloads and rewrite the baseline
+//!   file;
+//! * `--check` — run and FAIL (exit 1) if any workload's events/sec drops
+//!   more than 20 % below the checked-in baseline;
+//! * `--quick` — use the short CI windows instead of the standard lengths.
+//!
+//! Run: `cargo run --release -p leaseos-bench --bin throughput
+//!       [--check] [--quick] [--seed N] [--out FILE]`
+
+use leaseos_bench::throughput::{measure, render_json, Workload, WORKLOADS};
+use leaseos_simkit::JsonValue;
+
+/// Allowed drop below the pinned baseline before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+struct Flags {
+    check: bool,
+    quick: bool,
+    seed: u64,
+    out: std::path::PathBuf,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        check: false,
+        quick: false,
+        seed: 42,
+        out: std::path::PathBuf::from("BENCH_throughput.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().unwrap_or_else(|| panic!("{arg} needs a value"));
+        match arg.as_str() {
+            "--check" => flags.check = true,
+            "--quick" => flags.quick = true,
+            "--seed" => flags.seed = take().parse().expect("--seed takes an integer"),
+            "--out" => flags.out = std::path::PathBuf::from(take()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    flags
+}
+
+fn main() {
+    let flags = parse_flags();
+    let length = |w: Workload| {
+        if flags.quick {
+            w.quick_length()
+        } else {
+            w.standard_length()
+        }
+    };
+
+    let reports: Vec<_> = WORKLOADS
+        .iter()
+        .map(|&w| {
+            let r = measure(w, flags.seed, length(w));
+            println!(
+                "{:<14} {:>9} events in {:>7.3} s  -> {:>10.0} events/sec",
+                w.name(),
+                r.events,
+                r.wall_secs,
+                r.events_per_sec
+            );
+            r
+        })
+        .collect();
+
+    if flags.check {
+        let raw = std::fs::read_to_string(&flags.out)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", flags.out.display()));
+        let doc = JsonValue::parse(&raw).expect("malformed baseline json");
+        let mut failed = false;
+        for r in &reports {
+            let Some(pinned) = leaseos_bench::throughput::baseline_events_per_sec(&doc, r.workload)
+            else {
+                println!("{}: no pinned baseline, skipping", r.workload.name());
+                continue;
+            };
+            let floor = pinned * (1.0 - REGRESSION_TOLERANCE);
+            if r.events_per_sec < floor {
+                println!(
+                    "FAIL {}: {:.0} events/sec is below the gate ({:.0} = pinned {:.0} - 20%)",
+                    r.workload.name(),
+                    r.events_per_sec,
+                    floor,
+                    pinned
+                );
+                failed = true;
+            } else {
+                println!(
+                    "ok   {}: {:.0} events/sec >= gate {:.0} (pinned {:.0})",
+                    r.workload.name(),
+                    r.events_per_sec,
+                    floor,
+                    pinned
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write(&flags.out, render_json(&reports, flags.seed))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", flags.out.display()));
+        println!("wrote {}", flags.out.display());
+    }
+}

@@ -31,6 +31,7 @@ pub mod cache;
 pub mod conformance;
 pub mod dumpsys;
 pub mod harness;
+pub mod throughput;
 
 pub use cache::{build_rev, CacheKey, CacheStats, KeyBuilder, ResultCache};
 pub use conformance::{FaultArm, MatrixConfig, MatrixRun};

@@ -43,6 +43,7 @@ use crate::policy::{
 };
 use crate::profiler::Profiler;
 use crate::resource::{AcquireParams, NetResult, ResourceKind};
+use crate::store::SecondaryMap;
 
 /// Base uid assigned to the first app (Android assigns apps uids from
 /// 10000).
@@ -148,6 +149,24 @@ struct NetOp {
     suspended: bool,
 }
 
+/// Looks up one app's in-flight entry by token (entries stay token-sorted).
+fn token_entry_mut<T>(table: &mut [Vec<(Token, T)>], idx: usize, token: Token) -> Option<&mut T> {
+    let entries = &mut table[idx];
+    match entries.binary_search_by_key(&token, |(t, _)| *t) {
+        Ok(pos) => Some(&mut entries[pos].1),
+        Err(_) => None,
+    }
+}
+
+/// Removes one app's in-flight entry by token, preserving the sort.
+fn token_entry_remove<T>(table: &mut [Vec<(Token, T)>], idx: usize, token: Token) -> Option<T> {
+    let entries = &mut table[idx];
+    match entries.binary_search_by_key(&token, |(t, _)| *t) {
+        Ok(pos) => Some(entries.remove(pos).1),
+        Err(_) => None,
+    }
+}
+
 /// GPS request phases (runtime view; the ledger keeps the accounting view).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum GpsRunPhase {
@@ -189,12 +208,25 @@ pub struct Kernel {
     awake: bool,
     screen_on: bool,
 
-    works: BTreeMap<(AppId, Token), WorkBurst>,
-    netops: BTreeMap<(AppId, Token), NetOp>,
-    gps: BTreeMap<ObjId, GpsRuntime>,
-    sensors: BTreeMap<ObjId, SensorRuntime>,
+    /// In-flight CPU bursts, indexed by app slot; each app's entries are
+    /// kept sorted by token so whole-table walks reproduce the former
+    /// `(AppId, Token)` map order exactly.
+    works: Vec<Vec<(Token, WorkBurst)>>,
+    /// In-flight network operations, same layout as `works`.
+    netops: Vec<Vec<(Token, NetOp)>>,
+    /// GPS runtimes, keyed by the owning object's ledger slot.
+    gps: SecondaryMap<GpsRuntime>,
+    /// Sensor runtimes, keyed by the owning object's ledger slot.
+    sensors: SecondaryMap<SensorRuntime>,
 
-    prev_draws: HashMap<(Consumer, ComponentKind), f64>,
+    /// Last power attribution, sorted by key for a deterministic diff walk.
+    prev_draws: Vec<((Consumer, ComponentKind), f64)>,
+    /// Reusable accumulation scratch for [`Kernel::sync_power`]; cleared
+    /// (capacity retained) on every settle so the hot path stays
+    /// allocation-free.
+    scratch_desired: HashMap<(Consumer, ComponentKind), f64>,
+    /// Reusable sorted-draws scratch, swapped with `prev_draws` each settle.
+    scratch_draws: Vec<((Consumer, ComponentKind), f64)>,
     policy_overhead_mj: f64,
     started: bool,
 
@@ -258,11 +290,13 @@ impl Kernel {
             profiler: None,
             awake: false,
             screen_on: false,
-            works: BTreeMap::new(),
-            netops: BTreeMap::new(),
-            gps: BTreeMap::new(),
-            sensors: BTreeMap::new(),
-            prev_draws: HashMap::new(),
+            works: Vec::new(),
+            netops: Vec::new(),
+            gps: SecondaryMap::new(),
+            sensors: SecondaryMap::new(),
+            prev_draws: Vec::new(),
+            scratch_desired: HashMap::new(),
+            scratch_draws: Vec::new(),
             policy_overhead_mj: 0.0,
             started: false,
             fault_rng: None,
@@ -333,6 +367,8 @@ impl Kernel {
             stopped: false,
             epoch: 0,
         });
+        self.works.push(Vec::new());
+        self.netops.push(Vec::new());
         if self.started {
             self.queue.push(self.queue.now(), SysEvent::StartApp(id));
         }
@@ -545,6 +581,12 @@ impl Kernel {
     /// Names and ids of all apps.
     pub fn apps(&self) -> impl Iterator<Item = (AppId, &str)> {
         self.apps.iter().map(|s| (s.id, s.name.as_str()))
+    }
+
+    /// Total number of kernel events processed so far (the events-per-
+    /// second numerator of the throughput benchmarks).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
     }
 
     /// Whether the CPU is currently awake.
@@ -805,10 +847,14 @@ impl Kernel {
     }
 
     fn slot_index(&self, app: AppId) -> usize {
-        self.apps
-            .iter()
-            .position(|s| s.id == app)
-            .unwrap_or_else(|| panic!("unknown app {app}"))
+        // Uids are handed out sequentially from FIRST_UID and never reused,
+        // so the slot index is pure arithmetic — no scan.
+        let idx = app.0.wrapping_sub(FIRST_UID) as usize;
+        if idx >= self.apps.len() {
+            panic!("unknown app {app}");
+        }
+        debug_assert_eq!(self.apps[idx].id, app, "app table out of order");
+        idx
     }
 
     fn with_app(&mut self, app: AppId, f: impl FnOnce(&mut Box<dyn AppModel>, &mut AppCtx<'_>)) {
@@ -857,28 +903,15 @@ impl Kernel {
             });
 
         // In-flight CPU bursts: credit what ran, then drop.
-        let works: Vec<(AppId, Token)> = self
-            .works
-            .keys()
-            .copied()
-            .filter(|(a, _)| *a == app)
-            .collect();
-        for key in works {
-            self.pause_burst(key.0, key.1);
-            self.works.remove(&key);
+        for e in 0..self.works[idx].len() {
+            let token = self.works[idx][e].0;
+            self.pause_burst(app, token);
         }
+        self.works[idx].clear();
         // In-flight network operations: cancel silently.
-        let ops: Vec<(AppId, Token)> = self
-            .netops
-            .keys()
-            .copied()
-            .filter(|(a, _)| *a == app)
-            .collect();
-        for key in ops {
-            if let Some(op) = self.netops.remove(&key) {
-                if let Some(h) = op.handle {
-                    self.queue.cancel(h);
-                }
+        for (_, op) in std::mem::take(&mut self.netops[idx]) {
+            if let Some(h) = op.handle {
+                self.queue.cancel(h);
             }
         }
         // Every owned kernel object dies; the policy hears about each.
@@ -891,9 +924,14 @@ impl Kernel {
                     app: app.0,
                     obj: obj.0,
                 });
+            // Death frees the ledger slot, so take it first to clear the
+            // runtime component tables.
+            let slot = self.ledger.slot_of(obj);
             self.ledger.note_dead(obj, now);
-            self.gps.remove(&obj);
-            self.sensors.remove(&obj);
+            if let Some(slot) = slot {
+                self.gps.remove(slot);
+                self.sensors.remove(slot);
+            }
             let actions =
                 self.call_policy("on_object_dead", obj.0, |p, ctx| p.on_object_dead(ctx, obj));
             self.apply_actions(actions);
@@ -1206,13 +1244,15 @@ impl Kernel {
     }
 
     fn params_of(&self, obj: ObjId) -> AcquireParams {
-        if let Some(g) = self.gps.get(&obj) {
-            AcquireParams::listener(g.interval)
-        } else if let Some(s) = self.sensors.get(&obj) {
-            AcquireParams::listener(s.interval)
-        } else {
-            AcquireParams::held()
+        if let Some(slot) = self.ledger.slot_of(obj) {
+            if let Some(g) = self.gps.get(slot) {
+                return AcquireParams::listener(g.interval);
+            }
+            if let Some(s) = self.sensors.get(slot) {
+                return AcquireParams::listener(s.interval);
+            }
         }
+        AcquireParams::held()
     }
 
     fn release(&mut self, app: AppId, obj: ObjId) {
@@ -1263,9 +1303,14 @@ impl Kernel {
                 obj: obj.0,
             });
         self.park_runtime(obj);
+        // Death frees the ledger slot, so take it first to clear the
+        // runtime component tables.
+        let slot = self.ledger.slot_of(obj);
         self.ledger.note_dead(obj, now);
-        self.gps.remove(&obj);
-        self.sensors.remove(&obj);
+        if let Some(slot) = slot {
+            self.gps.remove(slot);
+            self.sensors.remove(slot);
+        }
         let actions =
             self.call_policy("on_object_dead", obj.0, |p, ctx| p.on_object_dead(ctx, obj));
         self.apply_actions(actions);
@@ -1274,9 +1319,10 @@ impl Kernel {
     fn install_runtime(&mut self, obj: ObjId, kind: ResourceKind, params: AcquireParams) {
         match kind {
             ResourceKind::Gps => {
+                let slot = self.ledger.slot_of(obj).expect("live object slot");
                 let interval = params.interval.unwrap_or(SimDuration::from_secs(1));
                 self.gps.insert(
-                    obj,
+                    slot,
                     GpsRuntime {
                         interval,
                         phase: GpsRunPhase::Parked,
@@ -1288,9 +1334,10 @@ impl Kernel {
                 );
             }
             ResourceKind::Sensor => {
+                let slot = self.ledger.slot_of(obj).expect("live object slot");
                 let interval = params.interval.unwrap_or(SimDuration::from_secs(1));
                 self.sensors.insert(
-                    obj,
+                    slot,
                     SensorRuntime {
                         interval,
                         pending_deliver: None,
@@ -1308,12 +1355,13 @@ impl Kernel {
         match kind {
             ResourceKind::Gps => self.gps_begin_search(now, obj),
             ResourceKind::Sensor => {
-                let interval = self.sensors.get(&obj).expect("sensor runtime").interval;
+                let slot = self.ledger.slot_of(obj).expect("live object slot");
+                let interval = self.sensors.get(slot).expect("sensor runtime").interval;
                 let h = self
                     .queue
                     .push(now + interval, SysEvent::SensorDeliver { obj });
                 self.sensors
-                    .get_mut(&obj)
+                    .get_mut(slot)
                     .expect("sensor runtime")
                     .pending_deliver = Some(h);
             }
@@ -1324,7 +1372,10 @@ impl Kernel {
     /// Stops the resource's active behaviour (release, revoke, or death).
     fn park_runtime(&mut self, obj: ObjId) {
         let now = self.queue.now();
-        if let Some(g) = self.gps.get_mut(&obj) {
+        let Some(slot) = self.ledger.slot_of(obj) else {
+            return;
+        };
+        if let Some(g) = self.gps.get_mut(slot) {
             for h in [
                 g.pending_fix.take(),
                 g.pending_loss.take(),
@@ -1338,7 +1389,7 @@ impl Kernel {
             g.phase = GpsRunPhase::Parked;
             self.ledger.set_gps_state(obj, GpsPhase::Idle, now);
         }
-        if let Some(s) = self.sensors.get_mut(&obj) {
+        if let Some(s) = self.sensors.get_mut(slot) {
             if let Some(h) = s.pending_deliver.take() {
                 self.queue.cancel(h);
             }
@@ -1393,11 +1444,11 @@ impl Kernel {
             handle: None,
             running_since: None,
         };
-        let replaced = self.works.insert((app, token), burst);
-        assert!(
-            replaced.is_none(),
-            "{app} reused in-flight work token {token}"
-        );
+        let idx = self.slot_index(app);
+        match self.works[idx].binary_search_by_key(&token, |(t, _)| *t) {
+            Ok(_) => panic!("{app} reused in-flight work token {token}"),
+            Err(pos) => self.works[idx].insert(pos, (token, burst)),
+        }
         if self.awake {
             self.start_burst(app, token);
         }
@@ -1406,7 +1457,8 @@ impl Kernel {
 
     fn start_burst(&mut self, app: AppId, token: Token) {
         let now = self.queue.now();
-        let burst = self.works.get_mut(&(app, token)).expect("burst");
+        let idx = self.slot_index(app);
+        let burst = token_entry_mut(&mut self.works, idx, token).expect("burst");
         if burst.running_since.is_some() {
             return;
         }
@@ -1419,7 +1471,8 @@ impl Kernel {
 
     fn pause_burst(&mut self, app: AppId, token: Token) {
         let now = self.queue.now();
-        let burst = self.works.get_mut(&(app, token)).expect("burst");
+        let idx = self.slot_index(app);
+        let burst = token_entry_mut(&mut self.works, idx, token).expect("burst");
         if let Some(since) = burst.running_since.take() {
             let ran = now.since(since);
             burst.remaining = burst.remaining.saturating_sub(ran);
@@ -1431,7 +1484,8 @@ impl Kernel {
     }
 
     fn finish_work(&mut self, now: SimTime, app: AppId, token: Token) {
-        let burst = match self.works.remove(&(app, token)) {
+        let idx = self.slot_index(app);
+        let burst = match token_entry_remove(&mut self.works, idx, token) {
             Some(b) => b,
             None => return, // cancelled concurrently
         };
@@ -1473,23 +1527,22 @@ impl Kernel {
             now + SimDuration::from_millis(latency_ms),
             SysEvent::NetDone { app, token, result },
         );
-        let replaced = self.netops.insert(
-            (app, token),
-            NetOp {
-                handle: Some(h),
-                result,
-                suspended: false,
-            },
-        );
-        assert!(
-            replaced.is_none(),
-            "{app} reused in-flight net token {token}"
-        );
+        let idx = self.slot_index(app);
+        let op = NetOp {
+            handle: Some(h),
+            result,
+            suspended: false,
+        };
+        match self.netops[idx].binary_search_by_key(&token, |(t, _)| *t) {
+            Ok(_) => panic!("{app} reused in-flight net token {token}"),
+            Err(pos) => self.netops[idx].insert(pos, (token, op)),
+        }
         self.update_device_state();
     }
 
     fn finish_net(&mut self, _now: SimTime, app: AppId, token: Token, result: NetResult) {
-        if self.netops.remove(&(app, token)).is_none() {
+        let idx = self.slot_index(app);
+        if token_entry_remove(&mut self.netops, idx, token).is_none() {
             return; // cancelled
         }
         self.update_device_state();
@@ -1513,7 +1566,8 @@ impl Kernel {
                 GpsSignal::None => None,
             }
         };
-        let g = self.gps.get_mut(&obj).expect("gps runtime");
+        let slot = self.ledger.slot_of(obj).expect("live object slot");
+        let g = self.gps.get_mut(slot).expect("gps runtime");
         g.phase = GpsRunPhase::Searching;
         if let Some(d) = delay {
             g.pending_fix = Some(self.queue.push(now + d, SysEvent::GpsFix { obj }));
@@ -1524,9 +1578,12 @@ impl Kernel {
 
     fn gps_fix_acquired(&mut self, now: SimTime, obj: ObjId) {
         let signal = self.env.gps_signal.at(now);
+        let Some(slot) = self.ledger.slot_of(obj) else {
+            return;
+        };
         let interval;
         {
-            let g = match self.gps.get_mut(&obj) {
+            let g = match self.gps.get_mut(slot) {
                 Some(g) if g.phase == GpsRunPhase::Searching => g,
                 _ => return,
             };
@@ -1548,7 +1605,7 @@ impl Kernel {
         } else {
             None
         };
-        let g = self.gps.get_mut(&obj).expect("gps runtime");
+        let g = self.gps.get_mut(slot).expect("gps runtime");
         g.pending_deliver = Some(deliver);
         g.pending_loss = loss;
         self.update_device_state();
@@ -1556,7 +1613,10 @@ impl Kernel {
 
     fn gps_fix_lost(&mut self, now: SimTime, obj: ObjId) {
         {
-            let g = match self.gps.get_mut(&obj) {
+            let Some(slot) = self.ledger.slot_of(obj) else {
+                return;
+            };
+            let g = match self.gps.get_mut(slot) {
                 Some(g) if g.phase == GpsRunPhase::Fixed => g,
                 _ => return,
             };
@@ -1570,7 +1630,10 @@ impl Kernel {
 
     fn gps_deliver(&mut self, now: SimTime, obj: ObjId) {
         let (owner, distance) = {
-            let g = match self.gps.get_mut(&obj) {
+            let Some(slot) = self.ledger.slot_of(obj) else {
+                return;
+            };
+            let g = match self.gps.get_mut(slot) {
                 Some(g) if g.phase == GpsRunPhase::Fixed => g,
                 _ => return,
             };
@@ -1603,7 +1666,10 @@ impl Kernel {
 
     fn sensor_deliver(&mut self, now: SimTime, obj: ObjId) {
         let owner = {
-            let s = match self.sensors.get_mut(&obj) {
+            let Some(slot) = self.ledger.slot_of(obj) else {
+                return;
+            };
+            let s = match self.sensors.get_mut(slot) {
                 Some(s) => s,
                 None => return,
             };
@@ -1625,10 +1691,14 @@ impl Kernel {
     fn on_env_change(&mut self, now: SimTime) {
         // Network drop fails in-flight operations immediately.
         if !self.env.network_up.at(now) {
-            let keys: Vec<(AppId, Token)> = self.netops.keys().copied().collect();
-            for (app, token) in keys {
-                let op = self.netops.get_mut(&(app, token)).expect("netop");
-                if !op.suspended {
+            for idx in 0..self.apps.len() {
+                let app = self.apps[idx].id;
+                for e in 0..self.netops[idx].len() {
+                    let (token, op) = &mut self.netops[idx][e];
+                    let token = *token;
+                    if op.suspended {
+                        continue;
+                    }
                     if let Some(h) = op.handle.take() {
                         self.queue.cancel(h);
                     }
@@ -1644,18 +1714,22 @@ impl Kernel {
                 }
             }
         }
-        // GPS signal changes re-drive every live request.
+        // GPS signal changes re-drive every live request. Parked runtimes
+        // (released or revoked requests) were always no-ops here, so the
+        // effective index — searching or fixed requests exactly — walks the
+        // same objects the full runtime map used to, in the same id order.
         let sig = self.env.gps_signal.at(now);
-        let objs: Vec<ObjId> = self.gps.keys().copied().collect();
+        let objs: Vec<ObjId> = self.ledger.effective_objects(ResourceKind::Gps).to_vec();
         for obj in objs {
-            let phase = self.gps.get(&obj).expect("gps runtime").phase;
+            let slot = self.ledger.slot_of(obj).expect("live object slot");
+            let phase = self.gps.get(slot).expect("gps runtime").phase;
             match (phase, sig) {
                 (GpsRunPhase::Fixed, GpsSignal::None) => self.gps_fix_lost_now(now, obj),
                 (GpsRunPhase::Searching, _) => {
                     // Re-roll the acquisition under the new signal.
                     if let Some(h) = self
                         .gps
-                        .get_mut(&obj)
+                        .get_mut(slot)
                         .expect("gps runtime")
                         .pending_fix
                         .take()
@@ -1673,7 +1747,8 @@ impl Kernel {
 
     fn gps_fix_lost_now(&mut self, now: SimTime, obj: ObjId) {
         {
-            let g = self.gps.get_mut(&obj).expect("gps runtime");
+            let slot = self.ledger.slot_of(obj).expect("live object slot");
+            let g = self.gps.get_mut(slot).expect("gps runtime");
             for h in [g.pending_loss.take(), g.pending_deliver.take()]
                 .into_iter()
                 .flatten()
@@ -1687,9 +1762,9 @@ impl Kernel {
     fn effective_holders(&self, kind: ResourceKind) -> Vec<AppId> {
         let mut v: Vec<AppId> = self
             .ledger
-            .live_objects()
-            .filter(|(_, o)| o.kind == kind && o.held && !o.revoked)
-            .map(|(_, o)| o.owner)
+            .effective_objects(kind)
+            .iter()
+            .map(|&obj| self.ledger.obj(obj).owner)
             .collect();
         v.sort();
         v.dedup();
@@ -1767,24 +1842,30 @@ impl Kernel {
 
     fn on_wake(&mut self, now: SimTime) {
         // Resume paused CPU bursts.
-        let keys: Vec<(AppId, Token)> = self.works.keys().copied().collect();
-        for (app, token) in keys {
-            self.start_burst(app, token);
+        for idx in 0..self.apps.len() {
+            let app = self.apps[idx].id;
+            for e in 0..self.works[idx].len() {
+                let token = self.works[idx][e].0;
+                self.start_burst(app, token);
+            }
         }
         // Suspended network operations fail with a timeout on resume (§4.6).
-        let keys: Vec<(AppId, Token)> = self.netops.keys().copied().collect();
-        for (app, token) in keys {
-            let op = self.netops.get_mut(&(app, token)).expect("netop");
-            if op.suspended {
-                op.suspended = false;
-                self.queue.push(
-                    now,
-                    SysEvent::NetDone {
-                        app,
-                        token,
-                        result: NetResult::Timeout,
-                    },
-                );
+        for idx in 0..self.apps.len() {
+            let app = self.apps[idx].id;
+            for e in 0..self.netops[idx].len() {
+                let (token, op) = &mut self.netops[idx][e];
+                let token = *token;
+                if op.suspended {
+                    op.suspended = false;
+                    self.queue.push(
+                        now,
+                        SysEvent::NetDone {
+                            app,
+                            token,
+                            result: NetResult::Timeout,
+                        },
+                    );
+                }
             }
         }
         // Flush deferrable timers that came due during sleep.
@@ -1807,16 +1888,19 @@ impl Kernel {
     }
 
     fn on_sleep(&mut self) {
-        let keys: Vec<(AppId, Token)> = self.works.keys().copied().collect();
-        for (app, token) in keys {
-            self.pause_burst(app, token);
+        for idx in 0..self.apps.len() {
+            let app = self.apps[idx].id;
+            for e in 0..self.works[idx].len() {
+                let token = self.works[idx][e].0;
+                self.pause_burst(app, token);
+            }
         }
-        let keys: Vec<(AppId, Token)> = self.netops.keys().copied().collect();
-        for (app, token) in keys {
-            let op = self.netops.get_mut(&(app, token)).expect("netop");
-            if let Some(h) = op.handle.take() {
-                self.queue.cancel(h);
-                op.suspended = true;
+        for entries in &mut self.netops {
+            for (_, op) in entries.iter_mut() {
+                if let Some(h) = op.handle.take() {
+                    self.queue.cancel(h);
+                    op.suspended = true;
+                }
             }
         }
     }
@@ -1825,7 +1909,12 @@ impl Kernel {
 
     fn sync_power(&mut self, now: SimTime) {
         let p = &self.device.power;
-        let mut desired: HashMap<(Consumer, ComponentKind), f64> = HashMap::new();
+        // Accumulate into the reusable scratch map: `clear` keeps its
+        // capacity, so a settled kernel allocates nothing here. Accumulation
+        // order (and therefore float rounding) is unchanged from the old
+        // per-call map; only the storage is reused.
+        let mut desired = std::mem::take(&mut self.scratch_desired);
+        desired.clear();
         let add = |map: &mut HashMap<(Consumer, ComponentKind), f64>,
                    c: Consumer,
                    k: ComponentKind,
@@ -1862,21 +1951,15 @@ impl Kernel {
             // Active execution: each running burst bills its app the active
             // delta (approximating per-core accounting).
             let active_delta = p.cpu_active_mw - p.cpu_idle_mw;
-            let mut running: Vec<AppId> = self
-                .works
-                .iter()
-                .filter(|(_, b)| b.running_since.is_some())
-                .map(|((app, _), _)| *app)
-                .collect();
-            running.sort();
-            running.dedup();
-            for app in running {
-                add(
-                    &mut desired,
-                    app.consumer(),
-                    ComponentKind::Cpu,
-                    active_delta,
-                );
+            for (idx, entries) in self.works.iter().enumerate() {
+                if entries.iter().any(|(_, b)| b.running_since.is_some()) {
+                    add(
+                        &mut desired,
+                        self.apps[idx].id.consumer(),
+                        ComponentKind::Cpu,
+                        active_delta,
+                    );
+                }
             }
         }
 
@@ -1898,13 +1981,13 @@ impl Kernel {
             }
         }
 
-        // GPS: each live, effective request bills its phase draw.
-        for (obj, g) in &self.gps {
+        // GPS: each live, effective request bills its phase draw. The
+        // effective index is exactly the old walk's survivors (held,
+        // non-revoked, non-dead), in the same ObjId order.
+        for &obj in self.ledger.effective_objects(ResourceKind::Gps) {
+            let slot = self.ledger.slot_of(obj).expect("live object slot");
+            let g = self.gps.get(slot).expect("gps runtime");
             if g.phase == GpsRunPhase::Parked {
-                continue;
-            }
-            let o = self.ledger.obj(*obj);
-            if !o.held || o.revoked || o.dead {
                 continue;
             }
             let mw = match g.phase {
@@ -1912,22 +1995,19 @@ impl Kernel {
                 GpsRunPhase::Fixed => p.gps_fixed_mw,
                 GpsRunPhase::Parked => 0.0,
             };
-            add(&mut desired, o.owner.consumer(), ComponentKind::Gps, mw);
+            let owner = self.ledger.obj(obj).owner;
+            add(&mut desired, owner.consumer(), ComponentKind::Gps, mw);
         }
 
         // Wi-Fi: active transfers dominate; otherwise wifilocks keep the
         // radio idle-associated.
-        let transferring: Vec<AppId> = {
-            let mut v: Vec<AppId> = self
-                .netops
-                .iter()
-                .filter(|(_, op)| !op.suspended)
-                .map(|((app, _), _)| *app)
-                .collect();
-            v.sort();
-            v.dedup();
-            v
-        };
+        let transferring: Vec<AppId> = self
+            .netops
+            .iter()
+            .enumerate()
+            .filter(|(_, entries)| entries.iter().any(|(_, op)| !op.suspended))
+            .map(|(idx, _)| self.apps[idx].id)
+            .collect();
         if !transferring.is_empty() {
             let share = p.wifi_active_mw / transferring.len() as f64;
             for app in transferring {
@@ -1957,23 +2037,45 @@ impl Kernel {
             }
         }
 
-        // Diff against the previous attribution.
-        let mut stale: Vec<(Consumer, ComponentKind)> = Vec::new();
-        for key in self.prev_draws.keys() {
-            if !desired.contains_key(key) {
-                stale.push(*key);
+        // Diff against the previous attribution with a sorted merge walk:
+        // the same set_draw calls the old hash diff issued (stale keys
+        // zeroed, changed or new keys updated), but in deterministic key
+        // order and without rebuilding a map. Channels are independent in
+        // the meter, so reordering the calls cannot change any integral.
+        let mut next = std::mem::take(&mut self.scratch_draws);
+        next.clear();
+        next.extend(desired.drain());
+        next.sort_unstable_by_key(|a| a.0);
+        let (mut i, mut j) = (0, 0);
+        while i < self.prev_draws.len() || j < next.len() {
+            let prev = self.prev_draws.get(i);
+            let new = next.get(j);
+            match (prev, new) {
+                (Some(&(pk, _)), Some(&(nk, nmw))) if pk == nk => {
+                    if self.prev_draws[i].1 != nmw {
+                        self.meter.set_draw(now, nk.0, nk.1, nmw);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(pk, _)), Some(&(nk, _))) if pk < nk => {
+                    self.meter.set_draw(now, pk.0, pk.1, 0.0);
+                    i += 1;
+                }
+                (Some(&(pk, _)), None) => {
+                    self.meter.set_draw(now, pk.0, pk.1, 0.0);
+                    i += 1;
+                }
+                (_, Some(&(nk, nmw))) => {
+                    self.meter.set_draw(now, nk.0, nk.1, nmw);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
             }
         }
-        for key in stale {
-            self.meter.set_draw(now, key.0, key.1, 0.0);
-            self.prev_draws.remove(&key);
-        }
-        for (key, mw) in &desired {
-            if self.prev_draws.get(key) != Some(mw) {
-                self.meter.set_draw(now, key.0, key.1, *mw);
-                self.prev_draws.insert(*key, *mw);
-            }
-        }
+        std::mem::swap(&mut self.prev_draws, &mut next);
+        self.scratch_draws = next;
+        self.scratch_desired = desired;
 
         // Mirror the same attribution at span granularity when tracing is
         // enabled. Computed after the meter so both integrate from `now`.
@@ -1985,21 +2087,19 @@ impl Kernel {
 
     /// Whether `app` currently has a CPU burst executing.
     fn app_running_burst(&self, app: AppId) -> bool {
-        self.works
+        let idx = self.slot_index(app);
+        self.works[idx]
             .iter()
-            .any(|((a, _), b)| *a == app && b.running_since.is_some())
+            .any(|(_, b)| b.running_since.is_some())
     }
 
     /// The effective (held, non-revoked) objects of `kind`, grouped by owner.
     fn effective_holder_objs(&self, kind: ResourceKind) -> BTreeMap<AppId, Vec<ObjId>> {
         let mut map: BTreeMap<AppId, Vec<ObjId>> = BTreeMap::new();
-        for (id, o) in self.ledger.live_objects() {
-            if o.kind == kind && o.held && !o.revoked {
-                map.entry(o.owner).or_default().push(id);
-            }
-        }
-        for objs in map.values_mut() {
-            objs.sort();
+        for &id in self.ledger.effective_objects(kind) {
+            // The effective index is ObjId-ascending, so each owner's list
+            // comes out already sorted.
+            map.entry(self.ledger.obj(id).owner).or_default().push(id);
         }
         map
     }
@@ -2067,17 +2167,12 @@ impl Kernel {
                 }
             }
             let active_delta = p.cpu_active_mw - p.cpu_idle_mw;
-            let mut running: Vec<AppId> = self
-                .works
-                .iter()
-                .filter(|(_, b)| b.running_since.is_some())
-                .map(|((app, _), _)| *app)
-                .collect();
-            running.sort();
-            running.dedup();
-            for app in running {
-                *out.entry((SpanScope::App(app.0), ComponentKind::Cpu, false))
-                    .or_insert(0.0) += active_delta;
+            for (idx, entries) in self.works.iter().enumerate() {
+                if entries.iter().any(|(_, b)| b.running_since.is_some()) {
+                    let app = self.apps[idx].id;
+                    *out.entry((SpanScope::App(app.0), ComponentKind::Cpu, false))
+                        .or_insert(0.0) += active_delta;
+                }
             }
         }
 
@@ -2103,17 +2198,16 @@ impl Kernel {
 
         // GPS: searching burns the Frequent-Ask way regardless of listener
         // health; a delivered fix is useful only to a live activity.
-        for (obj, g) in &self.gps {
+        for &obj in self.ledger.effective_objects(ResourceKind::Gps) {
+            let slot = self.ledger.slot_of(obj).expect("live object slot");
+            let g = self.gps.get(slot).expect("gps runtime");
             if g.phase == GpsRunPhase::Parked {
                 continue;
             }
-            let o = self.ledger.obj(*obj);
-            if !o.held || o.revoked || o.dead {
-                continue;
-            }
+            let owner = self.ledger.obj(obj).owner;
             let (mw, wasted) = match g.phase {
                 GpsRunPhase::Searching => (p.gps_searching_mw, true),
-                GpsRunPhase::Fixed => (p.gps_fixed_mw, !alive(o.owner)),
+                GpsRunPhase::Fixed => (p.gps_fixed_mw, !alive(owner)),
                 GpsRunPhase::Parked => (0.0, false),
             };
             if mw > 0.0 {
@@ -2124,17 +2218,13 @@ impl Kernel {
 
         // Wi-Fi: active transfers are app work; an idle-held wifilock is
         // exactly the hold-without-use waste the lease model targets.
-        let transferring: Vec<AppId> = {
-            let mut v: Vec<AppId> = self
-                .netops
-                .iter()
-                .filter(|(_, op)| !op.suspended)
-                .map(|((app, _), _)| *app)
-                .collect();
-            v.sort();
-            v.dedup();
-            v
-        };
+        let transferring: Vec<AppId> = self
+            .netops
+            .iter()
+            .enumerate()
+            .filter(|(_, entries)| entries.iter().any(|(_, op)| !op.suspended))
+            .map(|(idx, _)| self.apps[idx].id)
+            .collect();
         if !transferring.is_empty() {
             let share = p.wifi_active_mw / transferring.len() as f64;
             for app in transferring {

@@ -15,13 +15,31 @@
 //!
 //! All duration counters are *integration-on-read*: open intervals are
 //! closed out at the query instant, so readers never see stale totals.
-
-use std::collections::BTreeMap;
+//!
+//! # Storage layout
+//!
+//! Object ids are dense (sequential from 1, never reused), so [`ObjStats`]
+//! live in a flat `Vec` indexed by `id - 1` — every lookup is one array
+//! index. Alongside the dense table the ledger maintains incremental
+//! indices, each updated O(log n) at the state transition that changes it,
+//! so the kernel's per-event settle never walks the full object population:
+//!
+//! * the ascending list of **live** object ids;
+//! * per-owner lists of live object ids (killing the `objects_of` scan);
+//! * per-resource-kind lists of **effective** objects (held, not revoked,
+//!   not dead) — the exact set the kernel's holder queries need;
+//! * a generational [`SlotMap`] of live objects whose [`Slot`]s key the
+//!   kernel's GPS/sensor component tables, bounding those tables by the
+//!   peak live population instead of the total ever created.
+//!
+//! App records sit in a `Vec` sorted by [`AppId`] (apps number in the tens;
+//! a binary search beats a tree walk and keeps iteration deterministic).
 
 use leaseos_simkit::{SimDuration, SimTime};
 
 use crate::ids::{AppId, ObjId};
 use crate::resource::ResourceKind;
+use crate::store::{Slot, SlotMap};
 
 /// Accounting record for one kernel object.
 #[derive(Debug, Clone)]
@@ -169,12 +187,55 @@ impl AppStats {
     }
 }
 
+/// Number of resource kinds, for the per-kind effective index.
+const NUM_KINDS: usize = ResourceKind::ALL.len();
+
+/// The position of `kind` in [`ResourceKind::ALL`].
+fn kind_index(kind: ResourceKind) -> usize {
+    match kind {
+        ResourceKind::Wakelock => 0,
+        ResourceKind::ScreenWakelock => 1,
+        ResourceKind::WifiLock => 2,
+        ResourceKind::Gps => 3,
+        ResourceKind::Sensor => 4,
+        ResourceKind::Audio => 5,
+    }
+}
+
+/// Inserts `id` into an ascending id list (no-op if already present).
+fn insert_sorted(list: &mut Vec<ObjId>, id: ObjId) {
+    if let Err(pos) = list.binary_search(&id) {
+        list.insert(pos, id);
+    }
+}
+
+/// Removes `id` from an ascending id list (no-op if absent).
+fn remove_sorted(list: &mut Vec<ObjId>, id: ObjId) {
+    if let Ok(pos) = list.binary_search(&id) {
+        list.remove(pos);
+    }
+}
+
 /// The system-wide accounting store.
 #[derive(Debug, Default)]
 pub struct Ledger {
-    objects: BTreeMap<ObjId, ObjStats>,
-    apps: BTreeMap<AppId, AppStats>,
-    next_obj: u64,
+    /// Every object ever created, indexed by `ObjId - 1` (ids are dense and
+    /// never reused; dead objects keep their record for post-hoc queries).
+    objects: Vec<ObjStats>,
+    /// The live-object slot handle per object (`None` once dead).
+    slots: Vec<Option<Slot>>,
+    /// Generational registry of live objects; its [`Slot`]s key the
+    /// kernel's component tables.
+    live_slots: SlotMap<ObjId>,
+    /// Live object ids, ascending.
+    live: Vec<ObjId>,
+    /// Live object ids per owner, ascending, sorted by owner id.
+    by_owner: Vec<(AppId, Vec<ObjId>)>,
+    /// Effective (held, not revoked, not dead) object ids per resource
+    /// kind, ascending. Maintained at every hold/revoke/death transition.
+    effective: [Vec<ObjId>; NUM_KINDS],
+    /// App records, sorted by app id.
+    apps: Vec<(AppId, AppStats)>,
     user_present_since: Option<SimTime>,
     total_user_present_ms: u64,
 }
@@ -185,14 +246,24 @@ impl Ledger {
         Ledger::default()
     }
 
+    fn index(obj: ObjId) -> usize {
+        // Id 0 is the reserved null object; it wraps to usize::MAX and
+        // misses every bounds check, panicking like any unknown id.
+        (obj.0 as usize).wrapping_sub(1)
+    }
+
     /// Creates a record for a new kernel object and returns its id.
     ///
     /// Ids start at 1: 0 is reserved as the null object, which telemetry
     /// uses to mark events that concern no particular object.
     pub fn create_object(&mut self, kind: ResourceKind, owner: AppId, now: SimTime) -> ObjId {
-        self.next_obj += 1;
-        let id = ObjId(self.next_obj);
-        self.objects.insert(id, ObjStats::new(kind, owner, now));
+        let id = ObjId(self.objects.len() as u64 + 1);
+        self.objects.push(ObjStats::new(kind, owner, now));
+        let slot = self.live_slots.insert(id);
+        self.slots.push(Some(slot));
+        // Ids ascend, so a plain push keeps both lists sorted.
+        self.live.push(id);
+        self.owner_objs_mut(owner).push(id);
         id
     }
 
@@ -203,51 +274,112 @@ impl Ledger {
     /// Panics if the object does not exist — a substrate invariant violation.
     pub fn obj(&self, obj: ObjId) -> &ObjStats {
         self.objects
-            .get(&obj)
+            .get(Self::index(obj))
             .unwrap_or_else(|| panic!("unknown object {obj}"))
     }
 
     /// True if the object exists.
     pub fn has_obj(&self, obj: ObjId) -> bool {
-        self.objects.contains_key(&obj)
+        Self::index(obj) < self.objects.len()
     }
 
     fn obj_mut(&mut self, obj: ObjId) -> &mut ObjStats {
         self.objects
-            .get_mut(&obj)
+            .get_mut(Self::index(obj))
             .unwrap_or_else(|| panic!("unknown object {obj}"))
+    }
+
+    /// The generational slot of `obj` in the live-object registry, or
+    /// `None` once the object is dead. Component tables keyed by these
+    /// slots ([`crate::SecondaryMap`]) get O(1) access and stay bounded by
+    /// the peak live population.
+    pub fn slot_of(&self, obj: ObjId) -> Option<Slot> {
+        self.slots.get(Self::index(obj)).copied().flatten()
     }
 
     /// The stats for `app` (creating an empty record on first touch).
     pub fn app(&mut self, app: AppId) -> &AppStats {
-        self.apps.entry(app).or_default()
+        self.app_mut(app)
     }
 
     /// Read-only app stats; `None` if the app never did anything.
     pub fn app_opt(&self, app: AppId) -> Option<&AppStats> {
-        self.apps.get(&app)
+        self.apps
+            .binary_search_by_key(&app, |(id, _)| *id)
+            .ok()
+            .map(|pos| &self.apps[pos].1)
     }
 
     fn app_mut(&mut self, app: AppId) -> &mut AppStats {
-        self.apps.entry(app).or_default()
+        let pos = match self.apps.binary_search_by_key(&app, |(id, _)| *id) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.apps.insert(pos, (app, AppStats::default()));
+                pos
+            }
+        };
+        &mut self.apps[pos].1
+    }
+
+    fn owner_objs_mut(&mut self, app: AppId) -> &mut Vec<ObjId> {
+        let pos = match self.by_owner.binary_search_by_key(&app, |(id, _)| *id) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.by_owner.insert(pos, (app, Vec::new()));
+                pos
+            }
+        };
+        &mut self.by_owner[pos].1
     }
 
     /// All live (not dead) objects, in id order.
     pub fn live_objects(&self) -> impl Iterator<Item = (ObjId, &ObjStats)> {
-        self.objects
+        self.live
             .iter()
-            .filter(|(_, o)| !o.dead)
-            .map(|(id, o)| (*id, o))
+            .map(move |&id| (id, &self.objects[Self::index(id)]))
     }
 
     /// All objects ever created, in id order.
     pub fn all_objects(&self) -> impl Iterator<Item = (ObjId, &ObjStats)> {
-        self.objects.iter().map(|(id, o)| (*id, o))
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u64 + 1), o))
     }
 
-    /// Live objects owned by `app`.
+    /// Live objects owned by `app`, in id order.
     pub fn objects_of(&self, app: AppId) -> impl Iterator<Item = (ObjId, &ObjStats)> {
-        self.live_objects().filter(move |(_, o)| o.owner == app)
+        let ids: &[ObjId] = self
+            .by_owner
+            .binary_search_by_key(&app, |(id, _)| *id)
+            .ok()
+            .map(|pos| self.by_owner[pos].1.as_slice())
+            .unwrap_or(&[]);
+        ids.iter()
+            .map(move |&id| (id, &self.objects[Self::index(id)]))
+    }
+
+    /// Effective (held, not revoked, not dead) objects of `kind`, in id
+    /// order — the holder set the kernel settles device and power state
+    /// from, maintained incrementally instead of rescanned.
+    pub fn effective_objects(&self, kind: ResourceKind) -> &[ObjId] {
+        &self.effective[kind_index(kind)]
+    }
+
+    /// Reconciles the per-kind effective index after a transition on `obj`.
+    /// `was` is `ObjStats::effective()` sampled before the mutation.
+    fn sync_effective_index(&mut self, obj: ObjId, was: bool) {
+        let o = &self.objects[Self::index(obj)];
+        let (kind, is) = (o.kind, o.effective());
+        if was == is {
+            return;
+        }
+        let list = &mut self.effective[kind_index(kind)];
+        if is {
+            insert_sorted(list, obj);
+        } else {
+            remove_sorted(list, obj);
+        }
     }
 
     // ---- object lifecycle --------------------------------------------------
@@ -256,17 +388,20 @@ impl Ledger {
     pub fn note_acquire(&mut self, obj: ObjId, now: SimTime) {
         let o = self.obj_mut(obj);
         assert!(!o.dead, "acquire on dead object {obj}");
+        let was = o.effective();
         o.acquire_count += 1;
         if !o.held {
             o.held = true;
             o.held_since = Some(now);
         }
         o.sync_effective(now);
+        self.sync_effective_index(obj, was);
     }
 
     /// Records a release of `obj`.
     pub fn note_release(&mut self, obj: ObjId, now: SimTime) {
         let o = self.obj_mut(obj);
+        let was = o.effective();
         o.release_count += 1;
         if o.held {
             o.total_held_ms += open_ms(o.held_since, now);
@@ -274,18 +409,22 @@ impl Ledger {
             o.held = false;
         }
         o.sync_effective(now);
+        self.sync_effective_index(obj, was);
     }
 
     /// Marks `obj` revoked (`true`) or restored (`false`) by a policy.
     pub fn note_revoked(&mut self, obj: ObjId, revoked: bool, now: SimTime) {
         let o = self.obj_mut(obj);
+        let was = o.effective();
         o.revoked = revoked;
         o.sync_effective(now);
+        self.sync_effective_index(obj, was);
     }
 
     /// Marks `obj` dead, closing all open intervals.
     pub fn note_dead(&mut self, obj: ObjId, now: SimTime) {
         let o = self.obj_mut(obj);
+        let was = o.effective();
         if o.held {
             o.total_held_ms += open_ms(o.held_since, now);
             o.held_since = None;
@@ -293,6 +432,14 @@ impl Ledger {
         }
         o.dead = true;
         o.sync_effective(now);
+        let owner = o.owner;
+        self.sync_effective_index(obj, was);
+        remove_sorted(&mut self.live, obj);
+        let owned = self.owner_objs_mut(owner);
+        remove_sorted(owned, obj);
+        if let Some(slot) = self.slots[Self::index(obj)].take() {
+            self.live_slots.remove(slot);
+        }
         self.set_gps_state(obj, GpsPhase::Idle, now);
     }
 
@@ -595,5 +742,49 @@ mod tests {
         l.note_dead(c, t(1));
         let mine: Vec<ObjId> = l.objects_of(APP).map(|(id, _)| id).collect();
         assert_eq!(mine, vec![a]);
+    }
+
+    #[test]
+    fn effective_index_tracks_every_transition() {
+        let mut l = Ledger::new();
+        let a = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        let b = l.create_object(ResourceKind::Wakelock, AppId(2), t(0));
+        let g = l.create_object(ResourceKind::Gps, APP, t(0));
+        assert!(l.effective_objects(ResourceKind::Wakelock).is_empty());
+
+        l.note_acquire(b, t(1));
+        l.note_acquire(a, t(1));
+        l.note_acquire(g, t(1));
+        // Id order regardless of acquire order; kinds kept apart.
+        assert_eq!(l.effective_objects(ResourceKind::Wakelock), &[a, b]);
+        assert_eq!(l.effective_objects(ResourceKind::Gps), &[g]);
+
+        l.note_revoked(a, true, t(2));
+        assert_eq!(l.effective_objects(ResourceKind::Wakelock), &[b]);
+        l.note_revoked(a, false, t(3));
+        assert_eq!(l.effective_objects(ResourceKind::Wakelock), &[a, b]);
+
+        l.note_release(a, t(4));
+        assert_eq!(l.effective_objects(ResourceKind::Wakelock), &[b]);
+
+        l.note_dead(b, t(5));
+        assert!(l.effective_objects(ResourceKind::Wakelock).is_empty());
+        assert_eq!(l.effective_objects(ResourceKind::Gps), &[g]);
+    }
+
+    #[test]
+    fn slots_invalidate_on_death_and_never_alias() {
+        let mut l = Ledger::new();
+        let a = l.create_object(ResourceKind::Wakelock, APP, t(0));
+        let slot_a = l.slot_of(a).expect("live object has a slot");
+        l.note_dead(a, t(1));
+        assert_eq!(l.slot_of(a), None, "dead objects lose their slot");
+
+        // The freed index is reused for the next object under a new
+        // generation, so the old slot cannot alias the new object.
+        let b = l.create_object(ResourceKind::Wakelock, APP, t(2));
+        let slot_b = l.slot_of(b).expect("live object has a slot");
+        assert_eq!(slot_b.index(), slot_a.index());
+        assert_ne!(slot_b.generation(), slot_a.generation());
     }
 }

@@ -62,6 +62,7 @@ mod ledger;
 mod policy;
 mod profiler;
 mod resource;
+mod store;
 
 pub use app::{AppEvent, AppModel};
 pub use ids::{AppId, ObjId, Token};
@@ -73,3 +74,4 @@ pub use policy::{
 };
 pub use profiler::Profiler;
 pub use resource::{AcquireParams, NetResult, ResourceKind};
+pub use store::{SecondaryMap, Slot, SlotMap};

@@ -1,0 +1,362 @@
+//! Index-addressed kernel storage: generational slot maps and secondary
+//! component tables.
+//!
+//! The kernel's hot path settles device state after every event, so object
+//! and app lookups must be array indexes, not tree walks. A [`SlotMap`]
+//! hands out [`Slot`] handles — a dense index plus a generation counter —
+//! and reuses freed indexes for later insertions, so a long churn-heavy run
+//! keeps its tables bounded by the *peak live* population, not the total
+//! ever created. The generation check makes stale handles (kept across a
+//! free/reuse) miss instead of aliasing the new occupant.
+//!
+//! A [`SecondaryMap`] attaches one component type to slots issued by a
+//! `SlotMap` (the ECS idiom): the kernel keys its GPS and sensor runtimes
+//! by the ledger's object slots, giving O(1) access with the same
+//! stale-handle safety and the same bounded footprint.
+
+/// A generational handle into a [`SlotMap`].
+///
+/// Ordered by `(index, generation)` so handle collections sort
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Slot {
+    index: u32,
+    generation: u32,
+}
+
+impl Slot {
+    /// The dense table index this handle points at.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The generation the handle was issued under.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    /// Generation of the current (or next) occupant. Bumped on free, so
+    /// handles issued before the free no longer match.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A dense generational slot map.
+///
+/// Insertion returns a [`Slot`]; removal frees the index for reuse and
+/// invalidates all handles issued for the previous occupant.
+#[derive(Debug, Clone)]
+pub struct SlotMap<T> {
+    entries: Vec<Entry<T>>,
+    /// Freed indexes, reused LIFO.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for SlotMap<T> {
+    fn default() -> Self {
+        SlotMap::new()
+    }
+}
+
+impl<T> SlotMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        SlotMap {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The number of slots ever allocated (live + free) — the table's
+    /// footprint, bounded by the peak live population.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts `value`, reusing a freed index when one exists.
+    pub fn insert(&mut self, value: T) -> Slot {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let entry = &mut self.entries[index as usize];
+            debug_assert!(entry.value.is_none(), "free-list entry still occupied");
+            entry.value = Some(value);
+            return Slot {
+                index,
+                generation: entry.generation,
+            };
+        }
+        let index = self.entries.len() as u32;
+        self.entries.push(Entry {
+            generation: 0,
+            value: Some(value),
+        });
+        Slot {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// Removes the value `slot` points at, returning it; `None` if the
+    /// handle is stale (already freed, or the index was reused).
+    pub fn remove(&mut self, slot: Slot) -> Option<T> {
+        let entry = self.entries.get_mut(slot.index())?;
+        if entry.generation != slot.generation {
+            return None;
+        }
+        let value = entry.value.take()?;
+        // Invalidate every outstanding handle to this occupant before the
+        // index can be reissued.
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(slot.index);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// The value `slot` points at, or `None` for a stale handle.
+    pub fn get(&self, slot: Slot) -> Option<&T> {
+        let entry = self.entries.get(slot.index())?;
+        if entry.generation != slot.generation {
+            return None;
+        }
+        entry.value.as_ref()
+    }
+
+    /// Mutable access; `None` for a stale handle.
+    pub fn get_mut(&mut self, slot: Slot) -> Option<&mut T> {
+        let entry = self.entries.get_mut(slot.index())?;
+        if entry.generation != slot.generation {
+            return None;
+        }
+        entry.value.as_mut()
+    }
+
+    /// True if `slot` still points at a live value.
+    pub fn contains(&self, slot: Slot) -> bool {
+        self.get(slot).is_some()
+    }
+
+    /// Live `(slot, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.value.as_ref().map(|v| {
+                (
+                    Slot {
+                        index: i as u32,
+                        generation: e.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+/// A component table keyed by [`Slot`]s issued elsewhere (by the one
+/// [`SlotMap`] whose handles this table is used with).
+///
+/// Stores at most one `T` per slot index, with the same generation check as
+/// the primary map: inserting under a newer generation evicts a stale
+/// leftover, and lookups through stale handles miss.
+#[derive(Debug, Clone)]
+pub struct SecondaryMap<T> {
+    entries: Vec<Option<(u32, T)>>,
+    len: usize,
+}
+
+impl<T> Default for SecondaryMap<T> {
+    fn default() -> Self {
+        SecondaryMap::new()
+    }
+}
+
+impl<T> SecondaryMap<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        SecondaryMap {
+            entries: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored components.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Associates `value` with `slot`, returning the previous component
+    /// stored under the same index (same generation or a stale leftover).
+    pub fn insert(&mut self, slot: Slot, value: T) -> Option<T> {
+        if self.entries.len() <= slot.index() {
+            self.entries.resize_with(slot.index() + 1, || None);
+        }
+        let prev = self.entries[slot.index()].replace((slot.generation(), value));
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev.map(|(_, v)| v)
+    }
+
+    /// Removes and returns the component for `slot`; `None` for a stale
+    /// handle or an empty index.
+    pub fn remove(&mut self, slot: Slot) -> Option<T> {
+        let entry = self.entries.get_mut(slot.index())?;
+        match entry {
+            Some((generation, _)) if *generation == slot.generation() => {
+                self.len -= 1;
+                entry.take().map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The component for `slot`, or `None` for a stale handle.
+    pub fn get(&self, slot: Slot) -> Option<&T> {
+        match self.entries.get(slot.index())? {
+            Some((generation, value)) if *generation == slot.generation() => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Mutable access; `None` for a stale handle.
+    pub fn get_mut(&mut self, slot: Slot) -> Option<&mut T> {
+        match self.entries.get_mut(slot.index())? {
+            Some((generation, value)) if *generation == slot.generation() => Some(value),
+            _ => None,
+        }
+    }
+
+    /// True if a component is stored for `slot`.
+    pub fn contains(&self, slot: Slot) -> bool {
+        self.get(slot).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_round_trip() {
+        let mut map = SlotMap::new();
+        let a = map.insert("a");
+        let b = map.insert("b");
+        assert_eq!(map.get(a), Some(&"a"));
+        assert_eq!(map.get(b), Some(&"b"));
+        assert_eq!(map.len(), 2);
+        *map.get_mut(a).unwrap() = "a2";
+        assert_eq!(map.remove(a), Some("a2"));
+        assert_eq!(map.len(), 1);
+        assert!(map.contains(b));
+        assert!(!map.contains(a));
+    }
+
+    #[test]
+    fn stale_generation_misses_after_free_and_reuse() {
+        let mut map = SlotMap::new();
+        let old = map.insert(1);
+        assert_eq!(map.remove(old), Some(1));
+        // The index is reused, under a newer generation.
+        let new = map.insert(2);
+        assert_eq!(new.index(), old.index());
+        assert_ne!(new.generation(), old.generation());
+        // The stale handle must miss, not alias the new occupant.
+        assert_eq!(map.get(old), None);
+        assert_eq!(map.remove(old), None);
+        assert_eq!(map.get(new), Some(&2));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn double_remove_is_none_and_len_stays_consistent() {
+        let mut map = SlotMap::new();
+        let a = map.insert('x');
+        assert_eq!(map.remove(a), Some('x'));
+        assert_eq!(map.remove(a), None);
+        assert_eq!(map.len(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn freed_indexes_bound_capacity_under_churn() {
+        let mut map = SlotMap::new();
+        for round in 0..100 {
+            let s = map.insert(round);
+            assert_eq!(map.remove(s), Some(round));
+        }
+        // 100 sequential insert/remove cycles reuse one slot.
+        assert_eq!(map.capacity(), 1);
+    }
+
+    #[test]
+    fn iter_yields_live_values_in_index_order() {
+        let mut map = SlotMap::new();
+        let a = map.insert(10);
+        let b = map.insert(20);
+        let c = map.insert(30);
+        map.remove(b);
+        let items: Vec<(usize, i32)> = map.iter().map(|(s, v)| (s.index(), *v)).collect();
+        assert_eq!(items, vec![(a.index(), 10), (c.index(), 30)]);
+    }
+
+    #[test]
+    fn secondary_map_tracks_primary_generations() {
+        let mut primary: SlotMap<()> = SlotMap::new();
+        let mut components = SecondaryMap::new();
+        let old = primary.insert(());
+        assert_eq!(components.insert(old, "gps"), None);
+        assert_eq!(components.get(old), Some(&"gps"));
+
+        // Free and reuse the index without cleaning the secondary: the new
+        // slot must not see the stale component.
+        primary.remove(old);
+        let new = primary.insert(());
+        assert_eq!(new.index(), old.index());
+        assert_eq!(components.get(new), None);
+        assert_eq!(
+            components.get(old),
+            Some(&"gps"),
+            "stale gen still readable via old handle"
+        );
+
+        // Inserting under the new generation evicts the leftover.
+        assert_eq!(components.insert(new, "sensor"), Some("gps"));
+        assert_eq!(components.get(new), Some(&"sensor"));
+        assert_eq!(components.get(old), None);
+        assert_eq!(components.len(), 1);
+    }
+
+    #[test]
+    fn secondary_map_remove_checks_generation() {
+        let mut primary: SlotMap<()> = SlotMap::new();
+        let mut components = SecondaryMap::new();
+        let old = primary.insert(());
+        components.insert(old, 7);
+        primary.remove(old);
+        let new = primary.insert(());
+        // Stale leftover: removal through the new handle misses…
+        assert_eq!(components.remove(new), None);
+        // …while the issuing handle still works.
+        assert_eq!(components.remove(old), Some(7));
+        assert!(components.is_empty());
+    }
+}

@@ -206,3 +206,146 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// A randomized acquire/release/crash interleaving keeps the dense
+    /// slot-map contents equal to a `BTreeMap` model, including stale-handle
+    /// misses after free/reuse.
+    #[test]
+    fn slot_map_matches_btreemap_model(
+        ops in prop::collection::vec((0u8..3, 0usize..16), 1..200),
+    ) {
+        use std::collections::BTreeMap;
+        use leaseos_framework::{Slot, SlotMap};
+
+        let mut map: SlotMap<u32> = SlotMap::new();
+        let mut model: BTreeMap<Slot, u32> = BTreeMap::new();
+        // Every handle ever issued, so releases can target stale ones too.
+        let mut handles: Vec<Slot> = Vec::new();
+        let mut next = 0u32;
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    // Acquire: both stores record the new object.
+                    let slot = map.insert(next);
+                    prop_assert!(model.insert(slot, next).is_none(), "slot handle reissued while live");
+                    handles.push(slot);
+                    next += 1;
+                }
+                1 => {
+                    // Release through an arbitrary (possibly stale) handle:
+                    // both stores must agree on whether it still exists.
+                    if let Some(&slot) = handles.get(pick % handles.len().max(1)) {
+                        prop_assert_eq!(map.remove(slot), model.remove(&slot));
+                    }
+                }
+                _ => {
+                    // Crash: a batch of live objects dies at once.
+                    let victims: Vec<Slot> = model.keys().copied().skip(pick).take(3).collect();
+                    for slot in victims {
+                        prop_assert_eq!(map.remove(slot), model.remove(&slot));
+                    }
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+            // At most one live generation per index, so the map's index-order
+            // iteration matches the model's (index, generation) sort order.
+            let live: Vec<(Slot, u32)> = map.iter().map(|(s, v)| (s, *v)).collect();
+            let want: Vec<(Slot, u32)> = model.iter().map(|(s, v)| (*s, *v)).collect();
+            prop_assert_eq!(live, want);
+            // Every freed handle must miss.
+            for &h in &handles {
+                prop_assert_eq!(map.get(h).copied(), model.get(&h).copied());
+            }
+        }
+    }
+
+    /// The ledger's dense object store agrees with a naive `BTreeMap` model
+    /// across a randomized create/acquire/release/crash interleaving: same
+    /// live set (in id order), same per-app views, same effective flags.
+    #[test]
+    fn ledger_dense_store_matches_btreemap_model(
+        ops in prop::collection::vec((0u8..5, 0usize..24), 1..150),
+    ) {
+        use std::collections::BTreeMap;
+        use leaseos_framework::{AppId, ObjId};
+
+        #[derive(PartialEq)]
+        struct ModelObj { owner: AppId, held: bool, revoked: bool, dead: bool }
+
+        let apps = [AppId(1), AppId(7), AppId(30)];
+        let mut ledger = Ledger::new();
+        let mut model: BTreeMap<ObjId, ModelObj> = BTreeMap::new();
+        let mut ids: Vec<ObjId> = Vec::new();
+        let now = SimTime::ZERO;
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    let owner = apps[pick % apps.len()];
+                    let obj = ledger.create_object(ResourceKind::Wakelock, owner, now);
+                    ledger.note_acquire(obj, now);
+                    model.insert(obj, ModelObj { owner, held: true, revoked: false, dead: false });
+                    ids.push(obj);
+                }
+                1 => {
+                    if let Some(&obj) = ids.get(pick % ids.len().max(1)) {
+                        if !model[&obj].dead {
+                            ledger.note_release(obj, now);
+                            model.get_mut(&obj).unwrap().held = false;
+                        }
+                    }
+                }
+                2 => {
+                    if let Some(&obj) = ids.get(pick % ids.len().max(1)) {
+                        if !model[&obj].dead {
+                            let m = model.get_mut(&obj).unwrap();
+                            m.revoked = !m.revoked;
+                            ledger.note_revoked(obj, m.revoked, now);
+                        }
+                    }
+                }
+                3 => {
+                    if let Some(&obj) = ids.get(pick % ids.len().max(1)) {
+                        if !model[&obj].dead {
+                            ledger.note_dead(obj, now);
+                            let m = model.get_mut(&obj).unwrap();
+                            m.dead = true;
+                            m.held = false;
+                        }
+                    }
+                }
+                _ => {
+                    // Crash: every live object of one app dies at once.
+                    let victim = apps[pick % apps.len()];
+                    let objs: Vec<ObjId> = model.iter()
+                        .filter(|(_, m)| m.owner == victim && !m.dead)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for obj in objs {
+                        ledger.note_dead(obj, now);
+                        let m = model.get_mut(&obj).unwrap();
+                        m.dead = true;
+                        m.held = false;
+                    }
+                }
+            }
+            let live: Vec<ObjId> = ledger.live_objects().map(|(id, _)| id).collect();
+            let want: Vec<ObjId> = model.iter().filter(|(_, m)| !m.dead).map(|(id, _)| *id).collect();
+            prop_assert_eq!(&live, &want, "live set diverged");
+            for &app in &apps {
+                let mine: Vec<ObjId> = ledger.objects_of(app).map(|(id, _)| id).collect();
+                let want: Vec<ObjId> = model.iter()
+                    .filter(|(_, m)| m.owner == app && !m.dead)
+                    .map(|(id, _)| *id)
+                    .collect();
+                prop_assert_eq!(mine, want, "per-app view diverged");
+            }
+            for (&obj, m) in &model {
+                let o = ledger.obj(obj);
+                prop_assert_eq!(o.held, m.held);
+                prop_assert_eq!(o.revoked && !m.dead, m.revoked && !m.dead);
+                prop_assert_eq!(o.dead, m.dead);
+            }
+        }
+    }
+}

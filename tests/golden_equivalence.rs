@@ -1,0 +1,99 @@
+//! Byte-for-byte telemetry equivalence against a pre-recorded matrix cell.
+//!
+//! The kernel-storage refactor (generational slot maps, dense ledger
+//! tables, batched event drain) is allowed to change *how* state is stored
+//! but not *what* the simulation does: every RNG draw, queue push, and
+//! float accumulation must happen in the same order, so the telemetry
+//! JSONL of any cell is bit-identical to the pre-refactor kernel's. This
+//! test pins one full conformance cell — Facebook / LeaseOS / the
+//! all-faults arm / seed 42, 30 simulated minutes with audits every 256
+//! events and cold restarts — as recorded bytes under `tests/golden/`, and
+//! replays it against the current kernel.
+//!
+//! If this diff ever fires, the refactor changed simulation behaviour, not
+//! just layout. Regenerate only for an *intentional* semantic change:
+//! `GOLDEN_REGEN=1 cargo test -p leaseos-integration --test
+//! golden_equivalence -- --ignored regenerate` (the regen test is ignored
+//! by default so CI can never silently rewrite the oracle).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use leaseos_apps::buggy::table5_case;
+use leaseos_bench::conformance::FaultArm;
+use leaseos_bench::{PolicyKind, ScenarioSpec, RUN_LENGTH};
+use leaseos_simkit::{DeviceProfile, JsonlSink, SimDuration};
+
+const GOLDEN: &[u8] = include_bytes!("golden/chaos_cell_facebook_leaseos_all_42.jsonl");
+
+/// Executes the pinned cell exactly as `conformance::run_matrix` does:
+/// fault plan installed, cold restarts, audits every 256 events, JSONL
+/// captured in memory.
+fn run_pinned_cell() -> Vec<u8> {
+    let case = table5_case("Facebook").expect("catalog app");
+    let policy = PolicyKind::LeaseOs;
+    let seed = 42;
+    let plan = FaultArm::All.plan(seed, RUN_LENGTH, SimDuration::from_secs(300));
+    let spec = ScenarioSpec {
+        label: format!(
+            "{}/{}/{}/{seed}",
+            case.name,
+            policy.cli_name(),
+            FaultArm::All.name()
+        ),
+        app: Arc::new(case.build),
+        policy: Arc::new(move || policy.build()),
+        device: DeviceProfile::pixel_xl(),
+        env: Arc::new(case.environment),
+        seed,
+        length: RUN_LENGTH,
+    };
+    let sink: Rc<RefCell<JsonlSink<Vec<u8>>>> = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    let run = spec.execute_with(|kernel| {
+        kernel.install_fault_plan(&plan);
+        kernel.set_cold_restart(true);
+        kernel.set_audit_interval(Some(256));
+        kernel.telemetry().attach(sink.clone());
+    });
+    assert!(run.kernel.audit().is_empty(), "audits must be clean");
+    let bytes = sink.borrow().get_ref().clone();
+    bytes
+}
+
+#[test]
+fn pinned_cell_matches_pre_refactor_bytes() {
+    let live = run_pinned_cell();
+    if live != GOLDEN {
+        // Find the first differing line for a readable failure.
+        let live_s = String::from_utf8_lossy(&live);
+        let gold_s = String::from_utf8_lossy(GOLDEN);
+        for (i, (l, g)) in live_s.lines().zip(gold_s.lines()).enumerate() {
+            assert_eq!(
+                l,
+                g,
+                "first divergence at line {} — the refactor changed simulation \
+                 behaviour, not just storage layout",
+                i + 1
+            );
+        }
+        panic!(
+            "telemetry length diverged: live {} lines vs golden {} lines",
+            live_s.lines().count(),
+            gold_s.lines().count()
+        );
+    }
+}
+
+#[test]
+#[ignore = "writes the golden; run manually with GOLDEN_REGEN=1 after an intentional semantic change"]
+fn regenerate() {
+    if std::env::var_os("GOLDEN_REGEN").is_none() {
+        return;
+    }
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/golden/chaos_cell_facebook_leaseos_all_42.jsonl"
+    );
+    std::fs::write(path, run_pinned_cell()).expect("write golden");
+}
