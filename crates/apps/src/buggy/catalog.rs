@@ -36,6 +36,42 @@ impl PaperNumbers {
     }
 }
 
+/// The environmental trigger class a case needs (§2.3's conditions).
+///
+/// A kernel has one scripted [`Environment`], so a multi-app mix (a fleet
+/// device running several models at once) can only combine cases whose
+/// triggers coexist in one world. Cases in the same class share a builder
+/// exactly, which is what [`crate::fleet`] samples mixes within.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriggerEnv {
+    /// User away, everything else healthy (wakelock/GPS/sensor leaks).
+    Unattended,
+    /// User away and the network down (retry-loop cases: K-9 et al.).
+    DisconnectedUnattended,
+    /// User away inside a GPS-denied building (weak-signal cases).
+    WeakGpsUnattended,
+}
+
+impl TriggerEnv {
+    /// Builds the class's scripted environment.
+    pub fn build(self) -> Environment {
+        match self {
+            TriggerEnv::Unattended => unattended(),
+            TriggerEnv::DisconnectedUnattended => disconnected_unattended(),
+            TriggerEnv::WeakGpsUnattended => weak_gps_unattended(),
+        }
+    }
+
+    /// Stable machine-readable name (fleet JSONL vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerEnv::Unattended => "unattended",
+            TriggerEnv::DisconnectedUnattended => "disconnected",
+            TriggerEnv::WeakGpsUnattended => "weak_gps",
+        }
+    }
+}
+
 /// One reproduced energy-bug case.
 #[derive(Clone)]
 pub struct BuggyCase {
@@ -47,6 +83,9 @@ pub struct BuggyCase {
     pub resource: ResourceKind,
     /// The expected misbehaviour class.
     pub behavior: BehaviorType,
+    /// The trigger-environment class ([`environment`](Self::environment)
+    /// builds exactly this class's world — pinned by a catalog test).
+    pub trigger: TriggerEnv,
     /// The paper's measured powers.
     pub paper: PaperNumbers,
     /// Builds a fresh instance of the app model.
@@ -99,6 +138,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Facebook::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "Torch",
@@ -113,6 +153,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Torch::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "Kontalk",
@@ -127,6 +168,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Kontalk::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "K-9",
@@ -141,6 +183,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(K9Mail::new()),
             environment: disconnected_unattended,
+            trigger: TriggerEnv::DisconnectedUnattended,
         },
         BuggyCase {
             name: "ServalMesh",
@@ -155,6 +198,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(ServalMesh::new()),
             environment: disconnected_unattended,
+            trigger: TriggerEnv::DisconnectedUnattended,
         },
         BuggyCase {
             name: "TextSecure",
@@ -169,6 +213,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(TextSecure::new()),
             environment: disconnected_unattended,
+            trigger: TriggerEnv::DisconnectedUnattended,
         },
         BuggyCase {
             name: "ConnectBot(screen)",
@@ -183,6 +228,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(ConnectBotScreen::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "Standup Timer",
@@ -197,6 +243,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(StandupTimer::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "ConnectBot(wifi)",
@@ -211,6 +258,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(ConnectBotWifi::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "BetterWeather",
@@ -225,6 +273,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(BetterWeather::new()),
             environment: weak_gps_unattended,
+            trigger: TriggerEnv::WeakGpsUnattended,
         },
         BuggyCase {
             name: "WHERE",
@@ -239,6 +288,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Where::new()),
             environment: weak_gps_unattended,
+            trigger: TriggerEnv::WeakGpsUnattended,
         },
         BuggyCase {
             name: "MozStumbler",
@@ -253,6 +303,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(MozStumbler::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "OSMTracker",
@@ -267,6 +318,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(OsmTracker::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "GPSLogger",
@@ -281,6 +333,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(GpsLogger::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "BostonBusMap",
@@ -295,6 +348,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(BostonBusMap::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "AIMSCID",
@@ -309,6 +363,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Aimscid::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "OpenScienceMap",
@@ -323,6 +378,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(OpenScienceMap::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "OpenGPSTracker",
@@ -337,6 +393,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(OpenGpsTracker::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "TapAndTurn",
@@ -351,6 +408,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(TapAndTurn::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
         BuggyCase {
             name: "Riot",
@@ -365,6 +423,7 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Riot::new()),
             environment: unattended,
+            trigger: TriggerEnv::Unattended,
         },
     ]
 }
@@ -437,6 +496,29 @@ mod tests {
         }
         assert_eq!(case_names().len(), 20);
         assert!(table5_case("NotAnApp").is_none());
+    }
+
+    #[test]
+    fn trigger_class_matches_the_environment_builder() {
+        for case in table5_cases() {
+            assert_eq!(
+                (case.environment)(),
+                case.trigger.build(),
+                "{}: trigger class disagrees with the environment fn",
+                case.name
+            );
+        }
+        // The fleet's mix groups: every class is populated.
+        for trigger in [
+            TriggerEnv::Unattended,
+            TriggerEnv::DisconnectedUnattended,
+            TriggerEnv::WeakGpsUnattended,
+        ] {
+            assert!(
+                table5_cases().iter().any(|c| c.trigger == trigger),
+                "no case triggers {trigger:?}"
+            );
+        }
     }
 
     #[test]

@@ -13,4 +13,4 @@ pub mod screen;
 pub mod sensor;
 pub mod wifi;
 
-pub use catalog::{case_names, table5_case, table5_cases, BuggyCase, PaperNumbers};
+pub use catalog::{case_names, table5_case, table5_cases, BuggyCase, PaperNumbers, TriggerEnv};

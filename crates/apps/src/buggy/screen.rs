@@ -10,12 +10,18 @@ use leaseos_framework::{AppCtx, AppEvent, AppModel, ObjId};
 use leaseos_simkit::SimDuration;
 
 const TICK: u64 = 1;
+const WORK: u64 = 2;
 
 /// ConnectBot issue #299: the SSH session screen stays forced-on after the
 /// session goes idle and the user stops looking.
 #[derive(Debug, Default)]
 pub struct ConnectBotScreen {
     lock: Option<ObjId>,
+    /// A repaint burst is in flight. Ticks that land while the previous
+    /// frame is still pending (the device slept mid-burst — possible in a
+    /// multi-app kernel where another app controls the wake state)
+    /// coalesce instead of reusing the in-flight work token.
+    busy: bool,
 }
 
 impl ConnectBotScreen {
@@ -37,16 +43,25 @@ impl AppModel for ConnectBotScreen {
     }
 
     fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
-        if let AppEvent::Timer(TICK) = event {
-            ctx.do_work(SimDuration::from_millis(20), 2);
-            ctx.schedule(SimDuration::from_secs(30), TICK);
+        match event {
+            AppEvent::Timer(TICK) => {
+                if !self.busy {
+                    self.busy = true;
+                    ctx.do_work(SimDuration::from_millis(20), WORK);
+                }
+                ctx.schedule(SimDuration::from_secs(30), TICK);
+            }
+            AppEvent::WorkDone(WORK) => self.busy = false,
+            _ => {}
         }
     }
 
     fn on_restart(&mut self, cold: bool) {
-        // The screen-lock handle dies with the process.
+        // The screen-lock handle dies with the process; the kernel drops
+        // in-flight bursts on a crash, so the repaint gate resets too.
         if cold {
             self.lock = None;
+            self.busy = false;
         }
     }
 }
@@ -57,6 +72,8 @@ impl AppModel for ConnectBotScreen {
 #[derive(Debug, Default)]
 pub struct StandupTimer {
     lock: Option<ObjId>,
+    /// Same coalescing gate as [`ConnectBotScreen::busy`].
+    busy: bool,
 }
 
 impl StandupTimer {
@@ -77,18 +94,28 @@ impl AppModel for StandupTimer {
     }
 
     fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
-        if let AppEvent::Timer(TICK) = event {
-            // The on-screen clock updates every second — visible to no one.
-            ctx.note_ui_update();
-            ctx.do_work(SimDuration::from_millis(5), 2);
-            ctx.schedule(SimDuration::from_secs(1), TICK);
+        match event {
+            AppEvent::Timer(TICK) => {
+                // The on-screen clock updates every second — visible to no
+                // one.
+                ctx.note_ui_update();
+                if !self.busy {
+                    self.busy = true;
+                    ctx.do_work(SimDuration::from_millis(5), WORK);
+                }
+                ctx.schedule(SimDuration::from_secs(1), TICK);
+            }
+            AppEvent::WorkDone(WORK) => self.busy = false,
+            _ => {}
         }
     }
 
     fn on_restart(&mut self, cold: bool) {
-        // The screen-lock handle dies with the process.
+        // The screen-lock handle dies with the process; the kernel drops
+        // in-flight bursts on a crash, so the repaint gate resets too.
         if cold {
             self.lock = None;
+            self.busy = false;
         }
     }
 }

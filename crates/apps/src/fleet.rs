@@ -1,0 +1,164 @@
+//! Per-device app mixes for fleet-scale population sweeps.
+//!
+//! A fleet device does not run one buggy app in isolation — it runs a small
+//! *mix* of the Table 5 models concurrently, the way §7.3's trace-driven
+//! evaluation layers real workloads. A kernel has exactly one scripted
+//! [`Environment`], so a mix can only combine cases whose environmental
+//! triggers (§2.3) coexist in one world: every case in a mix shares one
+//! [`TriggerEnv`] class.
+//!
+//! [`sample_mix`] draws such a mix deterministically from a [`SimRng`]
+//! stream: a primary case uniform over the whole 20-case catalog (so fleet
+//! marginals match Table 5's composition), plus zero to two extra cases
+//! drawn without replacement from the primary's trigger group. The sampler
+//! is versioned ([`MIX_SAMPLER_VERSION`]) so cached fleet cohorts invalidate
+//! when the sampling scheme changes.
+
+use leaseos_simkit::{Environment, SimRng};
+
+use crate::buggy::catalog::TriggerEnv;
+use crate::buggy::{table5_cases, BuggyCase};
+
+/// Cache-key version string for the mix-sampling scheme. Bump whenever
+/// [`sample_mix`]'s draw order, weights, or catalog coverage changes.
+pub const MIX_SAMPLER_VERSION: &str = "mix/v1";
+
+/// Weights (in percent) for running 0, 1, or 2 extra apps alongside the
+/// primary: most devices run one buggy app, a meaningful minority stack
+/// several.
+const EXTRA_COUNT_WEIGHTS: [u64; 3] = [50, 35, 15];
+
+/// The apps one simulated device runs concurrently.
+#[derive(Debug, Clone)]
+pub struct DeviceMix {
+    /// The sampled cases; the first entry is the primary draw. All share
+    /// [`trigger`](Self::trigger) and no case appears twice.
+    pub cases: Vec<BuggyCase>,
+    /// The single trigger-environment class the whole mix lives in.
+    pub trigger: TriggerEnv,
+}
+
+impl DeviceMix {
+    /// Table 5 names of the mixed cases, primary first.
+    pub fn case_names(&self) -> Vec<&'static str> {
+        self.cases.iter().map(|c| c.name).collect()
+    }
+
+    /// Builds the mix's shared scripted environment.
+    pub fn environment(&self) -> Environment {
+        self.trigger.build()
+    }
+}
+
+/// All catalog cases whose trigger is `trigger`, in Table 5 order.
+pub fn cases_with_trigger(trigger: TriggerEnv) -> Vec<BuggyCase> {
+    table5_cases()
+        .into_iter()
+        .filter(|c| c.trigger == trigger)
+        .collect()
+}
+
+/// Draws one device's app mix from `rng`.
+///
+/// Deterministic in the stream: the same `SimRng` state always yields the
+/// same mix, and the draw order (primary, extra count, each extra) is fixed
+/// so the result is stable across fleet sizes and shard splits.
+pub fn sample_mix(rng: &mut SimRng) -> DeviceMix {
+    let catalog = table5_cases();
+    let primary = catalog[(rng.next_u64() % catalog.len() as u64) as usize].clone();
+    let trigger = primary.trigger;
+
+    let extras_wanted = weighted_index(rng, &EXTRA_COUNT_WEIGHTS);
+    let mut pool: Vec<BuggyCase> = catalog
+        .into_iter()
+        .filter(|c| c.trigger == trigger && c.name != primary.name)
+        .collect();
+
+    let mut cases = vec![primary];
+    for _ in 0..extras_wanted.min(pool.len()) {
+        let pick = (rng.next_u64() % pool.len() as u64) as usize;
+        cases.push(pool.swap_remove(pick));
+    }
+    DeviceMix { cases, trigger }
+}
+
+/// Picks an index with probability proportional to `weights`.
+fn weighted_index(rng: &mut SimRng, weights: &[u64]) -> usize {
+    let total: u64 = weights.iter().sum();
+    let mut roll = rng.next_u64() % total;
+    for (i, w) in weights.iter().enumerate() {
+        if roll < *w {
+            return i;
+        }
+        roll -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_in_the_stream() {
+        let a = sample_mix(&mut SimRng::new(7).fork(3));
+        let b = sample_mix(&mut SimRng::new(7).fork(3));
+        assert_eq!(a.case_names(), b.case_names());
+        assert_eq!(a.trigger, b.trigger);
+        // A different stream from the same seed diverges for at least one
+        // of a handful of draws.
+        let diverged = (0..8)
+            .any(|s| sample_mix(&mut SimRng::new(7).fork(100 + s)).case_names() != a.case_names());
+        assert!(diverged, "independent streams never diverged");
+    }
+
+    #[test]
+    fn mixes_share_one_trigger_and_never_repeat_a_case() {
+        for device in 0..200 {
+            let mix = sample_mix(&mut SimRng::new(42).fork(device));
+            assert!(!mix.cases.is_empty() && mix.cases.len() <= 3);
+            let mut names = mix.case_names();
+            for case in &mix.cases {
+                assert_eq!(case.trigger, mix.trigger, "{} trigger", case.name);
+            }
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), mix.cases.len(), "duplicate case in mix");
+        }
+    }
+
+    #[test]
+    fn sampler_covers_the_catalog_and_multi_app_mixes() {
+        let mut seen = std::collections::HashSet::new();
+        let mut multi = 0usize;
+        for device in 0..600 {
+            let mix = sample_mix(&mut SimRng::new(9).fork(device));
+            for name in mix.case_names() {
+                seen.insert(name);
+            }
+            if mix.cases.len() > 1 {
+                multi += 1;
+            }
+        }
+        assert_eq!(seen.len(), 20, "every Table 5 case appears in some mix");
+        assert!(multi > 100, "multi-app mixes are common: {multi}/600");
+    }
+
+    #[test]
+    fn trigger_groups_partition_the_catalog() {
+        let groups = [
+            TriggerEnv::Unattended,
+            TriggerEnv::DisconnectedUnattended,
+            TriggerEnv::WeakGpsUnattended,
+        ];
+        let total: usize = groups.iter().map(|t| cases_with_trigger(*t).len()).sum();
+        assert_eq!(total, 20);
+        for t in groups {
+            assert!(
+                !cases_with_trigger(t).is_empty(),
+                "{} group empty",
+                t.name()
+            );
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`buggy`] — the 20 reproduced energy bugs, indexed by
 //!   [`buggy::table5_cases`] with their trigger environments and the
 //!   paper's measured numbers;
+//! * [`fleet`] — per-device app mixes sampled over the Table 5 catalog
+//!   for fleet-scale population sweeps;
 //! * [`normal`] — RunKeeper/Spotify/Haven-style legitimate heavy users;
 //! * [`synthetic`] — the Figure 9 long-holder, the Figure 12 intermittent
 //!   misbehaver, and the Figure 14 interaction-latency flows;
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod buggy;
+pub mod fleet;
 pub mod normal;
 pub mod study;
 pub mod synthetic;

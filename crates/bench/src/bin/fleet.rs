@@ -1,0 +1,180 @@
+//! `fleet` — fleet-scale population sweep with sharding and cohort cache.
+//!
+//! ```text
+//! # The whole fleet in one process: report on stdout.
+//! fleet --devices 10000 --seed 42
+//!
+//! # Shard 1 of 4 (same cache entries as the 1-shard run):
+//! fleet --devices 10000 --seed 42 --shards 4 --shard 1 \
+//!       --out shard1.jsonl --no-report
+//!
+//! # Merge shard outputs (byte-identical to the 1-shard stream) and
+//! # print the same report:
+//! fleet --devices 10000 --seed 42 --merge shard0.jsonl shard1.jsonl \
+//!       shard2.jsonl shard3.jsonl --out merged.jsonl
+//! ```
+//!
+//! The report and JSONL output are deterministic and byte-identical
+//! across cold runs, warm (100%-cached) re-runs, thread counts, and shard
+//! splits. Cache counters go to stderr so stdout stays diffable.
+
+use std::path::PathBuf;
+
+use leaseos_bench::fleet::{merge_shards, render_report, run_shard, FleetConfig};
+use leaseos_bench::{build_rev, FaultArm, PolicyKind, ResultCache, ScenarioRunner};
+use leaseos_simkit::SimDuration;
+
+struct Flags {
+    devices: u64,
+    seed: u64,
+    policies: Option<Vec<PolicyKind>>,
+    arms: Option<Vec<FaultArm>>,
+    cohort: u64,
+    shard: u64,
+    shards: u64,
+    mean_secs: u64,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    merge: Option<Vec<PathBuf>>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    no_report: bool,
+}
+
+fn parse_list<T>(raw: &str, parse: impl Fn(&str) -> Result<T, String>) -> Vec<T> {
+    raw.split(',')
+        .map(|s| parse(s.trim()).unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        devices: 10_000,
+        seed: 42,
+        policies: None,
+        arms: None,
+        cohort: 50,
+        shard: 0,
+        shards: 1,
+        mean_secs: 300,
+        threads: None,
+        out: None,
+        merge: None,
+        cache_dir: None,
+        no_cache: false,
+        no_report: false,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().unwrap_or_else(|| panic!("{arg} needs a value"));
+        match arg.as_str() {
+            "--devices" => flags.devices = take().parse().expect("--devices takes an integer"),
+            "--seed" => flags.seed = take().parse().expect("--seed takes an integer"),
+            "--policies" => flags.policies = Some(parse_list(&take(), PolicyKind::parse)),
+            "--arms" => flags.arms = Some(parse_list(&take(), FaultArm::parse)),
+            "--cohort" => flags.cohort = take().parse().expect("--cohort takes an integer"),
+            "--shard" => flags.shard = take().parse().expect("--shard takes an integer"),
+            "--shards" => flags.shards = take().parse().expect("--shards takes an integer"),
+            "--mean-secs" => {
+                flags.mean_secs = take().parse().expect("--mean-secs takes an integer")
+            }
+            "--threads" => {
+                flags.threads = Some(take().parse().expect("--threads takes an integer"))
+            }
+            "--out" => flags.out = Some(PathBuf::from(take())),
+            "--merge" => {
+                // Consumes the following non-flag arguments as shard
+                // files, in merge (= shard) order.
+                let mut files = Vec::new();
+                while args.peek().is_some_and(|a| !a.starts_with("--")) {
+                    files.push(PathBuf::from(args.next().expect("peeked")));
+                }
+                assert!(!files.is_empty(), "--merge needs at least one shard file");
+                flags.merge = Some(files);
+            }
+            "--cache-dir" => flags.cache_dir = Some(PathBuf::from(take())),
+            "--no-cache" => flags.no_cache = true,
+            "--no-report" => flags.no_report = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    flags
+}
+
+fn main() {
+    let flags = parse_flags();
+    let mut config = FleetConfig::new(flags.seed, flags.devices);
+    if let Some(policies) = &flags.policies {
+        config.policies = policies.clone();
+    }
+    if let Some(arms) = &flags.arms {
+        config.arms = arms.clone();
+    }
+    config.cohort_size = flags.cohort;
+    config.mean_interval = SimDuration::from_secs(flags.mean_secs);
+
+    let (jsonl, devices) = if let Some(files) = &flags.merge {
+        let chunks: Vec<Vec<u8>> = files
+            .iter()
+            .map(|f| {
+                std::fs::read(f)
+                    .unwrap_or_else(|e| panic!("fleet: cannot read shard {}: {e}", f.display()))
+            })
+            .collect();
+        let merged = merge_shards(&chunks).unwrap_or_else(|e| panic!("fleet: {e}"));
+        (merged, config.population.size)
+    } else {
+        let runner = flags
+            .threads
+            .map(ScenarioRunner::with_threads)
+            .unwrap_or_default();
+        let cache = if flags.no_cache {
+            None
+        } else {
+            let dir = flags
+                .cache_dir
+                .clone()
+                .unwrap_or_else(ResultCache::default_dir);
+            match ResultCache::open(&dir) {
+                Ok(cache) => Some(cache),
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot open result cache at {}: {e}",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        };
+        let rev = build_rev();
+        let run = run_shard(
+            &config,
+            flags.shard,
+            flags.shards,
+            &runner,
+            cache.as_ref(),
+            &rev,
+        )
+        .unwrap_or_else(|e| panic!("fleet: {e}"));
+        if let Some(stats) = &run.cache_stats {
+            eprintln!("fleet cache: {stats} (rev {rev})");
+        }
+        (run.jsonl, run.devices)
+    };
+
+    if let Some(path) = &flags.out {
+        std::fs::write(path, &jsonl).expect("write fleet JSONL output");
+    }
+
+    if !flags.no_report {
+        if flags.merge.is_none() && flags.shards > 1 {
+            eprintln!(
+                "note: report covers shard {}/{} only ({} devices); merge all \
+                 shards for the population report",
+                flags.shard, flags.shards, devices
+            );
+        }
+        let report = render_report(&jsonl, &config).unwrap_or_else(|e| panic!("fleet: {e}"));
+        println!("{report}");
+    }
+}

@@ -292,18 +292,33 @@ impl ScenarioRunner {
         T: Send,
         F: Fn(usize, &ScenarioSpec) -> T + Send + Sync,
     {
-        if specs.is_empty() {
+        self.run_tasks(specs.len(), |i| measure(i, &specs[i]))
+    }
+
+    /// The generic core of [`run`](Self::run): executes `task(i)` for every
+    /// `i in 0..count` across the worker pool and returns the results **in
+    /// index order**, independent of scheduling. Work that is not shaped
+    /// like a [`ScenarioSpec`] — fleet cohorts, merge shards — parallelises
+    /// through this directly.
+    pub fn run_tasks<T, F>(&self, count: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Send + Sync,
+    {
+        if count == 0 {
             return Vec::new();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = specs.iter().map(|_| Mutex::new(None)).collect();
-        let workers = self.threads.min(specs.len());
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(count);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let result = measure(i, spec);
+                    if i >= count {
+                        break;
+                    }
+                    let result = task(i);
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }

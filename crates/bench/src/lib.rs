@@ -30,6 +30,7 @@
 pub mod cache;
 pub mod conformance;
 pub mod dumpsys;
+pub mod fleet;
 pub mod harness;
 pub mod throughput;
 

@@ -117,22 +117,60 @@ impl LeaseManager {
     }
 
     /// A manager with a custom lease policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails [`LeasePolicy::validate`]. Callers
+    /// handling generated configurations (a fleet cohort built from a
+    /// sampled population) should use
+    /// [`try_with_policy`](Self::try_with_policy) so one bad config fails
+    /// one cohort, not the whole process.
     pub fn with_policy(policy: LeasePolicy) -> Self {
-        policy.validate().expect("invalid lease policy");
-        LeaseManager {
+        LeaseManager::try_with_policy(policy).expect("invalid lease policy")
+    }
+
+    /// A manager with a custom lease policy, rejecting invalid parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`LeasePolicy::validate`] description of the first
+    /// invalid parameter.
+    pub fn try_with_policy(policy: LeasePolicy) -> Result<Self, String> {
+        policy.validate()?;
+        Ok(LeaseManager {
             policy,
             ..LeaseManager::default()
-        }
+        })
     }
 
     /// A manager with a custom policy and classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails [`LeasePolicy::validate`]; see
+    /// [`try_with_policy_and_classifier`](Self::try_with_policy_and_classifier).
     pub fn with_policy_and_classifier(policy: LeasePolicy, classifier: Classifier) -> Self {
-        policy.validate().expect("invalid lease policy");
-        LeaseManager {
+        LeaseManager::try_with_policy_and_classifier(policy, classifier)
+            .expect("invalid lease policy")
+    }
+
+    /// A manager with a custom policy and classifier, rejecting invalid
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`LeasePolicy::validate`] description of the first
+    /// invalid parameter.
+    pub fn try_with_policy_and_classifier(
+        policy: LeasePolicy,
+        classifier: Classifier,
+    ) -> Result<Self, String> {
+        policy.validate()?;
+        Ok(LeaseManager {
             policy,
             classifier,
             ..LeaseManager::default()
-        }
+        })
     }
 
     /// The active lease policy.
@@ -451,6 +489,29 @@ mod tests {
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
+    }
+
+    /// A generated-population config with a zero term must fail as a value,
+    /// not a panic — the fleet maps it to one failed cohort.
+    #[test]
+    fn invalid_policy_is_a_result_not_a_panic() {
+        let bad = LeasePolicy::fixed(SimDuration::from_secs(0), SimDuration::from_secs(25));
+        let err = LeaseManager::try_with_policy(bad.clone()).expect_err("rejected");
+        assert!(err.contains("initial term"), "got {err:?}");
+        let err = LeaseManager::try_with_policy_and_classifier(bad, Classifier::default())
+            .expect_err("rejected");
+        assert!(err.contains("initial term"), "got {err:?}");
+        let good = LeasePolicy::fixed(SimDuration::from_secs(5), SimDuration::from_secs(25));
+        let mgr = LeaseManager::try_with_policy(good.clone()).expect("valid policy accepted");
+        assert_eq!(mgr.policy().initial_term, good.initial_term);
+        assert!(LeaseManager::try_with_policy_and_classifier(good, Classifier::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid lease policy")]
+    fn panicking_constructor_still_panics() {
+        let bad = LeasePolicy::fixed(SimDuration::from_secs(0), SimDuration::from_secs(25));
+        let _ = LeaseManager::with_policy(bad);
     }
 
     fn held_idle_snapshot(held_ms: u64) -> UsageSnapshot {

@@ -51,13 +51,51 @@ impl LeaseOs {
 
     /// LeaseOS with a custom lease policy (used by the §5/§7.5 sensitivity
     /// experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid policy; generated configurations should use
+    /// [`try_with_policy`](Self::try_with_policy) instead.
     pub fn with_policy(policy: LeasePolicy) -> Self {
         LeaseOs::with_manager(LeaseManager::with_policy(policy))
     }
 
+    /// LeaseOS with a custom lease policy, rejecting invalid parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`LeasePolicy::validate`] description of the first
+    /// invalid parameter.
+    pub fn try_with_policy(policy: LeasePolicy) -> Result<Self, String> {
+        Ok(LeaseOs::with_manager(LeaseManager::try_with_policy(
+            policy,
+        )?))
+    }
+
     /// LeaseOS with a custom policy and classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid policy; generated configurations should use
+    /// [`try_with_policy_and_classifier`](Self::try_with_policy_and_classifier).
     pub fn with_policy_and_classifier(policy: LeasePolicy, classifier: Classifier) -> Self {
         LeaseOs::with_manager(LeaseManager::with_policy_and_classifier(policy, classifier))
+    }
+
+    /// LeaseOS with a custom policy and classifier, rejecting invalid
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`LeasePolicy::validate`] description of the first
+    /// invalid parameter.
+    pub fn try_with_policy_and_classifier(
+        policy: LeasePolicy,
+        classifier: Classifier,
+    ) -> Result<Self, String> {
+        Ok(LeaseOs::with_manager(
+            LeaseManager::try_with_policy_and_classifier(policy, classifier)?,
+        ))
     }
 
     /// LeaseOS around an explicit manager.
@@ -308,6 +346,17 @@ mod tests {
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn try_constructors_reject_bad_policies_as_values() {
+        let bad = crate::LeasePolicy::fixed(SimDuration::from_secs(0), SimDuration::from_secs(25));
+        assert!(LeaseOs::try_with_policy(bad.clone()).is_err());
+        assert!(LeaseOs::try_with_policy_and_classifier(bad, Classifier::default()).is_err());
+        let good = crate::LeasePolicy::fixed(SimDuration::from_secs(5), SimDuration::from_secs(25));
+        let os = LeaseOs::try_with_policy(good.clone()).expect("valid policy accepted");
+        assert_eq!(os.manager().policy().initial_term, good.initial_term);
+        assert!(LeaseOs::try_with_policy_and_classifier(good, Classifier::default()).is_ok());
     }
 
     /// Leaks a wakelock at start — pure Long-Holding.

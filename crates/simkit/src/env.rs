@@ -122,7 +122,7 @@ impl GpsSignal {
 }
 
 /// The scripted world outside the device.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Environment {
     /// Network (Wi-Fi/cellular) connectivity.
     pub network_up: Schedule<bool>,

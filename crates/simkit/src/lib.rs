@@ -16,7 +16,9 @@
 //! * scripted environments ([`Environment`]) reproducing the paper's trigger
 //!   conditions (bad mail server, disconnects, GPS-denied buildings), and
 //! * time-series recording ([`TimeSeries`], [`SeriesSet`]) plus summary
-//!   statistics ([`stats`]).
+//!   statistics ([`stats`]), and
+//! * seeded parametric device populations ([`PopulationSpec`]) for
+//!   fleet-scale sweeps.
 //!
 //! The OS substrate (`leaseos-framework`), the lease mechanism itself
 //! (`leaseos`), the baseline policies (`leaseos-baselines`), and the app
@@ -52,6 +54,7 @@ mod device;
 mod energy;
 mod env;
 pub mod faults;
+pub mod population;
 mod power;
 mod queue;
 mod rng;
@@ -70,6 +73,7 @@ pub use faults::{
     EnergyConservation, FaultKind, FaultPlan, FaultSpec, Invariant, LeaseStateAudit,
     QueueConsistency, ScheduledFault,
 };
+pub use population::{DeviceParams, PopulationSpec, RadioQuality, ScreenClass};
 pub use power::{ComponentKind, ComponentState, CpuState, GpsState, PowerTable, WifiState};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;

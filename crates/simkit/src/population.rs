@@ -1,0 +1,411 @@
+//! Parametric device populations.
+//!
+//! The paper's utilitarian argument (§7) is about outcomes across an
+//! install base, not one curated handset: savings distributions over many
+//! heterogeneous devices. This module generates that heterogeneity
+//! *deterministically*: a [`PopulationSpec`] names a seed, a size, and the
+//! distribution knobs; [`PopulationSpec::device`] materialises device `i`'s
+//! parameters from an [`crate::SimRng::fork`] stream that depends only on
+//! `(seed, i)` — never on population size, enumeration order, or which
+//! shard of a fleet run asked. That independence is what makes sharded
+//! fleet sweeps byte-identical to single-process runs and lets a result
+//! cache key cohorts purely by the spec fingerprint and the device range.
+//!
+//! Each generated device is a variation of one of the six measured
+//! [`DeviceProfile`] archetypes (§2.1): battery health degrades capacity,
+//! radio quality scales Wi-Fi/GPS draw (a device in poor coverage burns
+//! more power for the same service), and screen class scales panel draw.
+//! The usage schedule (session length) and the app-mix stream id ride
+//! along so the app layer can sample per-device mixes from the same
+//! population identity.
+
+use crate::device::DeviceProfile;
+use crate::rng::SimRng;
+
+/// Disjoint fork-stream bases for the per-device streams. A population is
+/// capped far below `2^40` devices, so the bases can never collide.
+const STREAM_PARAMS: u64 = 0x1_0000_0000_0000;
+const STREAM_MIX: u64 = 0x2_0000_0000_0000;
+const STREAM_KERNEL: u64 = 0x3_0000_0000_0000;
+
+/// Cellular/Wi-Fi coverage quality bucket for a generated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioQuality {
+    /// Strong coverage: nominal radio draw.
+    Good,
+    /// Marginal coverage: radios work harder for the same service.
+    Fair,
+    /// Weak coverage: retries, high transmit power, long GPS searches.
+    Poor,
+}
+
+impl RadioQuality {
+    /// Multiplier applied to the archetype's Wi-Fi and GPS draws.
+    pub fn power_factor(self) -> f64 {
+        match self {
+            RadioQuality::Good => 1.0,
+            RadioQuality::Fair => 1.15,
+            RadioQuality::Poor => 1.35,
+        }
+    }
+
+    /// Stable machine-readable name (JSONL field and report vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            RadioQuality::Good => "good",
+            RadioQuality::Fair => "fair",
+            RadioQuality::Poor => "poor",
+        }
+    }
+}
+
+/// Panel size bucket for a generated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScreenClass {
+    /// Small panel: below-nominal screen draw.
+    Compact,
+    /// The archetype's measured panel.
+    Standard,
+    /// Large/high-refresh panel: above-nominal screen draw.
+    Large,
+}
+
+impl ScreenClass {
+    /// Multiplier applied to the archetype's screen draw.
+    pub fn power_factor(self) -> f64 {
+        match self {
+            ScreenClass::Compact => 0.85,
+            ScreenClass::Standard => 1.0,
+            ScreenClass::Large => 1.2,
+        }
+    }
+
+    /// Stable machine-readable name (JSONL field and report vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScreenClass::Compact => "compact",
+            ScreenClass::Standard => "standard",
+            ScreenClass::Large => "large",
+        }
+    }
+}
+
+/// One generated device: the sampled parameters plus the ids needed to
+/// derive its downstream streams (app mix, kernel seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    /// Index within the population (also the device's identity in reports).
+    pub index: u64,
+    /// Index into [`DeviceProfile::all`] naming the hardware archetype.
+    pub archetype: usize,
+    /// Battery state-of-health: capacity multiplier in `(0, 1]`.
+    pub battery_health: f64,
+    /// Coverage bucket.
+    pub radio: RadioQuality,
+    /// Panel bucket.
+    pub screen: ScreenClass,
+    /// Usage schedule: simulated session length, minutes.
+    pub session_mins: u64,
+}
+
+impl DeviceParams {
+    /// The archetype's human-readable name.
+    pub fn archetype_name(&self) -> &'static str {
+        DeviceProfile::all()[self.archetype].name
+    }
+
+    /// Materialises the concrete [`DeviceProfile`]: the archetype with
+    /// battery capacity degraded by health and radio/screen draws scaled by
+    /// the sampled buckets.
+    pub fn profile(&self) -> DeviceProfile {
+        let mut p = DeviceProfile::all()[self.archetype].clone();
+        p.battery_mah *= self.battery_health;
+        let radio = self.radio.power_factor();
+        p.power.wifi_idle_mw *= radio;
+        p.power.wifi_active_mw *= radio;
+        p.power.gps_searching_mw *= radio;
+        p.power.gps_fixed_mw *= radio;
+        p.power.screen_on_mw *= self.screen.power_factor();
+        p
+    }
+}
+
+/// A parametric device population, as data. Equal specs generate equal
+/// devices, bit for bit, on every platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationSpec {
+    /// Root seed every per-device stream forks from.
+    pub seed: u64,
+    /// Number of devices.
+    pub size: u64,
+    /// Lower bound of the battery state-of-health draw (upper bound 1.0).
+    pub min_battery_health: f64,
+    /// Relative weights of the good/fair/poor radio buckets.
+    pub radio_weights: [u32; 3],
+    /// Relative weights of the compact/standard/large screen buckets.
+    pub screen_weights: [u32; 3],
+    /// Inclusive bounds of the per-device session-length draw, minutes.
+    pub session_mins: (u64, u64),
+}
+
+impl PopulationSpec {
+    /// A population with the default distributions: archetypes uniform over
+    /// the six measured phones, battery health uniform in `[0.70, 1.0]`,
+    /// radio 60/30/10 good/fair/poor, screens 25/55/20
+    /// compact/standard/large, sessions uniform in 10–30 minutes.
+    pub fn new(seed: u64, size: u64) -> Self {
+        PopulationSpec {
+            seed,
+            size,
+            min_battery_health: 0.70,
+            radio_weights: [60, 30, 10],
+            screen_weights: [25, 55, 20],
+            session_mins: (10, 30),
+        }
+    }
+
+    /// Validates the distribution knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size == 0 {
+            return Err("population size must be positive".into());
+        }
+        if !(self.min_battery_health > 0.0 && self.min_battery_health <= 1.0) {
+            return Err(format!(
+                "min battery health must be in (0, 1], got {}",
+                self.min_battery_health
+            ));
+        }
+        if self.radio_weights.iter().sum::<u32>() == 0 {
+            return Err("radio weights must not all be zero".into());
+        }
+        if self.screen_weights.iter().sum::<u32>() == 0 {
+            return Err("screen weights must not all be zero".into());
+        }
+        let (lo, hi) = self.session_mins;
+        if lo == 0 || hi < lo {
+            return Err(format!(
+                "bad session bounds [{lo}, {hi}] (need 0 < lo <= hi)"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Generates device `index`'s parameters.
+    ///
+    /// The draw depends only on `(seed, index)` and the distribution knobs:
+    /// device 7 of a 100-device population is identical to device 7 of a
+    /// million-device one, and to device 7 as seen by any shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size`.
+    pub fn device(&self, index: u64) -> DeviceParams {
+        assert!(
+            index < self.size,
+            "device {index} out of range (population size {})",
+            self.size
+        );
+        let mut rng = SimRng::new(self.seed).fork(STREAM_PARAMS + index);
+        let archetype = rng.range_u64(0, DeviceProfile::all().len() as u64) as usize;
+        let battery_health = rng
+            .range_f64(self.min_battery_health, 1.0 + f64::EPSILON)
+            .min(1.0);
+        let radio = match weighted_pick(&mut rng, &self.radio_weights) {
+            0 => RadioQuality::Good,
+            1 => RadioQuality::Fair,
+            _ => RadioQuality::Poor,
+        };
+        let screen = match weighted_pick(&mut rng, &self.screen_weights) {
+            0 => ScreenClass::Compact,
+            1 => ScreenClass::Standard,
+            _ => ScreenClass::Large,
+        };
+        let (lo, hi) = self.session_mins;
+        let session_mins = rng.range_u64(lo, hi + 1);
+        DeviceParams {
+            index,
+            archetype,
+            battery_health,
+            radio,
+            screen,
+            session_mins,
+        }
+    }
+
+    /// The stream the app layer samples device `index`'s app mix from,
+    /// independent of the parameter draws above (adding a hardware knob
+    /// never perturbs anyone's app mix).
+    pub fn mix_rng(&self, index: u64) -> SimRng {
+        SimRng::new(self.seed).fork(STREAM_MIX + index)
+    }
+
+    /// The kernel seed for device `index`'s simulation runs.
+    pub fn kernel_seed(&self, index: u64) -> u64 {
+        SimRng::new(self.seed).fork(STREAM_KERNEL + index).seed()
+    }
+
+    /// Canonical text form of everything that determines the generated
+    /// devices — the cache-key ingredient for fleet cohorts. The leading
+    /// `population/v1` domain is the generator version: any change to the
+    /// sampling logic above must bump it so stale cohorts miss cleanly.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "population/v1;seed={};size={};health_min={};radio={},{},{};\
+             screen={},{},{};session={}..{}",
+            self.seed,
+            self.size,
+            self.min_battery_health,
+            self.radio_weights[0],
+            self.radio_weights[1],
+            self.radio_weights[2],
+            self.screen_weights[0],
+            self.screen_weights[1],
+            self.screen_weights[2],
+            self.session_mins.0,
+            self.session_mins.1,
+        )
+    }
+}
+
+/// Index of one weighted bucket: `P(i) = weights[i] / sum(weights)`.
+fn weighted_pick(rng: &mut SimRng, weights: &[u32]) -> usize {
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    debug_assert!(total > 0, "weights must not all be zero");
+    let mut draw = rng.range_u64(0, total);
+    for (i, &w) in weights.iter().enumerate() {
+        let w = w as u64;
+        if draw < w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_size_independent() {
+        let small = PopulationSpec::new(42, 100);
+        let large = PopulationSpec::new(42, 1_000_000);
+        for i in [0u64, 7, 99] {
+            assert_eq!(small.device(i), large.device(i), "device {i}");
+            assert_eq!(
+                small.mix_rng(i).next_u64(),
+                large.mix_rng(i).next_u64(),
+                "mix stream {i}"
+            );
+            assert_eq!(small.kernel_seed(i), large.kernel_seed(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_fleets() {
+        let a = PopulationSpec::new(1, 256);
+        let b = PopulationSpec::new(2, 256);
+        let differing = (0..256).filter(|&i| a.device(i) != b.device(i)).count();
+        assert!(differing > 200, "only {differing}/256 devices differ");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn parameters_respect_their_distributions() {
+        let spec = PopulationSpec::new(9, 2_000);
+        let mut archetypes = [0usize; 6];
+        let mut poor = 0;
+        for i in 0..spec.size {
+            let d = spec.device(i);
+            assert!(d.battery_health >= spec.min_battery_health && d.battery_health <= 1.0);
+            assert!((10..=30).contains(&d.session_mins));
+            archetypes[d.archetype] += 1;
+            if d.radio == RadioQuality::Poor {
+                poor += 1;
+            }
+        }
+        for (i, &n) in archetypes.iter().enumerate() {
+            assert!(n > 0, "archetype {i} never sampled in 2000 devices");
+        }
+        // ~10% of devices should be in poor coverage.
+        assert!((100..400).contains(&poor), "poor radio count {poor}");
+    }
+
+    #[test]
+    fn profile_scales_the_archetype() {
+        let spec = PopulationSpec::new(3, 64);
+        for i in 0..spec.size {
+            let d = spec.device(i);
+            let base = DeviceProfile::all()[d.archetype].clone();
+            let p = d.profile();
+            assert_eq!(p.name, base.name);
+            assert!((p.battery_mah - base.battery_mah * d.battery_health).abs() < 1e-9);
+            let radio = d.radio.power_factor();
+            assert!((p.power.wifi_active_mw - base.power.wifi_active_mw * radio).abs() < 1e-9);
+            assert!((p.power.gps_fixed_mw - base.power.gps_fixed_mw * radio).abs() < 1e-9);
+            assert!(
+                (p.power.screen_on_mw - base.power.screen_on_mw * d.screen.power_factor()).abs()
+                    < 1e-9
+            );
+            p.power.validate().expect("scaled table stays valid");
+        }
+    }
+
+    #[test]
+    fn streams_are_mutually_independent() {
+        let spec = PopulationSpec::new(5, 10);
+        // Same device, three different purposes: all distinct streams.
+        let params_draw = SimRng::new(5).fork(STREAM_PARAMS + 3).next_u64();
+        let mix_draw = spec.mix_rng(3).next_u64();
+        let kernel_seed = spec.kernel_seed(3);
+        assert_ne!(params_draw, mix_draw);
+        assert_ne!(mix_draw, kernel_seed);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(PopulationSpec::new(1, 0).validate().is_err());
+        let mut spec = PopulationSpec::new(1, 10);
+        spec.min_battery_health = 0.0;
+        assert!(spec.validate().is_err());
+        spec = PopulationSpec::new(1, 10);
+        spec.radio_weights = [0, 0, 0];
+        assert!(spec.validate().is_err());
+        spec = PopulationSpec::new(1, 10);
+        spec.session_mins = (20, 10);
+        assert!(spec.validate().is_err());
+        assert!(PopulationSpec::new(1, 10).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_device_panics() {
+        PopulationSpec::new(1, 10).device(10);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob() {
+        let base = PopulationSpec::new(42, 1_000);
+        let fp = base.fingerprint();
+        assert_eq!(fp, base.clone().fingerprint(), "deterministic");
+        let mut m = base.clone();
+        m.size = 2_000;
+        assert_ne!(fp, m.fingerprint());
+        m = base.clone();
+        m.min_battery_health = 0.5;
+        assert_ne!(fp, m.fingerprint());
+        m = base.clone();
+        m.radio_weights = [1, 1, 1];
+        assert_ne!(fp, m.fingerprint());
+        m = base.clone();
+        m.screen_weights = [1, 1, 1];
+        assert_ne!(fp, m.fingerprint());
+        m = base;
+        m.session_mins = (5, 50);
+        assert_ne!(fp, m.fingerprint());
+    }
+}

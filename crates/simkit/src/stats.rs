@@ -25,26 +25,57 @@ pub fn median(values: &[f64]) -> Option<f64> {
     percentile(values, 50.0)
 }
 
-/// Linear-interpolated percentile `p` in `[0, 100]`; `None` when empty.
+/// The finite samples of `values`, sorted ascending, plus the number of
+/// non-finite samples (NaN, ±∞) that were dropped.
+///
+/// This is the one NaN policy every order statistic here follows: fleet
+/// aggregation legitimately produces non-finite cells (a 0/0 reduction
+/// ratio when a fault idles both the baseline and the treated run), and
+/// those cells carry no ordering information — so they are excluded from
+/// the distribution and *counted*, never silently swallowed and never a
+/// panic.
+pub fn finite_sorted(values: &[f64]) -> (Vec<f64>, usize) {
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    finite.sort_by(f64::total_cmp);
+    let dropped = values.len() - finite.len();
+    (finite, dropped)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]` over the *finite*
+/// samples of `values` (see [`finite_sorted`] for the NaN policy); `None`
+/// when no finite sample exists.
 ///
 /// # Panics
 ///
 /// Panics if `p` is outside `[0, 100]`.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    percentile_with_dropped(values, p).0
+}
+
+/// [`percentile`], also reporting how many non-finite samples were dropped.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile_with_dropped(values: &[f64], p: f64) -> (Option<f64>, usize) {
     assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-    if values.is_empty() {
-        return None;
+    let (sorted, dropped) = finite_sorted(values);
+    (percentile_of_sorted(&sorted, p), dropped)
+}
+
+/// Percentile over an already-sorted, all-finite slice.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    match sorted.len() {
+        0 => None,
+        1 => Some(sorted[0]),
+        n => {
+            let rank = p / 100.0 * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+        }
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
-    if sorted.len() == 1 {
-        return Some(sorted[0]);
-    }
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
 /// The paper's reduction ratio: `(baseline - treated) / baseline`.
@@ -60,35 +91,57 @@ pub fn reduction_ratio(baseline: f64, treated: f64) -> f64 {
     }
 }
 
-/// A compact distribution summary for run-set reporting.
+/// A compact distribution summary for run-set and fleet reporting.
+///
+/// Every field is computed over the *finite* samples only — one NaN policy
+/// for the whole struct (see [`finite_sorted`]). The old behaviour, where
+/// `min`/`max` folds silently skipped NaN while `mean`/`std_dev`
+/// propagated it, could produce a summary whose extremes disagreed with a
+/// NaN mean; now the non-finite samples are excluded everywhere and
+/// reported in [`Summary::dropped`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
-    /// Sample count.
+    /// Finite sample count (the population every other field describes).
     pub n: usize,
+    /// Non-finite samples excluded from the distribution.
+    pub dropped: usize,
     /// Arithmetic mean.
     pub mean: f64,
     /// Population standard deviation.
     pub std_dev: f64,
     /// Minimum.
     pub min: f64,
+    /// 5th percentile (the fleet report's distribution floor).
+    pub p5: f64,
     /// Median.
     pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile (the fleet report's tail).
+    pub p99: f64,
     /// Maximum.
     pub max: f64,
 }
 
 impl Summary {
-    /// Summarizes `values`; `None` when empty.
+    /// Summarizes the finite samples of `values`; `None` when no finite
+    /// sample exists.
     pub fn of(values: &[f64]) -> Option<Summary> {
-        let n = values.len();
-        let mean_v = mean(values)?;
+        let (sorted, dropped) = finite_sorted(values);
+        let n = sorted.len();
+        let mean_v = mean(&sorted)?;
+        let pct = |p| percentile_of_sorted(&sorted, p).expect("non-empty sorted slice");
         Some(Summary {
             n,
+            dropped,
             mean: mean_v,
-            std_dev: std_dev(values)?,
-            min: values.iter().copied().fold(f64::INFINITY, f64::min),
-            median: median(values)?,
-            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            std_dev: std_dev(&sorted)?,
+            min: sorted[0],
+            p5: pct(5.0),
+            median: pct(50.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
+            max: sorted[n - 1],
         })
     }
 }
@@ -97,9 +150,22 @@ impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} mean={:.2} sd={:.2} min={:.2} med={:.2} max={:.2}",
-            self.n, self.mean, self.std_dev, self.min, self.median, self.max
-        )
+            "n={} mean={:.2} sd={:.2} min={:.2} p5={:.2} med={:.2} p95={:.2} \
+             p99={:.2} max={:.2}",
+            self.n,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.p5,
+            self.median,
+            self.p95,
+            self.p99,
+            self.max
+        )?;
+        if self.dropped > 0 {
+            write!(f, " dropped={}", self.dropped)?;
+        }
+        Ok(())
     }
 }
 
@@ -169,10 +235,70 @@ mod tests {
     fn summary_fields() {
         let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(s.n, 3);
+        assert_eq!(s.dropped, 0);
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 3.0);
         assert_eq!(s.median, 2.0);
+        assert_eq!(s.p5, 1.1, "5th percentile interpolates near the floor");
+        assert!(s.p95 > s.median && s.p99 >= s.p95 && s.max >= s.p99);
         assert!(!s.to_string().is_empty());
+        assert!(
+            !s.to_string().contains("dropped"),
+            "clean inputs stay terse"
+        );
+    }
+
+    /// The regression the fleet layer depends on: NaN input (a 0/0
+    /// reduction-ratio cell) must be dropped and counted, never a panic.
+    #[test]
+    fn percentile_survives_nan_and_reports_drops() {
+        let v = [
+            f64::NAN,
+            10.0,
+            20.0,
+            f64::INFINITY,
+            30.0,
+            40.0,
+            f64::NEG_INFINITY,
+        ];
+        let (p, dropped) = percentile_with_dropped(&v, 0.0);
+        assert_eq!(p, Some(10.0));
+        assert_eq!(dropped, 3);
+        assert_eq!(percentile(&v, 100.0), Some(40.0));
+        assert!((percentile(&v, 25.0).unwrap() - 17.5).abs() < 1e-12);
+        // All-NaN input: nothing finite to rank.
+        let (p, dropped) = percentile_with_dropped(&[f64::NAN, f64::NAN], 50.0);
+        assert_eq!(p, None);
+        assert_eq!(dropped, 2);
+        assert_eq!(median(&[f64::NAN, 7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn finite_sorted_orders_negative_zero_consistently() {
+        let (sorted, dropped) = finite_sorted(&[0.0, -0.0, -1.0, 1.0]);
+        assert_eq!(dropped, 0);
+        assert_eq!(sorted.len(), 4);
+        assert_eq!(sorted[0], -1.0);
+        assert!(
+            sorted[1].is_sign_negative(),
+            "total_cmp puts -0.0 before 0.0"
+        );
+        assert_eq!(sorted[3], 1.0);
+    }
+
+    /// `Summary::of` used to report min/max over the finite values while
+    /// mean/std_dev went NaN — internally inconsistent. One policy now.
+    #[test]
+    fn summary_is_nan_consistent() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2, "n counts the finite population");
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.mean, 2.0);
+        assert!(s.std_dev.is_finite());
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+        assert_eq!(s.median, 2.0);
+        assert!(s.to_string().contains("dropped=2"));
+        assert!(Summary::of(&[f64::NAN]).is_none(), "no finite sample");
     }
 }
