@@ -16,6 +16,16 @@
 //! * `tracing` — the full diagnosis layer: causal span ledger with
 //!   per-span energy integrals plus the periodic lease-legality audit.
 //!
+//! Plus two arms for the metrics registry (same <1% bar for the
+//! disabled path — every handle op is one relaxed atomic load and a
+//! branch while the registry is off):
+//!
+//! * `metrics_disabled` — registry constructed but never enabled, which
+//!   is the default for every kernel; must be indistinguishable from
+//!   `disabled`.
+//! * `metrics_enabled` — registry switched on so every settle, drain,
+//!   and lease verdict lands in a counter or histogram.
+//!
 //! Run: `cargo bench -p leaseos-bench --bench telemetry_overhead`
 
 use std::cell::RefCell;
@@ -76,6 +86,32 @@ fn bench_jsonl(c: &mut Criterion) {
     });
 }
 
+fn bench_metrics_disabled(c: &mut Criterion) {
+    // The kernel always constructs its registry; "disabled" is the
+    // default state, so this arm is the honest baseline for the
+    // metrics_enabled comparison.
+    let spec = torch_spec();
+    c.bench_function("table5_torch_30min_metrics_disabled", |b| {
+        b.iter(|| {
+            let run = spec.execute_with(|kernel| {
+                assert!(!kernel.metrics().is_enabled());
+            });
+            black_box(run.app_power_mw())
+        })
+    });
+}
+
+fn bench_metrics_enabled(c: &mut Criterion) {
+    let spec = torch_spec();
+    c.bench_function("table5_torch_30min_metrics_enabled", |b| {
+        b.iter(|| {
+            let run = spec.execute_with(|kernel| kernel.enable_metrics());
+            let settles = run.kernel.metrics().render_prometheus().len();
+            black_box((run.app_power_mw(), settles))
+        })
+    });
+}
+
 fn bench_tracing(c: &mut Criterion) {
     let spec = torch_spec();
     c.bench_function("table5_torch_30min_telemetry_tracing", |b| {
@@ -93,6 +129,7 @@ fn bench_tracing(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_disabled, bench_ring, bench_jsonl, bench_tracing
+    targets = bench_disabled, bench_ring, bench_jsonl,
+        bench_metrics_disabled, bench_metrics_enabled, bench_tracing
 }
 criterion_main!(benches);

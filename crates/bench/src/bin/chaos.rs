@@ -39,10 +39,11 @@
 //!       [--no-cache]`
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use leaseos_bench::conformance::{evaluate, render_table, run_matrix, FaultArm, MatrixConfig};
 use leaseos_bench::{build_rev, PolicyKind, ResultCache, ScenarioRunner};
-use leaseos_simkit::SimDuration;
+use leaseos_simkit::{MetricsRegistry, SimDuration};
 
 struct Flags {
     full: bool,
@@ -155,16 +156,25 @@ fn main() {
     config.tolerance_pp = flags.tolerance_pp;
     config.cold_restart = !flags.warm_restart;
 
+    // Process-level registry: harness wall-time and cache counters.
+    // Deliberately separate from the per-kernel registries, which stay
+    // sim-deterministic; everything here is wall-clock flavored.
+    let metrics = Arc::new(MetricsRegistry::new());
+    metrics.enable();
     let runner = flags
         .threads
         .map(ScenarioRunner::with_threads)
-        .unwrap_or_default();
+        .unwrap_or_default()
+        .with_metrics(metrics.clone());
     let cache = if flags.no_cache {
         None
     } else {
         let dir = flags.cache_dir.unwrap_or_else(ResultCache::default_dir);
         match ResultCache::open(&dir) {
-            Ok(cache) => Some(cache),
+            Ok(mut cache) => {
+                cache.attach_metrics(&metrics);
+                Some(cache)
+            }
             Err(e) => {
                 eprintln!(
                     "warning: cannot open result cache at {}: {e}",
@@ -210,6 +220,7 @@ fn main() {
     if let Some(stats) = &run.cache_stats {
         eprintln!("chaos cache: {stats} (rev {rev})");
     }
+    eprint!("{}", metrics.render_prometheus());
 
     let failures = evaluate(&run);
     if failures.is_empty() {

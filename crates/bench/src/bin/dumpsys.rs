@@ -11,7 +11,8 @@
 //!   `cargo run --release -p leaseos-bench --bin dumpsys -- \
 //!      --jsonl dir/Facebook_w-o-lease_42.jsonl`
 //!
-//! `--format {text,json,csv}` picks the rendering (default text), and
+//! `--format {text,json,csv,folded}` picks the rendering (default text) —
+//! `folded` emits inferno-compatible flame-graph stacks — and
 //! `--jsonl-out FILE` saves a live run's telemetry for later re-ingestion.
 //! Reports are deterministic: same scenario and seed, same bytes.
 

@@ -11,7 +11,8 @@
 //! `--policy <vanilla|leaseos|doze|doze-stock|defdroid|throttle>`,
 //! `--device <pixel-xl|nexus-6|nexus-5x|nexus-4|galaxy-s4|moto-g>`,
 //! `--minutes <n>`, `--seed <n>`, `--trace <n>` (print the last n kernel
-//! trace entries), `--list` (show available apps).
+//! trace entries), `--spans` (render the open/closed causal span tree),
+//! `--list` (show available apps).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -27,7 +28,7 @@ fn parse_args() -> std::collections::HashMap<String, String> {
     let mut map = std::collections::HashMap::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--list" || arg == "--trace-all" {
+        if arg == "--list" || arg == "--trace-all" || arg == "--spans" {
             map.insert(arg.trim_start_matches('-').to_owned(), "true".into());
         } else if let Some(key) = arg.strip_prefix("--") {
             if let Some(value) = args.next() {
@@ -121,6 +122,10 @@ fn main() {
     } else {
         None
     };
+    let spans = args.contains_key("spans");
+    if spans {
+        kernel.enable_tracing();
+    }
     kernel.enable_profiler(SimDuration::from_secs(60));
     let id = kernel.add_app(app);
     let end = SimTime::ZERO + run;
@@ -175,6 +180,18 @@ fn main() {
         let mj = kernel.meter().component_energy_mj(id.consumer(), component);
         if mj > 0.0 {
             println!("    {component:<8} {mj:>12.1} mJ");
+        }
+    }
+    if spans {
+        if let Some(ledger) = kernel.tracing() {
+            println!(
+                "  span tree ({:.3} mJ useful, {:.3} mJ wasted):",
+                ledger.total_useful_mj(),
+                ledger.total_wasted_mj()
+            );
+            for line in ledger.render_tree().lines() {
+                println!("    {line}");
+            }
         }
     }
     if let Some(ring) = ring {

@@ -19,10 +19,12 @@
 //! splits. Cache counters go to stderr so stdout stays diffable.
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 use leaseos_bench::fleet::{merge_shards, render_report, run_shard, FleetConfig};
 use leaseos_bench::{build_rev, FaultArm, PolicyKind, ResultCache, ScenarioRunner};
-use leaseos_simkit::SimDuration;
+use leaseos_simkit::{MetricsRegistry, SimDuration};
 
 struct Flags {
     devices: u64,
@@ -124,10 +126,16 @@ fn main() {
         let merged = merge_shards(&chunks).unwrap_or_else(|e| panic!("fleet: {e}"));
         (merged, config.population.size)
     } else {
+        // Process-level registry: wall-clock throughput plus harness and
+        // cache counters. Kept apart from the per-kernel registries so the
+        // simulated results stay byte-deterministic.
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.enable();
         let runner = flags
             .threads
             .map(ScenarioRunner::with_threads)
-            .unwrap_or_default();
+            .unwrap_or_default()
+            .with_metrics(metrics.clone());
         let cache = if flags.no_cache {
             None
         } else {
@@ -136,7 +144,10 @@ fn main() {
                 .clone()
                 .unwrap_or_else(ResultCache::default_dir);
             match ResultCache::open(&dir) {
-                Ok(cache) => Some(cache),
+                Ok(mut cache) => {
+                    cache.attach_metrics(&metrics);
+                    Some(cache)
+                }
                 Err(e) => {
                     eprintln!(
                         "warning: cannot open result cache at {}: {e}",
@@ -147,6 +158,7 @@ fn main() {
             }
         };
         let rev = build_rev();
+        let started = Instant::now();
         let run = run_shard(
             &config,
             flags.shard,
@@ -156,9 +168,15 @@ fn main() {
             &rev,
         )
         .unwrap_or_else(|e| panic!("fleet: {e}"));
+        let elapsed = started.elapsed().as_secs_f64();
+        metrics.add("fleet_devices_total", run.devices);
+        if elapsed > 0.0 {
+            metrics.set_gauge("fleet_devices_per_sec", run.devices as f64 / elapsed);
+        }
         if let Some(stats) = &run.cache_stats {
             eprintln!("fleet cache: {stats} (rev {rev})");
         }
+        eprint!("{}", metrics.render_prometheus());
         (run.jsonl, run.devices)
     };
 

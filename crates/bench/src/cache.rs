@@ -35,7 +35,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use leaseos_simkit::JsonValue;
+use leaseos_simkit::metrics::Counter;
+use leaseos_simkit::{JsonValue, MetricsRegistry};
 
 /// 128-bit FNV-1a offset basis.
 const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
@@ -134,6 +135,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries written.
     pub stores: u64,
+    /// The subset of misses where an entry existed on disk but failed
+    /// validation — each one is repaired by the re-execute + re-store that
+    /// follows the miss.
+    pub corrupt_repairs: u64,
 }
 
 impl fmt::Display for CacheStats {
@@ -155,6 +160,18 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    corrupt: AtomicU64,
+    /// Registry counter handles, mirrored alongside the atomics once
+    /// [`ResultCache::attach_metrics`] is called.
+    metrics: Option<CacheCounters>,
+}
+
+#[derive(Debug)]
+struct CacheCounters {
+    hits: Counter,
+    misses: Counter,
+    stores: Counter,
+    corrupt: Counter,
 }
 
 /// Keys the summary document carries for integrity checking.
@@ -178,7 +195,23 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            metrics: None,
         })
+    }
+
+    /// Mirrors every counter bump into `registry` (`cache_hits_total`,
+    /// `cache_misses_total`, `cache_stores_total`,
+    /// `cache_corrupt_repairs_total`), so a metrics snapshot reports the
+    /// same numbers as the legacy [`ResultCache::stats`] line. Call before
+    /// sharing the cache across worker threads.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(CacheCounters {
+            hits: registry.counter("cache_hits_total"),
+            misses: registry.counter("cache_misses_total"),
+            stores: registry.counter("cache_stores_total"),
+            corrupt: registry.counter("cache_corrupt_repairs_total"),
+        });
     }
 
     /// The default cache directory: `LEASEOS_CACHE_DIR` if set, else
@@ -209,10 +242,24 @@ impl ResultCache {
         match self.try_load(key) {
             Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
                 Some(entry)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
+                // An entry that exists but failed validation is corrupt;
+                // the re-execute + re-store after this miss repairs it.
+                if self.summary_path(key).exists() {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metrics {
+                        m.corrupt.inc();
+                    }
+                }
                 None
             }
         }
@@ -269,6 +316,9 @@ impl ResultCache {
         self.write_atomic(&self.jsonl_path(key), jsonl)?;
         self.write_atomic(&self.summary_path(key), doc.as_bytes())?;
         self.stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.stores.inc();
+        }
         Ok(())
     }
 
@@ -289,6 +339,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            corrupt_repairs: self.corrupt.load(Ordering::Relaxed),
         }
     }
 }
@@ -375,12 +426,39 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 0,
-                stores: 1
+                stores: 1,
+                corrupt_repairs: 0
             }
         );
         let other = KeyBuilder::new("t/v1").field("cell", "b").finish();
         assert!(cache.load(other).is_none());
         assert_eq!(cache.stats().misses, 1);
+        assert_eq!(
+            cache.stats().corrupt_repairs,
+            0,
+            "an absent entry is a plain miss, not a corrupt one"
+        );
+    }
+
+    #[test]
+    fn metrics_counters_agree_with_legacy_stats() {
+        let registry = MetricsRegistry::new();
+        registry.enable();
+        let mut cache = ResultCache::open(scratch_dir("metrics")).unwrap();
+        cache.attach_metrics(&registry);
+        let key = KeyBuilder::new("t/v1").field("cell", "a").finish();
+        assert!(cache.load(key).is_none()); // cold miss
+        cache.store(key, &summary(1.0), b"payload\n").unwrap();
+        assert!(cache.load(key).is_some()); // warm hit
+        fs::write(cache.summary_path(key), b"{\"label\":").unwrap();
+        assert!(cache.load(key).is_none()); // corrupt miss
+        let stats = cache.stats();
+        assert_eq!(stats.corrupt_repairs, 1);
+        let count = |name: &str| registry.counter(name).value();
+        assert_eq!(count("cache_hits_total"), stats.hits);
+        assert_eq!(count("cache_misses_total"), stats.misses);
+        assert_eq!(count("cache_stores_total"), stats.stores);
+        assert_eq!(count("cache_corrupt_repairs_total"), stats.corrupt_repairs);
     }
 
     #[test]

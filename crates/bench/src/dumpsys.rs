@@ -7,7 +7,9 @@
 //! emits (`span`, `attribution`, `lease_transition`, `fault_injected`,
 //! `energy_snapshot` events) and renders a deterministic report — top
 //! wasted-energy spans, per-app blame tables, lease state-machine timelines,
-//! and fault/audit summaries — in text, JSON, or CSV.
+//! and fault/audit summaries — in text, JSON, CSV, or folded flame-graph
+//! stacks (`--format folded`, pipe through `inferno-flamegraph` for the
+//! visual).
 //!
 //! Both ingestion paths share one pipeline: a live run attaches an in-memory
 //! [`JsonlSink`] and parses its own buffer, so `dumpsys` on a live scenario
@@ -37,6 +39,10 @@ pub enum Format {
     Json,
     /// Flat CSV with a `record` discriminator column.
     Csv,
+    /// Folded flame-graph stacks (inferno / flamegraph.pl compatible):
+    /// one `frame;frame;... value` line per span energy bucket, values in
+    /// nanojoules.
+    Folded,
 }
 
 impl Format {
@@ -50,7 +56,10 @@ impl Format {
             "text" => Ok(Format::Text),
             "json" => Ok(Format::Json),
             "csv" => Ok(Format::Csv),
-            other => Err(format!("unknown format {other:?} (text, json, csv)")),
+            "folded" => Ok(Format::Folded),
+            other => Err(format!(
+                "unknown format {other:?} (text, json, csv, folded)"
+            )),
         }
     }
 }
@@ -68,6 +77,12 @@ pub struct SpanRow {
     pub kind: String,
     /// `open` or `closed` at end of run.
     pub state: String,
+    /// Parent scope name in the span tree (`app`, `system`, or empty for
+    /// the system root). Derived structurally for recordings that predate
+    /// span parentage.
+    pub pscope: String,
+    /// Parent scope id (owning app for objects, 0 otherwise).
+    pub pid: u64,
     /// Energy the span induced that served its app, mJ.
     pub useful_mj: f64,
     /// Energy the span induced to no one's benefit, mJ.
@@ -81,6 +96,15 @@ impl SpanRow {
             "system".to_owned()
         } else {
             format!("{}{}", self.scope, self.id)
+        }
+    }
+
+    /// The parent span's human name (empty for the system root).
+    pub fn parent_name(&self) -> String {
+        if self.pscope.is_empty() || self.pscope == "system" {
+            self.pscope.clone()
+        } else {
+            format!("{}{}", self.pscope, self.pid)
         }
     }
 }
@@ -183,14 +207,29 @@ impl Report {
                 "span" => {
                     let scope = text(&v, "scope");
                     let id = num(&v, "id") as u64;
+                    let app = num(&v, "app") as u32;
+                    let mut pscope = text(&v, "pscope");
+                    let mut pid = num(&v, "pid") as u64;
+                    if pscope.is_empty() && scope != "system" {
+                        // Recording predates span parentage — derive the
+                        // structural parent (obj → owning app, app → system).
+                        if scope == "app" {
+                            pscope = "system".to_owned();
+                        } else {
+                            pscope = "app".to_owned();
+                            pid = app as u64;
+                        }
+                    }
                     spans.insert(
                         (scope_rank(&scope), id),
                         SpanRow {
                             scope,
                             id,
-                            app: num(&v, "app") as u32,
+                            app,
                             kind: text(&v, "kind"),
                             state: text(&v, "state"),
+                            pscope,
+                            pid,
                             useful_mj: num(&v, "useful_mj"),
                             wasted_mj: num(&v, "wasted_mj"),
                         },
@@ -268,6 +307,24 @@ impl Report {
         })
     }
 
+    /// Per-app attribution rollup for machine consumers: one
+    /// `(app, useful_mj, wasted_mj, components)` tuple per app (ascending),
+    /// each component a `(name, useful_mj, wasted_mj)` triple.
+    #[allow(clippy::type_complexity)]
+    pub fn app_rollup(&self) -> Vec<(u32, f64, f64, Vec<(String, f64, f64)>)> {
+        let mut by_app: BTreeMap<u32, (f64, f64, Vec<(String, f64, f64)>)> = BTreeMap::new();
+        for a in &self.attribution {
+            let cell = by_app.entry(a.app).or_default();
+            cell.0 += a.useful_mj;
+            cell.1 += a.wasted_mj;
+            cell.2.push((a.component.clone(), a.useful_mj, a.wasted_mj));
+        }
+        by_app
+            .into_iter()
+            .map(|(app, (u, w, c))| (app, u, w, c))
+            .collect()
+    }
+
     /// Sum of span useful energy, mJ.
     pub fn useful_mj(&self) -> f64 {
         self.spans.iter().fold(0.0, |acc, s| acc + s.useful_mj)
@@ -284,7 +341,36 @@ impl Report {
             Format::Text => self.render_text(),
             Format::Json => self.render_json(),
             Format::Csv => self.render_csv(),
+            Format::Folded => self.render_folded(),
         }
+    }
+
+    /// Folded flame-graph stacks: `all;app{uid};obj{id}:{kind};useful 42`,
+    /// one line per non-zero span energy bucket, sorted lexicographically.
+    /// Values are nanojoules (mJ × 1e6, rounded), so the folded sum matches
+    /// [`Report::meter_total_mj`] to well within the 1e-3 mJ conservation
+    /// bound while staying integral for inferno / flamegraph.pl.
+    fn render_folded(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for s in &self.spans {
+            let stack = match s.scope.as_str() {
+                "system" => "all;system".to_owned(),
+                "app" => format!("all;app{};{}", s.id, s.kind),
+                _ => format!("all;{};obj{}:{}", s.parent_name(), s.id, s.kind),
+            };
+            for (bucket, mj) in [("useful", s.useful_mj), ("wasted", s.wasted_mj)] {
+                let nj = (mj * 1e6).round() as u64;
+                if nj > 0 {
+                    lines.push(format!("{stack};{bucket} {nj}"));
+                }
+            }
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
     }
 
     fn render_text(&self) -> String {
@@ -406,6 +492,7 @@ impl Report {
                         .map(|s| {
                             obj(vec![
                                 ("span", JsonValue::Str(s.name())),
+                                ("parent", JsonValue::Str(s.parent_name())),
                                 ("app", JsonValue::Num(f64::from(s.app))),
                                 ("kind", JsonValue::Str(s.kind.clone())),
                                 ("state", JsonValue::Str(s.state.clone())),
@@ -427,6 +514,36 @@ impl Report {
                                 ("component", JsonValue::Str(a.component.clone())),
                                 ("useful_mj", JsonValue::Num(a.useful_mj)),
                                 ("wasted_mj", JsonValue::Num(a.wasted_mj)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "apps",
+                JsonValue::Arr(
+                    self.app_rollup()
+                        .into_iter()
+                        .map(|(app, useful_mj, wasted_mj, components)| {
+                            obj(vec![
+                                ("app", JsonValue::Num(f64::from(app))),
+                                ("useful_mj", JsonValue::Num(useful_mj)),
+                                ("wasted_mj", JsonValue::Num(wasted_mj)),
+                                (
+                                    "components",
+                                    JsonValue::Arr(
+                                        components
+                                            .into_iter()
+                                            .map(|(component, useful_mj, wasted_mj)| {
+                                                obj(vec![
+                                                    ("component", JsonValue::Str(component)),
+                                                    ("useful_mj", JsonValue::Num(useful_mj)),
+                                                    ("wasted_mj", JsonValue::Num(wasted_mj)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
                             ])
                         })
                         .collect(),
@@ -647,6 +764,85 @@ mod tests {
         assert_eq!(Format::parse("text").unwrap(), Format::Text);
         assert_eq!(Format::parse("json").unwrap(), Format::Json);
         assert_eq!(Format::parse("csv").unwrap(), Format::Csv);
+        assert_eq!(Format::parse("folded").unwrap(), Format::Folded);
         assert!(Format::parse("xml").is_err());
+    }
+
+    #[test]
+    fn parent_is_derived_for_old_recordings() {
+        let jsonl = concat!(
+            r#"{"event":"span","t_ms":100,"scope":"obj","id":1,"app":3,"kind":"wakelock","state":"open","useful_mj":1,"wasted_mj":9}"#,
+            "\n",
+            r#"{"event":"span","t_ms":100,"scope":"app","id":3,"app":3,"kind":"exec","state":"open","useful_mj":2,"wasted_mj":0}"#,
+            "\n",
+            r#"{"event":"span","t_ms":100,"scope":"system","id":0,"app":0,"kind":"system","state":"open","useful_mj":5,"wasted_mj":0}"#,
+            "\n",
+        );
+        let r = Report::from_jsonl("test", jsonl).unwrap();
+        let by_name: BTreeMap<String, &SpanRow> = r.spans.iter().map(|s| (s.name(), s)).collect();
+        assert_eq!(by_name["obj1"].parent_name(), "app3");
+        assert_eq!(by_name["app3"].parent_name(), "system");
+        assert_eq!(by_name["system"].parent_name(), "");
+    }
+
+    #[test]
+    fn folded_stacks_are_sorted_and_conserve_energy() {
+        let jsonl = concat!(
+            r#"{"event":"span","t_ms":100,"scope":"obj","id":1,"app":3,"kind":"wakelock","state":"open","pscope":"app","pid":3,"useful_mj":1,"wasted_mj":9}"#,
+            "\n",
+            r#"{"event":"span","t_ms":100,"scope":"app","id":3,"app":3,"kind":"exec","state":"open","pscope":"system","pid":0,"useful_mj":2.5,"wasted_mj":0}"#,
+            "\n",
+            r#"{"event":"span","t_ms":100,"scope":"system","id":0,"app":0,"kind":"system","state":"open","pscope":"","pid":0,"useful_mj":5,"wasted_mj":0}"#,
+            "\n",
+            r#"{"event":"energy_snapshot","t_ms":100,"consumer":"app","id":3,"energy_mj":12.5}"#,
+            "\n",
+            r#"{"event":"energy_snapshot","t_ms":100,"consumer":"system","id":0,"energy_mj":5}"#,
+            "\n",
+        );
+        let r = Report::from_jsonl("test", jsonl).unwrap();
+        let folded = r.render(Format::Folded);
+        let expected = concat!(
+            "all;app3;exec;useful 2500000\n",
+            "all;app3;obj1:wakelock;useful 1000000\n",
+            "all;app3;obj1:wakelock;wasted 9000000\n",
+            "all;system;useful 5000000\n",
+        );
+        assert_eq!(folded, expected);
+        let sum_mj: f64 = folded
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap() as f64 / 1e6)
+            .sum();
+        assert!((sum_mj - r.meter_total_mj).abs() < 1e-3, "{sum_mj}");
+    }
+
+    #[test]
+    fn json_report_rolls_up_per_app_attribution() {
+        let jsonl = concat!(
+            r#"{"event":"attribution","t_ms":100,"app":1,"component":"cpu","useful_mj":1,"wasted_mj":9}"#,
+            "\n",
+            r#"{"event":"attribution","t_ms":100,"app":1,"component":"gps","useful_mj":2,"wasted_mj":3}"#,
+            "\n",
+            r#"{"event":"attribution","t_ms":100,"app":0,"component":"cpu","useful_mj":5,"wasted_mj":0}"#,
+            "\n",
+        );
+        let r = Report::from_jsonl("test", jsonl).unwrap();
+        let rollup = r.app_rollup();
+        assert_eq!(rollup.len(), 2);
+        assert_eq!(rollup[0].0, 0);
+        assert_eq!(rollup[1].0, 1);
+        assert_eq!(rollup[1].1, 3.0);
+        assert_eq!(rollup[1].2, 12.0);
+        assert_eq!(rollup[1].3.len(), 2);
+        let json = r.render(Format::Json);
+        let parsed = JsonValue::parse(json.trim_end()).unwrap();
+        let apps = parsed.get("apps").unwrap();
+        let JsonValue::Arr(apps) = apps else {
+            panic!("apps must be an array");
+        };
+        assert_eq!(apps.len(), 2);
+        assert_eq!(
+            apps[1].get("wasted_mj").and_then(JsonValue::as_f64),
+            Some(12.0)
+        );
     }
 }

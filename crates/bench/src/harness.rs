@@ -12,11 +12,12 @@
 //! first, which is what lets `table5 --threads 8` print byte-identical
 //! output to the sequential run.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use leaseos_framework::{AppId, AppModel, Kernel, ResourcePolicy};
-use leaseos_simkit::{DeviceProfile, Environment, SimDuration, SimTime};
+use leaseos_simkit::{DeviceProfile, Environment, MetricsRegistry, SimDuration, SimTime};
 
 /// Shareable app-model factory.
 pub type AppBuilder = Arc<dyn Fn() -> Box<dyn AppModel> + Send + Sync>;
@@ -230,9 +231,14 @@ pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
 }
 
 /// Runs batches of scenarios across worker threads.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ScenarioRunner {
     threads: usize,
+    /// Process-level registry for wall-clock metrics (cells completed,
+    /// per-cell wall time, thread utilization). These are deliberately
+    /// *not* sim-deterministic, which is why they live in the harness
+    /// binaries' registry rather than the kernel's.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ScenarioRunner {
@@ -272,7 +278,18 @@ impl ScenarioRunner {
         } else {
             threads
         };
-        ScenarioRunner { threads }
+        ScenarioRunner {
+            threads,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics registry: every batch then records
+    /// `harness_cells_total`, a `harness_cell_wall_ms` histogram, and the
+    /// `harness_threads` / `harness_thread_utilization` gauges.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// The worker count.
@@ -311,6 +328,14 @@ impl ScenarioRunner {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(count);
+        let instruments = self.metrics.as_deref().map(|r| {
+            (
+                r.counter("harness_cells_total"),
+                r.histogram("harness_cell_wall_ms"),
+            )
+        });
+        let busy_us = AtomicU64::new(0);
+        let batch_start = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -318,11 +343,28 @@ impl ScenarioRunner {
                     if i >= count {
                         break;
                     }
+                    let cell_start = instruments.as_ref().map(|_| Instant::now());
                     let result = task(i);
+                    if let (Some((cells, wall_ms)), Some(start)) = (&instruments, cell_start) {
+                        let elapsed = start.elapsed();
+                        cells.inc();
+                        wall_ms.observe(elapsed.as_secs_f64() * 1_000.0);
+                        busy_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+                    }
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });
+        if let Some(registry) = self.metrics.as_deref() {
+            registry.set_gauge("harness_threads", workers as f64);
+            let wall_us = batch_start.elapsed().as_micros() as f64 * workers as f64;
+            if wall_us > 0.0 {
+                registry.set_gauge(
+                    "harness_thread_utilization",
+                    busy_us.load(Ordering::Relaxed) as f64 / wall_us,
+                );
+            }
+        }
         slots
             .into_iter()
             .map(|slot| {

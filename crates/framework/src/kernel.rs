@@ -28,11 +28,13 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
+use leaseos_simkit::metrics::{Counter, Gauge};
 use leaseos_simkit::{
     AuditViolation, Battery, BatteryMeterCrossCheck, BatteryMeterSample, ComponentKind, Consumer,
     DeviceProfile, EnergyConservation, EnergyMeter, Environment, EventHandle, EventKind,
-    EventQueue, FaultKind, FaultPlan, GpsSignal, Invariant, LeaseStateAudit, QueueConsistency,
-    SimDuration, SimRng, SimTime, SpanLedger, SpanScope, TelemetryBus, TelemetryEvent,
+    EventQueue, FaultKind, FaultPlan, GpsSignal, Invariant, LeaseStateAudit, MetricsRegistry,
+    QueueConsistency, SimDuration, SimRng, SimTime, SpanLedger, SpanScope, TelemetryBus,
+    TelemetryEvent,
 };
 
 use crate::app::{AppEvent, AppModel};
@@ -204,6 +206,15 @@ pub struct Kernel {
     telemetry: TelemetryBus,
     apps: Vec<AppSlot>,
     profiler: Option<Profiler>,
+    /// Kernel-wide metrics registry — disabled by default, so every
+    /// pre-registered handle below is one relaxed atomic load and a branch.
+    metrics: MetricsRegistry,
+    m_settles: Counter,
+    m_events_drained: Counter,
+    m_queue_tombstones: Gauge,
+    m_queue_compactions: Gauge,
+    /// Queue events already mirrored into `m_events_drained`.
+    m_events_mirror: u64,
 
     awake: bool,
     screen_on: bool,
@@ -277,6 +288,11 @@ impl Kernel {
         seed: u64,
     ) -> Self {
         let battery = Battery::for_device(&device);
+        let metrics = MetricsRegistry::new();
+        let m_settles = metrics.counter("kernel_settles_total");
+        let m_events_drained = metrics.counter("kernel_events_drained_total");
+        let m_queue_tombstones = metrics.gauge("kernel_queue_tombstones");
+        let m_queue_compactions = metrics.gauge("kernel_queue_compactions");
         Kernel {
             device,
             env,
@@ -288,6 +304,12 @@ impl Kernel {
             telemetry: TelemetryBus::new(),
             apps: Vec::new(),
             profiler: None,
+            metrics,
+            m_settles,
+            m_events_drained,
+            m_queue_tombstones,
+            m_queue_compactions,
+            m_events_mirror: 0,
             awake: false,
             screen_on: false,
             works: Vec::new(),
@@ -336,6 +358,21 @@ impl Kernel {
         self.spans.as_ref().map(|s| s.borrow())
     }
 
+    /// Enables the kernel metrics registry: hot-path counters (events
+    /// drained, settles, queue health), lease-layer counters/histograms,
+    /// and the profiler's time series all record through it from here on.
+    /// Disabled (the default), every instrumentation site is one relaxed
+    /// atomic load and a branch — see `DESIGN.md` §3.12.
+    pub fn enable_metrics(&self) {
+        self.metrics.enable();
+    }
+
+    /// The kernel metrics registry (always present; records only while
+    /// enabled via [`Kernel::enable_metrics`] or [`Kernel::enable_profiler`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// The battery reservoir (drained in step with the energy meter).
     pub fn battery(&self) -> &Battery {
         &self.battery
@@ -379,6 +416,9 @@ impl Kernel {
     /// tool samples every 60 s, §2.1).
     pub fn enable_profiler(&mut self, interval: SimDuration) {
         assert!(!interval.is_zero(), "profiler interval must be positive");
+        // Profiler samples are registry series now, so sampling requires
+        // the registry to record.
+        self.metrics.enable();
         self.profiler = Some(Profiler::new(interval));
     }
 
@@ -560,9 +600,14 @@ impl Kernel {
             .expect("policy busy during hook dispatch")
     }
 
-    /// The profiler's recorded series for `app`, if profiling was enabled.
-    pub fn profile_of(&self, app: AppId) -> Option<&leaseos_simkit::SeriesSet> {
-        self.profiler.as_ref().and_then(|p| p.series_of(app))
+    /// The profiler's recorded series for `app`, if profiling was enabled
+    /// and the app has been sampled. Rebuilt from the metrics registry —
+    /// the profiler records through registry series named
+    /// `profile_app{uid}_{series}`, and this strips the prefix back off.
+    pub fn profile_of(&self, app: AppId) -> Option<leaseos_simkit::SeriesSet> {
+        self.profiler.as_ref()?;
+        let set = self.metrics.series_set(&Profiler::prefix(app));
+        (!set.is_empty()).then_some(set)
     }
 
     /// Downcasts the model of `app` to its concrete type, so experiment
@@ -628,6 +673,17 @@ impl Kernel {
         }
         self.sync_battery();
         self.emit_energy_snapshots(end);
+        if self.metrics.is_enabled() {
+            // Mirror the queue's own counters into the registry once per
+            // run_until — delta for the monotone drain count, gauges for
+            // the queue-health values that can move both ways.
+            let drained = self.queue.events_processed();
+            self.m_events_drained.add(drained - self.m_events_mirror);
+            self.m_events_mirror = drained;
+            self.m_queue_tombstones.set(self.queue.tombstones() as f64);
+            self.m_queue_compactions
+                .set(self.queue.compactions() as f64);
+        }
         if self.audit_interval.is_some() {
             self.assert_audits_clean();
         }
@@ -681,6 +737,7 @@ impl Kernel {
                 }
                 summaries.push((
                     span.scope(),
+                    span.parent(),
                     span.app(),
                     span.kind(),
                     span.is_open(),
@@ -699,7 +756,7 @@ impl Kernel {
                     wasted_mj,
                 });
         }
-        for (scope, app, kind, open, useful_mj, wasted_mj) in summaries {
+        for (scope, parent, app, kind, open, useful_mj, wasted_mj) in summaries {
             self.telemetry
                 .emit(EventKind::SpanSummary, || TelemetryEvent::SpanSummary {
                     at,
@@ -708,6 +765,8 @@ impl Kernel {
                     app,
                     kind,
                     state: if open { "open" } else { "closed" },
+                    pscope: parent.map_or("", SpanScope::name),
+                    pid: parent.map_or(0, SpanScope::id),
                     useful_mj,
                     wasted_mj,
                 });
@@ -834,7 +893,7 @@ impl Kernel {
             SysEvent::EnvChange => self.on_env_change(now),
             SysEvent::ProfilerTick => {
                 if let Some(mut p) = self.profiler.take() {
-                    p.sample(now, &self.ledger, &self.apps_index());
+                    p.sample(now, &self.ledger, &self.apps_index(), &self.metrics);
                     self.queue.push(now + p.interval(), SysEvent::ProfilerTick);
                     self.profiler = Some(p);
                 }
@@ -1086,6 +1145,7 @@ impl Kernel {
             env: &self.env,
             screen_on: self.screen_on,
             telemetry: &self.telemetry,
+            metrics: &self.metrics,
         };
         let r = f(policy.as_mut(), &ctx);
         let overhead = policy.overhead();
@@ -1908,6 +1968,7 @@ impl Kernel {
     // ---- power attribution ---------------------------------------------------
 
     fn sync_power(&mut self, now: SimTime) {
+        self.m_settles.inc();
         let p = &self.device.power;
         // Accumulate into the reusable scratch map: `clear` keeps its
         // capacity, so a settled kernel allocates nothing here. Accumulation

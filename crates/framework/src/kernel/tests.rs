@@ -664,12 +664,10 @@ fn profiler_tracks_each_app_separately() {
     let holder = k.add_app(Box::new(HoldForever::new()));
     let idle = k.add_app(Box::new(GpsOnce::new()));
     k.run_until(t(300));
-    let hold_series = k
-        .profile_of(holder)
-        .unwrap()
-        .get("wakelock_hold_s")
-        .unwrap();
-    let idle_series = k.profile_of(idle).unwrap().get("wakelock_hold_s").unwrap();
+    let hold_set = k.profile_of(holder).unwrap();
+    let idle_set = k.profile_of(idle).unwrap();
+    let hold_series = hold_set.get("wakelock_hold_s").unwrap();
+    let idle_series = idle_set.get("wakelock_hold_s").unwrap();
     assert!(hold_series.values().all(|v| v > 59.0));
     assert!(idle_series.values().all(|v| v == 0.0));
 }

@@ -13,7 +13,7 @@
 
 use std::any::Any;
 
-use leaseos_simkit::{Environment, SimTime, TelemetryBus};
+use leaseos_simkit::{Environment, MetricsRegistry, SimTime, TelemetryBus};
 
 use crate::ids::{AppId, ObjId};
 use crate::ledger::Ledger;
@@ -32,6 +32,10 @@ pub struct PolicyCtx<'a> {
     /// The kernel's telemetry bus, so policies can emit structured events
     /// at their decision points (lease transitions, verdicts, deferrals).
     pub telemetry: &'a TelemetryBus,
+    /// The kernel's metrics registry, so policies can bump counters and
+    /// observe histograms at the same decision points. No-op (one atomic
+    /// load) while the registry is disabled.
+    pub metrics: &'a MetricsRegistry,
 }
 
 impl std::fmt::Debug for PolicyCtx<'_> {
@@ -221,12 +225,14 @@ mod tests {
         let ledger = Ledger::new();
         let env = Environment::new();
         let telemetry = TelemetryBus::new();
+        let metrics = MetricsRegistry::new();
         let ctx = PolicyCtx {
             now: SimTime::ZERO,
             ledger: &ledger,
             env: &env,
             screen_on: true,
             telemetry: &telemetry,
+            metrics: &metrics,
         };
         let req = AcquireRequest {
             app: AppId(1),
@@ -265,12 +271,14 @@ mod tests {
         let ledger = Ledger::new();
         let env = Environment::new();
         let telemetry = TelemetryBus::new();
+        let metrics = MetricsRegistry::new();
         let ctx = PolicyCtx {
             now: SimTime::from_secs(1),
             ledger: &ledger,
             env: &env,
             screen_on: false,
             telemetry: &telemetry,
+            metrics: &metrics,
         };
         assert!(format!("{ctx:?}").contains("PolicyCtx"));
     }

@@ -17,7 +17,8 @@
 
 use std::collections::BTreeMap;
 
-use leaseos_simkit::{SeriesSet, SimDuration, SimTime};
+use leaseos_simkit::metrics::SeriesHandle;
+use leaseos_simkit::{MetricsRegistry, SimDuration, SimTime};
 
 use crate::ids::AppId;
 use crate::ledger::Ledger;
@@ -31,12 +32,20 @@ struct Snapshot {
     gps_hold_ms: u64,
 }
 
-/// Samples per-app resource metrics on a fixed interval.
+/// Samples per-app resource metrics on a fixed interval, recording into
+/// metrics-registry series named `profile_app{uid}_{series}` — the single
+/// time-series path shared with the rest of the observability layer.
+/// [`crate::Kernel::profile_of`] rebuilds the per-app [`SeriesSet`] view
+/// with `MetricsRegistry::series_set`.
+///
+/// [`SeriesSet`]: leaseos_simkit::SeriesSet
 #[derive(Debug)]
 pub struct Profiler {
     interval: SimDuration,
     prev: BTreeMap<AppId, Snapshot>,
-    series: BTreeMap<AppId, SeriesSet>,
+    /// Cached registry handles, so per-tick recording skips the name
+    /// formatting and registry lock after an app's first sample.
+    handles: BTreeMap<(AppId, &'static str), SeriesHandle>,
 }
 
 impl Profiler {
@@ -45,7 +54,7 @@ impl Profiler {
         Profiler {
             interval,
             prev: BTreeMap::new(),
-            series: BTreeMap::new(),
+            handles: BTreeMap::new(),
         }
     }
 
@@ -54,32 +63,65 @@ impl Profiler {
         self.interval
     }
 
+    /// The registry series-name prefix for `app`'s profile samples. The
+    /// trailing underscore keeps `app1`'s prefix from matching `app10`'s
+    /// series.
+    pub fn prefix(app: AppId) -> String {
+        format!("profile_app{}_", app.0)
+    }
+
+    fn record(
+        &mut self,
+        registry: &MetricsRegistry,
+        app: AppId,
+        series: &'static str,
+        now: SimTime,
+        v: f64,
+    ) {
+        self.handles
+            .entry((app, series))
+            .or_insert_with(|| registry.series(&format!("{}{series}", Self::prefix(app))))
+            .record(now, v);
+    }
+
     /// Takes one sample for every app.
-    pub fn sample(&mut self, now: SimTime, ledger: &Ledger, apps: &[(AppId, String)]) {
+    pub fn sample(
+        &mut self,
+        now: SimTime,
+        ledger: &Ledger,
+        apps: &[(AppId, String)],
+        registry: &MetricsRegistry,
+    ) {
         for (app, _name) in apps {
-            let cur = Self::snapshot(ledger, *app, now);
-            let prev = self.prev.get(app).copied().unwrap_or_default();
-            let set = self.series.entry(*app).or_default();
+            let app = *app;
+            let cur = Self::snapshot(ledger, app, now);
+            let prev = self.prev.get(&app).copied().unwrap_or_default();
             let wl_s = (cur.wakelock_ms - prev.wakelock_ms) as f64 / 1_000.0;
             let cpu_s = (cur.cpu_ms - prev.cpu_ms) as f64 / 1_000.0;
-            set.record("wakelock_hold_s", now, wl_s);
-            set.record("cpu_s", now, cpu_s);
-            set.record(
+            self.record(registry, app, "wakelock_hold_s", now, wl_s);
+            self.record(registry, app, "cpu_s", now, cpu_s);
+            self.record(
+                registry,
+                app,
                 "cpu_wl_ratio",
                 now,
                 if wl_s > 0.0 { cpu_s / wl_s } else { 0.0 },
             );
-            set.record(
+            self.record(
+                registry,
+                app,
                 "gps_try_s",
                 now,
                 (cur.gps_try_ms - prev.gps_try_ms) as f64 / 1_000.0,
             );
-            set.record(
+            self.record(
+                registry,
+                app,
                 "gps_hold_s",
                 now,
                 (cur.gps_hold_ms - prev.gps_hold_ms) as f64 / 1_000.0,
             );
-            self.prev.insert(*app, cur);
+            self.prev.insert(app, cur);
         }
     }
 
@@ -100,11 +142,6 @@ impl Profiler {
         }
         s
     }
-
-    /// The recorded series for `app`, if it was ever sampled.
-    pub fn series_of(&self, app: AppId) -> Option<&SeriesSet> {
-        self.series.get(&app)
-    }
 }
 
 #[cfg(test)]
@@ -117,6 +154,12 @@ mod tests {
         SimTime::from_secs(secs)
     }
 
+    fn registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.enable();
+        r
+    }
+
     #[test]
     fn samples_record_interval_deltas() {
         let mut ledger = Ledger::new();
@@ -124,15 +167,16 @@ mod tests {
         ledger.note_acquire(obj, t(0));
         ledger.add_cpu_ms(APP, 500);
 
+        let reg = registry();
         let mut p = Profiler::new(SimDuration::from_secs(60));
         let apps = vec![(APP, "k9".to_owned())];
-        p.sample(t(60), &ledger, &apps);
+        p.sample(t(60), &ledger, &apps, &reg);
 
         ledger.add_cpu_ms(APP, 250);
         ledger.note_release(obj, t(90));
-        p.sample(t(120), &ledger, &apps);
+        p.sample(t(120), &ledger, &apps, &reg);
 
-        let set = p.series_of(APP).unwrap();
+        let set = reg.series_set(&Profiler::prefix(APP));
         let wl: Vec<f64> = set.get("wakelock_hold_s").unwrap().values().collect();
         let cpu: Vec<f64> = set.get("cpu_s").unwrap().values().collect();
         assert_eq!(wl, vec![60.0, 30.0]);
@@ -143,15 +187,11 @@ mod tests {
     fn ratio_is_zero_when_no_hold() {
         let mut ledger = Ledger::new();
         ledger.add_cpu_ms(APP, 100);
+        let reg = registry();
         let mut p = Profiler::new(SimDuration::from_secs(60));
-        p.sample(t(60), &ledger, &[(APP, "x".into())]);
-        let ratio: Vec<f64> = p
-            .series_of(APP)
-            .unwrap()
-            .get("cpu_wl_ratio")
-            .unwrap()
-            .values()
-            .collect();
+        p.sample(t(60), &ledger, &[(APP, "x".into())], &reg);
+        let set = reg.series_set(&Profiler::prefix(APP));
+        let ratio: Vec<f64> = set.get("cpu_wl_ratio").unwrap().values().collect();
         assert_eq!(ratio, vec![0.0]);
     }
 
@@ -161,24 +201,22 @@ mod tests {
         let obj = ledger.create_object(ResourceKind::Gps, APP, t(0));
         ledger.note_acquire(obj, t(0));
         ledger.set_gps_state(obj, crate::ledger::GpsPhase::Searching, t(0));
+        let reg = registry();
         let mut p = Profiler::new(SimDuration::from_secs(60));
         let apps = vec![(APP, "bw".to_owned())];
-        p.sample(t(60), &ledger, &apps);
+        p.sample(t(60), &ledger, &apps, &reg);
         ledger.set_gps_state(obj, crate::ledger::GpsPhase::Fixed, t(80));
-        p.sample(t(120), &ledger, &apps);
-        let tries: Vec<f64> = p
-            .series_of(APP)
-            .unwrap()
-            .get("gps_try_s")
-            .unwrap()
-            .values()
-            .collect();
+        p.sample(t(120), &ledger, &apps, &reg);
+        let set = reg.series_set(&Profiler::prefix(APP));
+        let tries: Vec<f64> = set.get("gps_try_s").unwrap().values().collect();
         assert_eq!(tries, vec![60.0, 20.0]);
     }
 
     #[test]
     fn unknown_app_has_no_series() {
-        let p = Profiler::new(SimDuration::from_secs(60));
-        assert!(p.series_of(AppId(9)).is_none());
+        let reg = registry();
+        let mut p = Profiler::new(SimDuration::from_secs(60));
+        p.sample(t(60), &Ledger::new(), &[(APP, "x".into())], &reg);
+        assert_eq!(reg.series_set(&Profiler::prefix(AppId(9))).len(), 0);
     }
 }

@@ -148,15 +148,24 @@ impl LeaseOs {
     }
 
     fn emit_renewed(ctx: &PolicyCtx<'_>, lease: LeaseId, next_check: SimTime) {
+        let term_s = (next_check - ctx.now).as_secs_f64();
+        ctx.metrics.inc("lease_renewals_total");
+        ctx.metrics.observe("lease_term_s", term_s);
         ctx.telemetry
             .emit(EventKind::TermRenewed, || TelemetryEvent::TermRenewed {
                 at: ctx.now,
                 lease: lease.0,
-                term_s: (next_check - ctx.now).as_secs_f64(),
+                term_s,
             });
     }
 
     fn emit_verdict(ctx: &PolicyCtx<'_>, lease: LeaseId, behavior: BehaviorType) {
+        ctx.metrics.inc("lease_verdicts_total");
+        if ctx.metrics.is_enabled() {
+            // Formatted name — only pay the allocation when recording.
+            ctx.metrics
+                .inc(&format!("lease_verdict_{}_total", behavior.key()));
+        }
         ctx.telemetry.emit(EventKind::ClassifierVerdict, || {
             TelemetryEvent::ClassifierVerdict {
                 at: ctx.now,
@@ -190,6 +199,7 @@ impl ResourcePolicy for LeaseOs {
                 .manager
                 .create(req.kind, req.app, req.obj, snapshot, ctx.now);
             self.proxy_mut(req.kind).bind(req.obj, lease);
+            ctx.metrics.inc("lease_created_total");
             Self::emit_transition(ctx, lease, req.obj, "none", "active");
             Self::emit_renewed(ctx, lease, next_check);
             AcquireOutcome::grant().with_actions(vec![PolicyAction::ScheduleTimer {
@@ -216,7 +226,10 @@ impl ResourcePolicy for LeaseOs {
                     }])
                 }
                 // §4.6: during τ the acquire IPC pretends it succeeds.
-                ReacquireOutcome::StillDeferred => AcquireOutcome::pretend(),
+                ReacquireOutcome::StillDeferred => {
+                    ctx.metrics.inc("lease_proxy_traps_total");
+                    AcquireOutcome::pretend()
+                }
             }
         }
     }
@@ -285,6 +298,9 @@ impl ResourcePolicy for LeaseOs {
                 );
                 Self::emit_verdict(ctx, lease, behavior);
                 Self::emit_transition(ctx, lease, obj, from, "deferred");
+                ctx.metrics.inc("lease_deferrals_total");
+                ctx.metrics
+                    .observe("lease_defer_s", (restore_at - ctx.now).as_secs_f64());
                 ctx.telemetry
                     .emit(EventKind::TermDeferred, || TelemetryEvent::TermDeferred {
                         at: ctx.now,
@@ -293,6 +309,7 @@ impl ResourcePolicy for LeaseOs {
                     });
                 let mut actions = Vec::new();
                 if let Some(obj) = self.proxy_mut(kind).on_expire(lease) {
+                    ctx.metrics.inc("lease_proxy_traps_total");
                     actions.push(PolicyAction::Revoke(obj));
                 }
                 actions.push(PolicyAction::ScheduleTimer {
@@ -306,6 +323,7 @@ impl ResourcePolicy for LeaseOs {
                 Self::emit_renewed(ctx, lease, next_check);
                 let mut actions = Vec::new();
                 if let Some(obj) = self.proxy_mut(kind).on_renew(lease) {
+                    ctx.metrics.inc("lease_proxy_traps_total");
                     actions.push(PolicyAction::Restore(obj));
                 }
                 actions.push(PolicyAction::ScheduleTimer {

@@ -54,6 +54,7 @@ mod device;
 mod energy;
 mod env;
 pub mod faults;
+pub mod metrics;
 pub mod population;
 mod power;
 mod queue;
@@ -73,6 +74,7 @@ pub use faults::{
     EnergyConservation, FaultKind, FaultPlan, FaultSpec, Invariant, LeaseStateAudit,
     QueueConsistency, ScheduledFault,
 };
+pub use metrics::MetricsRegistry;
 pub use population::{DeviceParams, PopulationSpec, RadioQuality, ScreenClass};
 pub use power::{ComponentKind, ComponentState, CpuState, GpsState, PowerTable, WifiState};
 pub use queue::{EventHandle, EventQueue};

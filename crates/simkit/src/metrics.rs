@@ -1,0 +1,615 @@
+//! Process- and kernel-wide metrics registry.
+//!
+//! The registry is the quantitative sibling of the [`crate::telemetry`]
+//! bus: where the bus streams *events*, the registry accumulates *numbers*
+//! — counters, gauges, fixed-bucket log2 histograms (reusing
+//! [`Histogram`]), and simulation-time series (reusing [`TimeSeries`]).
+//! It follows the same zero-cost-when-disabled contract as the bus:
+//!
+//! * A registry starts disabled. Every handle operation on a disabled
+//!   registry is one relaxed atomic load and a branch — no locks, no
+//!   allocation, no formatting.
+//! * The name-based convenience methods ([`MetricsRegistry::inc`],
+//!   [`MetricsRegistry::observe`], …) check the enabled flag *before*
+//!   touching the slot table, so even the lookup is skipped when disabled.
+//!
+//! Two usage patterns coexist:
+//!
+//! * **Hot paths** pre-register a cloneable handle ([`Counter`],
+//!   [`Gauge`], [`HistogramHandle`], [`SeriesHandle`]) once and poke it
+//!   directly — the kernel's settle counter works this way.
+//! * **Cold paths** (lease verdicts, cache lookups) use the name-based
+//!   methods and pay a mutex + `BTreeMap` lookup per update, which is
+//!   noise at their event rates.
+//!
+//! Snapshots export in two formats: a Prometheus-style text page
+//! ([`MetricsRegistry::render_prometheus`]) and one JSON line per metric
+//! ([`MetricsRegistry::render_jsonl`]). Both walk the slot table in
+//! `BTreeMap` (name) order, so a snapshot of deterministic metrics is
+//! byte-identical regardless of registration or thread interleaving.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::telemetry::{Histogram, JsonValue};
+use crate::time::SimTime;
+use crate::trace::{SeriesSet, TimeSeries};
+
+/// One registered metric's storage.
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    /// f64 value stored as its bit pattern.
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Mutex<Histogram>>),
+    Series(Arc<Mutex<TimeSeries>>),
+}
+
+impl Slot {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+            Slot::Series(_) => "series",
+        }
+    }
+}
+
+/// A named-slot metrics registry with a zero-alloc disabled path.
+///
+/// Cheap to construct; share it behind an `Arc` when multiple threads
+/// need the same instance (all handle operations take `&self`).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl MetricsRegistry {
+    /// A new registry, disabled (every update is a no-op until
+    /// [`enable`](Self::enable)).
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Turns updates on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns updates back off (handles stay valid; they just no-op).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether updates are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn slot(&self, name: &str, make: impl FnOnce() -> Slot) -> Slot {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        if let Some(slot) = slots.get(name) {
+            return slot.clone();
+        }
+        let slot = make();
+        slots.insert(name.to_owned(), slot.clone());
+        slot
+    }
+
+    /// Registers (or retrieves) the counter `name` and returns a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let slot = self.slot(name, || Slot::Counter(Arc::new(AtomicU64::new(0))));
+        let Slot::Counter(cell) = slot else {
+            panic!("metric {name} is a {}, not a counter", slot.type_name());
+        };
+        Counter {
+            enabled: self.enabled.clone(),
+            cell,
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name` and returns a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let slot = self.slot(name, || Slot::Gauge(Arc::new(AtomicU64::new(0))));
+        let Slot::Gauge(cell) = slot else {
+            panic!("metric {name} is a {}, not a gauge", slot.type_name());
+        };
+        Gauge {
+            enabled: self.enabled.clone(),
+            cell,
+        }
+    }
+
+    /// Registers (or retrieves) the histogram `name` and returns a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let slot = self.slot(name, || {
+            Slot::Histogram(Arc::new(Mutex::new(Histogram::new())))
+        });
+        let Slot::Histogram(cell) = slot else {
+            panic!("metric {name} is a {}, not a histogram", slot.type_name());
+        };
+        HistogramHandle {
+            enabled: self.enabled.clone(),
+            cell,
+        }
+    }
+
+    /// Registers (or retrieves) the simulation-time series `name` and
+    /// returns a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn series(&self, name: &str) -> SeriesHandle {
+        let slot = self.slot(name, || {
+            Slot::Series(Arc::new(Mutex::new(TimeSeries::new())))
+        });
+        let Slot::Series(cell) = slot else {
+            panic!("metric {name} is a {}, not a series", slot.type_name());
+        };
+        SeriesHandle {
+            enabled: self.enabled.clone(),
+            cell,
+        }
+    }
+
+    // ---- name-based conveniences (enabled check first: a disabled
+    // registry never touches the slot table) ------------------------------
+
+    /// Adds 1 to counter `name`.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter(name).add(n);
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.gauge(name).set(v);
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.histogram(name).observe(v);
+    }
+
+    /// Appends `(at, v)` to series `name` (samples must be chronological,
+    /// like [`TimeSeries::record`]).
+    pub fn record_series(&self, name: &str, at: SimTime, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.series(name).record(at, v);
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("metrics registry poisoned").len()
+    }
+
+    /// Whether no metric has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All series whose name starts with `prefix`, reassembled as a
+    /// [`SeriesSet`] under their suffix names. This is how the profiler's
+    /// per-app view is rebuilt from the shared registry.
+    pub fn series_set(&self, prefix: &str) -> SeriesSet {
+        let slots = self.slots.lock().expect("metrics registry poisoned");
+        let mut set = SeriesSet::new();
+        for (name, slot) in slots.range(prefix.to_owned()..) {
+            if !name.starts_with(prefix) {
+                break;
+            }
+            if let Slot::Series(cell) = slot {
+                let series = cell.lock().expect("metrics series poisoned");
+                for &(at, v) in series.samples() {
+                    set.record(&name[prefix.len()..], at, v);
+                }
+            }
+        }
+        set
+    }
+
+    /// A Prometheus-style text snapshot: `# TYPE` line plus samples per
+    /// metric, in name order. Histograms render cumulative
+    /// `_bucket{le="…"}` lines (up to the last non-empty bucket, then
+    /// `+Inf`), `_sum`, and `_count`; series render their last sample as a
+    /// gauge.
+    pub fn render_prometheus(&self) -> String {
+        let slots = self.slots.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(cell) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", cell.load(Ordering::Relaxed));
+                }
+                Slot::Gauge(cell) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(
+                        out,
+                        "{name} {}",
+                        f64::from_bits(cell.load(Ordering::Relaxed))
+                    );
+                }
+                Slot::Histogram(cell) => {
+                    let h = cell.lock().expect("metrics histogram poisoned");
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0;
+                    for (upper, count) in h.bucket_counts() {
+                        cumulative += count;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+                Slot::Series(cell) => {
+                    let s = cell.lock().expect("metrics series poisoned");
+                    if let Some(&(_, last)) = s.samples().last() {
+                        let _ = writeln!(out, "# TYPE {name} gauge");
+                        let _ = writeln!(out, "{name} {last}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A JSONL snapshot: one JSON object per metric, in name order.
+    pub fn render_jsonl(&self) -> String {
+        let slots = self.slots.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, slot) in slots.iter() {
+            let mut fields = vec![
+                ("metric".to_owned(), JsonValue::Str(name.clone())),
+                ("type".to_owned(), JsonValue::Str(slot.type_name().into())),
+            ];
+            match slot {
+                Slot::Counter(cell) => fields.push((
+                    "value".to_owned(),
+                    JsonValue::Num(cell.load(Ordering::Relaxed) as f64),
+                )),
+                Slot::Gauge(cell) => fields.push((
+                    "value".to_owned(),
+                    JsonValue::Num(f64::from_bits(cell.load(Ordering::Relaxed))),
+                )),
+                Slot::Histogram(cell) => {
+                    let h = cell.lock().expect("metrics histogram poisoned");
+                    fields.push(("count".to_owned(), JsonValue::Num(h.count() as f64)));
+                    fields.push(("sum".to_owned(), JsonValue::Num(h.sum())));
+                    fields.push(("mean".to_owned(), JsonValue::Num(h.mean().unwrap_or(0.0))));
+                    fields.push(("max".to_owned(), JsonValue::Num(h.max().unwrap_or(0.0))));
+                }
+                Slot::Series(cell) => {
+                    let s = cell.lock().expect("metrics series poisoned");
+                    fields.push(("len".to_owned(), JsonValue::Num(s.len() as f64)));
+                    if let Some(&(_, last)) = s.samples().last() {
+                        fields.push(("last".to_owned(), JsonValue::Num(last)));
+                    }
+                }
+            }
+            out.push_str(&JsonValue::Obj(fields).to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A cloneable counter handle. One relaxed load + branch when disabled.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A cloneable f64 gauge handle (value stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A cloneable histogram handle.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<Mutex<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// Records one value.
+    pub fn observe(&self, v: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell
+                .lock()
+                .expect("metrics histogram poisoned")
+                .record(v);
+        }
+    }
+
+    /// A copy of the current histogram state.
+    pub fn snapshot(&self) -> Histogram {
+        self.cell
+            .lock()
+            .expect("metrics histogram poisoned")
+            .clone()
+    }
+}
+
+/// A cloneable simulation-time series handle.
+#[derive(Debug, Clone)]
+pub struct SeriesHandle {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<Mutex<TimeSeries>>,
+}
+
+impl SeriesHandle {
+    /// Appends one chronological sample.
+    pub fn record(&self, at: SimTime, v: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell
+                .lock()
+                .expect("metrics series poisoned")
+                .record(at, v);
+        }
+    }
+
+    /// A copy of the current series.
+    pub fn snapshot(&self) -> TimeSeries {
+        self.cell.lock().expect("metrics series poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn registry_starts_disabled_and_handles_noop() {
+        let r = MetricsRegistry::new();
+        assert!(!r.is_enabled());
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        let s = r.series("s");
+        c.inc();
+        c.add(10);
+        g.set(3.5);
+        h.observe(1.0);
+        s.record(SimTime::from_secs(1), 2.0);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0.0);
+        assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(s.snapshot().len(), 0);
+    }
+
+    #[test]
+    fn enabled_registry_records_through_handles_and_names() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        assert!(r.is_enabled());
+        let c = r.counter("requests_total");
+        c.inc();
+        r.inc("requests_total");
+        r.add("requests_total", 3);
+        assert_eq!(c.value(), 5);
+        r.set_gauge("depth", 7.25);
+        assert_eq!(r.gauge("depth").value(), 7.25);
+        r.observe("latency_ms", 12.0);
+        r.observe("latency_ms", 20.0);
+        let h = r.histogram("latency_ms").snapshot();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 32.0);
+        r.record_series("load", SimTime::from_secs(1), 0.5);
+        r.record_series("load", SimTime::from_secs(2), 0.75);
+        assert_eq!(r.series("load").snapshot().len(), 2);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn disable_stops_recording_but_keeps_values() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        let c = r.counter("c");
+        c.inc();
+        r.disable();
+        c.inc();
+        assert_eq!(c.value(), 1, "disabled updates are dropped");
+        r.enable();
+        c.inc();
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn prometheus_snapshot_is_sorted_and_typed() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        r.add("b_counter", 2);
+        r.set_gauge("a_gauge", 1.5);
+        r.observe("c_hist", 0.5);
+        r.observe("c_hist", 3.0);
+        let page = r.render_prometheus();
+        let a = page.find("a_gauge").unwrap();
+        let b = page.find("b_counter").unwrap();
+        let c = page.find("c_hist").unwrap();
+        assert!(a < b && b < c, "name-sorted output:\n{page}");
+        assert!(page.contains("# TYPE a_gauge gauge\na_gauge 1.5\n"));
+        assert!(page.contains("# TYPE b_counter counter\nb_counter 2\n"));
+        assert!(page.contains("c_hist_bucket{le=\"+Inf\"} 2\n"));
+        assert!(page.contains("c_hist_sum 3.5\n"));
+        assert!(page.contains("c_hist_count 2\n"));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in page.lines().filter(|l| l.starts_with("c_hist_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative counts must be monotone:\n{page}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn jsonl_snapshot_parses_line_per_metric() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        r.inc("hits");
+        r.set_gauge("temp", -1.25);
+        r.observe("lat", 2.0);
+        r.record_series("ts", SimTime::from_secs(5), 9.0);
+        let jsonl = r.render_jsonl();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let doc = JsonValue::parse(line).expect("valid JSON");
+            assert!(doc.get("metric").is_some());
+            assert!(doc.get("type").is_some());
+        }
+        let ts = JsonValue::parse(lines[3]).unwrap();
+        assert_eq!(ts.get("type").unwrap().as_str(), Some("series"));
+        assert_eq!(ts.get("last").unwrap().as_f64(), Some(9.0));
+    }
+
+    #[test]
+    fn series_set_strips_prefix_and_ignores_other_slots() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        r.record_series("profile_app1_cpu_s", SimTime::from_secs(60), 1.0);
+        r.record_series("profile_app1_gps_s", SimTime::from_secs(60), 2.0);
+        r.record_series("profile_app10_cpu_s", SimTime::from_secs(60), 9.0);
+        r.inc("profile_app1_bogus_counter");
+        let set = r.series_set("profile_app1_");
+        let mut names = set.names().collect::<Vec<_>>();
+        names.sort_unstable();
+        // The counter under the prefix is not a series and contributes
+        // nothing; app10's series does not leak into app1's set.
+        assert_eq!(names, ["cpu_s", "gps_s"]);
+        assert_eq!(set.get("cpu_s").unwrap().values().next(), Some(1.0));
+    }
+
+    #[test]
+    fn handles_are_shareable_across_threads() {
+        let r = Arc::new(MetricsRegistry::new());
+        r.enable();
+        let c = r.counter("cross_thread");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.value(), 4000);
+    }
+
+    proptest! {
+        /// A disabled registry is a strict no-op: any operation sequence
+        /// leaves every value at its zero state and the snapshot content
+        /// identical to the empty-updates snapshot.
+        #[test]
+        fn disabled_registry_is_a_noop(
+            ops in prop::collection::vec((0usize..4, 0u64..1000), 0..64),
+        ) {
+            let r = MetricsRegistry::new();
+            let c = r.counter("m_counter");
+            let g = r.gauge("m_gauge");
+            let h = r.histogram("m_hist");
+            let baseline = r.render_prometheus();
+            for (kind, v) in &ops {
+                match kind {
+                    0 => c.add(*v),
+                    1 => g.set(*v as f64),
+                    2 => h.observe(*v as f64),
+                    _ => {
+                        r.add("m_counter", *v);
+                        r.set_gauge("m_gauge", *v as f64);
+                        r.observe("m_hist", *v as f64);
+                    }
+                }
+            }
+            prop_assert_eq!(c.value(), 0);
+            prop_assert_eq!(g.value(), 0.0);
+            prop_assert_eq!(h.snapshot().count(), 0);
+            prop_assert_eq!(r.render_prometheus(), baseline);
+            prop_assert_eq!(r.len(), 3, "no slot appears or vanishes");
+        }
+    }
+}

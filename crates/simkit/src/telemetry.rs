@@ -280,6 +280,11 @@ pub enum TelemetryEvent {
         kind: &'static str,
         /// `"open"` or `"closed"`.
         state: &'static str,
+        /// Parent scope in the span tree (`"app"`, `"system"`, or `""` for
+        /// the system root).
+        pscope: &'static str,
+        /// Parent scope id (owning app id for objects, 0 otherwise).
+        pid: u64,
         /// Useful energy the span induced, millijoules.
         useful_mj: f64,
         /// Wasted energy the span induced, millijoules.
@@ -448,6 +453,8 @@ impl TelemetryEvent {
                 app,
                 kind,
                 state,
+                pscope,
+                pid,
                 useful_mj,
                 wasted_mj,
                 ..
@@ -457,6 +464,8 @@ impl TelemetryEvent {
                 push_field_num(&mut s, "app", app as f64);
                 push_field_str(&mut s, "kind", kind);
                 push_field_str(&mut s, "state", state);
+                push_field_str(&mut s, "pscope", pscope);
+                push_field_num(&mut s, "pid", pid as f64);
                 push_field_num_key(&mut s, "useful_mj", useful_mj);
                 push_field_num_key(&mut s, "wasted_mj", wasted_mj);
             }
@@ -560,14 +569,16 @@ impl fmt::Display for TelemetryEvent {
                 app,
                 kind,
                 state,
+                pscope,
+                pid,
                 useful_mj,
                 wasted_mj,
             } => {
-                write!(
-                    f,
-                    "[{at}] span {scope}{id} ({kind}, app{app}, {state}): \
-                     {useful_mj:.1} mJ useful, {wasted_mj:.1} mJ wasted"
-                )
+                write!(f, "[{at}] span {scope}{id} ({kind}, app{app}, {state}")?;
+                if !pscope.is_empty() {
+                    write!(f, ", under {pscope}{pid}")?;
+                }
+                write!(f, "): {useful_mj:.1} mJ useful, {wasted_mj:.1} mJ wasted")
             }
         }
     }
@@ -816,6 +827,21 @@ impl Histogram {
     /// Largest recorded value, or `None` when empty.
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// Per-bucket `(upper_bound, count)` pairs up to (and including) the
+    /// last non-empty bucket — what a Prometheus-style exporter folds into
+    /// cumulative `le` lines. Empty histograms yield nothing.
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        self.buckets[..last]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
     }
 
     /// Approximate `p`-quantile (`0.0..=1.0`): the upper bound of the
@@ -1398,6 +1424,8 @@ mod tests {
                 app: 3,
                 kind: "wakelock",
                 state: "open",
+                pscope: "app",
+                pid: 3,
                 useful_mj: 0.5,
                 wasted_mj: 42.0,
             },

@@ -231,6 +231,7 @@ const MAX_NOTES: usize = 64;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     scope: SpanScope,
+    parent: Option<SpanScope>,
     app: u32,
     kind: &'static str,
     opened_at: SimTime,
@@ -246,8 +247,17 @@ pub struct Span {
 
 impl Span {
     fn new(scope: SpanScope, app: u32, kind: &'static str, opened_at: SimTime) -> Self {
+        // Parentage is structural: objects blame their owning app's
+        // execution span, apps hang off the system baseline, and the
+        // system span is the root.
+        let parent = match scope {
+            SpanScope::System => None,
+            SpanScope::App(_) => Some(SpanScope::System),
+            SpanScope::Obj(_) => Some(SpanScope::App(app)),
+        };
         Span {
             scope,
+            parent,
             app,
             kind,
             opened_at,
@@ -283,6 +293,15 @@ impl Span {
     /// The blame scope.
     pub fn scope(&self) -> SpanScope {
         self.scope
+    }
+
+    /// The parent scope in the span tree (`None` for the system root).
+    ///
+    /// Object spans point at their owning app's execution scope even when
+    /// that app never earned an `exec` span of its own — consumers walking
+    /// the tree must tolerate a parent scope with no stored span.
+    pub fn parent(&self) -> Option<SpanScope> {
+        self.parent
     }
 
     /// The owning app (0 for the system span).
@@ -479,6 +498,79 @@ impl SpanLedger {
     /// Sum of all spans' wasted energy, mJ.
     pub fn total_wasted_mj(&self) -> f64 {
         self.spans.values().fold(0.0, |acc, s| acc + s.wasted_mj())
+    }
+
+    /// Scopes whose spans name `scope` as their parent, in deterministic
+    /// scope order.
+    pub fn children(&self, scope: SpanScope) -> Vec<SpanScope> {
+        self.spans
+            .values()
+            .filter(|s| s.parent() == Some(scope))
+            .map(|s| s.scope())
+            .collect()
+    }
+
+    /// Renders the span hierarchy as an indented tree: the system root,
+    /// then each app (ascending uid) with its object spans underneath.
+    ///
+    /// Apps that hold objects but never earned an `exec` span still get a
+    /// synthetic line, so every object's causal chain is visible.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let mut apps: BTreeMap<u32, ()> = BTreeMap::new();
+        for span in self.spans.values() {
+            match span.scope() {
+                SpanScope::App(app) => {
+                    apps.insert(app, ());
+                }
+                SpanScope::Obj(_) => {
+                    apps.insert(span.app(), ());
+                }
+                SpanScope::System => {}
+            }
+        }
+        if let Some(system) = self.span(SpanScope::System) {
+            Self::tree_line(&mut out, 0, system);
+        }
+        for &app in apps.keys() {
+            match self.span(SpanScope::App(app)) {
+                Some(span) => Self::tree_line(&mut out, 1, span),
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  app{app} [exec] idle: 0.000 mJ useful, 0.000 mJ wasted"
+                    );
+                }
+            }
+            for span in self.spans.values() {
+                if matches!(span.scope(), SpanScope::Obj(_)) && span.app() == app {
+                    Self::tree_line(&mut out, 2, span);
+                }
+            }
+        }
+        out
+    }
+
+    fn tree_line(out: &mut String, depth: usize, span: &Span) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let name = match span.scope() {
+            SpanScope::System => "system".to_owned(),
+            SpanScope::App(app) => format!("app{app}"),
+            SpanScope::Obj(obj) => format!("obj{obj}"),
+        };
+        let state = match span.closed_at() {
+            None => "open".to_owned(),
+            Some(at) => format!("closed @ {at}"),
+        };
+        let _ = writeln!(
+            out,
+            "{name} [{kind}] {state}: {useful:.3} mJ useful, {wasted:.3} mJ wasted",
+            kind = span.kind(),
+            useful = span.useful_mj(),
+            wasted = span.wasted_mj(),
+        );
     }
 
     fn open_obj(&mut self, at: SimTime, obj: u64, app: u32, kind: &'static str) {
@@ -680,6 +772,52 @@ mod tests {
             decision: "grant",
             first: true,
         }
+    }
+
+    #[test]
+    fn span_parents_form_a_tree() {
+        let mut ledger = SpanLedger::new();
+        ledger.record(&acquire(SimTime::from_secs(1), 3));
+        let mut draws = BTreeMap::new();
+        draws.insert((SpanScope::App(7), ComponentKind::Cpu, false), 50.0);
+        ledger.set_draws(SimTime::from_secs(1), &draws);
+
+        assert_eq!(ledger.span(SpanScope::System).unwrap().parent(), None);
+        assert_eq!(
+            ledger.span(SpanScope::App(7)).unwrap().parent(),
+            Some(SpanScope::System)
+        );
+        assert_eq!(
+            ledger.span(SpanScope::Obj(3)).unwrap().parent(),
+            Some(SpanScope::App(7))
+        );
+        assert_eq!(ledger.children(SpanScope::System), vec![SpanScope::App(7)]);
+        assert_eq!(ledger.children(SpanScope::App(7)), vec![SpanScope::Obj(3)]);
+        assert!(ledger.children(SpanScope::Obj(3)).is_empty());
+    }
+
+    #[test]
+    fn render_tree_synthesizes_missing_exec_spans() {
+        let mut ledger = SpanLedger::new();
+        // App 7 holds a wakelock but never runs a burst, so no exec span
+        // exists — the tree still shows the causal chain.
+        ledger.record(&acquire(SimTime::from_secs(1), 3));
+        let mut draws = BTreeMap::new();
+        draws.insert((SpanScope::Obj(3), ComponentKind::Cpu, true), 100.0);
+        ledger.set_draws(SimTime::from_secs(1), &draws);
+        ledger.settle(SimTime::from_secs(11));
+
+        let tree = ledger.render_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("system [system] open:"));
+        assert_eq!(
+            lines[1],
+            "  app7 [exec] idle: 0.000 mJ useful, 0.000 mJ wasted"
+        );
+        assert!(
+            lines[2].starts_with("    obj3 [wakelock] open: 0.000 mJ useful, 1000.000 mJ wasted")
+        );
     }
 
     #[test]

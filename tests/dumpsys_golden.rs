@@ -7,10 +7,11 @@
 //! goldens under `tests/golden/` pin the exact rendering; CI re-renders
 //! and diffs them (see `.github/workflows/ci.yml`).
 //!
-//! Regenerate after an intentional format change:
+//! Regenerate after an intentional format change (same for
+//! json/csv/folded):
 //! `cargo run --release -p leaseos-bench --bin dumpsys -- \
 //!    --app Facebook --policy vanilla --seed 42 --mins 5 --format text \
-//!    > tests/golden/dumpsys_facebook_vanilla_5min.txt` (same for json/csv).
+//!    > tests/golden/dumpsys_facebook_vanilla_5min.txt`
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -46,15 +47,47 @@ fn report_matches_checked_in_goldens() {
         include_str!("golden/dumpsys_facebook_vanilla_5min.csv"),
         "csv golden drifted — regenerate if the change is intentional"
     );
+    assert_eq!(
+        report.render(Format::Folded),
+        include_str!("golden/dumpsys_facebook_vanilla_5min.folded"),
+        "folded golden drifted — regenerate if the change is intentional"
+    );
 }
 
 #[test]
 fn two_same_seed_runs_render_identical_bytes() {
     let first = golden_report();
     let second = golden_report();
-    for format in [Format::Text, Format::Json, Format::Csv] {
+    for format in [Format::Text, Format::Json, Format::Csv, Format::Folded] {
         assert_eq!(first.render(format), second.render(format));
     }
+}
+
+/// The flame-graph view must not invent or lose energy: summing every
+/// folded frame (values are nanojoules) has to land back on the meter
+/// total, and a recorded run must fold to the same bytes as a live one.
+#[test]
+fn folded_stacks_conserve_energy_live_and_recorded() {
+    let live = golden_report();
+    let folded = live.render(Format::Folded);
+    assert!(!folded.is_empty(), "a 5-minute run should produce spans");
+    let mut sum_nj: u64 = 0;
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("folded line is `stack value`");
+        assert!(stack.starts_with("all;"), "bad stack root in {line:?}");
+        sum_nj += value.parse::<u64>().expect("folded value is an integer");
+    }
+    let sum_mj = sum_nj as f64 / 1e6;
+    assert!(
+        (sum_mj - live.meter_total_mj).abs() < 1e-3,
+        "folded frames sum to {sum_mj} mJ but the meter saw {} mJ",
+        live.meter_total_mj
+    );
+
+    let jsonl = leaseos_bench::dumpsys::live_jsonl("Facebook", PolicyKind::Vanilla, 42, MINS);
+    let label = scenario_label("Facebook", PolicyKind::Vanilla, 42, MINS);
+    let recorded = Report::from_jsonl(&label, &jsonl).unwrap();
+    assert_eq!(recorded.render(Format::Folded), folded);
 }
 
 #[test]
@@ -114,6 +147,10 @@ fn reports_are_byte_identical_across_harness_thread_counts() {
         let report = Report::from_jsonl("threads", a).expect("harness telemetry parses");
         let reparsed = Report::from_jsonl("threads", b).expect("harness telemetry parses");
         assert_eq!(report.render(Format::Text), reparsed.render(Format::Text));
+        assert_eq!(
+            report.render(Format::Folded),
+            reparsed.render(Format::Folded)
+        );
     }
 }
 

@@ -1,0 +1,76 @@
+//! Determinism tests for the kernel metrics registry.
+//!
+//! Each kernel owns its own registry, so every counter and histogram in a
+//! snapshot is derived purely from simulated execution — the number of
+//! harness worker threads, like everything else about the host, must not
+//! leak into a single byte of the rendered snapshot. Process-level
+//! wall-clock metrics (harness cell timings, fleet throughput) live in the
+//! binaries' separate registries precisely so this property can hold.
+
+use std::sync::Arc;
+
+use leaseos_apps::buggy::table5_cases;
+use leaseos_bench::dumpsys::scenario_label;
+use leaseos_bench::{PolicyKind, ScenarioRunner, ScenarioSpec};
+use leaseos_simkit::{DeviceProfile, SimDuration};
+
+const MINS: u64 = 5;
+
+/// Runs the pinned scenarios with metrics enabled and returns each cell's
+/// Prometheus-rendered snapshot, in spec order.
+fn harness_snapshots(threads: usize) -> Vec<String> {
+    let cases = table5_cases();
+    let mut specs = Vec::new();
+    for (app, policy) in [
+        ("Facebook", PolicyKind::Vanilla),
+        ("Facebook", PolicyKind::LeaseOs),
+        ("GPSLogger", PolicyKind::LeaseOs),
+    ] {
+        let case = cases.iter().find(|c| c.name == app).unwrap();
+        specs.push(ScenarioSpec {
+            label: scenario_label(app, policy, 42, MINS),
+            app: Arc::new(case.build),
+            policy: Arc::new(move || policy.build()),
+            device: DeviceProfile::pixel_xl(),
+            env: Arc::new(case.environment),
+            seed: 42,
+            length: SimDuration::from_mins(MINS),
+        });
+    }
+    ScenarioRunner::with_threads(threads).run(&specs, |_, spec| {
+        let run = spec.execute_with(|kernel| kernel.enable_metrics());
+        run.kernel.metrics().render_prometheus()
+    })
+}
+
+#[test]
+fn metrics_snapshots_are_byte_identical_across_thread_counts() {
+    let single = harness_snapshots(1);
+    let parallel = harness_snapshots(4);
+    assert_eq!(single.len(), parallel.len());
+    for (i, (a, b)) in single.iter().zip(&parallel).enumerate() {
+        assert!(!a.is_empty(), "spec {i} produced an empty snapshot");
+        assert_eq!(
+            a, b,
+            "snapshot for spec {i} differs between 1 and 4 threads"
+        );
+    }
+}
+
+#[test]
+fn kernel_snapshot_covers_the_hot_path_and_lease_layer() {
+    let snapshots = harness_snapshots(1);
+    let vanilla = &snapshots[0];
+    let leaseos = &snapshots[1];
+    for name in ["kernel_events_drained_total", "kernel_settles_total"] {
+        assert!(vanilla.contains(name), "vanilla snapshot misses {name}");
+        assert!(leaseos.contains(name), "leaseos snapshot misses {name}");
+    }
+    for name in ["lease_created_total", "lease_verdicts_total"] {
+        assert!(leaseos.contains(name), "leaseos snapshot misses {name}");
+        assert!(
+            !vanilla.contains(name),
+            "vanilla policy should never touch lease metric {name}"
+        );
+    }
+}
