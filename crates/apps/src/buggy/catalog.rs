@@ -53,6 +53,13 @@ pub enum TriggerEnv {
 }
 
 impl TriggerEnv {
+    /// Every trigger class, in a stable order.
+    pub const ALL: [TriggerEnv; 3] = [
+        TriggerEnv::Unattended,
+        TriggerEnv::DisconnectedUnattended,
+        TriggerEnv::WeakGpsUnattended,
+    ];
+
     /// Builds the class's scripted environment.
     pub fn build(self) -> Environment {
         match self {
@@ -60,6 +67,16 @@ impl TriggerEnv {
             TriggerEnv::DisconnectedUnattended => disconnected_unattended(),
             TriggerEnv::WeakGpsUnattended => weak_gps_unattended(),
         }
+    }
+
+    /// Classifies a scripted environment back into its trigger class —
+    /// `None` when `env` matches no class (e.g. an attended world).
+    ///
+    /// This is the inverse of [`build`](Self::build): the catalog derives
+    /// each case's `trigger` from its environment builder through this
+    /// function, so the two can never drift apart.
+    pub fn classify(env: &Environment) -> Option<TriggerEnv> {
+        TriggerEnv::ALL.into_iter().find(|t| &t.build() == env)
     }
 
     /// Stable machine-readable name (fleet JSONL vocabulary).
@@ -120,15 +137,118 @@ fn weak_gps_unattended() -> Environment {
     env
 }
 
-/// All 20 cases, in Table 5 order.
+/// How long [`probe_resource`] drives a model to observe its acquisitions.
+/// Five minutes covers every catalog shape: immediate acquirers, alarm-based
+/// reacquirers (60 s), and the GPS search/pause cycle.
+const PROBE_MINS: u64 = 5;
+
+/// Observes which resource a model actually misbehaves on by running it
+/// under a vanilla kernel in `env` and ranking the kinds it held.
+///
+/// The dominant kind is the one held (or, for GPS, searched) longest;
+/// near-ties — a tracker that pairs its GPS request with a supporting CPU
+/// wakelock — break toward the costlier component, which is the resource
+/// the bug report is about. Returns `None` when the model never acquires
+/// anything.
+pub fn probe_resource(app: Box<dyn AppModel>, env: Environment) -> Option<ResourceKind> {
+    use leaseos_framework::Kernel;
+    use leaseos_simkit::{DeviceProfile, SimTime};
+    let end = SimTime::from_mins(PROBE_MINS);
+    let mut kernel = Kernel::vanilla(DeviceProfile::pixel_xl(), env, 0xB10B);
+    let id = kernel.add_app(app);
+    kernel.run_until(end);
+    let mut ms_by_kind = std::collections::BTreeMap::new();
+    for (_, obj) in kernel.ledger().objects_of(id) {
+        let ms = obj.held_time(end).as_millis() + obj.searching_time(end).as_millis();
+        *ms_by_kind.entry(obj.kind).or_insert(0) += ms;
+    }
+    ms_by_kind
+        .into_iter()
+        .filter(|&(_, ms)| ms > 0)
+        .max_by_key(|&(kind, ms)| (ms / 1000, power_rank(kind)))
+        .map(|(kind, _)| kind)
+}
+
+/// Tie-break order for [`probe_resource`]: roughly the per-component power
+/// draw of the device profiles, costliest first.
+fn power_rank(kind: ResourceKind) -> u8 {
+    match kind {
+        ResourceKind::ScreenWakelock => 5,
+        ResourceKind::Gps => 4,
+        ResourceKind::Audio => 3,
+        ResourceKind::WifiLock => 2,
+        ResourceKind::Sensor => 1,
+        ResourceKind::Wakelock => 0,
+    }
+}
+
+/// A catalog row as written down: just the identity, the paper's numbers,
+/// and the two builders. The derived metadata ([`BuggyCase::resource`],
+/// [`BuggyCase::trigger`]) is *not* here — it is observed from the builders
+/// by [`table5_cases`], so a model edit that changes what the app acquires
+/// (or a builder pointed at the wrong world) shows up as derived metadata
+/// drift instead of a silently stale constant.
+struct CaseSpec {
+    name: &'static str,
+    category: &'static str,
+    behavior: BehaviorType,
+    paper: PaperNumbers,
+    build: fn() -> Box<dyn AppModel>,
+    environment: fn() -> Environment,
+}
+
+/// The probed resource kinds, computed once per process: 20 five-minute
+/// vanilla probe runs, then cached for every later `table5_cases` call
+/// (the fleet sampler constructs the catalog per device).
+fn probed_resources() -> &'static std::collections::BTreeMap<&'static str, ResourceKind> {
+    static CACHE: std::sync::OnceLock<std::collections::BTreeMap<&'static str, ResourceKind>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
+        table5_specs()
+            .into_iter()
+            .map(|spec| {
+                let kind = probe_resource((spec.build)(), (spec.environment)())
+                    .unwrap_or_else(|| panic!("{}: probe saw no acquisition", spec.name));
+                (spec.name, kind)
+            })
+            .collect()
+    })
+}
+
+/// All 20 cases, in Table 5 order, with resource and trigger metadata
+/// derived from the models and environment builders themselves.
 pub fn table5_cases() -> Vec<BuggyCase> {
+    let resources = probed_resources();
+    table5_specs()
+        .into_iter()
+        .map(|spec| {
+            let trigger = TriggerEnv::classify(&(spec.environment)()).unwrap_or_else(|| {
+                panic!(
+                    "{}: environment builder matches no trigger class",
+                    spec.name
+                )
+            });
+            BuggyCase {
+                name: spec.name,
+                category: spec.category,
+                resource: resources[spec.name],
+                behavior: spec.behavior,
+                trigger,
+                paper: spec.paper,
+                build: spec.build,
+                environment: spec.environment,
+            }
+        })
+        .collect()
+}
+
+/// The hand-written half of the catalog, in Table 5 order.
+fn table5_specs() -> Vec<CaseSpec> {
     use BehaviorType::{FrequentAsk as FAB, LongHolding as LHB, LowUtility as LUB};
-    use ResourceKind::*;
     vec![
-        BuggyCase {
+        CaseSpec {
             name: "Facebook",
             category: "social",
-            resource: Wakelock,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 100.62,
@@ -138,12 +258,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Facebook::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "Torch",
             category: "tool",
-            resource: Wakelock,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 81.54,
@@ -153,12 +271,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Torch::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "Kontalk",
             category: "messaging",
-            resource: Wakelock,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 29.41,
@@ -168,12 +284,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Kontalk::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "K-9",
             category: "mail",
-            resource: Wakelock,
             behavior: LUB,
             paper: PaperNumbers {
                 without_lease: 890.35,
@@ -183,12 +297,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(K9Mail::new()),
             environment: disconnected_unattended,
-            trigger: TriggerEnv::DisconnectedUnattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "ServalMesh",
             category: "tool",
-            resource: Wakelock,
             behavior: LUB,
             paper: PaperNumbers {
                 without_lease: 134.27,
@@ -198,12 +310,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(ServalMesh::new()),
             environment: disconnected_unattended,
-            trigger: TriggerEnv::DisconnectedUnattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "TextSecure",
             category: "messaging",
-            resource: Wakelock,
             behavior: LUB,
             paper: PaperNumbers {
                 without_lease: 81.62,
@@ -213,12 +323,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(TextSecure::new()),
             environment: disconnected_unattended,
-            trigger: TriggerEnv::DisconnectedUnattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "ConnectBot(screen)",
             category: "tool",
-            resource: ScreenWakelock,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 576.52,
@@ -228,12 +336,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(ConnectBotScreen::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "Standup Timer",
             category: "productivity",
-            resource: ScreenWakelock,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 569.10,
@@ -243,12 +349,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(StandupTimer::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "ConnectBot(wifi)",
             category: "tool",
-            resource: WifiLock,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 17.08,
@@ -258,12 +362,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(ConnectBotWifi::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "BetterWeather",
             category: "widget",
-            resource: Gps,
             behavior: FAB,
             paper: PaperNumbers {
                 without_lease: 115.36,
@@ -273,12 +375,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(BetterWeather::new()),
             environment: weak_gps_unattended,
-            trigger: TriggerEnv::WeakGpsUnattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "WHERE",
             category: "travel",
-            resource: Gps,
             behavior: FAB,
             paper: PaperNumbers {
                 without_lease: 126.28,
@@ -288,12 +388,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Where::new()),
             environment: weak_gps_unattended,
-            trigger: TriggerEnv::WeakGpsUnattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "MozStumbler",
             category: "service",
-            resource: Gps,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 122.43,
@@ -303,12 +401,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(MozStumbler::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "OSMTracker",
             category: "navigation",
-            resource: Gps,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 121.51,
@@ -318,12 +414,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(OsmTracker::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "GPSLogger",
             category: "travel",
-            resource: Gps,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 118.25,
@@ -333,12 +427,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(GpsLogger::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "BostonBusMap",
             category: "travel",
-            resource: Gps,
             behavior: LHB,
             paper: PaperNumbers {
                 without_lease: 115.5,
@@ -348,12 +440,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(BostonBusMap::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "AIMSCID",
             category: "service",
-            resource: Gps,
             behavior: LUB,
             paper: PaperNumbers {
                 without_lease: 119.43,
@@ -363,12 +453,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Aimscid::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "OpenScienceMap",
             category: "navigation",
-            resource: Gps,
             behavior: LUB,
             paper: PaperNumbers {
                 without_lease: 123.97,
@@ -378,12 +466,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(OpenScienceMap::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "OpenGPSTracker",
             category: "travel",
-            resource: Gps,
             behavior: LUB,
             paper: PaperNumbers {
                 without_lease: 360.25,
@@ -393,12 +479,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(OpenGpsTracker::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "TapAndTurn",
             category: "tool",
-            resource: Sensor,
             behavior: LUB,
             paper: PaperNumbers {
                 without_lease: 11.72,
@@ -408,12 +492,10 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(TapAndTurn::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
-        BuggyCase {
+        CaseSpec {
             name: "Riot",
             category: "messaging",
-            resource: Sensor,
             behavior: LUB,
             paper: PaperNumbers {
                 without_lease: 19.17,
@@ -423,7 +505,6 @@ pub fn table5_cases() -> Vec<BuggyCase> {
             },
             build: || Box::new(Riot::new()),
             environment: unattended,
-            trigger: TriggerEnv::Unattended,
         },
     ]
 }
@@ -518,6 +599,66 @@ mod tests {
                 table5_cases().iter().any(|c| c.trigger == trigger),
                 "no case triggers {trigger:?}"
             );
+        }
+    }
+
+    /// The satellite round-trip: classify must invert build for every
+    /// trigger class, and worlds outside the three classes stay
+    /// unclassified.
+    #[test]
+    fn trigger_classification_round_trips() {
+        for trigger in TriggerEnv::ALL {
+            assert_eq!(
+                TriggerEnv::classify(&trigger.build()),
+                Some(trigger),
+                "{trigger:?}"
+            );
+        }
+        assert_eq!(
+            TriggerEnv::classify(&Environment::new()),
+            None,
+            "an attended healthy world is no trigger class"
+        );
+    }
+
+    /// The derived metadata — resource kind probed from the model, trigger
+    /// classified from the environment builder — must land exactly on the
+    /// paper's Table 5 columns. A model edit that changes what an app
+    /// acquires, or a builder pointed at the wrong world, fails here.
+    #[test]
+    fn derived_metadata_round_trips_table5() {
+        use ResourceKind::*;
+        use TriggerEnv::{
+            DisconnectedUnattended as Disc, Unattended as Un, WeakGpsUnattended as Weak,
+        };
+        let expected = [
+            ("Facebook", Wakelock, Un),
+            ("Torch", Wakelock, Un),
+            ("Kontalk", Wakelock, Un),
+            ("K-9", Wakelock, Disc),
+            ("ServalMesh", Wakelock, Disc),
+            ("TextSecure", Wakelock, Disc),
+            ("ConnectBot(screen)", ScreenWakelock, Un),
+            ("Standup Timer", ScreenWakelock, Un),
+            ("ConnectBot(wifi)", WifiLock, Un),
+            ("BetterWeather", Gps, Weak),
+            ("WHERE", Gps, Weak),
+            ("MozStumbler", Gps, Un),
+            ("OSMTracker", Gps, Un),
+            ("GPSLogger", Gps, Un),
+            ("BostonBusMap", Gps, Un),
+            ("AIMSCID", Gps, Un),
+            ("OpenScienceMap", Gps, Un),
+            ("OpenGPSTracker", Gps, Un),
+            ("TapAndTurn", Sensor, Un),
+            ("Riot", Sensor, Un),
+        ];
+        let cases = table5_cases();
+        assert_eq!(cases.len(), expected.len());
+        for ((name, resource, trigger), case) in expected.into_iter().zip(&cases) {
+            assert_eq!(case.name, name);
+            assert_eq!(case.resource, resource, "{name}: probed resource");
+            assert_eq!(case.trigger, trigger, "{name}: classified trigger");
         }
     }
 

@@ -13,4 +13,6 @@ pub mod screen;
 pub mod sensor;
 pub mod wifi;
 
-pub use catalog::{case_names, table5_case, table5_cases, BuggyCase, PaperNumbers, TriggerEnv};
+pub use catalog::{
+    case_names, probe_resource, table5_case, table5_cases, BuggyCase, PaperNumbers, TriggerEnv,
+};

@@ -9,6 +9,9 @@
 //! * [`buggy`] — the 20 reproduced energy bugs, indexed by
 //!   [`buggy::table5_cases`] with their trigger environments and the
 //!   paper's measured numbers;
+//! * [`corpus`] — the DroidLeaks-style generated bug corpus: hundreds of
+//!   distinct synthetic buggy apps, each a pure function of
+//!   `(corpus_seed, index)` with a machine-checkable oracle;
 //! * [`fleet`] — per-device app mixes sampled over the Table 5 catalog
 //!   for fleet-scale population sweeps;
 //! * [`normal`] — RunKeeper/Spotify/Haven-style legitimate heavy users;
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod buggy;
+pub mod corpus;
 pub mod fleet;
 pub mod normal;
 pub mod study;

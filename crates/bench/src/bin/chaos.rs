@@ -8,18 +8,26 @@
 //! fault-free savings, measured against the fault-free vanilla baseline,
 //! under any fault arm).
 //!
-//! Two matrix presets:
+//! Three matrix presets:
 //!
 //! * default — the historical smoke subset: 3 apps × {vanilla, leaseos} ×
 //!   1 seed × 8 arms (control, each fault class alone, the correlated
 //!   crash storm, all classes concurrently);
 //! * `--full` — every Table 5 app × every policy × 3 seeds × 8 arms
-//!   (2400 cells).
+//!   (2400 cells);
+//! * `--corpus N` — a sampled slice of the generated bug corpus
+//!   (`leaseos_apps::corpus`): `--sample K` (default 12) apps evenly
+//!   spaced over the first `N` of corpus `--corpus-seed S` (default 42) ×
+//!   every policy × 1 seed × 8 arms. Every sampled app's machine-checkable
+//!   oracle is also checked after the matrix; an oracle failure is a
+//!   conformance failure and prints its `(corpus_seed, index)` one-line
+//!   repro on stderr.
 //!
 //! Every axis can also be overridden per run (`--apps`, `--policies`,
 //! `--seeds`, `--arms`, comma-separated; `netdrop` is shorthand for the
-//! `network_drop` arm). `--warm-restart` reverts crash recovery to the
-//! legacy warm semantics (restarted models keep their transient state).
+//! `network_drop` arm; an app named `corpus:SEED:INDEX` mints that corpus
+//! case). `--warm-restart` reverts crash recovery to the legacy warm
+//! semantics (restarted models keep their transient state).
 //!
 //! Cells are cached in a persistent content-addressed store (default
 //! `target/leaseos-cache/`, override `--cache-dir`, disable `--no-cache`)
@@ -33,6 +41,7 @@
 //! output.
 //!
 //! Run: `cargo run --release -p leaseos-bench --bin chaos [--full]
+//!       [--corpus N] [--sample K] [--corpus-seed S]
 //!       [--seed N] [--seeds A,B,..] [--apps ..] [--policies ..]
 //!       [--arms ..] [--mins M] [--mean-secs S] [--tolerance PP]
 //!       [--warm-restart] [--threads N] [--jsonl DIR] [--cache-dir DIR]
@@ -41,12 +50,17 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use leaseos_bench::conformance::{evaluate, render_table, run_matrix, FaultArm, MatrixConfig};
+use leaseos_bench::conformance::{
+    corpus_oracle_violations, evaluate, render_table, run_matrix, FaultArm, MatrixConfig,
+};
 use leaseos_bench::{build_rev, PolicyKind, ResultCache, ScenarioRunner};
 use leaseos_simkit::{MetricsRegistry, SimDuration};
 
 struct Flags {
     full: bool,
+    corpus: Option<u64>,
+    sample: u64,
+    corpus_seed: u64,
     seed: u64,
     seeds: Option<Vec<u64>>,
     apps: Option<Vec<String>>,
@@ -72,6 +86,9 @@ fn parse_list<T>(raw: &str, parse: impl Fn(&str) -> Result<T, String>) -> Vec<T>
 fn parse_flags() -> Flags {
     let mut flags = Flags {
         full: false,
+        corpus: None,
+        sample: 12,
+        corpus_seed: 42,
         seed: 42,
         seeds: None,
         apps: None,
@@ -91,6 +108,11 @@ fn parse_flags() -> Flags {
         let mut take = || args.next().unwrap_or_else(|| panic!("{arg} needs a value"));
         match arg.as_str() {
             "--full" => flags.full = true,
+            "--corpus" => flags.corpus = Some(take().parse().expect("--corpus takes an app count")),
+            "--sample" => flags.sample = take().parse().expect("--sample takes an integer"),
+            "--corpus-seed" => {
+                flags.corpus_seed = take().parse().expect("--corpus-seed takes an integer")
+            }
             "--seed" => flags.seed = take().parse().expect("--seed takes an integer"),
             "--seeds" => {
                 flags.seeds = Some(parse_list(&take(), |s| {
@@ -134,7 +156,9 @@ fn slug(label: &str) -> String {
 
 fn main() {
     let flags = parse_flags();
-    let mut config = if flags.full {
+    let mut config = if let Some(count) = flags.corpus {
+        MatrixConfig::corpus(flags.corpus_seed, count, flags.sample, flags.seed)
+    } else if flags.full {
         MatrixConfig::full(flags.seed, 3)
     } else {
         MatrixConfig::smoke(flags.seed)
@@ -222,7 +246,23 @@ fn main() {
     }
     eprint!("{}", metrics.render_prometheus());
 
-    let failures = evaluate(&run);
+    let mut failures = evaluate(&run);
+
+    // Any corpus case on the app axis also gets its machine-checkable
+    // oracle checked (waste signature, verdict class, savings band, §7.4
+    // zero-disruption). The oracle's kernel seed is pinned at 42 — the
+    // seed the corpus savings bands are calibrated against — independent
+    // of the matrix's own `--seed`.
+    let corpus_cases = run.cases.iter().filter(|c| c.corpus.is_some()).count();
+    if corpus_cases > 0 {
+        let oracle_failures = corpus_oracle_violations(&run, 42);
+        println!(
+            "corpus oracles: {}/{corpus_cases} passed",
+            corpus_cases - oracle_failures.len()
+        );
+        failures.extend(oracle_failures);
+    }
+
     if failures.is_empty() {
         println!("chaos: OK — all audits clean, degradation within tolerance");
     } else {

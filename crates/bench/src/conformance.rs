@@ -31,18 +31,29 @@
 //! Evaluation never short-circuits: all violations across the whole matrix
 //! are collected and reported together, and the caller exits non-zero once
 //! at the end (`chaos` binary behaviour, pinned by tests).
+//!
+//! The matrix's app axis is not limited to Table 5: an app name of the form
+//! `corpus:SEED:INDEX` resolves to the generated bug corpus
+//! ([`leaseos_apps::corpus`]), so a sampled corpus slice can ride the same
+//! runner, cache, and evaluation as the catalog apps
+//! ([`MatrixConfig::corpus`], `chaos --corpus`). Corpus cells carry their
+//! [`BugSpec fingerprint`](leaseos_apps::corpus::BugSpec::fingerprint) into
+//! a dedicated `corpus-cell/v1` cache domain — Table 5 keys
+//! (`chaos-cell/v2`) are untouched, byte for byte — and every violation in
+//! a corpus cell reports its `(corpus_seed, index)` as a one-line repro.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
 use leaseos_apps::buggy::{case_names, table5_case, BuggyCase};
+use leaseos_apps::corpus::{check_oracle, corpus_case, CorpusCase};
 use leaseos_simkit::{
     DeviceProfile, EventKind, FaultKind, FaultPlan, FaultSpec, JsonValue, JsonlSink, SimDuration,
 };
 
 use crate::cache::{CacheKey, CacheStats, KeyBuilder, ResultCache};
-use crate::{f2, PolicyKind, ScenarioRunner, ScenarioSpec, TextTable};
+use crate::{f2, AppBuilder, EnvBuilder, PolicyKind, ScenarioRunner, ScenarioSpec, TextTable};
 
 /// One fault arm of the matrix: no faults, one class alone, the correlated
 /// crash storm, or every class concurrently.
@@ -121,11 +132,98 @@ impl FaultArm {
     }
 }
 
+/// One resolved app on the matrix's app axis: a Table 5 catalog case or a
+/// generated corpus case, reduced to what the runner actually needs. The
+/// two sources keep their provenance — corpus handles carry their
+/// `(corpus_seed, index)` coordinates (for one-line repros) and their
+/// `BugSpec` fingerprint (the `corpus-cell/v1` cache-key ingredient).
+#[derive(Clone)]
+pub struct CaseHandle {
+    /// Display name: the Table 5 name, or `corpus-{seed}-{index}`.
+    pub name: String,
+    /// Builds a fresh instance of the app model.
+    pub build: AppBuilder,
+    /// Builds the trigger environment.
+    pub env: EnvBuilder,
+    /// `(corpus_seed, index)` for generated cases, `None` for Table 5.
+    pub corpus: Option<(u64, u64)>,
+    /// The corpus spec fingerprint for generated cases, `None` for Table 5.
+    pub fingerprint: Option<String>,
+}
+
+impl std::fmt::Debug for CaseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaseHandle")
+            .field("name", &self.name)
+            .field("corpus", &self.corpus)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CaseHandle {
+    /// Wraps a Table 5 catalog case.
+    pub fn table5(case: &BuggyCase) -> CaseHandle {
+        CaseHandle {
+            name: case.name.to_owned(),
+            build: Arc::new(case.build),
+            env: Arc::new(case.environment),
+            corpus: None,
+            fingerprint: None,
+        }
+    }
+
+    /// Wraps a generated corpus case.
+    pub fn corpus(case: &CorpusCase) -> CaseHandle {
+        let build = case.clone();
+        let env = case.clone();
+        CaseHandle {
+            name: case.name.clone(),
+            build: Arc::new(move || build.build()),
+            env: Arc::new(move || env.environment()),
+            corpus: Some((case.spec.corpus_seed, case.spec.index)),
+            fingerprint: Some(case.fingerprint.clone()),
+        }
+    }
+
+    /// The `corpus:SEED:INDEX` name this handle resolves from, when it is a
+    /// corpus case — the repro coordinate violations print.
+    pub fn repro(&self) -> Option<String> {
+        self.corpus.map(|(s, i)| format!("corpus:{s}:{i}"))
+    }
+}
+
+/// Resolves one app-axis name: `corpus:SEED:INDEX` mints the generated
+/// case, anything else must be a Table 5 catalog name.
+///
+/// # Errors
+///
+/// Reports an unknown Table 5 name or malformed corpus coordinates.
+pub fn resolve_case(name: &str) -> Result<CaseHandle, String> {
+    if let Some(coords) = name.strip_prefix("corpus:") {
+        let (seed, index) = coords
+            .split_once(':')
+            .ok_or_else(|| format!("malformed corpus name {name:?} (want corpus:SEED:INDEX)"))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|e| format!("bad corpus seed in {name:?}: {e}"))?;
+        let index: u64 = index
+            .parse()
+            .map_err(|e| format!("bad corpus index in {name:?}: {e}"))?;
+        Ok(CaseHandle::corpus(&corpus_case(seed, index)))
+    } else {
+        table5_case(name)
+            .as_ref()
+            .map(CaseHandle::table5)
+            .ok_or_else(|| format!("unknown Table 5 app {name:?}"))
+    }
+}
+
 /// The matrix to run, as data. Cells enumerate row-major: app outermost,
 /// then policy, seed, arm.
 #[derive(Debug, Clone)]
 pub struct MatrixConfig {
-    /// Table 5 app names (validated against the catalog at run time).
+    /// App-axis names: Table 5 catalog names and/or `corpus:SEED:INDEX`
+    /// corpus coordinates (validated by [`resolve_case`] at run time).
     pub apps: Vec<String>,
     /// Policy columns. Degradation is only checkable when
     /// [`PolicyKind::Vanilla`] is present (it is the reduction baseline).
@@ -165,6 +263,43 @@ impl MatrixConfig {
         }
     }
 
+    /// A sampled slice of the generated bug corpus: `sample` of the first
+    /// `count` apps of corpus `corpus_seed`, evenly spaced (see
+    /// [`sample_indices`](Self::sample_indices)) so the slice is
+    /// deterministic and stable under re-runs — × all 5 policies × one
+    /// kernel seed × all 8 arms.
+    pub fn corpus(corpus_seed: u64, count: u64, sample: u64, kernel_seed: u64) -> Self {
+        MatrixConfig {
+            apps: Self::sample_indices(count, sample)
+                .into_iter()
+                .map(|i| format!("corpus:{corpus_seed}:{i}"))
+                .collect(),
+            policies: PolicyKind::ALL.to_vec(),
+            seeds: vec![kernel_seed],
+            arms: FaultArm::ALL_ARMS.to_vec(),
+            length: crate::RUN_LENGTH,
+            mean_interval: SimDuration::from_secs(300),
+            tolerance_pp: 35.0,
+            cold_restart: true,
+        }
+    }
+
+    /// `sample` indices evenly spaced over `0..count` (`⌊i·count/sample⌋`),
+    /// deduplicated when `sample > count`. Deterministic by construction —
+    /// no RNG — so the same `(count, sample)` always names the same corpus
+    /// slice, and growing `count` shifts which apps are sampled without
+    /// changing any app's identity (each `corpus:SEED:INDEX` is a pure
+    /// function of its coordinates).
+    pub fn sample_indices(count: u64, sample: u64) -> Vec<u64> {
+        let n = sample.min(count);
+        if n == 0 {
+            // Degenerate requests still name a stable slice: the first app
+            // of a non-empty corpus, nothing of an empty one.
+            return if count > 0 { vec![0] } else { Vec::new() };
+        }
+        (0..n).map(|i| i * count / n).collect()
+    }
+
     /// The historical smoke subset: two wakelock cases plus a GPS case (so
     /// every fault class finds an eligible target), vanilla vs LeaseOS,
     /// one seed, all eight arms.
@@ -196,15 +331,12 @@ impl MatrixConfig {
     }
 
     /// The canonical cell label: `app/policy/arm/seed`.
-    pub fn label(&self, case: &BuggyCase, policy: PolicyKind, arm: FaultArm, seed: u64) -> String {
+    pub fn label(&self, case: &CaseHandle, policy: PolicyKind, arm: FaultArm, seed: u64) -> String {
         format!("{}/{}/{}/{seed}", case.name, policy.cli_name(), arm.name())
     }
 
-    fn resolve_cases(&self) -> Result<Vec<BuggyCase>, String> {
-        self.apps
-            .iter()
-            .map(|name| table5_case(name).ok_or_else(|| format!("unknown Table 5 app {name:?}")))
-            .collect()
+    fn resolve_cases(&self) -> Result<Vec<CaseHandle>, String> {
+        self.apps.iter().map(|name| resolve_case(name)).collect()
     }
 }
 
@@ -300,7 +432,7 @@ pub struct MatrixRun {
     /// The configuration that produced it.
     pub config: MatrixConfig,
     /// The resolved cases, in `config.apps` order.
-    pub cases: Vec<BuggyCase>,
+    pub cases: Vec<CaseHandle>,
     /// One outcome per cell ([`MatrixConfig::index`] order).
     pub cells: Vec<CellOutcome>,
     /// Cache counters for this run, when a cache was used.
@@ -320,6 +452,29 @@ impl MatrixRun {
 /// restarts and must never replay against them.
 pub fn cell_key(spec: &ScenarioSpec, plan: &FaultPlan, cold_restart: bool, rev: &str) -> CacheKey {
     KeyBuilder::new("chaos-cell/v2;audit=256")
+        .field("spec", spec.fingerprint())
+        .field("plan", plan.fingerprint())
+        .field("cold", if cold_restart { "1" } else { "0" })
+        .field("rev", rev)
+        .finish()
+}
+
+/// The cache key of one *corpus* cell. Same ingredients as [`cell_key`]
+/// plus the app's full [`BugSpec
+/// fingerprint`](leaseos_apps::corpus::BugSpec::fingerprint) — the spec
+/// fingerprint alone only carries the label, and `corpus-{seed}-{index}`
+/// does not pin the drawn parameters if the generator ever changes. The
+/// domain is separate (`corpus-cell/v1`) so corpus entries can never alias
+/// a Table 5 cell and the Table 5 key bytes stay untouched.
+pub fn corpus_cell_key(
+    spec: &ScenarioSpec,
+    app_fingerprint: &str,
+    plan: &FaultPlan,
+    cold_restart: bool,
+    rev: &str,
+) -> CacheKey {
+    KeyBuilder::new("corpus-cell/v1;audit=256")
+        .field("app", app_fingerprint)
         .field("spec", spec.fingerprint())
         .field("plan", plan.fingerprint())
         .field("cold", if cold_restart { "1" } else { "0" })
@@ -391,14 +546,14 @@ pub fn run_matrix(
                 for (ai, &arm) in config.arms.iter().enumerate() {
                     specs.push(ScenarioSpec {
                         label: config.label(case, policy, arm, seed),
-                        app: Arc::new(case.build),
+                        app: case.build.clone(),
                         policy: Arc::new(move || policy.build()),
                         device: DeviceProfile::pixel_xl(),
-                        env: Arc::new(case.environment),
+                        env: case.env.clone(),
                         seed,
                         length: config.length,
                     });
-                    spec_plan.push((si, ai));
+                    spec_plan.push((si, ai, case.fingerprint.clone()));
                 }
             }
         }
@@ -406,10 +561,13 @@ pub fn run_matrix(
 
     let cold_restart = config.cold_restart;
     let cells = runner.run(&specs, |i, spec| {
-        let (si, ai) = spec_plan[i];
+        let (si, ai, ref corpus_fp) = spec_plan[i];
         let plan = &plans[si][ai];
         if let Some(cache) = cache {
-            let key = cell_key(spec, plan, cold_restart, rev);
+            let key = match corpus_fp {
+                Some(fp) => corpus_cell_key(spec, fp, plan, cold_restart, rev),
+                None => cell_key(spec, plan, cold_restart, rev),
+            };
             if let Some(entry) = cache.load(key) {
                 if let Ok(outcome) = CellOutcome::from_summary(&entry.summary, entry.jsonl) {
                     return outcome;
@@ -456,12 +614,22 @@ pub fn evaluate(run: &MatrixRun) -> Vec<Violation> {
     let cfg = &run.config;
     let mut violations = Vec::new();
 
+    // Corpus cells annotate every violation with their one-line repro.
+    let repro_of = |app: usize| -> String {
+        run.cases
+            .get(app)
+            .and_then(CaseHandle::repro)
+            .map(|r| format!(" — repro: chaos --apps {r}"))
+            .unwrap_or_default()
+    };
+
     // Robustness: every cell's runtime audits must be clean.
-    for cell in &run.cells {
+    let cells_per_app = cfg.policies.len() * cfg.seeds.len() * cfg.arms.len();
+    for (i, cell) in run.cells.iter().enumerate() {
         for v in &cell.violations {
             violations.push(Violation {
                 cell: cell.label.clone(),
-                detail: format!("runtime audit: {v}"),
+                detail: format!("runtime audit: {v}{}", repro_of(i / cells_per_app.max(1))),
             });
         }
     }
@@ -496,10 +664,11 @@ pub fn evaluate(run: &MatrixRun) -> Vec<Violation> {
                             cell: run.cell(a, p, s, r).label.clone(),
                             detail: format!(
                                 "{} savings moved {drift:+.2} pp vs the fault-free \
-                                 control (bound -{:.1} pp, arm {})",
+                                 control (bound -{:.1} pp, arm {}){}",
                                 policy.label(),
                                 cfg.tolerance_pp,
-                                arm.name()
+                                arm.name(),
+                                repro_of(a)
                             ),
                         });
                     }
@@ -508,6 +677,32 @@ pub fn evaluate(run: &MatrixRun) -> Vec<Violation> {
         }
     }
     violations
+}
+
+/// Checks the machine-checkable oracle of every *corpus* case on the
+/// matrix's app axis (Table 5 cases have none and are skipped): the waste
+/// signature under vanilla, the expected lease verdict class, the savings
+/// band, and the §7.4 zero-disruption bound — see
+/// [`leaseos_apps::corpus::check_oracle`]. Each failure becomes a
+/// [`Violation`] whose detail *is* the one-line `(corpus_seed, index)`
+/// repro. Like [`evaluate`], this never short-circuits.
+///
+/// `oracle_seed` is the kernel seed the oracle runs replicate — the corpus
+/// savings bands are calibrated against it (42 everywhere in this repo),
+/// independently of the matrix's own kernel seeds.
+pub fn corpus_oracle_violations(run: &MatrixRun, oracle_seed: u64) -> Vec<Violation> {
+    run.cases
+        .iter()
+        .filter_map(|case| {
+            let (seed, index) = case.corpus?;
+            check_oracle(&corpus_case(seed, index), oracle_seed)
+                .err()
+                .map(|v| Violation {
+                    cell: case.name.clone(),
+                    detail: v.to_string(),
+                })
+        })
+        .collect()
 }
 
 /// Renders the per-cell table: one row per (app, arm, seed), one power
@@ -535,11 +730,8 @@ pub fn render_table(run: &MatrixRun) -> String {
     for (a, case) in run.cases.iter().enumerate() {
         for (r, arm) in cfg.arms.iter().enumerate() {
             for (s, seed) in cfg.seeds.iter().enumerate() {
-                let mut row: Vec<String> = vec![
-                    case.name.to_owned(),
-                    arm.name().to_owned(),
-                    seed.to_string(),
-                ];
+                let mut row: Vec<String> =
+                    vec![case.name.clone(), arm.name().to_owned(), seed.to_string()];
                 let faults: Vec<String> = (0..cfg.policies.len())
                     .map(|p| run.cell(a, p, s, r).faults_injected.to_string())
                     .collect();
@@ -753,6 +945,160 @@ mod tests {
         let table = render_table(&run);
         assert!(table.contains("VIOLATED"), "dirty cells flagged in table");
         assert_eq!(table.lines().count(), 2 + 4, "one row per (app, arm, seed)");
+    }
+
+    #[test]
+    fn corpus_names_resolve_and_malformed_ones_are_rejected() {
+        let handle = resolve_case("corpus:42:7").unwrap();
+        assert_eq!(handle.name, "corpus-42-7");
+        assert_eq!(handle.corpus, Some((42, 7)));
+        assert_eq!(handle.repro().as_deref(), Some("corpus:42:7"));
+        let fp = handle.fingerprint.as_deref().unwrap();
+        assert!(fp.contains("seed=42") && fp.contains("index=7"), "{fp}");
+
+        let table5 = resolve_case("Torch").unwrap();
+        assert_eq!(table5.name, "Torch");
+        assert_eq!(table5.corpus, None);
+        assert_eq!(table5.fingerprint, None);
+        assert_eq!(table5.repro(), None);
+
+        for bad in ["corpus:42", "corpus:x:1", "corpus:1:y", "NotAnApp"] {
+            assert!(resolve_case(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn corpus_config_samples_evenly_and_deterministically() {
+        let cfg = MatrixConfig::corpus(42, 200, 12, 7);
+        assert_eq!(cfg.apps.len(), 12);
+        assert_eq!(cfg.apps[0], "corpus:42:0");
+        assert_eq!(cfg.policies.len(), 5);
+        assert_eq!(cfg.seeds, vec![7]);
+        assert_eq!(cfg.arms.len(), 8);
+        assert!(cfg.resolve_cases().is_ok());
+        // Deterministic: same knobs, same slice.
+        assert_eq!(cfg.apps, MatrixConfig::corpus(42, 200, 12, 7).apps);
+
+        assert_eq!(MatrixConfig::sample_indices(200, 4), vec![0, 50, 100, 150]);
+        assert_eq!(MatrixConfig::sample_indices(3, 8), vec![0, 1, 2]);
+        assert_eq!(MatrixConfig::sample_indices(0, 4), Vec::<u64>::new());
+        assert_eq!(MatrixConfig::sample_indices(5, 0), vec![0]);
+    }
+
+    #[test]
+    fn corpus_cells_key_into_their_own_domain() {
+        use std::sync::Arc;
+        let handle = resolve_case("corpus:42:0").unwrap();
+        let spec = ScenarioSpec {
+            label: "corpus-42-0/leaseos/control/42".into(),
+            app: handle.build.clone(),
+            policy: Arc::new(|| PolicyKind::LeaseOs.build()),
+            device: DeviceProfile::pixel_xl(),
+            env: handle.env.clone(),
+            seed: 42,
+            length: SimDuration::from_mins(5),
+        };
+        let plan = FaultPlan::none();
+        let fp = handle.fingerprint.as_deref().unwrap();
+        let corpus = corpus_cell_key(&spec, fp, &plan, true, "rev-a");
+        assert_eq!(
+            corpus,
+            corpus_cell_key(&spec, fp, &plan, true, "rev-a"),
+            "deterministic"
+        );
+        assert_ne!(
+            corpus,
+            cell_key(&spec, &plan, true, "rev-a"),
+            "never aliases a Table 5 cell, even for identical spec and plan"
+        );
+        let other_fp = resolve_case("corpus:42:1").unwrap().fingerprint.unwrap();
+        assert_ne!(
+            corpus,
+            corpus_cell_key(&spec, &other_fp, &plan, true, "rev-a"),
+            "the drawn parameters are a key ingredient"
+        );
+    }
+
+    /// The Table 5 key bytes are load-bearing: a warm cache from before the
+    /// corpus change must keep hitting. This pins one key's literal value
+    /// so any accidental change to the domain string, the field set, or the
+    /// spec fingerprint format fails loudly.
+    #[test]
+    fn table5_cell_key_bytes_are_pinned() {
+        let spec = ScenarioSpec {
+            label: "Torch/leaseos/control/42".into(),
+            app: resolve_case("Torch").unwrap().build,
+            policy: std::sync::Arc::new(|| PolicyKind::LeaseOs.build()),
+            device: DeviceProfile::pixel_xl(),
+            env: resolve_case("Torch").unwrap().env,
+            seed: 42,
+            length: SimDuration::from_mins(5),
+        };
+        assert_eq!(
+            cell_key(&spec, &FaultPlan::none(), true, "rev-a").hex(),
+            "b118d9bc4a50e32f94f19a96031d56fc"
+        );
+    }
+
+    #[test]
+    fn corpus_violations_carry_the_one_line_repro() {
+        let mut cfg = MatrixConfig::smoke(1);
+        cfg.apps = vec!["corpus:42:0".into()];
+        cfg.policies = vec![PolicyKind::Vanilla, PolicyKind::LeaseOs];
+        cfg.arms = vec![FaultArm::Control, FaultArm::All];
+        cfg.tolerance_pp = 10.0;
+        let cases = cfg.resolve_cases().unwrap();
+        let mk = |label: &str, power: f64, violations: Vec<String>| CellOutcome {
+            label: label.into(),
+            app_power_mw: power,
+            system_power_mw: power,
+            faults_injected: 0,
+            violations,
+            jsonl: Vec::new(),
+        };
+        let cells = vec![
+            mk("corpus-42-0/vanilla/control/1", 100.0, vec![]),
+            mk(
+                "corpus-42-0/vanilla/all/1",
+                100.0,
+                vec!["audit broke".into()],
+            ),
+            mk("corpus-42-0/leaseos/control/1", 5.0, vec![]),
+            // (5 − 50)/100 = −45 pp: beyond the 10 pp bound.
+            mk("corpus-42-0/leaseos/all/1", 50.0, vec![]),
+        ];
+        let run = MatrixRun {
+            config: cfg,
+            cases,
+            cells,
+            cache_stats: None,
+        };
+        let violations = evaluate(&run);
+        assert_eq!(violations.len(), 2, "got: {violations:?}");
+        for v in &violations {
+            assert!(
+                v.detail.contains("repro: chaos --apps corpus:42:0"),
+                "corpus violations must carry the repro coordinates: {v}"
+            );
+        }
+    }
+
+    /// A real (tiny) corpus slice through the full machinery: resolve,
+    /// execute, evaluate, and oracle-check. The corpus rides the exact same
+    /// runner and evaluation as Table 5.
+    #[test]
+    fn corpus_matrix_runs_clean_and_oracles_pass() {
+        let mut cfg = MatrixConfig::corpus(42, 200, 2, 42);
+        cfg.policies = vec![PolicyKind::Vanilla, PolicyKind::LeaseOs];
+        cfg.arms = vec![FaultArm::Control, FaultArm::All];
+        cfg.length = SimDuration::from_mins(5);
+        let run = run_matrix(&cfg, &ScenarioRunner::with_threads(2), None, "test").unwrap();
+        assert_eq!(run.cells.len(), 2 * 2 * 2);
+        assert_eq!(run.cases[0].name, "corpus-42-0");
+        let violations = evaluate(&run);
+        assert!(violations.is_empty(), "got: {violations:?}");
+        let oracle_failures = corpus_oracle_violations(&run, 42);
+        assert!(oracle_failures.is_empty(), "got: {oracle_failures:?}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod harness;
 pub mod throughput;
 
 pub use cache::{build_rev, CacheKey, CacheStats, KeyBuilder, ResultCache};
-pub use conformance::{FaultArm, MatrixConfig, MatrixRun};
+pub use conformance::{CaseHandle, FaultArm, MatrixConfig, MatrixRun};
 pub use harness::{
     parse_thread_count, AppBuilder, EnvBuilder, Matrix, PolicyBuilder, ScenarioRun, ScenarioRunner,
     ScenarioSpec,

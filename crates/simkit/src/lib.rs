@@ -78,7 +78,7 @@ pub use metrics::MetricsRegistry;
 pub use population::{DeviceParams, PopulationSpec, RadioQuality, ScreenClass};
 pub use power::{ComponentKind, ComponentState, CpuState, GpsState, PowerTable, WifiState};
 pub use queue::{EventHandle, EventQueue};
-pub use rng::SimRng;
+pub use rng::{streams, SimRng};
 pub use telemetry::{
     AggregateSink, EventKind, Histogram, JsonValue, JsonlSink, RingBufferSink, Sink, TelemetryBus,
     TelemetryEvent,

@@ -20,13 +20,14 @@
 //! population identity.
 
 use crate::device::DeviceProfile;
-use crate::rng::SimRng;
+use crate::rng::{streams, SimRng};
 
-/// Disjoint fork-stream bases for the per-device streams. A population is
-/// capped far below `2^40` devices, so the bases can never collide.
-const STREAM_PARAMS: u64 = 0x1_0000_0000_0000;
-const STREAM_MIX: u64 = 0x2_0000_0000_0000;
-const STREAM_KERNEL: u64 = 0x3_0000_0000_0000;
+/// Disjoint fork-stream bases for the per-device streams, reserved in the
+/// kernel-wide [`streams`] registry (whose disjointness test keeps any new
+/// subsystem from colliding with them).
+const STREAM_PARAMS: u64 = streams::POPULATION_PARAMS;
+const STREAM_MIX: u64 = streams::POPULATION_MIX;
+const STREAM_KERNEL: u64 = streams::POPULATION_KERNEL;
 
 /// Cellular/Wi-Fi coverage quality bucket for a generated device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

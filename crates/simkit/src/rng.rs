@@ -11,6 +11,57 @@
 //! carries zero external dependencies and every stream is reproducible
 //! bit-for-bit across platforms.
 
+/// The kernel-wide registry of [`SimRng::fork`] stream constants.
+///
+/// A fork stream id is an address: two producers forking the same `(seed,
+/// stream)` pair draw *identical* values, which silently correlates parts
+/// of the simulation that must be independent. Every subsystem that forks
+/// from a root seed therefore reserves a `[base, base + span)` range here,
+/// and [`reserved_ranges`](streams::reserved_ranges) plus the
+/// `reserved_stream_ranges_are_disjoint` test turn any overlap — including
+/// one introduced by a future subsystem picking an ad-hoc constant — into a
+/// test failure instead of a statistics bug.
+pub mod streams {
+    /// Per-class fault Poisson streams: `FAULT_CLASS + FaultKind as u64`.
+    pub const FAULT_CLASS: u64 = 0xFA17;
+    /// Capacity of the fault-class range (far above the kind count).
+    pub const FAULT_CLASS_SPAN: u64 = 0x100;
+
+    /// Correlation-rule follower streams: `CORRELATION_RULE + rule index`.
+    pub const CORRELATION_RULE: u64 = 0xC088_0000;
+    /// Capacity of the correlation-rule range (rules per fault spec).
+    pub const CORRELATION_RULE_SPAN: u64 = 0x1_0000;
+
+    /// Capacity of every per-device / per-app indexed range below. A
+    /// population or corpus is capped far under 2^48 members, so indexed
+    /// ranges of this span can never run into their neighbour.
+    pub const INDEXED_SPAN: u64 = 0x1_0000_0000_0000;
+
+    /// Per-device hardware-parameter draws (`population`).
+    pub const POPULATION_PARAMS: u64 = 0x1_0000_0000_0000;
+    /// Per-device app-mix sampling (`apps::fleet` via `population`).
+    pub const POPULATION_MIX: u64 = 0x2_0000_0000_0000;
+    /// Per-device kernel-seed derivation (`population`).
+    pub const POPULATION_KERNEL: u64 = 0x3_0000_0000_0000;
+    /// Per-app bug-corpus generation (`apps::corpus`): the stream of corpus
+    /// app `index` is `CORPUS_APP + index`, so app identity is a pure
+    /// function of `(corpus_seed, index)` at any corpus size.
+    pub const CORPUS_APP: u64 = 0x4_0000_0000_0000;
+
+    /// Every reserved `(name, base, span)` range. New subsystems append
+    /// here; the disjointness test does the rest.
+    pub fn reserved_ranges() -> Vec<(&'static str, u64, u64)> {
+        vec![
+            ("fault_class", FAULT_CLASS, FAULT_CLASS_SPAN),
+            ("correlation_rule", CORRELATION_RULE, CORRELATION_RULE_SPAN),
+            ("population_params", POPULATION_PARAMS, INDEXED_SPAN),
+            ("population_mix", POPULATION_MIX, INDEXED_SPAN),
+            ("population_kernel", POPULATION_KERNEL, INDEXED_SPAN),
+            ("corpus_app", CORPUS_APP, INDEXED_SPAN),
+        ]
+    }
+}
+
 /// The core xoshiro256++ generator state.
 #[derive(Debug, Clone)]
 struct Xoshiro256 {
@@ -294,5 +345,42 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_panics() {
         SimRng::new(0).range_u64(5, 5);
+    }
+
+    /// The satellite audit the ISSUE asks for: every subsystem's reserved
+    /// fork-stream range is pairwise disjoint, so no two producers forking
+    /// the same root seed can ever share a stream id.
+    #[test]
+    fn reserved_stream_ranges_are_disjoint() {
+        let ranges = streams::reserved_ranges();
+        assert!(ranges.len() >= 6, "registry lists every known subsystem");
+        for (name, base, span) in &ranges {
+            assert!(*span > 0, "{name}: empty range");
+            assert!(base.checked_add(*span).is_some(), "{name}: range wraps u64");
+        }
+        for (i, (a_name, a_base, a_span)) in ranges.iter().enumerate() {
+            for (b_name, b_base, b_span) in &ranges[i + 1..] {
+                let disjoint = a_base + a_span <= *b_base || b_base + b_span <= *a_base;
+                assert!(
+                    disjoint,
+                    "stream ranges {a_name} [{a_base:#x}, {:#x}) and {b_name} \
+                     [{b_base:#x}, {:#x}) overlap",
+                    a_base + a_span,
+                    b_base + b_span
+                );
+            }
+        }
+    }
+
+    /// The registry constants must match the historical literals: changing
+    /// one silently re-seeds every cached result keyed on its draws.
+    #[test]
+    fn reserved_stream_bases_are_pinned() {
+        assert_eq!(streams::FAULT_CLASS, 0xFA17);
+        assert_eq!(streams::CORRELATION_RULE, 0xC088_0000);
+        assert_eq!(streams::POPULATION_PARAMS, 0x1_0000_0000_0000);
+        assert_eq!(streams::POPULATION_MIX, 0x2_0000_0000_0000);
+        assert_eq!(streams::POPULATION_KERNEL, 0x3_0000_0000_0000);
+        assert_eq!(streams::CORPUS_APP, 0x4_0000_0000_0000);
     }
 }

@@ -91,6 +91,48 @@ pub fn reduction_ratio(baseline: f64, treated: f64) -> f64 {
     }
 }
 
+/// An inclusive `[lo, hi]` band for oracle assertions.
+///
+/// The corpus oracles (and the §7.4 conformance properties built on them)
+/// assert that a measured quantity — a savings percentage, a power draw —
+/// falls inside an expected band. Keeping the comparison here means every
+/// oracle shares one definition of "inside" (inclusive on both ends, NaN
+/// never inside) and one display format for violation messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl Band {
+    /// A band over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite — a malformed
+    /// oracle is a bug in the generator, not a data condition.
+    pub fn new(lo: f64, hi: f64) -> Band {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "malformed band [{lo}, {hi}]"
+        );
+        Band { lo, hi }
+    }
+
+    /// Whether `v` lies inside the band (inclusive). NaN is never inside.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+impl std::fmt::Display for Band {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.2}, {:.2}]", self.lo, self.hi)
+    }
+}
+
 /// A compact distribution summary for run-set and fleet reporting.
 ///
 /// Every field is computed over the *finite* samples only — one NaN policy
@@ -272,6 +314,50 @@ mod tests {
         assert_eq!(p, None);
         assert_eq!(dropped, 2);
         assert_eq!(median(&[f64::NAN, 7.0]), Some(7.0));
+    }
+
+    /// The edges the fleet path skirts: empty input, all-dropped input, a
+    /// single sample, and tail percentiles on tiny n must all be total.
+    #[test]
+    fn percentile_edges_are_total() {
+        // Empty: nothing to rank, nothing dropped.
+        assert_eq!(percentile_with_dropped(&[], 99.0), (None, 0));
+        assert!(Summary::of(&[]).is_none());
+        // All-dropped: every sample non-finite.
+        let all_bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        assert_eq!(percentile_with_dropped(&all_bad, 99.0), (None, 3));
+        assert!(Summary::of(&all_bad).is_none());
+        // Single sample: every percentile is that sample.
+        for p in [0.0, 5.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.0], p), Some(42.0));
+        }
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!((s.p5, s.median, s.p95, s.p99), (42.0, 42.0, 42.0, 42.0));
+        assert_eq!(s.std_dev, 0.0);
+        // p99 on tiny n interpolates inside the sample range and stays
+        // ordered against p95 and max.
+        let tiny = [1.0, 2.0, 3.0];
+        let p99 = percentile(&tiny, 99.0).unwrap();
+        let p95 = percentile(&tiny, 95.0).unwrap();
+        assert!(p95 <= p99 && p99 <= 3.0, "p95={p95} p99={p99}");
+        assert!((p99 - 2.98).abs() < 1e-12, "rank 1.98 interpolates: {p99}");
+    }
+
+    #[test]
+    fn band_contains_and_displays() {
+        let b = Band::new(25.0, 100.0);
+        assert!(b.contains(25.0) && b.contains(100.0) && b.contains(60.0));
+        assert!(!b.contains(24.999) && !b.contains(100.001));
+        assert!(!b.contains(f64::NAN), "NaN is never inside a band");
+        assert_eq!(b.to_string(), "[25.00, 100.00]");
+        // Degenerate single-point band is legal.
+        assert!(Band::new(5.0, 5.0).contains(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed band")]
+    fn band_rejects_inverted_bounds() {
+        Band::new(2.0, 1.0);
     }
 
     #[test]

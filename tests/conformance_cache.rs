@@ -166,6 +166,68 @@ fn adding_the_storm_arm_reexecutes_exactly_the_new_cells() {
     assert_eq!(cache.stats().misses, 2, "exactly the storm cells execute");
 }
 
+/// A 12-cell corpus slice: two generated apps (evenly sampled from the
+/// 200-app corpus the CI job pins) × two policies × three arm shapes.
+fn tiny_corpus_config() -> MatrixConfig {
+    let mut cfg = MatrixConfig::corpus(42, 200, 2, 42);
+    cfg.policies = vec![PolicyKind::Vanilla, PolicyKind::LeaseOs];
+    cfg.arms = vec![
+        FaultArm::Control,
+        FaultArm::Single(FaultKind::AppCrash),
+        FaultArm::Storm,
+    ];
+    cfg.length = SimDuration::from_mins(5);
+    cfg
+}
+
+/// The corpus matrix honours the same cache and determinism contract as
+/// Table 5: worker count never changes a byte, a warm run executes nothing
+/// (`misses: 0`) and replays the cold bytes, and corpus entries live in
+/// their own key domain — sharing a cache directory with Table 5 cells
+/// steals none of their hits.
+#[test]
+fn corpus_matrix_is_thread_invariant_and_warm_runs_execute_nothing() {
+    let dir = scratch_dir("corpus");
+    let cfg = tiny_corpus_config();
+
+    let sequential = run_matrix(&cfg, &ScenarioRunner::with_threads(1), None, "r").unwrap();
+    let parallel = run_matrix(&cfg, &ScenarioRunner::with_threads(4), None, "r").unwrap();
+    assert_eq!(
+        sequential.cells, parallel.cells,
+        "1-vs-4 worker threads: byte-identical summaries and JSONL"
+    );
+
+    let runner = ScenarioRunner::with_threads(2);
+    let cold_cache = ResultCache::open(&dir).unwrap();
+    let cold = run_matrix(&cfg, &runner, Some(&cold_cache), "rev-a").unwrap();
+    let stats = cold.cache_stats.unwrap();
+    assert_eq!(stats.misses, cfg.cell_count() as u64);
+    assert_eq!(stats.stores, cfg.cell_count() as u64);
+    assert_eq!(cold.cells, sequential.cells, "caching changes no bytes");
+
+    let warm_cache = ResultCache::open(&dir).unwrap();
+    let warm = run_matrix(&cfg, &runner, Some(&warm_cache), "rev-a").unwrap();
+    let stats = warm.cache_stats.unwrap();
+    assert_eq!(stats.hits, cfg.cell_count() as u64, "100% cache hits");
+    assert_eq!(stats.misses, 0, "a warm corpus run re-executes zero cells");
+    assert_eq!(warm.cells, cold.cells, "warm bytes replay the cold run");
+
+    // Table 5 cells dropped into the same directory coexist: the corpus
+    // entries still hit in full, and the Table 5 run misses in full (no
+    // cross-domain aliasing in either direction).
+    let shared = ResultCache::open(&dir).unwrap();
+    let t5 = tiny_config();
+    run_matrix(&t5, &runner, Some(&shared), "rev-a").unwrap();
+    assert_eq!(
+        shared.stats().hits,
+        0,
+        "no corpus entry replays a Table 5 cell"
+    );
+    let shared = ResultCache::open(&dir).unwrap();
+    run_matrix(&cfg, &runner, Some(&shared), "rev-a").unwrap();
+    assert_eq!(shared.stats().misses, 0, "corpus entries undisturbed");
+}
+
 #[test]
 fn corrupt_and_truncated_entries_are_reexecuted_and_repaired() {
     let dir = scratch_dir("corrupt");
