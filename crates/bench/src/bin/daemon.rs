@@ -1,0 +1,156 @@
+//! The resident simulation daemon (and its scripting client).
+//!
+//! **Server mode** (default) — bind a Unix socket and serve the
+//! newline-delimited JSON protocol (`leaseos_bench::daemon`) until a
+//! `shutdown` request, SIGINT, or SIGTERM; all three drain in-flight
+//! requests to completion before exiting 0:
+//!
+//! ```console
+//! $ cargo run --release -p leaseos-bench --bin daemon -- \
+//!       --socket /tmp/leaseos.sock [--threads N] [--cache-dir DIR | --no-cache]
+//! ```
+//!
+//! **Client mode** — send one request line to a running daemon and print
+//! the response (exit 1 on an `ok:false` response):
+//!
+//! ```console
+//! $ cargo run --release -p leaseos-bench --bin daemon -- \
+//!       --connect /tmp/leaseos.sock \
+//!       --request '{"v":1,"cmd":"run-cell","app":"Torch"}' [--extract output]
+//! ```
+//!
+//! `--extract FIELD` prints the named string field of `result` raw instead
+//! of the JSON envelope — handy for diffing daemon-served `dumpsys`/
+//! `explore` output against the one-shot bins.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use leaseos_bench::daemon::{Daemon, DaemonClient, DaemonConfig};
+use leaseos_simkit::JsonValue;
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+// libc's signal(2), linked via std's own libc dependency — no crate needed.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+struct Flags {
+    socket: PathBuf,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    connect: Option<PathBuf>,
+    request: Option<String>,
+    extract: Option<String>,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        socket: DaemonConfig::default_socket(),
+        threads: 0,
+        cache_dir: None,
+        no_cache: false,
+        connect: None,
+        request: None,
+        extract: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().unwrap_or_else(|| panic!("{arg} needs a value"));
+        match arg.as_str() {
+            "--socket" => flags.socket = PathBuf::from(take()),
+            "--threads" => flags.threads = take().parse().expect("--threads takes an integer"),
+            "--cache-dir" => flags.cache_dir = Some(PathBuf::from(take())),
+            "--no-cache" => flags.no_cache = true,
+            "--connect" => flags.connect = Some(PathBuf::from(take())),
+            "--request" => flags.request = Some(take()),
+            "--extract" => flags.extract = Some(take()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    flags
+}
+
+fn run_client(socket: &Path, request: &str, extract: Option<&str>) {
+    let mut client = DaemonClient::connect(socket)
+        .unwrap_or_else(|e| panic!("connect {}: {e}", socket.display()));
+    let line = client
+        .request_line(request)
+        .unwrap_or_else(|e| panic!("daemon request failed: {e}"));
+    let resp = JsonValue::parse(&line).unwrap_or_else(|e| panic!("unparseable response: {e}"));
+    let ok = resp.get("ok") == Some(&JsonValue::Bool(true));
+    match extract {
+        Some(field) if ok => {
+            let value = resp
+                .get("result")
+                .and_then(|r| r.get(field))
+                .and_then(JsonValue::as_str)
+                .unwrap_or_else(|| panic!("result has no string field {field:?}: {line}"));
+            print!("{value}");
+        }
+        _ => println!("{line}"),
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let flags = parse_flags();
+
+    if let Some(socket) = &flags.connect {
+        let request = flags
+            .request
+            .as_deref()
+            .expect("--connect needs --request '<json>'");
+        run_client(socket, request, flags.extract.as_deref());
+        return;
+    }
+
+    let mut config = DaemonConfig::new(&flags.socket);
+    config.threads = flags.threads;
+    if flags.no_cache {
+        config.cache_dir = None;
+    } else if let Some(dir) = flags.cache_dir {
+        config.cache_dir = Some(dir);
+    }
+
+    // SAFETY: installing an async-signal-safe handler (one relaxed atomic
+    // store) for SIGINT/SIGTERM; the watcher thread does the real work.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+
+    let daemon = Daemon::bind(config).unwrap_or_else(|e| panic!("daemon: {e}"));
+    let handle = daemon.handle();
+    let rev = handle.rev().to_owned();
+    eprintln!("daemon listening on {}", daemon.socket().display());
+
+    let watcher_handle = handle.clone();
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            eprintln!("daemon: signal received, draining");
+            watcher_handle.request_shutdown();
+            break;
+        }
+        if watcher_handle.is_shutting_down() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+
+    let stats = daemon.serve().unwrap_or_else(|e| panic!("daemon: {e}"));
+    eprintln!("daemon cache: {stats} (rev {rev})");
+    eprint!("{}", handle.registry().render_prometheus());
+}

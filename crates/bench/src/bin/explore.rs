@@ -13,16 +13,18 @@
 //! `--minutes <n>`, `--seed <n>`, `--trace <n>` (print the last n kernel
 //! trace entries), `--spans` (render the open/closed causal span tree),
 //! `--list` (show available apps).
+//!
+//! With `--connect <socket>` the run is served by a resident daemon
+//! (`leaseos_bench::daemon`) instead of executing in-process — byte-
+//! identical output, warm caches, no startup cost. If the daemon is
+//! unreachable the scenario falls back to in-process execution with a
+//! warning on stderr.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::path::Path;
 
-use leaseos::LeaseOs;
-use leaseos_apps::buggy::table5_cases;
-use leaseos_apps::normal::{Haven, RunKeeper, Spotify};
-use leaseos_baselines::{DefDroid, Doze, PureThrottle, VanillaPolicy};
-use leaseos_framework::{AppModel, Kernel, ResourcePolicy};
-use leaseos_simkit::{DeviceProfile, Environment, RingBufferSink, Schedule, SimDuration, SimTime};
+use leaseos_bench::daemon::DaemonClient;
+use leaseos_bench::explore::{self, ExploreParams};
+use leaseos_simkit::JsonValue;
 
 fn parse_args() -> std::collections::HashMap<String, String> {
     let mut map = std::collections::HashMap::new();
@@ -39,167 +41,80 @@ fn parse_args() -> std::collections::HashMap<String, String> {
     map
 }
 
-fn device(name: &str) -> DeviceProfile {
-    match name {
-        "pixel-xl" => DeviceProfile::pixel_xl(),
-        "nexus-6" => DeviceProfile::nexus_6(),
-        "nexus-5x" => DeviceProfile::nexus_5x(),
-        "nexus-4" => DeviceProfile::nexus_4(),
-        "galaxy-s4" => DeviceProfile::galaxy_s4(),
-        "moto-g" => DeviceProfile::moto_g(),
-        other => {
-            eprintln!("unknown device {other}; using pixel-xl");
-            DeviceProfile::pixel_xl()
-        }
-    }
-}
-
-fn policy(name: &str) -> Box<dyn ResourcePolicy> {
-    match name {
-        "vanilla" => Box::new(VanillaPolicy::new()),
-        "leaseos" => Box::new(LeaseOs::new()),
-        "doze" => Box::new(Doze::aggressive()),
-        "doze-stock" => Box::new(Doze::new()),
-        "defdroid" => Box::new(DefDroid::new()),
-        "throttle" => Box::new(PureThrottle::new()),
-        other => {
-            eprintln!("unknown policy {other}; using leaseos");
-            Box::new(LeaseOs::new())
-        }
-    }
-}
-
-fn app_and_env(name: &str) -> Option<(Box<dyn AppModel>, Environment)> {
-    let lower = name.to_lowercase();
-    match lower.as_str() {
-        "runkeeper" => {
-            let mut env = Environment::unattended();
-            env.in_motion = Schedule::new(true);
-            return Some((Box::new(RunKeeper::new()), env));
-        }
-        "spotify" => return Some((Box::new(Spotify::new()), Environment::unattended())),
-        "haven" => return Some((Box::new(Haven::new()), Environment::unattended())),
-        _ => {}
-    }
-    table5_cases()
-        .into_iter()
-        .find(|c| c.name.to_lowercase() == lower)
-        .map(|c| ((c.build)(), (c.environment)()))
+/// Asks the daemon at `socket` to render `params`. A transport-level
+/// failure comes back as `Err(reason)` so the caller can fall back to
+/// in-process execution; a daemon-side command error exits like the
+/// equivalent local error would.
+fn render_remote(socket: &str, params: &ExploreParams) -> Result<String, String> {
+    let mut client = DaemonClient::connect(Path::new(socket)).map_err(|e| e.to_string())?;
+    let result = client
+        .call(
+            "explore",
+            vec![
+                ("app".to_owned(), JsonValue::Str(params.app.clone())),
+                ("policy".to_owned(), JsonValue::Str(params.policy.clone())),
+                ("device".to_owned(), JsonValue::Str(params.device.clone())),
+                ("minutes".to_owned(), JsonValue::Num(params.minutes as f64)),
+                ("seed".to_owned(), JsonValue::Num(params.seed as f64)),
+                ("trace".to_owned(), JsonValue::Num(params.trace as f64)),
+                ("spans".to_owned(), JsonValue::Bool(params.spans)),
+            ],
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    result
+        .get("output")
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| "daemon result missing \"output\"".to_owned())
 }
 
 fn main() {
     let args = parse_args();
     if args.contains_key("list") {
-        println!("buggy apps (Table 5):");
-        for case in table5_cases() {
-            println!("  {:<20} {} {}", case.name, case.resource, case.behavior);
-        }
-        println!("normal apps: RunKeeper, Spotify, Haven");
+        print!("{}", explore::list_text());
         return;
     }
 
-    let app_name = args.get("app").map(String::as_str).unwrap_or("Torch");
-    let policy_name = args.get("policy").map(String::as_str).unwrap_or("leaseos");
-    let device_name = args.get("device").map(String::as_str).unwrap_or("pixel-xl");
-    let minutes: u64 = args
-        .get("minutes")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
-    let seed: u64 = args.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-
-    let Some((app, env)) = app_and_env(app_name) else {
-        eprintln!("unknown app {app_name:?}; try --list");
-        std::process::exit(2);
+    let defaults = ExploreParams::default();
+    let params = ExploreParams {
+        app: args.get("app").cloned().unwrap_or(defaults.app),
+        policy: args.get("policy").cloned().unwrap_or(defaults.policy),
+        device: args.get("device").cloned().unwrap_or(defaults.device),
+        minutes: args
+            .get("minutes")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.minutes),
+        seed: args
+            .get("seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.seed),
+        trace: args
+            .get("trace")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.trace),
+        spans: args.contains_key("spans"),
     };
 
-    let trace_lines: usize = args.get("trace").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let run = SimDuration::from_mins(minutes);
-    let mut kernel = Kernel::new(device(device_name), env, policy(policy_name), seed);
-    let ring = if trace_lines > 0 {
-        let ring = Rc::new(RefCell::new(RingBufferSink::new(trace_lines)));
-        kernel.telemetry().attach(ring.clone());
-        Some(ring)
-    } else {
-        None
-    };
-    let spans = args.contains_key("spans");
-    if spans {
-        kernel.enable_tracing();
-    }
-    kernel.enable_profiler(SimDuration::from_secs(60));
-    let id = kernel.add_app(app);
-    let end = SimTime::ZERO + run;
-    kernel.run_until(end);
-
-    println!("{app_name} under {policy_name} on {device_name} for {minutes} min (seed {seed})");
-    println!(
-        "  app avg power:     {:.2} mW",
-        kernel.avg_app_power_mw(id, run)
-    );
-    println!(
-        "  system avg power:  {:.2} mW",
-        kernel.meter().avg_total_power_mw(run)
-    );
-    if let Some(stats) = kernel.ledger().app_opt(id) {
-        println!(
-            "  cpu {:.1}s  exceptions {}  ui {}  interactions {}  net {}/{} ok  data {}  distance {:.0}m",
-            stats.cpu_ms as f64 / 1_000.0,
-            stats.exceptions,
-            stats.ui_updates,
-            stats.interactions,
-            stats.net_ops - stats.net_failures,
-            stats.net_ops,
-            stats.data_written,
-            stats.distance_m,
-        );
-    }
-    for (obj, o) in kernel.ledger().all_objects().filter(|(_, o)| o.owner == id) {
-        println!(
-            "  {obj} {:<16} held {:>8}  effective {:>8}  deliveries {}{}",
-            o.kind.to_string(),
-            o.held_time(end).to_string(),
-            o.effective_held_time(end).to_string(),
-            o.deliveries,
-            if o.dead { "  (dead)" } else { "" },
-        );
-    }
-    if let Some(os) = kernel.policy().as_any().downcast_ref::<LeaseOs>() {
-        for report in os.manager().lease_reports(end) {
-            println!(
-                "  lease on {:<16} terms {:>4}  deferrals {:>3}  active {:>7.1}s",
-                report.kind.to_string(),
-                report.terms,
-                report.deferrals,
-                report.active_secs,
-            );
-        }
-    }
-    // Per-component energy breakdown for the app.
-    println!("  energy by component:");
-    for component in leaseos_simkit::ComponentKind::ALL {
-        let mj = kernel.meter().component_energy_mj(id.consumer(), component);
-        if mj > 0.0 {
-            println!("    {component:<8} {mj:>12.1} mJ");
-        }
-    }
-    if spans {
-        if let Some(ledger) = kernel.tracing() {
-            println!(
-                "  span tree ({:.3} mJ useful, {:.3} mJ wasted):",
-                ledger.total_useful_mj(),
-                ledger.total_wasted_mj()
-            );
-            for line in ledger.render_tree().lines() {
-                println!("    {line}");
+    if let Some(socket) = args.get("connect") {
+        match render_remote(socket, &params) {
+            Ok(output) => {
+                print!("{output}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("explore: cannot reach daemon at {socket} ({e}); running in-process");
             }
         }
     }
-    if let Some(ring) = ring {
-        let ring = ring.borrow();
-        let total = ring.dropped() + ring.len() as u64;
-        println!("  kernel trace (last {} of {} entries):", ring.len(), total);
-        for event in ring.events() {
-            println!("    {event}");
+
+    match explore::render(&params) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
     }
 }

@@ -483,8 +483,11 @@ pub fn corpus_cell_key(
 }
 
 /// Executes one cell for real: kernel + fault plan + restart semantics +
-/// always-on audits + in-memory JSONL capture.
-fn execute_cell(spec: &ScenarioSpec, plan: &FaultPlan, cold_restart: bool) -> CellOutcome {
+/// always-on audits + in-memory JSONL capture. This is the single execution
+/// path every front end shares — [`run_matrix`], the daemon's `run-cell`
+/// command, and the one-shot reference computations in tests — so a cell's
+/// bytes are identical no matter which door it came in through.
+pub fn run_cell(spec: &ScenarioSpec, plan: &FaultPlan, cold_restart: bool) -> CellOutcome {
     let sink: Rc<RefCell<JsonlSink<Vec<u8>>>> = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
     let run = spec.execute_with(|kernel| {
         kernel.install_fault_plan(plan);
@@ -574,13 +577,13 @@ pub fn run_matrix(
                 }
                 // Undecodable payload: fall through and re-execute.
             }
-            let outcome = execute_cell(spec, plan, cold_restart);
+            let outcome = run_cell(spec, plan, cold_restart);
             if let Err(e) = cache.store(key, &outcome.summary_json(), &outcome.jsonl) {
                 eprintln!("warning: cache store failed for {}: {e}", spec.label);
             }
             outcome
         } else {
-            execute_cell(spec, plan, cold_restart)
+            run_cell(spec, plan, cold_restart)
         }
     });
 

@@ -62,6 +62,17 @@ impl Format {
             )),
         }
     }
+
+    /// The CLI name, the exact inverse of [`parse`](Self::parse) — also the
+    /// wire name the daemon protocol uses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Text => "text",
+            Format::Json => "json",
+            Format::Csv => "csv",
+            Format::Folded => "folded",
+        }
+    }
 }
 
 /// Final state of one causal span, as reported by the last `span` event.

@@ -29,16 +29,19 @@
 
 pub mod cache;
 pub mod conformance;
+pub mod daemon;
 pub mod dumpsys;
+pub mod explore;
 pub mod fleet;
 pub mod harness;
 pub mod throughput;
 
 pub use cache::{build_rev, CacheKey, CacheStats, KeyBuilder, ResultCache};
 pub use conformance::{CaseHandle, FaultArm, MatrixConfig, MatrixRun};
+pub use daemon::{CellRequest, DaemonClient, DaemonConfig};
 pub use harness::{
     parse_thread_count, AppBuilder, EnvBuilder, Matrix, PolicyBuilder, ScenarioRun, ScenarioRunner,
-    ScenarioSpec,
+    ScenarioSpec, WorkerPool,
 };
 
 use leaseos::LeaseOs;

@@ -367,6 +367,39 @@ impl Gauge {
         }
     }
 
+    /// Adds `delta` (may be negative) atomically — a CAS loop over the f64
+    /// bit pattern, so concurrent adders never lose an update. This is what
+    /// an in-flight gauge needs: `inc` on entry, `dec` on exit, from many
+    /// threads at once.
+    pub fn add(&self, delta: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut current = self.cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.cell.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtracts 1.
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
     /// Current value.
     pub fn value(&self) -> f64 {
         f64::from_bits(self.cell.load(Ordering::Relaxed))
@@ -470,6 +503,35 @@ mod tests {
         assert_eq!(r.series("load").snapshot().len(), 2);
         assert_eq!(r.len(), 4);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn gauge_add_is_atomic_across_threads() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        let g = r.gauge("inflight");
+        g.set(10.0);
+        g.inc();
+        g.dec();
+        g.add(-2.5);
+        assert_eq!(g.value(), 7.5);
+        // Concurrent paired inc/dec must cancel exactly: a plain
+        // load-modify-store gauge would lose updates here.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        g.inc();
+                        g.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.value(), 7.5);
+        r.disable();
+        g.add(100.0);
+        assert_eq!(g.value(), 7.5, "disabled adds are no-ops");
     }
 
     #[test]

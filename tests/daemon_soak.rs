@@ -1,0 +1,187 @@
+//! Concurrency soak for the resident daemon: many clients, mixed commands,
+//! every response byte-identical to the one-shot reference path, and a
+//! repeated run against the same cache directory served entirely warm.
+
+use std::sync::Arc;
+
+use leaseos_bench::daemon::{self, CellRequest, DaemonConfig};
+use leaseos_bench::dumpsys::{self, Format};
+use leaseos_bench::explore::{self, ExploreParams};
+use leaseos_bench::{conformance::FaultArm, PolicyKind};
+use leaseos_simkit::JsonValue;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 100;
+
+/// One entry of the mixed-request catalog: the protocol fields to send and
+/// the byte-exact reference answer computed one-shot, in-process — the same
+/// path the standalone binaries print.
+struct Expected {
+    cmd: &'static str,
+    fields: Vec<(String, JsonValue)>,
+    /// For `run-cell`: the whole result document, serialized. For
+    /// `dumpsys`/`explore`: the `output` string field.
+    reference: String,
+}
+
+fn str_field(key: &str, value: &str) -> (String, JsonValue) {
+    (key.to_owned(), JsonValue::Str(value.to_owned()))
+}
+
+fn num_field(key: &str, value: u64) -> (String, JsonValue) {
+    (key.to_owned(), JsonValue::Num(value as f64))
+}
+
+/// Small scenarios (2 simulated minutes) so the cold pass stays cheap; the
+/// other 99 % of the soak is served warm.
+fn catalog() -> Vec<Expected> {
+    let mut entries = Vec::new();
+
+    for policy in [PolicyKind::LeaseOs, PolicyKind::Vanilla] {
+        let req = CellRequest {
+            app: "Torch".to_owned(),
+            policy,
+            seed: 42,
+            arm: FaultArm::Control,
+            minutes: 2,
+            mean_secs: 300,
+            cold_restart: false,
+        };
+        let reference = req
+            .outcome()
+            .expect("reference cell runs")
+            .summary_json()
+            .to_json();
+        entries.push(Expected {
+            cmd: "run-cell",
+            fields: vec![
+                str_field("app", "Torch"),
+                str_field("policy", policy.cli_name()),
+                num_field("seed", 42),
+                str_field("arm", "control"),
+                num_field("minutes", 2),
+            ],
+            reference,
+        });
+    }
+
+    let report = dumpsys::live_report("Torch", PolicyKind::Vanilla, 42, 2);
+    entries.push(Expected {
+        cmd: "dumpsys",
+        fields: vec![
+            str_field("app", "Torch"),
+            str_field("policy", "vanilla"),
+            num_field("seed", 42),
+            num_field("minutes", 2),
+            str_field("format", "text"),
+        ],
+        reference: report.render(Format::Text),
+    });
+
+    let params = ExploreParams {
+        app: "Torch".to_owned(),
+        minutes: 2,
+        ..ExploreParams::default()
+    };
+    entries.push(Expected {
+        cmd: "explore",
+        fields: vec![
+            str_field("app", "Torch"),
+            str_field("policy", params.policy.as_str()),
+            num_field("minutes", 2),
+        ],
+        reference: explore::render(&params).expect("reference explore runs"),
+    });
+
+    entries
+}
+
+/// Checks one daemon response against its catalog entry, byte for byte.
+fn check(entry: &Expected, result: &JsonValue) {
+    match entry.cmd {
+        "run-cell" => assert_eq!(
+            result.to_json(),
+            entry.reference,
+            "run-cell response diverged from the one-shot summary"
+        ),
+        _ => {
+            let output = result
+                .get("output")
+                .and_then(JsonValue::as_str)
+                .expect("response carries an output field");
+            assert_eq!(
+                output, entry.reference,
+                "{} response diverged from the one-shot output",
+                entry.cmd
+            );
+        }
+    }
+}
+
+#[test]
+fn soaked_daemon_serves_byte_identical_responses_and_rewarms_from_disk() {
+    let config = DaemonConfig::scratch("soak");
+    let cache_dir = config
+        .cache_dir
+        .clone()
+        .expect("scratch config has a cache");
+    let entries = Arc::new(catalog());
+
+    let daemon = daemon::spawn(config.clone()).expect("daemon binds");
+    std::thread::scope(|scope| {
+        for client_idx in 0..CLIENTS {
+            let entries = Arc::clone(&entries);
+            let daemon = &daemon;
+            scope.spawn(move || {
+                let mut client = daemon.client().expect("client connects");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // A per-client stride so the command mix interleaves
+                    // differently on every connection.
+                    let entry = &entries[(client_idx * 31 + i) % entries.len()];
+                    let result = client
+                        .call(entry.cmd, entry.fields.clone())
+                        .unwrap_or_else(|e| panic!("{} request failed: {e}", entry.cmd));
+                    check(entry, &result);
+                }
+            });
+        }
+    });
+    let registry = daemon.handle().registry();
+    let stats = daemon.shutdown().expect("clean shutdown");
+
+    let served = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    let snapshot = registry.render_prometheus();
+    assert!(
+        snapshot.contains(&format!("daemon_requests_total {served}")),
+        "expected {served} requests, got:\n{snapshot}"
+    );
+    // The two run-cell cells are stored once each; dumpsys/explore results
+    // live in the in-memory front only.
+    assert_eq!(stats.stores, 2, "soak stats: {stats}");
+
+    // A second daemon over the same cache directory answers the run-cell
+    // entries from disk: zero cache misses, zero executions.
+    let mut config_b = DaemonConfig::scratch("soak-b");
+    config_b.cache_dir = Some(cache_dir);
+    let daemon_b = daemon::spawn(config_b).expect("daemon B binds");
+    let mut client = daemon_b.client().expect("client connects");
+    for entry in entries.iter().filter(|e| e.cmd == "run-cell") {
+        let result = client
+            .call(entry.cmd, entry.fields.clone())
+            .expect("warm run-cell");
+        check(entry, &result);
+    }
+    let registry_b = daemon_b.handle().registry();
+    let stats_b = daemon_b.shutdown().expect("clean shutdown");
+    assert_eq!(stats_b.misses, 0, "rewarmed stats: {stats_b}");
+    assert_eq!(stats_b.hits, 2, "rewarmed stats: {stats_b}");
+    let snapshot_b = registry_b.render_prometheus();
+    assert!(
+        snapshot_b.contains("daemon_cell_executions_total 0"),
+        "daemon B must not re-execute, got:\n{snapshot_b}"
+    );
+    assert!(
+        snapshot_b.contains("daemon_cell_disk_loads_total 2"),
+        "daemon B must load both cells from disk, got:\n{snapshot_b}"
+    );
+}
